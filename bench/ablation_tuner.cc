@@ -1,0 +1,86 @@
+// Ablation study of MRONLINE's design choices (DESIGN.md experiment A1):
+//   1. gray-box rules ON vs OFF (pure black-box smart hill climbing);
+//   2. LHS sampling vs plain uniform sampling;
+//   3. MRONLINE's one expedited test run vs a Gunther-style offline genetic
+//      search given the paper's 20-40 full runs.
+// Workload: Terasort 60 GB (so a single binary stays fast).
+#include <iostream>
+
+#include "baselines/genetic_tuner.h"
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+namespace {
+
+constexpr double kInputGb = 60.0;
+
+double rerun(const mapreduce::JobConfig& cfg) {
+  return bench::run_averaged(Benchmark::Terasort, Corpus::Synthetic, cfg,
+                             gibibytes(kInputGb))
+      .exec_secs;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble("Ablation A1",
+                        "tuner design choices on Terasort 60 GB");
+  const double def = rerun(mapreduce::JobConfig{});
+
+  TextTable table({"Variant", "Runs", "Configs tried", "Rerun (s)",
+                   "Improvement"});
+  auto add = [&](const std::string& label, int runs, int configs,
+                 double secs) {
+    table.add_row({label, TextTable::num(runs, 0),
+                   TextTable::num(configs, 0), TextTable::num(secs, 0),
+                   TextTable::num(bench::improvement_pct(def, secs), 1) + "%"});
+  };
+  add("Default YARN config", 0, 0, def);
+
+  // Full MRONLINE: gray-box rules + LHS.
+  {
+    const auto t = bench::tune_aggressive(Benchmark::Terasort,
+                                          Corpus::Synthetic, 77,
+                                          gibibytes(kInputGb));
+    add("MRONLINE (gray-box + LHS)", 1, t.configs_tried, rerun(t.config));
+  }
+  // Rules off: black-box smart hill climbing.
+  {
+    tuner::TunerOptions opt;
+    opt.use_tuning_rules = false;
+    const auto t = bench::tune_aggressive(
+        Benchmark::Terasort, Corpus::Synthetic, 77, gibibytes(kInputGb), -1,
+        opt);
+    add("no tuning rules (black-box)", 1, t.configs_tried, rerun(t.config));
+  }
+  // LHS off: uniform sampling.
+  {
+    tuner::TunerOptions opt;
+    opt.climber.use_lhs = false;
+    const auto t = bench::tune_aggressive(
+        Benchmark::Terasort, Corpus::Synthetic, 77, gibibytes(kInputGb), -1,
+        opt);
+    add("uniform sampling (no LHS)", 1, t.configs_tried, rerun(t.config));
+  }
+  // Gunther-style offline GA with 30 full runs (the paper's 20-40 band).
+  {
+    baselines::GeneticOfflineTuner ga;
+    const mapreduce::JobConfig best = ga.tune(
+        [&](const mapreduce::JobConfig& cfg) {
+          return bench::run_plain(Benchmark::Terasort, Corpus::Synthetic, cfg,
+                                  /*seed=*/55, gibibytes(kInputGb))
+              .exec_secs;
+        },
+        30);
+    add("Gunther-style offline GA", ga.runs_used(), ga.runs_used(),
+        rerun(best));
+  }
+  table.print(std::cout);
+  std::cout << "\"Runs\" counts whole-job executions spent searching: "
+               "MRONLINE needs one instrumented test run where the offline "
+               "GA needs 20-40.\n";
+  return 0;
+}

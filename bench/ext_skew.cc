@@ -1,0 +1,68 @@
+// Extension bench: data skew (the paper cites SkewTune as motivation for
+// per-task configuration). Bigram with increasing reducer-partition skew:
+// skew stretches the reduce tail; MRONLINE's tuned configuration still
+// helps, but the paper's observation that "no one configuration is
+// suitable for all tasks" shows in the growing p95/avg gap.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "trace/timeline.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+namespace {
+
+struct SkewPoint {
+  double exec_secs;
+  double avg_reduce;
+  double p95_reduce;
+};
+
+SkewPoint run_with_skew(double cv, const mapreduce::JobConfig& cfg,
+                        std::uint64_t seed) {
+  mapreduce::SimulationOptions opt;
+  opt.seed = seed;
+  mapreduce::Simulation sim(opt);
+  mapreduce::JobSpec spec =
+      workloads::make_job(sim, Benchmark::Bigram, Corpus::Wikipedia);
+  spec.profile.partition_skew_cv = cv;
+  spec.config = cfg;
+  mapreduce::JobResult result;
+  sim.submit_job(std::move(spec),
+                 [&](const mapreduce::JobResult& r) { result = r; });
+  sim.run();
+  const auto s = trace::summarize(result);
+  return {result.exec_time(), s.avg_reduce_secs, s.p95_reduce_secs};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble("Extension",
+                        "reducer data skew (Bigram/Wikipedia): exec time "
+                        "and reduce-task tail vs partition skew");
+  const bench::TuneResult tuned =
+      bench::tune_aggressive(Benchmark::Bigram, Corpus::Wikipedia);
+  TextTable table({"Skew CV", "Variant", "Exec (s)", "Avg reduce (s)",
+                   "P95 reduce (s)", "Tail ratio"});
+  for (double cv : {0.0, 0.2, 0.6}) {
+    for (int t = 0; t < 2; ++t) {
+      const SkewPoint p = run_with_skew(
+          cv, t == 0 ? mapreduce::JobConfig{} : tuned.config, 101);
+      table.add_row({TextTable::num(cv, 1), t == 0 ? "default" : "MRONLINE",
+                     TextTable::num(p.exec_secs, 0),
+                     TextTable::num(p.avg_reduce, 0),
+                     TextTable::num(p.p95_reduce, 0),
+                     TextTable::num(p.p95_reduce / p.avg_reduce, 2)});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "Execution time grows with skew under both configurations "
+               "(the overloaded partitions set the job's tail); MRONLINE's "
+               "gain persists but cannot remove the imbalance itself — the "
+               "SkewTune-style repartitioning the paper cites is orthogonal "
+               "to parameter tuning.\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Extension bench: category-I parameter planning (the paper's future
+// work). Sweep #reducers and slowstart for Terasort 60 GB with full
+// simulated runs, then stack the planned geometry on top of MRONLINE's
+// category-II/III tuning.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "tuner/static_planner.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::print_preamble("Extension",
+                        "category-I planning (#reducers, slowstart) via "
+                        "simulation — Terasort 60 GB (480 maps)");
+
+  mapreduce::JobSpec tmpl;
+  tmpl.name = "Terasort";
+  tmpl.profile = workloads::profile_for(Benchmark::Terasort,
+                                        Corpus::Synthetic);
+  tuner::StaticPlanOptions opt;
+  opt.reducer_candidates = {60, 120, 200, 480};
+  opt.slowstart_candidates = {0.05, 0.5, 1.0};
+  const tuner::StaticPlan plan =
+      tuner::plan_static_parameters(tmpl, gibibytes(60), opt);
+
+  TextTable sweep({"#Reducers", "slowstart", "Simulated (s)"});
+  for (const auto& p : plan.sweep) {
+    const bool best = p.num_reduces == plan.num_reduces &&
+                      p.slowstart == plan.slowstart;
+    sweep.add_row({TextTable::num(p.num_reduces, 0) +
+                       (best ? " *" : ""),
+                   TextTable::num(p.slowstart, 2),
+                   TextTable::num(p.simulated_secs, 0)});
+  }
+  sweep.print(std::cout);
+  std::cout << "* = planner's choice\n\n";
+
+  // Stack: planned geometry + MRONLINE-tuned category-II/III parameters.
+  const bench::TuneResult tuned = bench::tune_aggressive(
+      Benchmark::Terasort, Corpus::Synthetic, 77, gibibytes(60),
+      plan.num_reduces);
+  const double paper_geometry =
+      bench::run_averaged(Benchmark::Terasort, Corpus::Synthetic,
+                          mapreduce::JobConfig{}, gibibytes(60), 200)
+          .exec_secs;
+  const double planned_default =
+      bench::run_averaged(Benchmark::Terasort, Corpus::Synthetic,
+                          mapreduce::JobConfig{}, gibibytes(60),
+                          plan.num_reduces)
+          .exec_secs;
+  const double planned_tuned =
+      bench::run_averaged(Benchmark::Terasort, Corpus::Synthetic,
+                          tuned.config, gibibytes(60), plan.num_reduces)
+          .exec_secs;
+  TextTable table({"Configuration", "Exec (s)", "vs paper geometry"});
+  table.add_row({"paper geometry (200 reducers), defaults",
+                 TextTable::num(paper_geometry, 0), "0.0%"});
+  table.add_row({"planned geometry, defaults",
+                 TextTable::num(planned_default, 0),
+                 TextTable::num(bench::improvement_pct(paper_geometry,
+                                                       planned_default),
+                                1) +
+                     "%"});
+  table.add_row({"planned geometry + MRONLINE tuning",
+                 TextTable::num(planned_tuned, 0),
+                 TextTable::num(bench::improvement_pct(paper_geometry,
+                                                       planned_tuned),
+                                1) +
+                     "%"});
+  table.print(std::cout);
+  std::cout << "Category-I planning composes with online tuning: the two "
+               "attack different parameters.\n";
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Extension bench: the Starfish-style what-if comparator (Section 9).
+//
+// Starfish searches against a closed-form model (cheap, zero test runs but
+// only as good as the model); MRONLINE searches against reality (one
+// gated test run). This bench shows model accuracy (predicted vs simulated
+// across configurations) and the end-to-end comparison of both tuners plus
+// the offline genetic search.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "whatif/predictor.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+namespace {
+
+whatif::PredictionInputs terasort_inputs() {
+  whatif::PredictionInputs in;
+  in.profile = workloads::profile_for(Benchmark::Terasort, Corpus::Synthetic);
+  in.input_size = corpus_bytes(Corpus::Synthetic);
+  in.num_maps = 752;
+  in.num_reduces = 200;
+  return in;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_preamble("Extension",
+                        "Starfish-style what-if engine vs MRONLINE "
+                        "(Terasort 100 GB)");
+
+  // --- 1. model accuracy across configurations -------------------------------
+  {
+    TextTable table({"Configuration", "Predicted (s)", "Simulated (s)",
+                     "Error"});
+    struct Probe {
+      const char* label;
+      mapreduce::JobConfig cfg;
+    };
+    mapreduce::JobConfig tuned;
+    tuned.map_memory_mb = 768;
+    tuned.io_sort_mb = 192;
+    tuned.sort_spill_percent = 0.99;
+    tuned.reduce_memory_mb = 1024;
+    tuned.reduce_input_buffer_percent = 0.7;
+    tuned.merge_inmem_threshold = 0;
+    mapreduce::JobConfig fat;
+    fat.map_memory_mb = 2048;
+    fat.reduce_memory_mb = 2048;
+    const Probe probes[] = {{"default", {}}, {"hand-tuned", tuned},
+                            {"oversized containers", fat}};
+    for (const auto& probe : probes) {
+      auto in = terasort_inputs();
+      in.config = probe.cfg;
+      const double predicted = whatif::predict(in).total_secs;
+      const double simulated =
+          bench::run_plain(Benchmark::Terasort, Corpus::Synthetic, probe.cfg,
+                           101)
+              .exec_secs;
+      table.add_row({probe.label, TextTable::num(predicted, 0),
+                     TextTable::num(simulated, 0),
+                     TextTable::num(
+                         100.0 * (predicted - simulated) / simulated, 0) +
+                         "%"});
+    }
+    table.print(std::cout);
+  }
+
+  // --- 2. tuners head-to-head -------------------------------------------------
+  {
+    const bench::RunStats def = bench::run_averaged(
+        Benchmark::Terasort, Corpus::Synthetic, mapreduce::JobConfig{});
+    TextTable table({"Tuner", "Search medium", "Test runs", "Rerun (s)",
+                     "Improvement"});
+    table.add_row({"none (default)", "-", "0",
+                   TextTable::num(def.exec_secs, 0), "0.0%"});
+
+    const mapreduce::JobConfig starfish =
+        whatif::optimize_with_model(terasort_inputs(), 3000);
+    const bench::RunStats starfish_run = bench::run_averaged(
+        Benchmark::Terasort, Corpus::Synthetic, starfish);
+    table.add_row({"Starfish-style (what-if)", "analytic model", "1",
+                   TextTable::num(starfish_run.exec_secs, 0),
+                   TextTable::num(bench::improvement_pct(
+                                      def.exec_secs, starfish_run.exec_secs),
+                                  1) +
+                       "%"});
+
+    const bench::TuneResult mron =
+        bench::tune_aggressive(Benchmark::Terasort, Corpus::Synthetic);
+    const bench::RunStats mron_run = bench::run_averaged(
+        Benchmark::Terasort, Corpus::Synthetic, mron.config);
+    table.add_row({"MRONLINE (aggressive)", "real tasks, gated waves", "1",
+                   TextTable::num(mron_run.exec_secs, 0),
+                   TextTable::num(bench::improvement_pct(def.exec_secs,
+                                                         mron_run.exec_secs),
+                                  1) +
+                       "%"});
+    table.print(std::cout);
+  }
+  std::cout << "The what-if engine is only as good as its model (the "
+               "paper's critique); MRONLINE pays one instrumented run to "
+               "search against reality.\n";
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 4: Terasort (100 GB) execution time under the default YARN
+// configuration, the offline tuning guide, and MRONLINE's expedited test
+// run. The paper reports a 23% improvement over the default.
+#include "bench/harness.h"
+
+using namespace mron;
+
+int main() {
+  bench::expedited_figure(
+      "Figure 4",
+      {{workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,
+        "Terasort", 23.0}});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 5: the four text applications on the Wikipedia data set, expedited
+// test runs. Paper improvements vs default: Bigram 25%, InvertedIndex 11%,
+// Wordcount 14%, TextSearch 19%.
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::expedited_figure(
+      "Figure 5",
+      {{Benchmark::Bigram, Corpus::Wikipedia, "Bigram", 25.0},
+       {Benchmark::InvertedIndex, Corpus::Wikipedia, "InvertedIndex", 11.0},
+       {Benchmark::WordCount, Corpus::Wikipedia, "WC", 14.0},
+       {Benchmark::TextSearch, Corpus::Wikipedia, "TextSearch", 19.0}});
+  return 0;
+}

@@ -1,0 +1,18 @@
+// Figure 6: the four text applications on the Freebase data set, expedited
+// test runs. Paper improvements vs default: Bigram 30%, InvertedIndex 18%,
+// Wordcount 20%, TextSearch 25%.
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::expedited_figure(
+      "Figure 6",
+      {{Benchmark::Bigram, Corpus::Freebase, "Bigram", 30.0},
+       {Benchmark::InvertedIndex, Corpus::Freebase, "InvertedIndex", 18.0},
+       {Benchmark::WordCount, Corpus::Freebase, "WC", 20.0},
+       {Benchmark::TextSearch, Corpus::Freebase, "TextSearch", 25.0}});
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 7: map-side spill records for Terasort (100 GB) — Optimal,
+// Default, Offline guide, MRONLINE. The paper shows Offline and MRONLINE
+// both reaching the optimal record count while Default writes ~2x.
+#include "bench/harness.h"
+
+using namespace mron;
+
+int main() {
+  bench::spill_figure(
+      "Figure 7",
+      {{workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,
+        "Terasort", 0.0}});
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 8: map-side spill records, Wikipedia applications.
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::spill_figure(
+      "Figure 8",
+      {{Benchmark::Bigram, Corpus::Wikipedia, "Bigram", 0.0},
+       {Benchmark::InvertedIndex, Corpus::Wikipedia, "InvertedIndex", 0.0},
+       {Benchmark::WordCount, Corpus::Wikipedia, "WC", 0.0},
+       {Benchmark::TextSearch, Corpus::Wikipedia, "TextSearch", 0.0}});
+  return 0;
+}

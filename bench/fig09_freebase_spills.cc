@@ -1,0 +1,16 @@
+// Figure 9: map-side spill records, Freebase applications.
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::spill_figure(
+      "Figure 9",
+      {{Benchmark::Bigram, Corpus::Freebase, "Bigram", 0.0},
+       {Benchmark::InvertedIndex, Corpus::Freebase, "InvertedIndex", 0.0},
+       {Benchmark::WordCount, Corpus::Freebase, "WC", 0.0},
+       {Benchmark::TextSearch, Corpus::Freebase, "TextSearch", 0.0}});
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 10: Terasort (100 GB), fast single run — the conservative tuner
+// rides along with the job's only execution. Paper band: 8-22% improvement
+// across the suite.
+#include "bench/harness.h"
+
+using namespace mron;
+
+int main() {
+  bench::single_run_figure(
+      "Figure 10",
+      {{workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,
+        "Terasort", 15.0}});
+  return 0;
+}

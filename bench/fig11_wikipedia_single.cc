@@ -1,0 +1,17 @@
+// Figure 11: fast single run, Wikipedia applications. The paper reports
+// gains from 8% (Wordcount) up to ~20%.
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::single_run_figure(
+      "Figure 11",
+      {{Benchmark::Bigram, Corpus::Wikipedia, "Bigram", 18.0},
+       {Benchmark::InvertedIndex, Corpus::Wikipedia, "InvertedIndex", 10.0},
+       {Benchmark::WordCount, Corpus::Wikipedia, "WC", 8.0},
+       {Benchmark::TextSearch, Corpus::Wikipedia, "TextSearch", 12.0}});
+  return 0;
+}

@@ -1,0 +1,17 @@
+// Figure 12: fast single run, Freebase applications. The paper reports up
+// to 22% (Bigram).
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::single_run_figure(
+      "Figure 12",
+      {{Benchmark::Bigram, Corpus::Freebase, "Bigram", 22.0},
+       {Benchmark::InvertedIndex, Corpus::Freebase, "InvertedIndex", 12.0},
+       {Benchmark::WordCount, Corpus::Freebase, "WC", 10.0},
+       {Benchmark::TextSearch, Corpus::Freebase, "TextSearch", 14.0}});
+  return 0;
+}

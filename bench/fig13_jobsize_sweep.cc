@@ -1,0 +1,47 @@
+// Figure 13: the impact of job size on tuning effectiveness. Terasort from
+// 2 GB to 100 GB, reducers ~1/4 of mappers; MRONLINE tunes each size with
+// one aggressive run, then the found configuration is re-run and compared
+// against the default. The paper sees marginal gains below 10 GB (too few
+// tasks to search with) and ~20-23% from 20 GB up.
+#include <iostream>
+
+#include "bench/harness.h"
+
+using namespace mron;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+int main() {
+  bench::print_preamble(
+      "Figure 13",
+      "Terasort execution time vs input size, Default vs MRONLINE-tuned "
+      "rerun (paper: marginal <10 GB; 21/23/20% at 20/60/100 GB)");
+  struct Point {
+    double gb;
+    double paper_pct;  // -1: paper reports only "marginal"
+  };
+  const Point points[] = {{2, -1}, {6, -1}, {10, -1},
+                          {20, 21}, {60, 23}, {100, 20}};
+  TextTable table({"Input", "Default (s)", "MRONLINE (s)", "Improvement",
+                   "Configs tried", "Paper"});
+  for (const auto& p : points) {
+    const Bytes input = gibibytes(p.gb);
+    const bench::RunStats def = bench::run_averaged(
+        Benchmark::Terasort, Corpus::Synthetic, mapreduce::JobConfig{}, input);
+    const bench::TuneResult tuned_cfg = bench::tune_aggressive(
+        Benchmark::Terasort, Corpus::Synthetic, /*seed=*/77, input);
+    const bench::RunStats tuned = bench::run_averaged(
+        Benchmark::Terasort, Corpus::Synthetic, tuned_cfg.config, input);
+    table.add_row(
+        {TextTable::num(p.gb, 0) + " GB", TextTable::num(def.exec_secs, 0),
+         TextTable::num(tuned.exec_secs, 0),
+         TextTable::num(
+             bench::improvement_pct(def.exec_secs, tuned.exec_secs), 1) +
+             "%",
+         TextTable::num(tuned_cfg.configs_tried, 0),
+         p.paper_pct < 0 ? std::string("marginal")
+                         : TextTable::num(p.paper_pct, 0) + "%"});
+  }
+  table.print(std::cout);
+  return 0;
+}

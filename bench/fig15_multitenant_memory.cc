@@ -1,0 +1,27 @@
+// Figure 15: memory utilization of Terasort and BBP mappers/reducers in the
+// multi-tenant experiment. Paper: below 50% under the default configs,
+// above 80% under MRONLINE.
+#include <iostream>
+
+#include "bench/harness.h"
+
+using namespace mron;
+
+int main() {
+  bench::print_preamble(
+      "Figure 15", "multi-tenant memory utilization (paper: default <50%, "
+                   "MRONLINE >80%)");
+  const bench::MultiTenantOutcome out = bench::multi_tenant_experiment();
+  auto pct = [](double v) { return TextTable::num(100.0 * v, 0) + "%"; };
+  TextTable table({"Task group", "Default", "MRONLINE"});
+  table.add_row({"Terasort-m", pct(out.terasort_default.map_mem_util),
+                 pct(out.terasort_tuned.map_mem_util)});
+  table.add_row({"Terasort-r", pct(out.terasort_default.reduce_mem_util),
+                 pct(out.terasort_tuned.reduce_mem_util)});
+  table.add_row({"BBP-m", pct(out.bbp_default.map_mem_util),
+                 pct(out.bbp_tuned.map_mem_util)});
+  table.add_row({"BBP-r", pct(out.bbp_default.reduce_mem_util),
+                 pct(out.bbp_tuned.reduce_mem_util)});
+  table.print(std::cout);
+  return 0;
+}

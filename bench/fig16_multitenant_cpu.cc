@@ -1,0 +1,27 @@
+// Figure 16: CPU utilization of Terasort and BBP mappers/reducers in the
+// multi-tenant experiment. Paper: default below 25% except BBP-m at ~99%
+// (saturated on its 1-vcore quota); MRONLINE raises BBP's allocation.
+#include <iostream>
+
+#include "bench/harness.h"
+
+using namespace mron;
+
+int main() {
+  bench::print_preamble(
+      "Figure 16",
+      "multi-tenant CPU utilization (paper: default <25% except BBP-m ~99%)");
+  const bench::MultiTenantOutcome out = bench::multi_tenant_experiment();
+  auto pct = [](double v) { return TextTable::num(100.0 * v, 0) + "%"; };
+  TextTable table({"Task group", "Default", "MRONLINE"});
+  table.add_row({"Terasort-m", pct(out.terasort_default.map_cpu_util),
+                 pct(out.terasort_tuned.map_cpu_util)});
+  table.add_row({"Terasort-r", pct(out.terasort_default.reduce_cpu_util),
+                 pct(out.terasort_tuned.reduce_cpu_util)});
+  table.add_row({"BBP-m", pct(out.bbp_default.map_cpu_util),
+                 pct(out.bbp_tuned.map_cpu_util)});
+  table.add_row({"BBP-r", pct(out.bbp_default.reduce_cpu_util),
+                 pct(out.bbp_tuned.reduce_cpu_util)});
+  table.print(std::cout);
+  return 0;
+}

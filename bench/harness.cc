@@ -1,0 +1,290 @@
+#include "bench/harness.h"
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/check.h"
+
+namespace mron::bench {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::JobSpec;
+using mapreduce::Simulation;
+using mapreduce::SimulationOptions;
+using mapreduce::TaskKind;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+namespace {
+
+JobSpec make_spec(Simulation& sim, Benchmark b, Corpus c,
+                  Bytes terasort_bytes, int terasort_reduces) {
+  if (b == Benchmark::Terasort && terasort_bytes > Bytes(0)) {
+    return workloads::make_terasort(sim, terasort_bytes, terasort_reduces);
+  }
+  return workloads::make_job(sim, b, c);
+}
+
+RunStats stats_from(const JobResult& r) {
+  RunStats s;
+  s.exec_secs = r.exec_time();
+  s.map_spilled = static_cast<double>(r.counters.map.spilled_records);
+  s.total_spilled = static_cast<double>(r.counters.total_spilled_records());
+  s.optimal_spilled =
+      static_cast<double>(r.counters.map.combine_output_records);
+  s.map_mem_util = r.avg_util(TaskKind::Map, /*cpu=*/false);
+  s.reduce_mem_util = r.avg_util(TaskKind::Reduce, false);
+  s.map_cpu_util = r.avg_util(TaskKind::Map, true);
+  s.reduce_cpu_util = r.avg_util(TaskKind::Reduce, true);
+  s.failed_attempts = r.counters.failed_task_attempts;
+  return s;
+}
+
+RunStats average(const std::vector<RunStats>& all) {
+  RunStats avg;
+  for (const auto& s : all) {
+    avg.exec_secs += s.exec_secs;
+    avg.map_spilled += s.map_spilled;
+    avg.total_spilled += s.total_spilled;
+    avg.optimal_spilled += s.optimal_spilled;
+    avg.map_mem_util += s.map_mem_util;
+    avg.reduce_mem_util += s.reduce_mem_util;
+    avg.map_cpu_util += s.map_cpu_util;
+    avg.reduce_cpu_util += s.reduce_cpu_util;
+    avg.failed_attempts += s.failed_attempts;
+  }
+  const double n = static_cast<double>(all.size());
+  avg.exec_secs /= n;
+  avg.map_spilled /= n;
+  avg.total_spilled /= n;
+  avg.optimal_spilled /= n;
+  avg.map_mem_util /= n;
+  avg.reduce_mem_util /= n;
+  avg.map_cpu_util /= n;
+  avg.reduce_cpu_util /= n;
+  return avg;
+}
+
+}  // namespace
+
+RunStats run_plain(Benchmark b, Corpus c, const JobConfig& cfg,
+                   std::uint64_t seed, Bytes terasort_bytes,
+                   int terasort_reduces) {
+  SimulationOptions opt;
+  opt.seed = seed;
+  Simulation sim(opt);
+  JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
+  spec.config = cfg;
+  return stats_from(sim.run_job(std::move(spec)));
+}
+
+RunStats run_averaged(Benchmark b, Corpus c, const JobConfig& cfg,
+                      Bytes terasort_bytes, int terasort_reduces) {
+  std::vector<RunStats> all;
+  for (auto seed : repeat_seeds()) {
+    all.push_back(
+        run_plain(b, c, cfg, seed, terasort_bytes, terasort_reduces));
+  }
+  return average(all);
+}
+
+TuneResult tune_aggressive(Benchmark b, Corpus c, std::uint64_t seed,
+                           Bytes terasort_bytes, int terasort_reduces,
+                           tuner::TunerOptions options) {
+  SimulationOptions opt;
+  opt.seed = seed;
+  Simulation sim(opt);
+  JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
+  options.strategy = tuner::TuningStrategy::Aggressive;
+  tuner::OnlineTuner online_tuner(options);
+  double secs = 0.0;
+  auto& am = sim.submit_job(std::move(spec), [&](const JobResult& r) {
+    secs = r.exec_time();
+  });
+  online_tuner.attach(am);
+  sim.run();
+  const auto& out = online_tuner.outcome(am.id());
+  return TuneResult{out.best_config, secs, out.waves, out.configs_tried};
+}
+
+RunStats run_conservative(Benchmark b, Corpus c, std::uint64_t seed,
+                          Bytes terasort_bytes, int terasort_reduces) {
+  SimulationOptions opt;
+  opt.seed = seed;
+  Simulation sim(opt);
+  JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
+  tuner::TunerOptions topt;
+  topt.strategy = tuner::TuningStrategy::Conservative;
+  tuner::OnlineTuner online_tuner(topt);
+  RunStats stats;
+  auto& am = sim.submit_job(std::move(spec), [&](const JobResult& r) {
+    stats = stats_from(r);
+  });
+  online_tuner.attach(am);
+  sim.run();
+  return stats;
+}
+
+RunStats run_conservative_averaged(Benchmark b, Corpus c,
+                                   Bytes terasort_bytes,
+                                   int terasort_reduces) {
+  std::vector<RunStats> all;
+  for (auto seed : repeat_seeds()) {
+    all.push_back(
+        run_conservative(b, c, seed, terasort_bytes, terasort_reduces));
+  }
+  return average(all);
+}
+
+JobConfig offline_config(Benchmark b, Corpus c, Bytes terasort_bytes,
+                         int terasort_reduces) {
+  SimulationOptions opt;
+  Simulation sim(opt);
+  const JobSpec spec =
+      make_spec(sim, b, c, terasort_bytes, terasort_reduces);
+  const int maps =
+      spec.input.valid()
+          ? static_cast<int>(sim.dfs().dataset(spec.input).blocks.size())
+          : spec.num_maps_override;
+  return baselines::offline_guide_config(spec, sim.dfs().block_size(), maps);
+}
+
+double improvement_pct(double base, double tuned) {
+  return base > 0.0 ? 100.0 * (base - tuned) / base : 0.0;
+}
+
+void expedited_figure(const std::string& figure,
+                      const std::vector<ExpeditedApp>& apps) {
+  print_preamble(figure, "job execution time, expedited test runs "
+                         "(aggressive tuning) vs Default and Offline guide");
+  TextTable table({"Benchmark", "Default (s)", "Offline (s)", "MRONLINE (s)",
+                   "Improvement", "Paper"});
+  for (const auto& app : apps) {
+    const RunStats def =
+        run_averaged(app.benchmark, app.corpus, JobConfig{});
+    const RunStats offline = run_averaged(
+        app.benchmark, app.corpus, offline_config(app.benchmark, app.corpus));
+    const TuneResult tuned_cfg = tune_aggressive(app.benchmark, app.corpus);
+    const RunStats tuned =
+        run_averaged(app.benchmark, app.corpus, tuned_cfg.config);
+    table.add_row({app.label, TextTable::num(def.exec_secs, 0),
+                   TextTable::num(offline.exec_secs, 0),
+                   TextTable::num(tuned.exec_secs, 0),
+                   TextTable::num(
+                       improvement_pct(def.exec_secs, tuned.exec_secs), 1) +
+                       "%",
+                   TextTable::num(app.paper_improvement_pct, 0) + "%"});
+  }
+  table.print(std::cout);
+}
+
+void spill_figure(const std::string& figure,
+                  const std::vector<ExpeditedApp>& apps) {
+  print_preamble(figure,
+                 "map-side spill records (1e9) under Optimal / Default / "
+                 "Offline guide / MRONLINE");
+  TextTable table({"Benchmark", "Optimal", "Default", "Offline", "MRONLINE"});
+  for (const auto& app : apps) {
+    const RunStats def =
+        run_averaged(app.benchmark, app.corpus, JobConfig{});
+    const RunStats offline = run_averaged(
+        app.benchmark, app.corpus, offline_config(app.benchmark, app.corpus));
+    const TuneResult tuned_cfg = tune_aggressive(app.benchmark, app.corpus);
+    const RunStats tuned =
+        run_averaged(app.benchmark, app.corpus, tuned_cfg.config);
+    table.add_row({app.label, TextTable::num(def.optimal_spilled / 1e9, 2),
+                   TextTable::num(def.map_spilled / 1e9, 2),
+                   TextTable::num(offline.map_spilled / 1e9, 2),
+                   TextTable::num(tuned.map_spilled / 1e9, 2)});
+  }
+  table.print(std::cout);
+}
+
+void single_run_figure(const std::string& figure,
+                       const std::vector<ExpeditedApp>& apps) {
+  print_preamble(figure, "job execution time, fast single run "
+                         "(conservative in-run tuning) vs Default");
+  TextTable table({"Benchmark", "Default (s)", "MRONLINE (s)", "Improvement",
+                   "Paper"});
+  for (const auto& app : apps) {
+    const RunStats def =
+        run_averaged(app.benchmark, app.corpus, JobConfig{});
+    const RunStats tuned =
+        run_conservative_averaged(app.benchmark, app.corpus);
+    table.add_row({app.label, TextTable::num(def.exec_secs, 0),
+                   TextTable::num(tuned.exec_secs, 0),
+                   TextTable::num(
+                       improvement_pct(def.exec_secs, tuned.exec_secs), 1) +
+                       "%",
+                   TextTable::num(app.paper_improvement_pct, 0) + "%"});
+  }
+  table.print(std::cout);
+}
+
+namespace {
+
+struct TenantRun {
+  RunStats terasort;
+  RunStats bbp;
+};
+
+TenantRun run_tenants(const JobConfig& terasort_cfg, const JobConfig& bbp_cfg,
+                      std::uint64_t seed) {
+  SimulationOptions opt;
+  opt.seed = seed;
+  opt.fair_scheduler = true;
+  Simulation sim(opt);
+  JobSpec terasort =
+      workloads::make_terasort(sim, gibibytes(60), /*num_reduces=*/200);
+  terasort.config = terasort_cfg;
+  JobSpec bbp = workloads::make_bbp(100);
+  bbp.config = bbp_cfg;
+  TenantRun out;
+  sim.submit_job(std::move(terasort), [&](const JobResult& r) {
+    out.terasort = stats_from(r);
+  });
+  sim.submit_job(std::move(bbp),
+                 [&](const JobResult& r) { out.bbp = stats_from(r); });
+  sim.run();
+  return out;
+}
+
+}  // namespace
+
+MultiTenantOutcome multi_tenant_experiment() {
+  // Aggressive test runs derive each application's configuration
+  // (Section 8.5 runs MRONLINE with aggressive tuning first).
+  const TuneResult terasort_cfg = tune_aggressive(
+      workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,
+      /*seed=*/77, gibibytes(60), /*terasort_reduces=*/200);
+  const TuneResult bbp_cfg =
+      tune_aggressive(workloads::Benchmark::Bbp, workloads::Corpus::None);
+
+  MultiTenantOutcome out;
+  std::vector<RunStats> td, tt, bd, bt;
+  for (auto seed : repeat_seeds()) {
+    const TenantRun def = run_tenants(JobConfig{}, JobConfig{}, seed);
+    const TenantRun tuned =
+        run_tenants(terasort_cfg.config, bbp_cfg.config, seed);
+    td.push_back(def.terasort);
+    bd.push_back(def.bbp);
+    tt.push_back(tuned.terasort);
+    bt.push_back(tuned.bbp);
+  }
+  out.terasort_default = average(td);
+  out.terasort_tuned = average(tt);
+  out.bbp_default = average(bd);
+  out.bbp_tuned = average(bt);
+  return out;
+}
+
+void print_preamble(const std::string& figure, const std::string& caption) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), caption.c_str());
+  std::printf("(4 repetitions per point, means reported; simulated 19-node "
+              "cluster)\n");
+  std::printf("==============================================================\n");
+}
+
+}  // namespace mron::bench

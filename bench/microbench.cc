@@ -1,0 +1,78 @@
+// google-benchmark microbenchmarks for the simulator's hot paths: the event
+// engine, the processor-sharing server, LHS sampling, the spill model, and
+// a small end-to-end job.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "mapreduce/simulation.h"
+#include "mapreduce/spill_model.h"
+#include "sim/engine.h"
+#include "sim/shared_server.h"
+#include "tuner/lhs.h"
+#include "workloads/benchmarks.h"
+
+using namespace mron;
+
+namespace {
+
+void BM_EngineScheduleDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      eng.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EngineScheduleDispatch);
+
+void BM_SharedServerChurn(benchmark::State& state) {
+  const int streams = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine eng;
+    sim::SharedServer srv(eng, 100.0, "srv");
+    Rng rng(1);
+    for (int i = 0; i < streams; ++i) {
+      eng.schedule_at(rng.uniform(0, 10), [&] {
+        srv.submit(rng.uniform(1, 50), [] {});
+      });
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * streams);
+}
+BENCHMARK(BM_SharedServerChurn)->Arg(16)->Arg(128)->Arg(1024);
+
+void BM_LhsSampling(benchmark::State& state) {
+  auto space = tuner::SearchSpace::map_side(mapreduce::JobConfig{});
+  tuner::LhsSampler sampler(24, Rng(2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.sample(space, 24));
+  }
+}
+BENCHMARK(BM_LhsSampling);
+
+void BM_MapSpillPlan(benchmark::State& state) {
+  const mapreduce::JobConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mapreduce::plan_map_spills(
+        mebibytes(137), 1'400'000, 1.0, cfg));
+  }
+}
+BENCHMARK(BM_MapSpillPlan);
+
+void BM_EndToEndTerasort2GB(benchmark::State& state) {
+  for (auto _ : state) {
+    mapreduce::SimulationOptions opt;
+    opt.seed = 3;
+    mapreduce::Simulation sim(opt);
+    auto spec = workloads::make_terasort(sim, gibibytes(2));
+    benchmark::DoNotOptimize(sim.run_job(std::move(spec)).exec_time());
+  }
+}
+BENCHMARK(BM_EndToEndTerasort2GB)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

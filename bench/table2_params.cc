@@ -1,0 +1,22 @@
+// Table 2: the key configuration parameters, their defaults, and their
+// dynamic-configuration category.
+#include <iostream>
+
+#include "bench/harness.h"
+#include "mapreduce/params.h"
+
+using namespace mron;
+
+int main() {
+  bench::print_preamble(
+      "Table 2", "key configuration parameters in MRONLINE (YARN defaults)");
+  TextTable table({"Configuration parameter", "Default", "Range", "Category"});
+  for (const auto& p : mapreduce::ParamRegistry::standard().params()) {
+    table.add_row({p.name, TextTable::num(p.default_value, p.integer ? 0 : 2),
+                   TextTable::num(p.min, p.integer ? 0 : 2) + " .. " +
+                       TextTable::num(p.max, p.integer ? 0 : 2),
+                   mapreduce::category_name(p.category)});
+  }
+  table.print(std::cout);
+  return 0;
+}

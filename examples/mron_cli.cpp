@@ -1,0 +1,198 @@
+// mron_cli — drive any benchmark/strategy combination from the shell.
+//
+//   mron_cli --app=terasort --size-gb=60 --strategy=aggressive --runs=2
+//   mron_cli --app=wordcount --corpus=freebase --strategy=conservative
+//   mron_cli --app=bigram --strategy=offline --seed=9
+//   mron_cli --list
+//
+// Strategies:
+//   none          plain run on the default YARN configuration
+//   conservative  MRONLINE fast-single-run tuning riding along
+//   aggressive    one MRONLINE expedited test run, then `--runs` production
+//                 executions with the discovered configuration
+//   offline       the static offline tuning-guide configuration
+#include <cstdio>
+#include <string>
+
+#include "baselines/offline_guide.h"
+#include "common/flags.h"
+#include "mapreduce/simulation.h"
+#include "tuner/online_tuner.h"
+#include "workloads/benchmarks.h"
+
+using namespace mron;
+
+namespace {
+
+struct AppChoice {
+  workloads::Benchmark benchmark;
+  workloads::Corpus corpus;
+};
+
+AppChoice parse_app(const std::string& app, const std::string& corpus) {
+  using workloads::Benchmark;
+  using workloads::Corpus;
+  const Corpus c = corpus == "freebase" ? Corpus::Freebase
+                                        : Corpus::Wikipedia;
+  if (app == "terasort") return {Benchmark::Terasort, Corpus::Synthetic};
+  if (app == "bbp") return {Benchmark::Bbp, Corpus::None};
+  if (app == "wordcount" || app == "wc") return {Benchmark::WordCount, c};
+  if (app == "bigram") return {Benchmark::Bigram, c};
+  if (app == "invertedindex" || app == "ii") {
+    return {Benchmark::InvertedIndex, c};
+  }
+  if (app == "textsearch" || app == "grep") {
+    return {Benchmark::TextSearch, c};
+  }
+  std::fprintf(stderr, "unknown --app=%s\n", app.c_str());
+  std::exit(2);
+}
+
+mapreduce::JobSpec make_spec(mapreduce::Simulation& sim, const AppChoice& app,
+                             double size_gb) {
+  if (app.benchmark == workloads::Benchmark::Terasort && size_gb > 0) {
+    return workloads::make_terasort(sim, gibibytes(size_gb));
+  }
+  return workloads::make_job(sim, app.benchmark, app.corpus);
+}
+
+void print_result(const char* label, const mapreduce::JobResult& r) {
+  std::printf("%-14s exec=%8.1f s  maps=%zu reds=%zu  spilled=%.3fe9 "
+              "(optimal %.3fe9)  mem-util m/r=%.0f%%/%.0f%%  "
+              "cpu-util m/r=%.0f%%/%.0f%%  failed-attempts=%d\n",
+              label, r.exec_time(), r.map_reports.size(),
+              r.reduce_reports.size(),
+              static_cast<double>(r.counters.map.spilled_records) / 1e9,
+              static_cast<double>(r.counters.map.combine_output_records) /
+                  1e9,
+              100 * r.avg_util(mapreduce::TaskKind::Map, false),
+              100 * r.avg_util(mapreduce::TaskKind::Reduce, false),
+              100 * r.avg_util(mapreduce::TaskKind::Map, true),
+              100 * r.avg_util(mapreduce::TaskKind::Reduce, true),
+              r.counters.failed_task_attempts);
+}
+
+void print_config(const mapreduce::JobConfig& cfg) {
+  const auto& reg = mapreduce::ParamRegistry::standard();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    std::printf("  %-48s = %g\n", reg.at(i).name.c_str(), reg.get(cfg, i));
+  }
+}
+
+mapreduce::JobResult run_once(const AppChoice& app, double size_gb,
+                              const mapreduce::JobConfig& cfg,
+                              std::uint64_t seed, bool fair) {
+  mapreduce::SimulationOptions opt;
+  opt.seed = seed;
+  opt.fair_scheduler = fair;
+  mapreduce::Simulation sim(opt);
+  mapreduce::JobSpec spec = make_spec(sim, app, size_gb);
+  spec.config = cfg;
+  return sim.run_job(std::move(spec));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  if (flags.get("help", false)) {
+    std::printf("usage: mron_cli --app=<terasort|wordcount|bigram|"
+                "invertedindex|textsearch|bbp> [--corpus=wikipedia|freebase]"
+                " [--size-gb=N] [--strategy=none|conservative|aggressive|"
+                "offline] [--seed=N] [--runs=N] [--fair] [--show-config]\n");
+    return 0;
+  }
+  if (flags.get("list", false)) {
+    std::printf("benchmarks (Table 3):\n");
+    for (const auto& info : workloads::table3()) {
+      std::printf("  %-14s %-10s %6.1f GB in, %6.1f GB shuffle, %d maps, "
+                  "%d reducers (%s)\n",
+                  info.name.c_str(), info.input_name.c_str(),
+                  info.input_size.as_double() / 1e9,
+                  info.shuffle_size.as_double() / 1e9, info.num_maps,
+                  info.num_reduces, info.job_type.c_str());
+    }
+    return 0;
+  }
+
+  const AppChoice app = parse_app(flags.get("app", std::string("terasort")),
+                                  flags.get("corpus", std::string("wikipedia")));
+  const double size_gb = flags.get("size-gb", 20.0);
+  const std::string strategy = flags.get("strategy", std::string("none"));
+  const auto seed = static_cast<std::uint64_t>(flags.get("seed", 1));
+  const int runs = flags.get("runs", 1);
+  const bool fair = flags.get("fair", false);
+  const bool show_config = flags.get("show-config", false);
+  for (const auto& u : flags.unused()) {
+    std::fprintf(stderr, "warning: unknown flag --%s\n", u.c_str());
+  }
+
+  if (strategy == "none" || strategy == "offline") {
+    mapreduce::JobConfig cfg;
+    if (strategy == "offline") {
+      mapreduce::SimulationOptions opt;
+      mapreduce::Simulation sim(opt);
+      const mapreduce::JobSpec spec = make_spec(sim, app, size_gb);
+      const int maps = spec.input.valid()
+                           ? static_cast<int>(
+                                 sim.dfs().dataset(spec.input).blocks.size())
+                           : spec.num_maps_override;
+      cfg = baselines::offline_guide_config(spec, sim.dfs().block_size(),
+                                            maps);
+    }
+    if (show_config) print_config(cfg);
+    for (int i = 0; i < runs; ++i) {
+      print_result(strategy.c_str(), run_once(app, size_gb, cfg, seed + i,
+                                              fair));
+    }
+    return 0;
+  }
+
+  if (strategy == "conservative") {
+    for (int i = 0; i < runs; ++i) {
+      mapreduce::SimulationOptions opt;
+      opt.seed = seed + i;
+      opt.fair_scheduler = fair;
+      mapreduce::Simulation sim(opt);
+      tuner::TunerOptions topt;
+      topt.strategy = tuner::TuningStrategy::Conservative;
+      tuner::OnlineTuner online_tuner(topt);
+      mapreduce::JobResult result;
+      auto& am = sim.submit_job(make_spec(sim, app, size_gb),
+                                [&](const mapreduce::JobResult& r) {
+                                  result = r;
+                                });
+      online_tuner.attach(am);
+      sim.run();
+      print_result("conservative", result);
+      if (show_config) print_config(online_tuner.outcome(am.id()).best_config);
+    }
+    return 0;
+  }
+
+  if (strategy == "aggressive") {
+    mapreduce::SimulationOptions opt;
+    opt.seed = seed;
+    mapreduce::Simulation sim(opt);
+    tuner::OnlineTuner online_tuner{tuner::TunerOptions{}};
+    double test_secs = 0.0;
+    auto& am = sim.submit_job(
+        make_spec(sim, app, size_gb),
+        [&](const mapreduce::JobResult& r) { test_secs = r.exec_time(); });
+    online_tuner.attach(am);
+    sim.run();
+    const auto& out = online_tuner.outcome(am.id());
+    std::printf("test run: %.1f s, %d waves, %d configurations\n", test_secs,
+                out.waves, out.configs_tried);
+    if (show_config) print_config(out.best_config);
+    for (int i = 0; i < runs; ++i) {
+      print_result("aggressive",
+                   run_once(app, size_gb, out.best_config, seed + 1 + i,
+                            fair));
+    }
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown --strategy=%s\n", strategy.c_str());
+  return 2;
+}

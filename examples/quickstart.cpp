@@ -1,0 +1,77 @@
+// Quickstart: simulate a MapReduce job on the modeled YARN cluster, then let
+// MRONLINE tune it conservatively in a single run.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "mapreduce/simulation.h"
+#include "tuner/online_tuner.h"
+#include "workloads/benchmarks.h"
+
+using namespace mron;
+
+int main() {
+  std::printf("== MRONLINE quickstart ==\n");
+  std::printf("Cluster: 18 slaves, 2 racks, 6 GB / 28 vcores per node\n\n");
+
+  // --- 1. a plain job on default YARN configuration --------------------------
+  mapreduce::SimulationOptions options;
+  options.seed = 42;
+  double default_secs = 0.0;
+  {
+    mapreduce::Simulation sim(options);
+    // 60 GB Terasort: 480 map tasks, 120 reducers.
+    mapreduce::JobSpec job = workloads::make_terasort(sim, gibibytes(60));
+    const mapreduce::JobResult result = sim.run_job(job);
+    default_secs = result.exec_time();
+    std::printf("default config : %6.1f s, %lld spilled records "
+                "(optimal %lld), map mem util %.0f%%\n",
+                default_secs,
+                static_cast<long long>(result.counters.map.spilled_records),
+                static_cast<long long>(
+                    result.counters.map.combine_output_records),
+                100 * result.avg_util(mapreduce::TaskKind::Map, false));
+  }
+
+  // --- 2. the same job with MRONLINE tuning it as it runs --------------------
+  {
+    mapreduce::Simulation sim(options);
+    mapreduce::JobSpec job = workloads::make_terasort(sim, gibibytes(60));
+
+    tuner::TunerOptions topt;
+    topt.strategy = tuner::TuningStrategy::Conservative;
+    tuner::OnlineTuner online_tuner(topt);
+
+    double tuned_secs = 0.0;
+    mapreduce::JobResult tuned_result;
+    auto& am = sim.submit_job(job, [&](const mapreduce::JobResult& r) {
+      tuned_secs = r.exec_time();
+      tuned_result = r;
+    });
+    online_tuner.attach(am);
+    sim.run();
+
+    std::printf("MRONLINE       : %6.1f s, %lld spilled records, "
+                "%d config adjustments\n",
+                tuned_secs,
+                static_cast<long long>(
+                    tuned_result.counters.map.spilled_records),
+                online_tuner.outcome(am.id()).conservative_adjustments);
+    std::printf("\nimprovement    : %.1f%%\n",
+                100.0 * (default_secs - tuned_secs) / default_secs);
+
+    const auto& cfg = online_tuner.outcome(am.id()).best_config;
+    std::printf("\nfinal configuration reached online:\n");
+    std::printf("  mapreduce.map.memory.mb        = %.0f\n", cfg.map_memory_mb);
+    std::printf("  mapreduce.task.io.sort.mb      = %.0f\n", cfg.io_sort_mb);
+    std::printf("  mapreduce.map.sort.spill.percent = %.2f\n",
+                cfg.sort_spill_percent);
+    std::printf("  mapreduce.reduce.memory.mb     = %.0f\n",
+                cfg.reduce_memory_mb);
+    std::printf("  mapreduce.reduce.shuffle.parallelcopies = %.0f\n",
+                cfg.shuffle_parallelcopies);
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+#include "baselines/genetic_tuner.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mron::baselines {
+
+using mapreduce::JobConfig;
+using mapreduce::ParamRegistry;
+
+namespace {
+
+/// Genome = normalized coordinates over the full Table-2 registry.
+std::vector<double> random_genome(Rng& rng, std::size_t dims) {
+  std::vector<double> g(dims);
+  for (auto& v : g) v = rng.uniform01();
+  return g;
+}
+
+JobConfig decode(const std::vector<double>& genome) {
+  const auto& reg = ParamRegistry::standard();
+  JobConfig cfg;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const auto& p = reg.at(i);
+    reg.set(cfg, i, p.min + genome[i] * (p.max - p.min));
+  }
+  mapreduce::clamp_constraints(cfg);
+  return cfg;
+}
+
+}  // namespace
+
+GeneticOfflineTuner::GeneticOfflineTuner(GeneticOptions options)
+    : options_(options), rng_(options.seed) {
+  MRON_CHECK(options_.population >= 2);
+}
+
+JobConfig GeneticOfflineTuner::tune(const Evaluator& evaluate,
+                                    int budget_runs) {
+  MRON_CHECK(evaluate != nullptr);
+  MRON_CHECK(budget_runs >= options_.population);
+  const std::size_t dims = ParamRegistry::standard().size();
+
+  struct Individual {
+    std::vector<double> genome;
+    double seconds = std::numeric_limits<double>::infinity();
+  };
+  std::vector<Individual> pop(static_cast<std::size_t>(options_.population));
+  for (auto& ind : pop) ind.genome = random_genome(rng_, dims);
+  // Seed one individual with the defaults so the GA never regresses below
+  // them (Gunther does the same).
+  pop[0].genome =
+      [&] {
+        const auto& reg = ParamRegistry::standard();
+        std::vector<double> g(dims);
+        const JobConfig def;
+        for (std::size_t i = 0; i < dims; ++i) {
+          const auto& p = reg.at(i);
+          g[i] = p.max > p.min
+                     ? (reg.get(def, i) - p.min) / (p.max - p.min)
+                     : 0.0;
+        }
+        return g;
+      }();
+
+  runs_used_ = 0;
+  auto eval = [&](Individual& ind) {
+    ind.seconds = evaluate(decode(ind.genome));
+    ++runs_used_;
+  };
+  for (auto& ind : pop) {
+    if (runs_used_ >= budget_runs) break;
+    eval(ind);
+  }
+
+  auto tournament_pick = [&]() -> const Individual& {
+    const Individual* best = nullptr;
+    for (int i = 0; i < options_.tournament; ++i) {
+      const auto& cand = pop[static_cast<std::size_t>(rng_.uniform_int(
+          0, static_cast<std::int64_t>(pop.size()) - 1))];
+      if (best == nullptr || cand.seconds < best->seconds) best = &cand;
+    }
+    return *best;
+  };
+
+  while (runs_used_ < budget_runs) {
+    // Offspring: uniform crossover of two tournament winners + mutation.
+    Individual child;
+    const Individual& a = tournament_pick();
+    const Individual& b = tournament_pick();
+    child.genome.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      child.genome[d] = rng_.uniform01() < 0.5 ? a.genome[d] : b.genome[d];
+      if (rng_.uniform01() < options_.mutation_rate) {
+        child.genome[d] = std::clamp(
+            child.genome[d] + rng_.normal(0.0, options_.mutation_sigma), 0.0,
+            1.0);
+      }
+    }
+    eval(child);
+    // Steady-state replacement: evict the worst.
+    auto worst = std::max_element(
+        pop.begin(), pop.end(), [](const Individual& x, const Individual& y) {
+          return x.seconds < y.seconds;
+        });
+    if (child.seconds < worst->seconds) *worst = std::move(child);
+  }
+
+  auto best = std::min_element(
+      pop.begin(), pop.end(), [](const Individual& x, const Individual& y) {
+        return x.seconds < y.seconds;
+      });
+  best_seconds_ = best->seconds;
+  return decode(best->genome);
+}
+
+}  // namespace mron::baselines

@@ -1,0 +1,87 @@
+#include "baselines/offline_guide.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "mapreduce/spill_model.h"
+
+namespace mron::baselines {
+
+using mapreduce::AppProfile;
+using mapreduce::JobConfig;
+using mapreduce::JobSpec;
+
+JobConfig offline_guide_config(const JobSpec& spec, Bytes block_size,
+                               int num_maps) {
+  const AppProfile& p = spec.profile;
+  JobConfig cfg;
+
+  // --- map side: size the sort buffer for a single spill -------------------
+  const double out_mb =
+      block_size.mib() * p.map_output_ratio +
+      p.map_output_bytes_fixed.mib();
+  const double data_fraction =
+      p.map_record_bytes /
+      (p.map_record_bytes + mapreduce::kSpillMetadataBytes);
+  const double wanted_sort =
+      std::min(1024.0, out_mb / (0.99 * data_fraction) + 16.0);
+  cfg.io_sort_mb = std::ceil(wanted_sort / 16.0) * 16.0;
+  cfg.sort_spill_percent = 0.99;
+  cfg.io_sort_factor = 64;  // "raise io.sort.factor" is stock guide advice
+
+  // Container: measured working set + the sort buffer + safety margin.
+  const double map_need =
+      p.map_working_set.mib() * 1.1 + cfg.io_sort_mb + 128.0;
+  cfg.map_memory_mb =
+      std::clamp(std::ceil(map_need / 64.0) * 64.0, 512.0, 3072.0);
+  cfg.map_cpu_vcores =
+      std::clamp(std::ceil(p.map_cpu_demand_cores), 1.0, 4.0);
+
+  // --- reduce side ----------------------------------------------------------
+  const double total_shuffle_mb =
+      out_mb * p.combiner_ratio * num_maps;
+  const double shuffle_per_reduce_mb =
+      spec.num_reduces > 0 ? total_shuffle_mb / spec.num_reduces : 0.0;
+
+  cfg.shuffle_input_buffer_percent = 0.8;
+  cfg.merge_inmem_threshold = 0;  // merge on memory consumption only
+  cfg.shuffle_memory_limit_percent = 0.25;
+
+  // Size the reduce container so the whole partition can stay in memory
+  // when that is affordable; otherwise accept disk merges with a large
+  // merge trigger.
+  const double reduce_ws = p.reduce_working_set.mib() * 1.1;
+  const double fit_mb =
+      (shuffle_per_reduce_mb * 1.2 / mapreduce::kHeapFraction /
+       cfg.shuffle_input_buffer_percent) +
+      reduce_ws;
+  if (shuffle_per_reduce_mb > 0.0 && fit_mb <= 2048.0) {
+    cfg.reduce_memory_mb =
+        std::clamp(std::ceil(fit_mb / 64.0) * 64.0, 512.0, 3072.0);
+    cfg.reduce_input_buffer_percent = cfg.shuffle_input_buffer_percent;
+  } else {
+    cfg.reduce_memory_mb = 1024;
+    cfg.reduce_input_buffer_percent = 0.0;
+  }
+  cfg.shuffle_merge_percent = cfg.shuffle_input_buffer_percent - 0.04;
+  cfg.reduce_cpu_vcores =
+      std::clamp(std::ceil(p.reduce_cpu_demand_cores), 1.0, 4.0);
+  cfg.shuffle_parallelcopies =
+      std::clamp(std::ceil(num_maps / 20.0), 5.0, 50.0);
+
+  mapreduce::clamp_constraints(cfg);
+  return cfg;
+}
+
+std::int64_t optimal_map_spill_records(const AppProfile& profile,
+                                       Bytes total_input, int num_maps) {
+  const Bytes output =
+      total_input * profile.map_output_ratio +
+      profile.map_output_bytes_fixed * static_cast<double>(num_maps);
+  const Bytes combined = output * profile.combiner_ratio;
+  return static_cast<std::int64_t>(
+      std::llround(combined.as_double() / profile.map_record_bytes));
+}
+
+}  // namespace mron::baselines

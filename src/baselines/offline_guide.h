@@ -1,0 +1,31 @@
+// The "offline tuning guide" comparator of Section 8.2 — a static
+// configuration derived from vendor best-practice rules (Cloudera-style)
+// applied to job characteristics collected over profiling runs.
+//
+// It gets near-oracle knowledge of the application (the paper's offline
+// process ran the job many times to measure it), so its configuration is
+// expected to rival MRONLINE's — the difference the paper emphasizes is the
+// *number of runs* needed to get there, not the end quality.
+#pragma once
+
+#include <cstdint>
+
+#include "mapreduce/job.h"
+
+namespace mron::baselines {
+
+/// The stock YARN defaults (Table 2).
+inline mapreduce::JobConfig default_config() { return {}; }
+
+/// Best-practice static config from oracle job characteristics.
+/// `block_size` is the DFS block (= map input split) size.
+mapreduce::JobConfig offline_guide_config(const mapreduce::JobSpec& spec,
+                                          Bytes block_size,
+                                          int num_maps);
+
+/// The analytic optimal map-side spill count for a job: every
+/// combiner-output record written exactly once (Figures 7-9's "Optimal").
+std::int64_t optimal_map_spill_records(const mapreduce::AppProfile& profile,
+                                       Bytes total_input, int num_maps);
+
+}  // namespace mron::baselines

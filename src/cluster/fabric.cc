@@ -1,0 +1,55 @@
+#include "cluster/fabric.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace mron::cluster {
+
+Fabric::Fabric(sim::Engine& engine, const ClusterSpec& spec,
+               const Topology& topo, std::vector<Node*> nodes)
+    : engine_(engine),
+      topo_(topo),
+      nodes_(std::move(nodes)),
+      inter_rack_factor_(spec.inter_rack_factor) {
+  MRON_CHECK(static_cast<int>(nodes_.size()) == topo_.num_nodes());
+  for (int r = 0; r < topo_.num_racks(); ++r) {
+    // Uplink capacity: NIC rate scaled by the oversubscription factor times
+    // the rack size — i.e. the ToR switch can sustain a fraction of the
+    // rack's aggregate demand.
+    const double cap = spec.nic_bandwidth.rate() * inter_rack_factor_ *
+                       static_cast<double>(spec.rack_sizes[r]);
+    rack_uplinks_.push_back(std::make_unique<sim::SharedServer>(
+        engine_, cap, "rack" + std::to_string(r) + "/uplink"));
+  }
+}
+
+void Fabric::transfer(NodeId src, NodeId dst, Bytes size, Done done) {
+  MRON_CHECK(src.valid() && dst.valid());
+  MRON_CHECK(done != nullptr);
+  if (src == dst || size <= Bytes(0)) {
+    engine_.schedule_after(0.0, std::move(done));
+    return;
+  }
+  Node& receiver = *nodes_[static_cast<std::size_t>(dst.value())];
+  if (topo_.same_rack(src, dst)) {
+    receiver.nic_in().submit(size.as_double(), std::move(done));
+    return;
+  }
+  inter_rack_bytes_ += size.as_double();
+  // Cross-rack: stream through the destination rack's uplink AND the
+  // receiver NIC; completion is the later of the two.
+  auto remaining = std::make_shared<int>(2);
+  auto joined = std::make_shared<Done>(std::move(done));
+  auto arm = [remaining, joined]() {
+    if (--*remaining == 0) (*joined)();
+  };
+  auto& uplink =
+      *rack_uplinks_[static_cast<std::size_t>(topo_.rack_of(dst).value())];
+  uplink.submit(size.as_double(), arm);
+  receiver.nic_in().submit(size.as_double(), arm);
+}
+
+}  // namespace mron::cluster

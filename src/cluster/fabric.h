@@ -1,0 +1,46 @@
+// Network fabric: point-to-point transfers with rack awareness.
+//
+// Modeling choice (documented in DESIGN.md): a transfer contends at the
+// *receiver's* NIC ingress server — the MapReduce traffic that matters here
+// is shuffle fan-in, which bottlenecks at the fetching reducer's NIC — and
+// cross-rack streams additionally traverse a shared per-rack uplink server.
+// A cross-rack transfer completes when both the ingress stream and the
+// uplink stream have drained (max of the two stage times), which tracks
+// whichever stage is the bottleneck. Sender egress is accounted for
+// utilization statistics but not rate-limited.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/node.h"
+#include "cluster/topology.h"
+#include "sim/shared_server.h"
+
+namespace mron::cluster {
+
+class Fabric {
+ public:
+  using Done = std::function<void()>;
+
+  Fabric(sim::Engine& engine, const ClusterSpec& spec, const Topology& topo,
+         std::vector<Node*> nodes);
+
+  /// Move `size` bytes from `src` to `dst`; `done` fires at completion.
+  /// A node-local "transfer" (src == dst) completes after a 0-cost event.
+  void transfer(NodeId src, NodeId dst, Bytes size, Done done);
+
+  /// Total bytes that have crossed rack boundaries (for tests/benches).
+  [[nodiscard]] double inter_rack_bytes() const { return inter_rack_bytes_; }
+
+ private:
+  sim::Engine& engine_;
+  const Topology& topo_;
+  std::vector<Node*> nodes_;
+  std::vector<std::unique_ptr<sim::SharedServer>> rack_uplinks_;
+  double inter_rack_factor_;
+  double inter_rack_bytes_ = 0.0;
+};
+
+}  // namespace mron::cluster

@@ -1,0 +1,99 @@
+#include "cluster/monitor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mron::cluster {
+
+ClusterMonitor::ClusterMonitor(sim::Engine& engine, std::vector<Node*> nodes,
+                               SimTime period)
+    : engine_(engine), nodes_(std::move(nodes)), period_(period) {
+  MRON_CHECK(period_ > 0.0);
+  latest_.resize(nodes_.size());
+  prev_.resize(nodes_.size());
+}
+
+void ClusterMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    prev_[i] = Integrals{nodes_[i]->cpu().busy_integral(),
+                         nodes_[i]->disk().busy_integral(),
+                         nodes_[i]->nic_in().busy_integral(), engine_.now()};
+  }
+  pending_ = engine_.schedule_after(period_, [this] { sample(); });
+}
+
+void ClusterMonitor::stop() {
+  if (!running_) return;
+  running_ = false;
+  engine_.cancel(pending_);
+}
+
+void ClusterMonitor::sample() {
+  const SimTime now = engine_.now();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    Node& n = *nodes_[i];
+    const double dt = now - prev_[i].at;
+    NodeSample s;
+    s.time = now;
+    if (dt > 0.0) {
+      s.cpu_util =
+          (n.cpu().busy_integral() - prev_[i].cpu) / (n.cpu().capacity() * dt);
+      s.disk_util = (n.disk().busy_integral() - prev_[i].disk) /
+                    (n.disk().capacity() * dt);
+      s.net_util = (n.nic_in().busy_integral() - prev_[i].net) /
+                   (n.nic_in().capacity() * dt);
+    }
+    s.mem_alloc_frac = n.memory_allocated() / n.memory_capacity();
+    s.mem_used_frac = n.memory_used() / n.memory_capacity();
+    latest_[i] = s;
+    prev_[i] = Integrals{n.cpu().busy_integral(), n.disk().busy_integral(),
+                         n.nic_in().busy_integral(), now};
+  }
+  // Re-arm only while the simulation has other live events: a quiescent
+  // engine means every job finished, and a self-perpetuating sampler would
+  // keep Engine::run() from ever draining.
+  if (running_ && !engine_.empty()) {
+    pending_ = engine_.schedule_after(period_, [this] { sample(); });
+  }
+}
+
+const NodeSample& ClusterMonitor::latest(NodeId node) const {
+  MRON_CHECK(node.valid() &&
+             node.value() < static_cast<std::int64_t>(latest_.size()));
+  return latest_[static_cast<std::size_t>(node.value())];
+}
+
+NodeSample ClusterMonitor::cluster_average() const {
+  NodeSample avg;
+  if (latest_.empty()) return avg;
+  for (const auto& s : latest_) {
+    avg.cpu_util += s.cpu_util;
+    avg.disk_util += s.disk_util;
+    avg.net_util += s.net_util;
+    avg.mem_alloc_frac += s.mem_alloc_frac;
+    avg.mem_used_frac += s.mem_used_frac;
+  }
+  const double n = static_cast<double>(latest_.size());
+  avg.cpu_util /= n;
+  avg.disk_util /= n;
+  avg.net_util /= n;
+  avg.mem_alloc_frac /= n;
+  avg.mem_used_frac /= n;
+  avg.time = latest_.front().time;
+  return avg;
+}
+
+std::vector<NodeId> ClusterMonitor::hot_nodes(double threshold) const {
+  std::vector<NodeId> out;
+  for (std::size_t i = 0; i < latest_.size(); ++i) {
+    if (latest_[i].disk_util > threshold || latest_[i].net_util > threshold) {
+      out.push_back(nodes_[i]->id());
+    }
+  }
+  return out;
+}
+
+}  // namespace mron::cluster

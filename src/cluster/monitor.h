@@ -1,0 +1,61 @@
+// Per-node resource sampling: the slave-monitor half of MRONLINE's monitor.
+//
+// Samples every node on a fixed period and exposes the latest window's
+// utilizations; the online tuner consumes these for its gray-box rules and
+// hot-spot avoidance. Utilizations are derived from the SharedServer busy
+// integrals, so they reflect actual simulated contention, not declared
+// allocations.
+#pragma once
+
+#include <vector>
+
+#include "cluster/node.h"
+#include "sim/engine.h"
+
+namespace mron::cluster {
+
+struct NodeSample {
+  SimTime time = 0.0;
+  double cpu_util = 0.0;       ///< fraction of container core-units busy
+  double disk_util = 0.0;      ///< fraction of disk bandwidth busy
+  double net_util = 0.0;       ///< fraction of NIC ingress busy
+  double mem_alloc_frac = 0.0; ///< allocated container memory / capacity
+  double mem_used_frac = 0.0;  ///< task working sets / capacity
+};
+
+class ClusterMonitor {
+ public:
+  ClusterMonitor(sim::Engine& engine, std::vector<Node*> nodes,
+                 SimTime period = 1.0);
+
+  void start();
+  void stop();
+
+  [[nodiscard]] const NodeSample& latest(NodeId node) const;
+  /// Cluster means over the latest window.
+  [[nodiscard]] NodeSample cluster_average() const;
+  /// Nodes whose disk or NIC utilization exceeded `threshold` in the last
+  /// window — MRONLINE's "hot spots".
+  [[nodiscard]] std::vector<NodeId> hot_nodes(double threshold = 0.9) const;
+
+  [[nodiscard]] SimTime period() const { return period_; }
+
+ private:
+  void sample();
+
+  sim::Engine& engine_;
+  std::vector<Node*> nodes_;
+  SimTime period_;
+  bool running_ = false;
+  sim::EventId pending_;
+  std::vector<NodeSample> latest_;
+  struct Integrals {
+    double cpu = 0.0;
+    double disk = 0.0;
+    double net = 0.0;
+    SimTime at = 0.0;
+  };
+  std::vector<Integrals> prev_;
+};
+
+}  // namespace mron::cluster

@@ -1,0 +1,39 @@
+#include "cluster/node.h"
+
+#include <string>
+
+namespace mron::cluster {
+
+namespace {
+std::string server_name(NodeId id, const char* what) {
+  return "node" + std::to_string(id.value()) + "/" + what;
+}
+}  // namespace
+
+Node::Node(sim::Engine& engine, NodeId id, const ClusterSpec& spec)
+    : id_(id),
+      cpu_(engine, spec.container_core_units(), server_name(id, "cpu")),
+      disk_(engine, spec.disk_bandwidth.rate(), server_name(id, "disk"),
+            spec.disk_seek_penalty),
+      nic_in_(engine, spec.nic_bandwidth.rate(), server_name(id, "nic_in")),
+      memory_capacity_(spec.container_memory),
+      vcores_capacity_(spec.container_vcores),
+      cpu_quota_per_vcore_(spec.cpu_quota_per_vcore) {}
+
+void Node::allocate(Bytes memory, int vcores) {
+  MRON_CHECK_MSG(memory <= memory_available(),
+                 "node " << id_ << " memory over-allocation");
+  MRON_CHECK_MSG(vcores <= vcores_available(),
+                 "node " << id_ << " vcore over-allocation");
+  memory_allocated_ += memory;
+  vcores_allocated_ += vcores;
+}
+
+void Node::release(Bytes memory, int vcores) {
+  memory_allocated_ -= memory;
+  vcores_allocated_ -= vcores;
+  MRON_CHECK(memory_allocated_ >= Bytes(0));
+  MRON_CHECK(vcores_allocated_ >= 0);
+}
+
+}  // namespace mron::cluster

@@ -1,0 +1,79 @@
+// A slave node: CPU and disk servers plus memory bookkeeping.
+//
+// CPU is a capacity-capped processor-sharing server in "core-units"
+// (1.0 = one physical core); each task stream is capped by the core-units
+// its container's vcores entitle it to. Disk is a plain PS server in bytes.
+// Memory is bookkept at two levels: *allocated* (container reservations,
+// enforced by the scheduler) and *used* (task working sets, reported by the
+// task models for utilization monitoring).
+#pragma once
+
+#include <string>
+
+#include "cluster/topology.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "sim/shared_server.h"
+
+namespace mron::cluster {
+
+class Node {
+ public:
+  Node(sim::Engine& engine, NodeId id, const ClusterSpec& spec);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] NodeId id() const { return id_; }
+
+  // --- resource servers ---------------------------------------------------
+  /// CPU work is in core-seconds; `cap` per stream is in core-units.
+  [[nodiscard]] sim::SharedServer& cpu() { return cpu_; }
+  /// Disk work is in bytes.
+  [[nodiscard]] sim::SharedServer& disk() { return disk_; }
+  /// NIC ingress (bytes). Transfers are managed by Fabric.
+  [[nodiscard]] sim::SharedServer& nic_in() { return nic_in_; }
+
+  // --- container memory accounting ---------------------------------------
+  [[nodiscard]] Bytes memory_capacity() const { return memory_capacity_; }
+  [[nodiscard]] Bytes memory_allocated() const { return memory_allocated_; }
+  [[nodiscard]] Bytes memory_available() const {
+    return memory_capacity_ - memory_allocated_;
+  }
+  [[nodiscard]] int vcores_capacity() const { return vcores_capacity_; }
+  [[nodiscard]] int vcores_allocated() const { return vcores_allocated_; }
+  [[nodiscard]] int vcores_available() const {
+    return vcores_capacity_ - vcores_allocated_;
+  }
+
+  /// Reserve container resources. Callers must have checked availability.
+  void allocate(Bytes memory, int vcores);
+  void release(Bytes memory, int vcores);
+
+  // --- used-memory reporting (monitoring only) -----------------------------
+  void add_used_memory(Bytes delta) { memory_used_ += delta; }
+  void sub_used_memory(Bytes delta) {
+    memory_used_ -= delta;
+    MRON_CHECK(memory_used_ >= Bytes(0));
+  }
+  [[nodiscard]] Bytes memory_used() const { return memory_used_; }
+
+  /// CPU cap (in core-units) a container with `vcores` is entitled to.
+  [[nodiscard]] double cpu_quota(int vcores) const {
+    return static_cast<double>(vcores) * cpu_quota_per_vcore_;
+  }
+
+ private:
+  NodeId id_;
+  sim::SharedServer cpu_;
+  sim::SharedServer disk_;
+  sim::SharedServer nic_in_;
+  Bytes memory_capacity_;
+  Bytes memory_allocated_{0};
+  Bytes memory_used_{0};
+  int vcores_capacity_;
+  int vcores_allocated_ = 0;
+  double cpu_quota_per_vcore_;
+};
+
+}  // namespace mron::cluster

@@ -1,0 +1,41 @@
+#include "cluster/topology.h"
+
+#include "common/check.h"
+
+namespace mron::cluster {
+
+Topology::Topology(const ClusterSpec& spec) {
+  int total = 0;
+  for (int r = 0; r < static_cast<int>(spec.rack_sizes.size()); ++r) {
+    for (int i = 0; i < spec.rack_sizes[r]; ++i) {
+      rack_of_.emplace_back(r);
+      ++total;
+    }
+  }
+  MRON_CHECK_MSG(total == spec.num_slaves,
+                 "rack sizes sum to " << total << ", expected "
+                                      << spec.num_slaves);
+  num_racks_ = static_cast<int>(spec.rack_sizes.size());
+}
+
+RackId Topology::rack_of(NodeId node) const {
+  MRON_CHECK(node.valid() && node.value() < num_nodes());
+  return rack_of_[static_cast<std::size_t>(node.value())];
+}
+
+std::vector<NodeId> Topology::nodes_in_rack(RackId rack) const {
+  std::vector<NodeId> out;
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (rack_of_[static_cast<std::size_t>(n)] == rack) out.emplace_back(n);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::all_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(static_cast<std::size_t>(num_nodes()));
+  for (int n = 0; n < num_nodes(); ++n) out.emplace_back(n);
+  return out;
+}
+
+}  // namespace mron::cluster

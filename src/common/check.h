@@ -1,0 +1,42 @@
+// Invariant checking.
+//
+// MRON_CHECK aborts with a message on violated invariants; it stays on in
+// release builds because a simulator that silently continues after a broken
+// invariant produces plausible-looking wrong numbers.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mron {
+
+/// Thrown on violated preconditions/invariants.
+class CheckError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "MRON_CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace mron
+
+#define MRON_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) ::mron::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define MRON_CHECK_MSG(expr, msg)                                \
+  do {                                                           \
+    if (!(expr)) {                                               \
+      std::ostringstream mron_check_os;                          \
+      mron_check_os << msg;                                      \
+      ::mron::check_failed(#expr, __FILE__, __LINE__, mron_check_os.str()); \
+    }                                                            \
+  } while (false)

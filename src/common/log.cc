@@ -1,0 +1,33 @@
+#include "common/log.h"
+
+#include <iostream>
+
+namespace mron {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::cerr << "[" << log_level_name(level) << "] " << message << "\n";
+}
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace:
+      return "TRACE";
+    case LogLevel::Debug:
+      return "DEBUG";
+    case LogLevel::Info:
+      return "INFO";
+    case LogLevel::Warn:
+      return "WARN";
+    case LogLevel::Error:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace mron

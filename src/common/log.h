@@ -1,0 +1,47 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded per experiment; benches may run several
+// experiments on worker threads, so the sink is guarded by a mutex. Logging
+// defaults to Warn so benches stay quiet unless asked.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace mron {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+  void write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::mutex mu_;
+};
+
+const char* log_level_name(LogLevel level);
+
+}  // namespace mron
+
+#define MRON_LOG(level, expr)                                        \
+  do {                                                               \
+    if (::mron::Logger::instance().enabled(level)) {                 \
+      std::ostringstream mron_log_os;                                \
+      mron_log_os << expr;                                           \
+      ::mron::Logger::instance().write(level, mron_log_os.str());    \
+    }                                                                \
+  } while (false)
+
+#define MRON_DEBUG(expr) MRON_LOG(::mron::LogLevel::Debug, expr)
+#define MRON_INFO(expr) MRON_LOG(::mron::LogLevel::Info, expr)
+#define MRON_WARN(expr) MRON_LOG(::mron::LogLevel::Warn, expr)

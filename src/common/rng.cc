@@ -1,0 +1,70 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace mron {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::fork(std::uint64_t salt) {
+  std::uint64_t mix = (*this)() ^ (salt * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
+double Rng::uniform01() {
+  // 53 random mantissa bits -> uniform in [0, 1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform01();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(*this);
+}
+
+double Rng::lognormal_noise(double cv) {
+  if (cv <= 0.0) return 1.0;
+  // For lognormal with E[x]=1: sigma^2 = ln(1+cv^2), mu = -sigma^2/2.
+  const double sigma2 = std::log(1.0 + cv * cv);
+  const double sigma = std::sqrt(sigma2);
+  std::normal_distribution<double> dist(-sigma2 / 2.0, sigma);
+  return std::exp(dist(*this));
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(*this);
+}
+
+}  // namespace mron

@@ -1,0 +1,41 @@
+// Small statistics helpers shared by the monitor, tuner, and benches.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mron {
+
+/// Streaming mean/variance (Welford) with min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] bool empty() const { return n_ == 0; }
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;  ///< population variance
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double sum() const { return sum_; }
+
+  void merge(const OnlineStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics).
+/// `q` in [0, 1]. The input is copied; the original order is preserved.
+double percentile(std::vector<double> samples, double q);
+
+/// Arithmetic mean of a sample; 0 for an empty sample.
+double mean_of(const std::vector<double>& samples);
+
+}  // namespace mron

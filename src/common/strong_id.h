@@ -1,0 +1,51 @@
+// Strongly typed integer identifiers.
+//
+// Each simulator entity (node, job, task, container, ...) gets its own id
+// type so ids from different spaces cannot be swapped accidentally.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+
+namespace mron {
+
+template <typename Tag>
+class StrongId {
+ public:
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(std::int64_t value) : value_(value) {}
+
+  [[nodiscard]] constexpr std::int64_t value() const { return value_; }
+  [[nodiscard]] constexpr bool valid() const { return value_ >= 0; }
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+
+  friend std::ostream& operator<<(std::ostream& os, StrongId id) {
+    return os << id.value_;
+  }
+
+ private:
+  std::int64_t value_ = -1;
+};
+
+/// Hands out sequential ids within one id space.
+template <typename Id>
+class IdAllocator {
+ public:
+  Id next() { return Id(next_++); }
+  [[nodiscard]] std::int64_t issued() const { return next_; }
+
+ private:
+  std::int64_t next_ = 0;
+};
+
+}  // namespace mron
+
+template <typename Tag>
+struct std::hash<mron::StrongId<Tag>> {
+  std::size_t operator()(const mron::StrongId<Tag>& id) const noexcept {
+    return std::hash<std::int64_t>{}(id.value());
+  }
+};

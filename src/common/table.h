@@ -1,0 +1,26 @@
+// ASCII table printer used by the bench harnesses to emit the paper's
+// tables and figure data series in a stable, diffable format.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mron {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+  /// Convenience: formats doubles with fixed precision.
+  static std::string num(double v, int precision = 1);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mron

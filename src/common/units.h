@@ -1,0 +1,109 @@
+// Byte/size and time units used throughout the simulator.
+//
+// Sizes are tracked as plain int64 byte counts wrapped in a tiny value type
+// so that "bytes vs. records vs. megabytes" mix-ups fail to compile.
+// Simulated time is a double in seconds; the event engine orders equal
+// timestamps by insertion sequence, so double precision is sufficient for
+// the hour-scale jobs modeled here.
+#pragma once
+
+#include <cstdint>
+#include <compare>
+
+namespace mron {
+
+/// Simulated time, in seconds since simulation start.
+using SimTime = double;
+
+/// A byte count. Arithmetic is deliberately minimal: sums, differences,
+/// scaling by dimensionless factors, and ratios yielding doubles.
+class Bytes {
+ public:
+  constexpr Bytes() = default;
+  constexpr explicit Bytes(std::int64_t count) : count_(count) {}
+
+  [[nodiscard]] constexpr std::int64_t count() const { return count_; }
+  [[nodiscard]] constexpr double as_double() const {
+    return static_cast<double>(count_);
+  }
+  [[nodiscard]] constexpr double mib() const {
+    return as_double() / (1024.0 * 1024.0);
+  }
+  [[nodiscard]] constexpr double gib() const {
+    return as_double() / (1024.0 * 1024.0 * 1024.0);
+  }
+
+  constexpr auto operator<=>(const Bytes&) const = default;
+
+  constexpr Bytes& operator+=(Bytes other) {
+    count_ += other.count_;
+    return *this;
+  }
+  constexpr Bytes& operator-=(Bytes other) {
+    count_ -= other.count_;
+    return *this;
+  }
+
+  friend constexpr Bytes operator+(Bytes a, Bytes b) {
+    return Bytes(a.count_ + b.count_);
+  }
+  friend constexpr Bytes operator-(Bytes a, Bytes b) {
+    return Bytes(a.count_ - b.count_);
+  }
+  friend constexpr Bytes operator*(Bytes a, double f) {
+    return Bytes(static_cast<std::int64_t>(static_cast<double>(a.count_) * f));
+  }
+  friend constexpr Bytes operator*(double f, Bytes a) { return a * f; }
+  /// Ratio of two sizes (dimensionless).
+  friend constexpr double operator/(Bytes a, Bytes b) {
+    return a.as_double() / b.as_double();
+  }
+
+ private:
+  std::int64_t count_ = 0;
+};
+
+constexpr Bytes kibibytes(double k) {
+  return Bytes(static_cast<std::int64_t>(k * 1024.0));
+}
+constexpr Bytes mebibytes(double m) {
+  return Bytes(static_cast<std::int64_t>(m * 1024.0 * 1024.0));
+}
+constexpr Bytes gibibytes(double g) {
+  return Bytes(static_cast<std::int64_t>(g * 1024.0 * 1024.0 * 1024.0));
+}
+
+/// Bandwidth in bytes per simulated second.
+class BytesPerSec {
+ public:
+  constexpr BytesPerSec() = default;
+  constexpr explicit BytesPerSec(double rate) : rate_(rate) {}
+
+  [[nodiscard]] constexpr double rate() const { return rate_; }
+
+  /// Time to move `b` bytes at this rate.
+  [[nodiscard]] constexpr SimTime time_for(Bytes b) const {
+    return b.as_double() / rate_;
+  }
+
+  constexpr auto operator<=>(const BytesPerSec&) const = default;
+
+  friend constexpr BytesPerSec operator*(BytesPerSec r, double f) {
+    return BytesPerSec(r.rate_ * f);
+  }
+  friend constexpr BytesPerSec operator/(BytesPerSec r, double f) {
+    return BytesPerSec(r.rate_ / f);
+  }
+
+ private:
+  double rate_ = 0.0;
+};
+
+constexpr BytesPerSec mib_per_sec(double m) {
+  return BytesPerSec(m * 1024.0 * 1024.0);
+}
+constexpr BytesPerSec gbit_per_sec(double g) {
+  return BytesPerSec(g * 1e9 / 8.0);
+}
+
+}  // namespace mron

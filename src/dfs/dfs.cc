@@ -1,0 +1,121 @@
+#include "dfs/dfs.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mron::dfs {
+
+Dfs::Dfs(const cluster::Topology& topo, Rng rng, Bytes block_size,
+         int replication)
+    : topo_(topo),
+      rng_(rng),
+      block_size_(block_size),
+      replication_(replication) {
+  MRON_CHECK(block_size_ > Bytes(0));
+  MRON_CHECK(replication_ >= 1);
+}
+
+std::vector<cluster::NodeId> Dfs::place_replicas() {
+  const int n = topo_.num_nodes();
+  std::vector<cluster::NodeId> replicas;
+  const int want = std::min(replication_, n);
+
+  // First replica: uniform random node (stand-in for "writer's node").
+  cluster::NodeId first(rng_.uniform_int(0, n - 1));
+  replicas.push_back(first);
+  if (want == 1) return replicas;
+
+  // Second replica: a node on a different rack when one exists.
+  std::vector<cluster::NodeId> off_rack;
+  for (auto node : topo_.all_nodes()) {
+    if (!topo_.same_rack(node, first)) off_rack.push_back(node);
+  }
+  cluster::NodeId second = first;
+  if (!off_rack.empty()) {
+    second = off_rack[static_cast<std::size_t>(
+        rng_.uniform_int(0, static_cast<std::int64_t>(off_rack.size()) - 1))];
+  } else {
+    while (second == first && n > 1) {
+      second = cluster::NodeId(rng_.uniform_int(0, n - 1));
+    }
+  }
+  replicas.push_back(second);
+  if (want == 2) return replicas;
+
+  // Third replica: same rack as the second, distinct node.
+  auto rackmates = topo_.nodes_in_rack(topo_.rack_of(second));
+  std::erase(rackmates, second);
+  std::erase(rackmates, first);
+  cluster::NodeId third = first;
+  if (!rackmates.empty()) {
+    third = rackmates[static_cast<std::size_t>(rng_.uniform_int(
+        0, static_cast<std::int64_t>(rackmates.size()) - 1))];
+  }
+  if (third != first && third != second) replicas.push_back(third);
+  return replicas;
+}
+
+DatasetId Dfs::create_dataset(const std::string& name, Bytes total_size) {
+  MRON_CHECK(total_size >= Bytes(0));
+  Dataset ds;
+  ds.id = DatasetId(static_cast<std::int64_t>(datasets_.size()));
+  ds.name = name;
+  ds.total_size = total_size;
+  Bytes remaining = total_size;
+  while (remaining > Bytes(0)) {
+    Block b;
+    b.size = std::min(remaining, block_size_);
+    b.replicas = place_replicas();
+    ds.blocks.push_back(std::move(b));
+    remaining -= ds.blocks.back().size;
+  }
+  datasets_.push_back(std::move(ds));
+  return datasets_.back().id;
+}
+
+const Dataset& Dfs::dataset(DatasetId id) const {
+  MRON_CHECK(id.valid() &&
+             id.value() < static_cast<std::int64_t>(datasets_.size()));
+  return datasets_[static_cast<std::size_t>(id.value())];
+}
+
+Locality Dfs::locality(DatasetId ds, std::size_t block,
+                       cluster::NodeId reader) const {
+  const auto& blocks = dataset(ds).blocks;
+  MRON_CHECK(block < blocks.size());
+  for (auto rep : blocks[block].replicas) {
+    if (rep == reader) return Locality::NodeLocal;
+  }
+  for (auto rep : blocks[block].replicas) {
+    if (topo_.same_rack(rep, reader)) return Locality::RackLocal;
+  }
+  return Locality::OffRack;
+}
+
+cluster::NodeId Dfs::pick_replica(DatasetId ds, std::size_t block,
+                                  cluster::NodeId reader) const {
+  const auto& blocks = dataset(ds).blocks;
+  MRON_CHECK(block < blocks.size());
+  for (auto rep : blocks[block].replicas) {
+    if (rep == reader) return rep;
+  }
+  for (auto rep : blocks[block].replicas) {
+    if (topo_.same_rack(rep, reader)) return rep;
+  }
+  return blocks[block].replicas.front();
+}
+
+const char* locality_name(Locality loc) {
+  switch (loc) {
+    case Locality::NodeLocal:
+      return "NODE_LOCAL";
+    case Locality::RackLocal:
+      return "RACK_LOCAL";
+    case Locality::OffRack:
+      return "OFF_RACK";
+  }
+  return "?";
+}
+
+}  // namespace mron::dfs

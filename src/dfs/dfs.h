@@ -1,0 +1,69 @@
+// HDFS-like distributed file system model.
+//
+// Tracks datasets as sequences of fixed-size blocks with rack-aware replica
+// placement (default policy: first replica on a random node, second on a
+// different rack, third on the second's rack). Map input splits are
+// one-per-block; the scheduler queries replica locations to make
+// locality-aware container placements.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "common/strong_id.h"
+#include "common/units.h"
+
+namespace mron::dfs {
+
+struct DatasetTag {};
+using DatasetId = StrongId<DatasetTag>;
+
+enum class Locality { NodeLocal, RackLocal, OffRack };
+
+struct Block {
+  Bytes size;
+  std::vector<cluster::NodeId> replicas;
+};
+
+struct Dataset {
+  DatasetId id;
+  std::string name;
+  Bytes total_size;
+  std::vector<Block> blocks;
+};
+
+class Dfs {
+ public:
+  Dfs(const cluster::Topology& topo, Rng rng,
+      Bytes block_size = mebibytes(128), int replication = 3);
+
+  /// Create a dataset of `total_size` bytes, split into ceil(size/block)
+  /// blocks, the last one partial.
+  DatasetId create_dataset(const std::string& name, Bytes total_size);
+
+  [[nodiscard]] const Dataset& dataset(DatasetId id) const;
+  [[nodiscard]] Bytes block_size() const { return block_size_; }
+
+  /// Locality class of reading `block` of `ds` from node `reader`.
+  [[nodiscard]] Locality locality(DatasetId ds, std::size_t block,
+                                  cluster::NodeId reader) const;
+  /// Replica to fetch from for a reader: the local one if present, else a
+  /// rack-local one, else the first replica.
+  [[nodiscard]] cluster::NodeId pick_replica(DatasetId ds, std::size_t block,
+                                             cluster::NodeId reader) const;
+
+ private:
+  std::vector<cluster::NodeId> place_replicas();
+
+  const cluster::Topology& topo_;
+  Rng rng_;
+  Bytes block_size_;
+  int replication_;
+  std::vector<Dataset> datasets_;
+};
+
+const char* locality_name(Locality loc);
+
+}  // namespace mron::dfs

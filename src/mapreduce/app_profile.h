@@ -1,0 +1,53 @@
+// Application profile: the per-record/per-byte characteristics of a
+// MapReduce program, independent of any configuration.
+//
+// The workloads module instantiates one of these per Table-3 benchmark; the
+// task models combine a profile with a JobConfig and the cluster's rates to
+// produce phase durations, spill counts, and memory footprints.
+#pragma once
+
+#include "common/units.h"
+
+namespace mron::mapreduce {
+
+struct AppProfile {
+  // --- map side --------------------------------------------------------------
+  /// User-code CPU per input MiB, in core-seconds on a reference core.
+  double map_cpu_secs_per_mib = 0.05;
+  /// Fixed per-task CPU (core-seconds) independent of input size — lets
+  /// compute-only jobs like BBP run with (near) zero input.
+  double map_cpu_secs_fixed = 0.0;
+  /// Fixed per-task map output, added to input * map_output_ratio.
+  Bytes map_output_bytes_fixed{0};
+  /// Map output bytes / map input bytes (before the combiner).
+  double map_output_ratio = 1.0;
+  /// Average map output record size in bytes (drives record counts).
+  double map_record_bytes = 100.0;
+  /// Combiner selectivity: combiner output / map output (1 = no combiner).
+  double combiner_ratio = 1.0;
+  /// Max useful parallelism of the map user code, in physical cores.
+  double map_cpu_demand_cores = 1.0;
+  /// Map working set beyond the sort buffer (JVM, user structures).
+  Bytes map_working_set = mebibytes(300);
+
+  // --- reduce side ------------------------------------------------------------
+  /// User-code CPU per reduce-input MiB, in core-seconds.
+  double reduce_cpu_secs_per_mib = 0.03;
+  /// Reduce output bytes / reduce input bytes.
+  double reduce_output_ratio = 1.0;
+  double reduce_cpu_demand_cores = 1.0;
+  Bytes reduce_working_set = mebibytes(200);
+
+  // --- distribution ------------------------------------------------------------
+  /// Coefficient of variation of per-reducer partition sizes (data skew).
+  double partition_skew_cv = 0.0;
+
+  /// Extra CPU cost of sorting/serializing one output record, core-seconds.
+  /// Applied per spilled record, so bad spill configs also cost CPU.
+  double sort_cpu_secs_per_record = 2e-7;
+
+  /// Container/JVM startup time charged before a task's first phase.
+  double task_startup_secs = 2.0;
+};
+
+}  // namespace mron::mapreduce

@@ -1,0 +1,49 @@
+// Hadoop-style job/task counters.
+//
+// SPILLED_RECORDS follows Hadoop semantics: every record written to local
+// disk counts, including re-writes during multi-pass merges — which is why
+// a badly configured job reports up to ~3x its map-output records (Section 6
+// of the paper), while the optimal configuration reports exactly the
+// combiner-output record count.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace mron::mapreduce {
+
+struct TaskCounters {
+  std::int64_t map_output_records = 0;     ///< before the combiner
+  std::int64_t combine_output_records = 0; ///< after the combiner (= optimal)
+  std::int64_t spilled_records = 0;        ///< records written to local disk
+  Bytes map_output_bytes{0};
+  Bytes shuffle_bytes{0};          ///< bytes fetched by this reduce task
+  Bytes local_disk_write_bytes{0};
+  Bytes local_disk_read_bytes{0};
+  double cpu_seconds = 0.0;        ///< core-seconds actually consumed
+
+  TaskCounters& operator+=(const TaskCounters& o) {
+    map_output_records += o.map_output_records;
+    combine_output_records += o.combine_output_records;
+    spilled_records += o.spilled_records;
+    map_output_bytes += o.map_output_bytes;
+    shuffle_bytes += o.shuffle_bytes;
+    local_disk_write_bytes += o.local_disk_write_bytes;
+    local_disk_read_bytes += o.local_disk_read_bytes;
+    cpu_seconds += o.cpu_seconds;
+    return *this;
+  }
+};
+
+struct JobCounters {
+  TaskCounters map;     ///< aggregated over map tasks
+  TaskCounters reduce;  ///< aggregated over reduce tasks
+  int failed_task_attempts = 0;
+
+  [[nodiscard]] std::int64_t total_spilled_records() const {
+    return map.spilled_records + reduce.spilled_records;
+  }
+};
+
+}  // namespace mron::mapreduce

@@ -1,0 +1,632 @@
+#include "mapreduce/mr_app_master.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace mron::mapreduce {
+
+const char* task_kind_name(TaskKind kind) {
+  return kind == TaskKind::Map ? "map" : "reduce";
+}
+
+MrAppMaster::MrAppMaster(sim::Engine& engine, yarn::ResourceManager& rm,
+                         cluster::Fabric& fabric, dfs::Dfs& dfs, JobId id,
+                         JobSpec spec, Rng rng, JobDone on_done)
+    : engine_(engine),
+      rm_(rm),
+      fabric_(fabric),
+      dfs_(dfs),
+      id_(id),
+      spec_(std::move(spec)),
+      rng_(rng),
+      on_done_(std::move(on_done)) {
+  MRON_CHECK(on_done_ != nullptr);
+  MRON_CHECK(spec_.num_reduces >= 0);
+  clamp_constraints(spec_.config);
+}
+
+void MrAppMaster::submit() {
+  MRON_CHECK(!submitted_);
+  submitted_ = true;
+  app_ = rm_.register_app(spec_.name, /*weight=*/1.0, spec_.scheduler_queue);
+  rm_.subscribe_node_failures(
+      [this](cluster::NodeId node) { handle_node_failure(node); });
+  result_.id = id_;
+  result_.name = spec_.name;
+  result_.submit_time = engine_.now();
+
+  // Build map tasks: one per input block, or synthetic compute-only maps.
+  if (spec_.input.valid()) {
+    const auto& ds = dfs_.dataset(spec_.input);
+    num_maps_ = static_cast<int>(ds.blocks.size());
+    maps_.resize(static_cast<std::size_t>(num_maps_));
+    for (int i = 0; i < num_maps_; ++i) {
+      auto& m = maps_[static_cast<std::size_t>(i)];
+      m.block = static_cast<std::size_t>(i);
+      m.input = ds.blocks[m.block].size;
+      m.replicas = ds.blocks[m.block].replicas;
+    }
+  } else {
+    MRON_CHECK_MSG(spec_.num_maps_override > 0,
+                   "job without input needs num_maps_override");
+    num_maps_ = spec_.num_maps_override;
+    maps_.resize(static_cast<std::size_t>(num_maps_));
+  }
+  for (int i = 0; i < num_maps_; ++i) map_queue_.push_back(i);
+
+  reduces_.resize(static_cast<std::size_t>(spec_.num_reduces));
+  for (int i = 0; i < spec_.num_reduces; ++i) reduce_queue_.push_back(i);
+
+  // The job's working-set scale: one draw per job (an application's memory
+  // footprint is a program property, near-constant across its tasks).
+  ws_factor_ = rng_.fork(0xf00d).lognormal_noise(0.05);
+
+  // Per-reducer partition weights (data skew), normalized to sum 1.
+  partition_weights_.assign(static_cast<std::size_t>(spec_.num_reduces), 0.0);
+  double sum = 0.0;
+  Rng skew_rng = rng_.fork(0x5eed);
+  for (auto& w : partition_weights_) {
+    w = skew_rng.lognormal_noise(spec_.profile.partition_skew_cv);
+    sum += w;
+  }
+  for (auto& w : partition_weights_) w /= std::max(sum, 1e-12);
+
+  schedule_pump();
+}
+
+void MrAppMaster::set_job_config(const JobConfig& config) {
+  spec_.config = config;
+  clamp_constraints(spec_.config);
+}
+
+bool MrAppMaster::set_task_config(const TaskRef& task, const JobConfig& config) {
+  JobConfig clamped = config;
+  clamp_constraints(clamped);
+  if (task.kind == TaskKind::Map) {
+    if (task.index < 0 || task.index >= num_maps_) return false;
+    auto& m = maps_[static_cast<std::size_t>(task.index)];
+    if (m.requested || m.done) return false;
+    m.override_config = clamped;
+    return true;
+  }
+  if (task.index < 0 || task.index >= spec_.num_reduces) return false;
+  auto& r = reduces_[static_cast<std::size_t>(task.index)];
+  if (r.requested || r.done) return false;
+  r.override_config = clamped;
+  return true;
+}
+
+int MrAppMaster::set_all_task_configs(TaskKind kind, const JobConfig& config) {
+  int applied = 0;
+  const int n = kind == TaskKind::Map ? num_maps_ : spec_.num_reduces;
+  for (int i = 0; i < n; ++i) {
+    if (set_task_config(TaskRef{kind, i}, config)) ++applied;
+  }
+  return applied;
+}
+
+int MrAppMaster::push_live_params(const JobConfig& config) {
+  int pushed = 0;
+  for (auto& m : maps_) {
+    if (m.running && m.run != nullptr) {
+      m.run->update_config(config);
+      ++pushed;
+    }
+  }
+  for (auto& r : reduces_) {
+    if (r.running && r.run != nullptr) {
+      r.run->update_config(config);
+      ++pushed;
+    }
+  }
+  return pushed;
+}
+
+void MrAppMaster::set_launch_budget(TaskKind kind, int n) {
+  int& budget = kind == TaskKind::Map ? map_budget_ : reduce_budget_;
+  if (n < 0) {
+    budget = -1;
+  } else if (budget < 0) {
+    budget = n;
+  } else {
+    budget += n;
+  }
+  schedule_pump();
+}
+
+std::vector<TaskRef> MrAppMaster::queued_tasks() const {
+  std::vector<TaskRef> out;
+  for (int i : map_queue_) out.push_back(TaskRef{TaskKind::Map, i});
+  for (int i : reduce_queue_) out.push_back(TaskRef{TaskKind::Reduce, i});
+  return out;
+}
+
+JobConfig MrAppMaster::config_for(const TaskRef& task) const {
+  const std::optional<JobConfig>* override_cfg = nullptr;
+  if (task.kind == TaskKind::Map) {
+    override_cfg = &maps_[static_cast<std::size_t>(task.index)].override_config;
+  } else {
+    override_cfg =
+        &reduces_[static_cast<std::size_t>(task.index)].override_config;
+  }
+  return override_cfg->has_value() ? **override_cfg : spec_.config;
+}
+
+int MrAppMaster::cluster_slots_estimate(const JobConfig& cfg, bool map) const {
+  const double mem_mb = map ? cfg.map_memory_mb : cfg.reduce_memory_mb;
+  const int vcores =
+      std::max(1, static_cast<int>(map ? cfg.map_cpu_vcores
+                                       : cfg.reduce_cpu_vcores));
+  const double by_mem =
+      rm_.cluster_memory_capacity().as_double() / mebibytes(mem_mb).as_double();
+  double by_vcores = 0.0;
+  for (int n = 0; n < rm_.num_nodes(); ++n) {
+    by_vcores += rm_.node(cluster::NodeId(n)).vcores_capacity() / vcores;
+  }
+  return std::max(1, static_cast<int>(std::min(by_mem, by_vcores)));
+}
+
+bool MrAppMaster::consume_budget(TaskKind kind) {
+  int& budget = kind == TaskKind::Map ? map_budget_ : reduce_budget_;
+  if (budget < 0) return true;
+  if (budget == 0) return false;
+  --budget;
+  return true;
+}
+
+void MrAppMaster::schedule_pump() {
+  if (pump_scheduled_ || finished_ || !submitted_) return;
+  pump_scheduled_ = true;
+  engine_.schedule_after(0.0, [this] {
+    pump_scheduled_ = false;
+    pump();
+  });
+}
+
+void MrAppMaster::pump() {
+  if (finished_) return;
+  // Maps: keep about one cluster's worth of requests outstanding so config
+  // changes reach the next wave.
+  const int map_cap = cluster_slots_estimate(spec_.config, /*map=*/true);
+  while (!map_queue_.empty() && outstanding_requests_ < map_cap) {
+    if (!consume_budget(TaskKind::Map)) break;
+    const int idx = map_queue_.front();
+    map_queue_.pop_front();
+    request_map(idx);
+  }
+  // Reduces: gated by slowstart; while maps remain, cap reducer occupancy
+  // at half the cluster so shuffle cannot starve the map phase.
+  const bool slowstart_met =
+      completed_maps_ >=
+      static_cast<int>(std::ceil(spec_.slowstart * num_maps_));
+  if (slowstart_met) {
+    const int reduce_slots =
+        cluster_slots_estimate(spec_.config, /*map=*/false);
+    // While maps remain, reducers may hold at most ~30% of the cluster —
+    // the AM headroom heuristic that keeps early-launched reducers (shuffle
+    // overlap) from starving the map phase.
+    const int reduce_cap =
+        map_queue_.empty() && completed_maps_ == num_maps_
+            ? reduce_slots
+            : std::max(1, (reduce_slots * 3) / 10);
+    while (!reduce_queue_.empty() &&
+           running_reduces_or_requested_ < reduce_cap) {
+      if (!consume_budget(TaskKind::Reduce)) break;
+      const int idx = reduce_queue_.front();
+      reduce_queue_.pop_front();
+      request_reduce(idx);
+    }
+  }
+}
+
+void MrAppMaster::request_map(int index) {
+  auto& m = maps_[static_cast<std::size_t>(index)];
+  m.requested = true;
+  ++outstanding_requests_;
+  const JobConfig cfg = config_for(TaskRef{TaskKind::Map, index});
+  yarn::Resource res{mebibytes(cfg.map_memory_mb),
+                     static_cast<int>(cfg.map_cpu_vcores)};
+  rm_.request_container(app_, res, m.replicas,
+                        [this, index](const yarn::Container& c) {
+                          on_map_container(index, c);
+                        });
+}
+
+void MrAppMaster::request_reduce(int index) {
+  auto& r = reduces_[static_cast<std::size_t>(index)];
+  r.requested = true;
+  ++outstanding_requests_;
+  ++running_reduces_or_requested_;
+  const JobConfig cfg = config_for(TaskRef{TaskKind::Reduce, index});
+  yarn::Resource res{mebibytes(cfg.reduce_memory_mb),
+                     static_cast<int>(cfg.reduce_cpu_vcores)};
+  rm_.request_container(app_, res, {},
+                        [this, index](const yarn::Container& c) {
+                          on_reduce_container(index, c);
+                        });
+}
+
+void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
+  --outstanding_requests_;
+  auto& m = maps_[static_cast<std::size_t>(index)];
+  m.container = c;
+  m.running = true;
+  m.run_started = engine_.now();
+  ++m.attempts;
+
+  MapTask::Inputs inputs;
+  inputs.task = TaskRef{TaskKind::Map, index};
+  inputs.attempt = m.attempts;
+  inputs.input_bytes = m.input;
+  inputs.ws_factor = ws_factor_;
+  inputs.noise_cv = spec_.noise_cv;
+  if (spec_.input.valid()) {
+    inputs.source = pick_live_replica(m, c.node);
+    inputs.locality = inputs.source == c.node
+                          ? dfs::Locality::NodeLocal
+                          : (rm_.topology().same_rack(inputs.source, c.node)
+                                 ? dfs::Locality::RackLocal
+                                 : dfs::Locality::OffRack);
+  } else {
+    inputs.source = c.node;
+    inputs.locality = dfs::Locality::NodeLocal;
+  }
+
+  const JobConfig cfg = config_for(inputs.task);
+  if (m.run != nullptr) dead_map_runs_.push_back(std::move(m.run));
+  m.run = std::make_unique<MapTask>(
+      engine_, rm_.node(c.node), rm_.node(inputs.source), fabric_,
+      spec_.profile, cfg, inputs,
+      rng_.fork(static_cast<std::uint64_t>(index) * 4 +
+                static_cast<std::uint64_t>(m.attempts) * 131071),
+      [this, index](const TaskReport& r) { on_map_done(index, r); });
+  m.run->start();
+  schedule_pump();
+}
+
+void MrAppMaster::on_reduce_container(int index, const yarn::Container& c) {
+  --outstanding_requests_;
+  auto& r = reduces_[static_cast<std::size_t>(index)];
+  r.container = c;
+  r.running = true;
+  ++r.attempts;
+
+  ReduceTask::Inputs inputs;
+  inputs.task = TaskRef{TaskKind::Reduce, index};
+  inputs.attempt = r.attempts;
+  inputs.total_maps = num_maps_;
+  inputs.num_nodes = rm_.num_nodes();
+  inputs.ws_factor = ws_factor_;
+  inputs.noise_cv = spec_.noise_cv;
+
+  const JobConfig cfg = config_for(inputs.task);
+  if (r.run != nullptr) dead_reduce_runs_.push_back(std::move(r.run));
+  r.run = std::make_unique<ReduceTask>(
+      engine_, rm_.node(c.node), fabric_,
+      [this](cluster::NodeId n) -> cluster::Node& { return rm_.node(n); },
+      spec_.profile, cfg, inputs,
+      rng_.fork(1000003 + static_cast<std::uint64_t>(index) * 4 +
+                static_cast<std::uint64_t>(r.attempts)),
+      [this, index](const TaskReport& rep) { on_reduce_done(index, rep); });
+  // Feed map outputs that completed before this reducer existed.
+  for (const auto& [mi, src, bytes] : r.stashed) {
+    r.run->add_map_output(mi, src, bytes);
+  }
+  r.stashed.clear();
+  r.run->start();
+  schedule_pump();
+}
+
+void MrAppMaster::on_map_done(int index, const TaskReport& report,
+                              bool speculative) {
+  auto& m = maps_[static_cast<std::size_t>(index)];
+  if (speculative) {
+    m.spec_running = false;
+    rm_.release_container(m.spec_container);
+  } else {
+    m.running = false;
+    rm_.release_container(m.container);
+  }
+  // A late duplicate (e.g. an OOM-retried original finishing after the
+  // speculative copy already won) only needs its container back.
+  if (m.done) return;
+  result_.map_reports.push_back(report);
+  if (task_listener_) task_listener_(report);
+
+  if (report.failed_oom && speculative) {
+    // A dead backup is simply dropped; the original keeps running.
+    ++result_.counters.failed_task_attempts;
+    --active_speculations_;
+    m.spec_requested = false;
+    return;
+  }
+
+  if (report.failed_oom) {
+    ++result_.counters.failed_task_attempts;
+    MRON_CHECK_MSG(m.attempts < spec_.max_task_attempts,
+                   "map " << index << " exceeded max attempts");
+    // Retries fall back to the job config with escalated memory (the
+    // per-task config file is dropped; the node manager killed the
+    // container for over-commit, so the retry gets headroom).
+    JobConfig retry = spec_.config;
+    retry.map_memory_mb = std::min(
+        3072.0, std::max(retry.map_memory_mb,
+                         report.config.map_memory_mb * 1.5));
+    clamp_constraints(retry);
+    m.override_config = retry;
+    // Retries are re-executions, not new launches: they bypass the wave
+    // budget and go straight back to the RM (otherwise a retry would eat a
+    // budget unit granted for a tuner wave and stall the wave).
+    request_map(index);
+    return;
+  }
+
+  m.done = true;
+  m.combined_output = speculative ? m.spec_run->combined_output_bytes()
+                                  : m.run->combined_output_bytes();
+  m.ran_on = report.node;
+  result_.counters.map += report.counters;
+  ++completed_maps_;
+  map_duration_sum_ += report.duration();
+  ++map_duration_count_;
+  if (speculative) {
+    ++result_.speculative_wins;
+    --active_speculations_;
+    m.spec_requested = false;
+  }
+  settle_speculation(index, speculative);
+  deliver_map_output(index);
+  if (spec_.speculative_execution) check_stragglers();
+  schedule_pump();
+  maybe_finish();
+}
+
+void MrAppMaster::settle_speculation(int index, bool speculative_won) {
+  auto& m = maps_[static_cast<std::size_t>(index)];
+  if (speculative_won) {
+    // Kill the original attempt.
+    if (m.running && m.run != nullptr) {
+      m.run->abort();
+      m.running = false;
+      rm_.release_container(m.container);
+    }
+  } else {
+    if (m.spec_running && m.spec_run != nullptr) {
+      m.spec_run->abort();
+      m.spec_running = false;
+      rm_.release_container(m.spec_container);
+      --active_speculations_;
+    } else if (m.spec_requested && !m.spec_running) {
+      rm_.cancel_request(m.spec_request);
+      --active_speculations_;
+    }
+    m.spec_requested = false;
+  }
+}
+
+void MrAppMaster::check_stragglers() {
+  if (finished_ || map_duration_count_ == 0) return;
+  if (completed_maps_ * 2 < num_maps_ || !map_queue_.empty()) return;
+  const double mean =
+      map_duration_sum_ / static_cast<double>(map_duration_count_);
+  const int spec_cap =
+      std::max(1, cluster_slots_estimate(spec_.config, true) / 10);
+  for (int i = 0; i < num_maps_; ++i) {
+    if (active_speculations_ >= spec_cap) break;
+    auto& m = maps_[static_cast<std::size_t>(i)];
+    if (!m.running || m.done || m.spec_requested || m.attempts > 1) continue;
+    const double elapsed = engine_.now() - m.run_started;
+    if (elapsed < spec_.speculative_slowdown * mean) continue;
+    m.spec_requested = true;
+    ++active_speculations_;
+    ++result_.speculative_launches;
+    const JobConfig cfg = config_for(TaskRef{TaskKind::Map, i});
+    yarn::Resource res{mebibytes(cfg.map_memory_mb),
+                       static_cast<int>(cfg.map_cpu_vcores)};
+    m.spec_request = rm_.request_container(
+        app_, res, m.replicas,
+        [this, i](const yarn::Container& c) {
+          on_speculative_container(i, c);
+        });
+  }
+}
+
+void MrAppMaster::on_speculative_container(int index,
+                                           const yarn::Container& c) {
+  auto& m = maps_[static_cast<std::size_t>(index)];
+  if (m.done || !m.spec_requested) {
+    // The race settled while this container was queued.
+    rm_.release_container(c);
+    --active_speculations_;
+    m.spec_requested = false;
+    return;
+  }
+  m.spec_container = c;
+  m.spec_running = true;
+
+  MapTask::Inputs inputs;
+  inputs.task = TaskRef{TaskKind::Map, index};
+  inputs.attempt = m.attempts + 1;
+  inputs.input_bytes = m.input;
+  inputs.ws_factor = ws_factor_;
+  inputs.noise_cv = spec_.noise_cv;
+  if (spec_.input.valid()) {
+    inputs.source = pick_live_replica(m, c.node);
+    inputs.locality = inputs.source == c.node
+                          ? dfs::Locality::NodeLocal
+                          : (rm_.topology().same_rack(inputs.source, c.node)
+                                 ? dfs::Locality::RackLocal
+                                 : dfs::Locality::OffRack);
+  } else {
+    inputs.source = c.node;
+    inputs.locality = dfs::Locality::NodeLocal;
+  }
+  const JobConfig cfg = config_for(inputs.task);
+  if (m.spec_run != nullptr) dead_map_runs_.push_back(std::move(m.spec_run));
+  m.spec_run = std::make_unique<MapTask>(
+      engine_, rm_.node(c.node), rm_.node(inputs.source), fabric_,
+      spec_.profile, cfg, inputs,
+      rng_.fork(0xbacc + static_cast<std::uint64_t>(index) * 7),
+      [this, index](const TaskReport& r) {
+        on_map_done(index, r, /*speculative=*/true);
+      });
+  m.spec_run->start();
+}
+
+void MrAppMaster::deliver_map_output(int map_index) {
+  const auto& m = maps_[static_cast<std::size_t>(map_index)];
+  for (int rix = 0; rix < spec_.num_reduces; ++rix) {
+    const Bytes part =
+        m.combined_output * partition_weights_[static_cast<std::size_t>(rix)];
+    auto& r = reduces_[static_cast<std::size_t>(rix)];
+    if (r.running && r.run != nullptr) {
+      r.run->add_map_output(map_index, m.ran_on, part);
+    } else if (!r.done) {
+      r.stashed.emplace_back(map_index, m.ran_on, part);
+    }
+  }
+}
+
+void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
+  auto& r = reduces_[static_cast<std::size_t>(index)];
+  r.running = false;
+  --running_reduces_or_requested_;
+  rm_.release_container(r.container);
+  result_.reduce_reports.push_back(report);
+  if (task_listener_) task_listener_(report);
+
+  if (report.failed_oom) {
+    ++result_.counters.failed_task_attempts;
+    MRON_CHECK_MSG(r.attempts < spec_.max_task_attempts,
+                   "reduce " << index << " exceeded max attempts");
+    JobConfig retry = spec_.config;
+    retry.reduce_memory_mb = std::min(
+        3072.0, std::max(retry.reduce_memory_mb,
+                         report.config.reduce_memory_mb * 1.5));
+    clamp_constraints(retry);
+    r.override_config = retry;
+    r.run.reset();
+    r.stashed.clear();
+    // Re-stash every completed map's partition for the fresh attempt.
+    for (int mi = 0; mi < num_maps_; ++mi) {
+      const auto& m = maps_[static_cast<std::size_t>(mi)];
+      if (m.done) {
+        r.stashed.emplace_back(
+            mi, m.ran_on,
+            m.combined_output *
+                partition_weights_[static_cast<std::size_t>(index)]);
+      }
+    }
+    // Bypass the wave budget, as for map retries: a retry is not a new
+    // launch and must not stall a tuner wave.
+    request_reduce(index);
+    return;
+  }
+
+  r.done = true;
+  result_.counters.reduce += report.counters;
+  ++completed_reduces_;
+  schedule_pump();
+  maybe_finish();
+}
+
+cluster::NodeId MrAppMaster::pick_live_replica(const MapState& m,
+                                               cluster::NodeId reader) {
+  // Local if a live local replica exists, then rack-local, then any live
+  // replica; a split with no live replica is unrecoverable data loss.
+  const auto& replicas = m.replicas;
+  for (auto rep : replicas) {
+    if (rep == reader && rm_.node_alive(rep)) return rep;
+  }
+  for (auto rep : replicas) {
+    if (rm_.node_alive(rep) && rm_.topology().same_rack(rep, reader)) {
+      return rep;
+    }
+  }
+  for (auto rep : replicas) {
+    if (rm_.node_alive(rep)) return rep;
+  }
+  MRON_CHECK_MSG(false, "all replicas of a split lost — job cannot proceed");
+  return reader;
+}
+
+void MrAppMaster::handle_node_failure(cluster::NodeId node) {
+  if (finished_) return;
+  // 1. Running tasks on the node die with it; re-execute immediately
+  //    (node loss does not count against the task's OOM-attempt limit).
+  for (int i = 0; i < num_maps_; ++i) {
+    auto& m = maps_[static_cast<std::size_t>(i)];
+    if (m.running && m.container.node == node) {
+      m.run->abort();
+      m.running = false;
+      rm_.release_container(m.container);
+      request_map(i);
+    }
+    if (m.spec_running && m.spec_container.node == node) {
+      m.spec_run->abort();
+      m.spec_running = false;
+      m.spec_requested = false;
+      --active_speculations_;
+      rm_.release_container(m.spec_container);
+    }
+  }
+  for (int i = 0; i < spec_.num_reduces; ++i) {
+    auto& r = reduces_[static_cast<std::size_t>(i)];
+    if (r.running && r.container.node == node) {
+      r.run->abort();
+      r.running = false;
+      --running_reduces_or_requested_;
+      rm_.release_container(r.container);
+      // The aborted run is parked by the next on_reduce_container().
+      r.stashed.clear();
+      for (int mi = 0; mi < num_maps_; ++mi) {
+        const auto& m = maps_[static_cast<std::size_t>(mi)];
+        if (m.done) {
+          r.stashed.emplace_back(
+              mi, m.ran_on,
+              m.combined_output *
+                  partition_weights_[static_cast<std::size_t>(i)]);
+        }
+      }
+      request_reduce(i);
+    }
+  }
+  // 2. Completed maps whose outputs lived on the node must re-execute —
+  //    their shuffle data is gone (reducers that already fetched a copy
+  //    keep it; the re-delivered duplicate is deduped by map index).
+  for (int i = 0; i < num_maps_; ++i) {
+    auto& m = maps_[static_cast<std::size_t>(i)];
+    if (m.done && m.ran_on == node) {
+      m.done = false;
+      m.combined_output = Bytes(0);
+      --completed_maps_;
+      // Drop stale stash entries pointing at the dead node; the fresh
+      // completion will re-stash.
+      for (auto& r : reduces_) {
+        std::erase_if(r.stashed, [i](const auto& entry) {
+          return std::get<0>(entry) == i;
+        });
+      }
+      request_map(i);
+    }
+  }
+  schedule_pump();
+}
+
+void MrAppMaster::maybe_finish() {
+  if (finished_) return;
+  if (completed_maps_ < num_maps_ ||
+      completed_reduces_ < spec_.num_reduces) {
+    return;
+  }
+  finished_ = true;
+  result_.finish_time = engine_.now();
+  rm_.unregister_app(app_);
+  on_done_(result_);
+}
+
+}  // namespace mron::mapreduce

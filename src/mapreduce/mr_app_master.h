@@ -1,0 +1,193 @@
+// MapReduce application master.
+//
+// Owns one job's lifecycle on the YARN substrate: builds map tasks from the
+// input dataset's blocks (one split per block), requests containers with
+// per-task Resources, launches task models, routes map-completion events to
+// running reducers, applies slowstart gating, retries OOM-killed attempts,
+// and aggregates the JobResult.
+//
+// Dynamic-configuration hooks (consumed by MRONLINE's dynamic configurator,
+// Table 1 of the paper):
+//   * set_job_config()       — new default for tasks not yet requested;
+//   * set_task_config()      — per-task override for a queued task;
+//   * push_live_params()     — category-III updates into running tasks;
+//   * set_launch_budget()    — wave gating for the aggressive strategy: the
+//     AM may only request that many more containers (-1 = unlimited).
+//
+// Container requests are self-throttled to roughly one cluster's worth of
+// outstanding requests so that a config change affects the next wave — the
+// same pickup latency the paper's config-file mechanism has.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/fabric.h"
+#include "common/rng.h"
+#include "dfs/dfs.h"
+#include "mapreduce/job.h"
+#include "mapreduce/map_task.h"
+#include "mapreduce/reduce_task.h"
+#include "sim/engine.h"
+#include "yarn/resource_manager.h"
+
+namespace mron::mapreduce {
+
+class MrAppMaster {
+ public:
+  using JobDone = std::function<void(const JobResult&)>;
+  using TaskListener = std::function<void(const TaskReport&)>;
+
+  MrAppMaster(sim::Engine& engine, yarn::ResourceManager& rm,
+              cluster::Fabric& fabric, dfs::Dfs& dfs, JobId id, JobSpec spec,
+              Rng rng, JobDone on_done);
+
+  MrAppMaster(const MrAppMaster&) = delete;
+  MrAppMaster& operator=(const MrAppMaster&) = delete;
+
+  /// Register with the RM and start requesting containers.
+  void submit();
+
+  // --- dynamic configuration (Table-1 backing) -------------------------------
+  void set_job_config(const JobConfig& config);
+  /// Override the config of one not-yet-requested task. Returns false if the
+  /// task is unknown or already requested/launched.
+  bool set_task_config(const TaskRef& task, const JobConfig& config);
+  /// Override every queued task of the given kind.
+  int set_all_task_configs(TaskKind kind, const JobConfig& config);
+  /// Push category-III parameters into all running tasks.
+  int push_live_params(const JobConfig& config);
+  /// Wave gating: allow at most `n` further container requests of the given
+  /// kind (-1 = unlimited). Additional calls add to the remaining budget, so
+  /// an aggressive tuner releases one wave at a time.
+  void set_launch_budget(TaskKind kind, int n);
+  /// Convenience: set both kinds at once.
+  void set_launch_budget(int n) {
+    set_launch_budget(TaskKind::Map, n);
+    set_launch_budget(TaskKind::Reduce, n);
+  }
+
+  // --- introspection ----------------------------------------------------------
+  [[nodiscard]] JobId id() const { return id_; }
+  [[nodiscard]] const JobSpec& spec() const { return spec_; }
+  [[nodiscard]] const JobConfig& job_config() const { return spec_.config; }
+  [[nodiscard]] int num_maps() const { return num_maps_; }
+  [[nodiscard]] int num_reduces() const { return spec_.num_reduces; }
+  [[nodiscard]] int completed_maps() const { return completed_maps_; }
+  [[nodiscard]] int completed_reduces() const { return completed_reduces_; }
+  [[nodiscard]] bool finished() const { return finished_; }
+  /// Tasks still waiting to be requested (the tuner's "queued tasks list").
+  [[nodiscard]] std::vector<TaskRef> queued_tasks() const;
+  [[nodiscard]] int launch_budget(TaskKind kind) const {
+    return kind == TaskKind::Map ? map_budget_ : reduce_budget_;
+  }
+
+  void set_task_listener(TaskListener listener) {
+    task_listener_ = std::move(listener);
+  }
+
+ private:
+  struct MapState {
+    std::size_t block = 0;
+    Bytes input{0};
+    std::vector<cluster::NodeId> replicas;
+    std::optional<JobConfig> override_config;
+    std::unique_ptr<MapTask> run;
+    yarn::Container container;
+    int attempts = 0;
+    bool requested = false;
+    bool running = false;
+    bool done = false;
+    Bytes combined_output{0};
+    cluster::NodeId ran_on;
+    SimTime run_started = 0.0;
+    // Speculative backup attempt.
+    std::unique_ptr<MapTask> spec_run;
+    yarn::Container spec_container;
+    yarn::RequestId spec_request;
+    bool spec_requested = false;
+    bool spec_running = false;
+  };
+  struct ReduceState {
+    std::optional<JobConfig> override_config;
+    std::unique_ptr<ReduceTask> run;
+    yarn::Container container;
+    int attempts = 0;
+    bool requested = false;
+    bool running = false;
+    bool done = false;
+    /// Map outputs (index, location, bytes) that completed before this
+    /// reducer started.
+    std::vector<std::tuple<int, cluster::NodeId, Bytes>> stashed;
+  };
+
+  void pump();
+  void schedule_pump();
+  void request_map(int index);
+  void request_reduce(int index);
+  void on_map_container(int index, const yarn::Container& c);
+  void on_reduce_container(int index, const yarn::Container& c);
+  void on_map_done(int index, const TaskReport& report,
+                   bool speculative = false);
+  void on_reduce_done(int index, const TaskReport& report);
+  /// Launch backup attempts for straggling maps (Hadoop's speculative
+  /// execution, enabled via JobSpec::speculative_execution).
+  void check_stragglers();
+  void on_speculative_container(int index, const yarn::Container& c);
+  /// Kill whichever attempt of map `index` lost the race.
+  void settle_speculation(int index, bool speculative_won);
+  void deliver_map_output(int map_index);
+  void maybe_finish();
+  /// Node fail-stop recovery: abort tasks running on the node, re-execute
+  /// completed maps whose (node-local) outputs died with it.
+  void handle_node_failure(cluster::NodeId node);
+  /// The split's replica to read, preferring live and local sources.
+  [[nodiscard]] cluster::NodeId pick_live_replica(const MapState& m,
+                                                  cluster::NodeId reader);
+  [[nodiscard]] JobConfig config_for(const TaskRef& task) const;
+  [[nodiscard]] int cluster_slots_estimate(const JobConfig& cfg,
+                                           bool map) const;
+  [[nodiscard]] bool consume_budget(TaskKind kind);
+
+  sim::Engine& engine_;
+  yarn::ResourceManager& rm_;
+  cluster::Fabric& fabric_;
+  dfs::Dfs& dfs_;
+  JobId id_;
+  JobSpec spec_;
+  Rng rng_;
+  JobDone on_done_;
+  TaskListener task_listener_;
+
+  yarn::AppId app_;
+  int num_maps_ = 0;
+  std::vector<MapState> maps_;
+  std::vector<ReduceState> reduces_;
+  std::vector<double> partition_weights_;
+  std::deque<int> map_queue_;
+  std::deque<int> reduce_queue_;
+  int outstanding_requests_ = 0;
+  int running_reduces_or_requested_ = 0;
+  int completed_maps_ = 0;
+  int completed_reduces_ = 0;
+  int map_budget_ = -1;
+  int reduce_budget_ = -1;
+  double ws_factor_ = 1.0;
+  double map_duration_sum_ = 0.0;
+  int map_duration_count_ = 0;
+  int active_speculations_ = 0;
+  bool submitted_ = false;
+  bool finished_ = false;
+  bool pump_scheduled_ = false;
+  JobResult result_;
+  /// Aborted attempts are parked here instead of destroyed: the engine may
+  /// still hold events/stream completions that reference them.
+  std::vector<std::unique_ptr<MapTask>> dead_map_runs_;
+  std::vector<std::unique_ptr<ReduceTask>> dead_reduce_runs_;
+};
+
+}  // namespace mron::mapreduce

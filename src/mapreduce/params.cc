@@ -1,0 +1,145 @@
+#include "mapreduce/params.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mron::mapreduce {
+
+namespace {
+
+std::vector<ParamDescriptor> standard_params() {
+  using C = ParamCategory;
+  // Ranges follow the paper's testbed: 6 GB container memory per node, so
+  // containers between 512 MB and 3 GB; buffers bounded by heap fractions.
+  return {
+      {"mapreduce.map.memory.mb", 1024, 512, 3072, true, C::TaskLaunch,
+       &JobConfig::map_memory_mb},
+      {"mapreduce.reduce.memory.mb", 1024, 512, 3072, true, C::TaskLaunch,
+       &JobConfig::reduce_memory_mb},
+      {"mapreduce.task.io.sort.mb", 100, 50, 1024, true, C::TaskLaunch,
+       &JobConfig::io_sort_mb},
+      {"mapreduce.map.sort.spill.percent", 0.8, 0.5, 0.99, false, C::Live,
+       &JobConfig::sort_spill_percent},
+      {"mapreduce.reduce.shuffle.input.buffer.percent", 0.7, 0.3, 0.9, false,
+       C::TaskLaunch, &JobConfig::shuffle_input_buffer_percent},
+      {"mapreduce.reduce.shuffle.merge.percent", 0.66, 0.3, 0.9, false,
+       C::Live, &JobConfig::shuffle_merge_percent},
+      {"mapreduce.reduce.shuffle.memory.limit.percent", 0.25, 0.05, 0.5,
+       false, C::Live, &JobConfig::shuffle_memory_limit_percent},
+      {"mapreduce.reduce.merge.inmem.threshold", 1000, 0, 10000, true,
+       C::Live, &JobConfig::merge_inmem_threshold},
+      {"mapreduce.reduce.input.buffer.percent", 0.0, 0.0, 0.9, false,
+       C::Live, &JobConfig::reduce_input_buffer_percent},
+      {"mapreduce.map.cpu.vcores", 1, 1, 4, true, C::TaskLaunch,
+       &JobConfig::map_cpu_vcores},
+      {"mapreduce.reduce.cpu.vcores", 1, 1, 4, true, C::TaskLaunch,
+       &JobConfig::reduce_cpu_vcores},
+      {"mapreduce.task.io.sort.factor", 10, 5, 100, true, C::TaskLaunch,
+       &JobConfig::io_sort_factor},
+      {"mapreduce.reduce.shuffle.parallelcopies", 5, 5, 50, true,
+       C::TaskLaunch, &JobConfig::shuffle_parallelcopies},
+  };
+}
+
+}  // namespace
+
+ParamRegistry::ParamRegistry(std::vector<ParamDescriptor> params)
+    : params_(std::move(params)) {}
+
+const ParamRegistry& ParamRegistry::standard() {
+  static const ParamRegistry registry(standard_params());
+  return registry;
+}
+
+const ParamRegistry& ParamRegistry::extended() {
+  static const ParamRegistry registry([] {
+    auto params = standard_params();
+    params.push_back({"mapreduce.map.output.compress", 0, 0, 1, true,
+                      ParamCategory::TaskLaunch,
+                      &JobConfig::map_output_compress});
+    return params;
+  }());
+  return registry;
+}
+
+const ParamDescriptor& ParamRegistry::at(std::size_t i) const {
+  MRON_CHECK(i < params_.size());
+  return params_[i];
+}
+
+const ParamDescriptor* ParamRegistry::find(const std::string& name) const {
+  for (const auto& p : params_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ParamRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(params_.size());
+  for (const auto& p : params_) out.push_back(p.name);
+  return out;
+}
+
+double ParamRegistry::get(const JobConfig& cfg, std::size_t i) const {
+  return cfg.*(at(i).field);
+}
+
+void ParamRegistry::set(JobConfig& cfg, std::size_t i, double value) const {
+  const ParamDescriptor& p = at(i);
+  value = std::clamp(value, p.min, p.max);
+  if (p.integer) value = std::round(value);
+  cfg.*(p.field) = value;
+}
+
+bool ParamRegistry::set_by_name(JobConfig& cfg, const std::string& name,
+                                double value) const {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (params_[i].name == name) {
+      set(cfg, i, value);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<double> ParamRegistry::get_by_name(
+    const JobConfig& cfg, const std::string& name) const {
+  const ParamDescriptor* p = find(name);
+  if (p == nullptr) return std::nullopt;
+  return cfg.*(p->field);
+}
+
+int clamp_constraints(JobConfig& cfg) {
+  int adjusted = 0;
+  const double max_sort = cfg.map_memory_mb - kJvmHeadroomMb;
+  if (cfg.io_sort_mb > max_sort) {
+    cfg.io_sort_mb = std::max(1.0, max_sort);
+    ++adjusted;
+  }
+  if (cfg.shuffle_merge_percent > cfg.shuffle_input_buffer_percent) {
+    cfg.shuffle_merge_percent = cfg.shuffle_input_buffer_percent;
+    ++adjusted;
+  }
+  if (cfg.reduce_input_buffer_percent > cfg.shuffle_input_buffer_percent) {
+    cfg.reduce_input_buffer_percent = cfg.shuffle_input_buffer_percent;
+    ++adjusted;
+  }
+  return adjusted;
+}
+
+const char* category_name(ParamCategory c) {
+  switch (c) {
+    case ParamCategory::JobStatic:
+      return "I/job-static";
+    case ParamCategory::TaskLaunch:
+      return "II/task-launch";
+    case ParamCategory::Live:
+      return "III/live";
+  }
+  return "?";
+}
+
+}  // namespace mron::mapreduce

@@ -1,0 +1,109 @@
+// The Table-2 configuration parameters: typed config, registry, constraints.
+//
+// JobConfig carries the tunable parameters as typed fields for fast access
+// in the task models. ParamRegistry exposes the same parameters generically
+// (name, range, category, get/set on a JobConfig) for the tuner's search
+// space and for the dynamic-configurator string API (Table 1).
+//
+// Categories follow Section 2.2 of the paper:
+//   I   JobStatic  — fixed once the job starts (#maps, #reduces, slowstart);
+//   II  TaskLaunch — picked up by tasks launched after the change;
+//   III Live       — takes effect immediately, even in running tasks.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mron::mapreduce {
+
+enum class ParamCategory { JobStatic, TaskLaunch, Live };
+
+/// Tunable job configuration (paper Table 2, with YARN defaults).
+struct JobConfig {
+  // --- memory tuning -------------------------------------------------------
+  double map_memory_mb = 1024;     // mapreduce.map.memory.mb
+  double reduce_memory_mb = 1024;  // mapreduce.reduce.memory.mb
+  double io_sort_mb = 100;         // mapreduce.task.io.sort.mb
+  double sort_spill_percent = 0.8; // mapreduce.map.sort.spill.percent
+  double shuffle_input_buffer_percent = 0.7;
+  double shuffle_merge_percent = 0.66;
+  double shuffle_memory_limit_percent = 0.25;
+  double merge_inmem_threshold = 1000;  // records; 0 = disabled
+  double reduce_input_buffer_percent = 0.0;
+  // --- cpu tuning -----------------------------------------------------------
+  double map_cpu_vcores = 1;
+  double reduce_cpu_vcores = 1;
+  double io_sort_factor = 10;
+  double shuffle_parallelcopies = 5;
+
+  // --- extension beyond Table 2 ----------------------------------------------
+  /// mapreduce.map.output.compress (0/1): compress spills and map outputs
+  /// with a snappy-like codec — trades CPU for disk/network bytes. Part of
+  /// the extended registry, not the paper's 13-parameter search space.
+  double map_output_compress = 0;
+
+  friend bool operator==(const JobConfig&, const JobConfig&) = default;
+};
+
+/// One tunable parameter: metadata plus accessors into JobConfig.
+struct ParamDescriptor {
+  std::string name;
+  double default_value;
+  double min;
+  double max;
+  bool integer;
+  ParamCategory category;
+  double JobConfig::*field;
+};
+
+/// The registry of all Table-2 parameters, in a fixed order that defines the
+/// tuner's search-space dimensions.
+class ParamRegistry {
+ public:
+  /// The full Table-2 registry with paper-calibrated ranges.
+  static const ParamRegistry& standard();
+  /// Table 2 plus the extension parameters (map-output compression).
+  static const ParamRegistry& extended();
+
+  [[nodiscard]] const std::vector<ParamDescriptor>& params() const {
+    return params_;
+  }
+  [[nodiscard]] std::size_t size() const { return params_.size(); }
+  [[nodiscard]] const ParamDescriptor& at(std::size_t i) const;
+  [[nodiscard]] const ParamDescriptor* find(const std::string& name) const;
+
+  /// All parameter names (the getConfigurable*Parameters payload).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  [[nodiscard]] double get(const JobConfig& cfg, std::size_t i) const;
+  /// Sets field i, clamping to [min,max] and rounding integer params.
+  void set(JobConfig& cfg, std::size_t i, double value) const;
+  /// String-keyed setter for the dynamic-configurator API; returns false for
+  /// unknown names.
+  bool set_by_name(JobConfig& cfg, const std::string& name,
+                   double value) const;
+  [[nodiscard]] std::optional<double> get_by_name(
+      const JobConfig& cfg, const std::string& name) const;
+
+ private:
+  explicit ParamRegistry(std::vector<ParamDescriptor> params);
+  std::vector<ParamDescriptor> params_;
+};
+
+/// Enforce the inter-parameter dependencies of Section 5:
+///   io.sort.mb fits inside the map container heap (with JVM headroom);
+///   shuffle.merge.percent <= shuffle.input.buffer.percent;
+///   reduce.input.buffer.percent <= shuffle.input.buffer.percent.
+/// Returns the number of fields adjusted.
+int clamp_constraints(JobConfig& cfg);
+
+/// JVM + framework headroom assumed inside each container; the sort buffer
+/// must fit in what is left.
+constexpr double kJvmHeadroomMb = 256.0;
+
+const char* category_name(ParamCategory c);
+
+}  // namespace mron::mapreduce

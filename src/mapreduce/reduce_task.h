@@ -1,0 +1,116 @@
+// One reduce-task attempt: shuffle (fetch + buffer accounting), merge, and
+// the reduce/write phases.
+//
+// Fetches are pulled from a queue of completed map outputs with at most
+// `shuffle.parallelcopies` concurrent transfers; each fetch pays a fixed
+// connection latency plus a flow that contends on the source disk and the
+// network fabric. Buffer mechanics are delegated to ShuffleBufferModel, so
+// every reduce-side Table-2 parameter shapes the disk traffic this task
+// generates. After the last segment lands, on-disk files beyond
+// io.sort.factor cost intermediate merge rounds; the final merge streams
+// into the user reduce(), which is CPU work pipelined with the disk read,
+// and the output is written locally and replicated to one remote node.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "cluster/fabric.h"
+#include "cluster/node.h"
+#include "common/rng.h"
+#include "mapreduce/job.h"
+#include "mapreduce/spill_model.h"
+#include "sim/engine.h"
+
+namespace mron::mapreduce {
+
+class ReduceTask {
+ public:
+  struct Inputs {
+    TaskRef task;
+    int attempt = 1;
+    int total_maps = 0;
+    int num_nodes = 1;  ///< cluster size, for output-replica placement
+    /// Job-level working-set scale (see MapTask::Inputs::ws_factor).
+    double ws_factor = 1.0;
+    /// Multiplicative service-time noise CV (JobSpec::noise_cv).
+    double noise_cv = 0.08;
+  };
+  using Done = std::function<void(const TaskReport&)>;
+  /// Resolves a NodeId to the node (for charging source-disk reads).
+  using NodeResolver = std::function<cluster::Node&(cluster::NodeId)>;
+
+  ReduceTask(sim::Engine& engine, cluster::Node& node, cluster::Fabric& fabric,
+             NodeResolver resolver, const AppProfile& profile,
+             const JobConfig& config, const Inputs& inputs, Rng rng,
+             Done done);
+
+  ReduceTask(const ReduceTask&) = delete;
+  ReduceTask& operator=(const ReduceTask&) = delete;
+
+  void start();
+  /// Feed map `map_index`'s partition for this reducer. Safe to call both
+  /// before and after start(); duplicate indices (a map re-executed after a
+  /// node failure) are ignored — the first copy was already fetched.
+  void add_map_output(int map_index, cluster::NodeId source, Bytes bytes);
+  /// Push updated category-III parameters into the running attempt.
+  void update_config(const JobConfig& config);
+  /// Kill the attempt (node failure); `done` never fires. See
+  /// MapTask::abort().
+  void abort();
+  [[nodiscard]] bool aborted() const { return aborted_; }
+
+ private:
+  struct PendingFetch {
+    cluster::NodeId source;
+    Bytes bytes;
+  };
+
+  void pump_fetches();
+  void begin_fetch(PendingFetch fetch);
+  void on_fetch_done(Bytes bytes);
+  void maybe_finish_shuffle();
+  void phase_merge();
+  void phase_reduce();
+  void phase_write_output();
+  void finish(bool oom);
+
+  sim::Engine& engine_;
+  cluster::Node& node_;
+  cluster::Fabric& fabric_;
+  NodeResolver resolver_;
+  const AppProfile& profile_;
+  JobConfig config_;
+  Inputs inputs_;
+  Rng rng_;
+  Done done_;
+
+  ShuffleBufferModel buffer_;
+  std::deque<PendingFetch> queue_;
+  int active_fetches_ = 0;
+  int fetched_maps_ = 0;
+  int outstanding_spill_writes_ = 0;
+  bool shuffle_done_ = false;
+  bool started_ = false;
+  bool startup_done_ = false;
+  bool oom_ = false;
+  bool aborted_ = false;
+  bool finished_ = false;
+  std::set<int> seen_maps_;
+
+  Bytes total_input_{0};
+  Bytes resident_memory_{0};
+  Bytes committed_memory_{0};
+  double cpu_noise_ = 1.0;
+  TaskReport report_;
+};
+
+/// Per-fetch connection/setup latency (seconds); hidden by parallelcopies.
+constexpr double kFetchLatency = 0.05;
+/// Average fraction of a buffer that is actually resident over time; used
+/// for utilization reporting (capacity is reserved, occupancy fluctuates).
+constexpr double kAvgBufferOccupancy = 0.5;
+
+}  // namespace mron::mapreduce

@@ -1,0 +1,87 @@
+#include "mapreduce/simulation.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace mron::mapreduce {
+
+Simulation::Simulation(SimulationOptions options)
+    : options_(options), rng_(options.seed) {
+  topo_ = std::make_unique<cluster::Topology>(options_.cluster);
+  std::vector<cluster::Node*> ptrs;
+  for (int i = 0; i < topo_->num_nodes(); ++i) {
+    nodes_.push_back(std::make_unique<cluster::Node>(
+        engine_, cluster::NodeId(i), options_.cluster));
+    ptrs.push_back(nodes_.back().get());
+  }
+  fabric_ =
+      std::make_unique<cluster::Fabric>(engine_, options_.cluster, *topo_, ptrs);
+  monitor_ = std::make_unique<cluster::ClusterMonitor>(
+      engine_, ptrs, options_.monitor_period);
+  dfs_ = std::make_unique<dfs::Dfs>(*topo_, rng_.fork(0xdf5));
+  auto policy = options_.capacity_queues.empty()
+                    ? (options_.fair_scheduler ? yarn::make_fair_policy()
+                                               : yarn::make_fifo_policy())
+                    : yarn::make_capacity_policy(options_.capacity_queues);
+  rm_ = std::make_unique<yarn::ResourceManager>(engine_, *topo_, ptrs,
+                                                std::move(policy));
+  if (options_.hotspot_aware) {
+    monitor_->start();
+    rm_->set_cluster_monitor(monitor_.get(), options_.hot_threshold);
+  }
+  if (options_.locality_delay_passes > 0) {
+    rm_->set_locality_delay(options_.locality_delay_passes);
+  }
+}
+
+dfs::DatasetId Simulation::load_dataset(const std::string& name, Bytes size) {
+  return dfs_->create_dataset(name, size);
+}
+
+MrAppMaster& Simulation::submit_job(
+    JobSpec spec, std::function<void(const JobResult&)> on_done) {
+  const JobId id = job_ids_.next();
+  auto done = on_done ? std::move(on_done)
+                      : std::function<void(const JobResult&)>(
+                            [](const JobResult&) {});
+  apps_.push_back(std::make_unique<MrAppMaster>(
+      engine_, *rm_, *fabric_, *dfs_, id, std::move(spec),
+      rng_.fork(0x10b + static_cast<std::uint64_t>(id.value())),
+      std::move(done)));
+  apps_.back()->submit();
+  return *apps_.back();
+}
+
+JobResult Simulation::run_job(JobSpec spec) {
+  JobResult result;
+  bool got = false;
+  submit_job(std::move(spec), [&](const JobResult& r) {
+    result = r;
+    got = true;
+  });
+  run();
+  MRON_CHECK_MSG(got, "job did not complete");
+  return result;
+}
+
+std::vector<JobResult> Simulation::run_jobs(std::vector<JobSpec> specs) {
+  const std::size_t n = specs.size();
+  std::vector<JobResult> results(n);
+  std::vector<bool> got(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    submit_job(std::move(specs[i]), [&results, &got, i](const JobResult& r) {
+      results[i] = r;
+      got[i] = true;
+    });
+  }
+  run();
+  for (std::size_t i = 0; i < n; ++i) {
+    MRON_CHECK_MSG(got[i], "job " << i << " did not complete");
+  }
+  return results;
+}
+
+void Simulation::run() { engine_.run(); }
+
+}  // namespace mron::mapreduce

@@ -1,0 +1,91 @@
+// Simulation: one-stop wiring of engine, cluster, DFS, YARN, and jobs.
+//
+// Owns every substrate object with consistent lifetimes and offers the
+// high-level entry points used by examples, tests, benches, and the tuner:
+// load a dataset, submit jobs (optionally concurrently, under FIFO or fair
+// scheduling), and run the event loop to completion.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fabric.h"
+#include "cluster/monitor.h"
+#include "cluster/node.h"
+#include "cluster/topology.h"
+#include "common/rng.h"
+#include "dfs/dfs.h"
+#include "mapreduce/job.h"
+#include "mapreduce/mr_app_master.h"
+#include "sim/engine.h"
+#include "yarn/resource_manager.h"
+
+namespace mron::mapreduce {
+
+struct SimulationOptions {
+  cluster::ClusterSpec cluster;
+  std::uint64_t seed = 1;
+  bool fair_scheduler = false;
+  /// Non-empty: use the capacity scheduler with these relative queue
+  /// shares instead of FIFO/fair; jobs pick a queue via
+  /// JobSpec::scheduler_queue.
+  std::vector<double> capacity_queues;
+  SimTime monitor_period = 1.0;
+  /// Start the cluster monitor and let the RM route containers away from
+  /// nodes whose disk/NIC ran hot in the last window (Section 3's
+  /// hot-spot avoidance).
+  bool hotspot_aware = false;
+  double hot_threshold = 0.9;
+  /// Delay-scheduling passes for data locality (0 = off).
+  int locality_delay_passes = 0;
+};
+
+class Simulation {
+ public:
+  explicit Simulation(SimulationOptions options = {});
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] dfs::Dfs& dfs() { return *dfs_; }
+  [[nodiscard]] yarn::ResourceManager& rm() { return *rm_; }
+  [[nodiscard]] cluster::Fabric& fabric() { return *fabric_; }
+  [[nodiscard]] cluster::ClusterMonitor& monitor() { return *monitor_; }
+  [[nodiscard]] const cluster::Topology& topology() const { return *topo_; }
+  [[nodiscard]] const SimulationOptions& options() const { return options_; }
+
+  /// Create + place a dataset in the simulated DFS.
+  dfs::DatasetId load_dataset(const std::string& name, Bytes size);
+
+  /// Submit a job; the AM lives for the Simulation's lifetime. `on_done`
+  /// may be empty.
+  MrAppMaster& submit_job(JobSpec spec,
+                          std::function<void(const JobResult&)> on_done = {});
+
+  /// Convenience: submit one job, run to completion, return its result.
+  JobResult run_job(JobSpec spec);
+  /// Submit all specs at once, run to completion, return results in spec
+  /// order (the multi-tenant path).
+  std::vector<JobResult> run_jobs(std::vector<JobSpec> specs);
+
+  /// Drain the event loop.
+  void run();
+
+ private:
+  SimulationOptions options_;
+  sim::Engine engine_;
+  Rng rng_;
+  std::unique_ptr<cluster::Topology> topo_;
+  std::vector<std::unique_ptr<cluster::Node>> nodes_;
+  std::unique_ptr<cluster::Fabric> fabric_;
+  std::unique_ptr<cluster::ClusterMonitor> monitor_;
+  std::unique_ptr<dfs::Dfs> dfs_;
+  std::unique_ptr<yarn::ResourceManager> rm_;
+  std::vector<std::unique_ptr<MrAppMaster>> apps_;
+  IdAllocator<JobId> job_ids_;
+};
+
+}  // namespace mron::mapreduce

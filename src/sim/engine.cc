@@ -1,0 +1,71 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace mron::sim {
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  MRON_CHECK_MSG(t >= now_, "schedule_at(" << t << ") before now=" << now_);
+  MRON_CHECK(cb != nullptr);
+  const EventId id = ids_.next();
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  callbacks_.emplace(id, std::move(cb));
+  ++live_events_;
+  return id;
+}
+
+EventId Engine::schedule_after(SimTime delay, Callback cb) {
+  MRON_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+void Engine::cancel(EventId id) {
+  auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) return;
+  callbacks_.erase(it);
+  --live_events_;
+  // The queue entry stays behind and is skipped lazily at dispatch time.
+}
+
+bool Engine::dispatch_next() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    auto it = callbacks_.find(entry.id);
+    if (it == callbacks_.end()) continue;  // cancelled
+    Callback cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_events_;
+    now_ = entry.time;
+    cb();
+    return true;
+  }
+  return false;
+}
+
+std::int64_t Engine::run(std::int64_t max_events) {
+  std::int64_t fired = 0;
+  while (fired < max_events && dispatch_next()) ++fired;
+  MRON_CHECK_MSG(fired < max_events, "engine hit max_events guard");
+  return fired;
+}
+
+std::int64_t Engine::run_until(SimTime t) {
+  MRON_CHECK(t >= now_);
+  std::int64_t fired = 0;
+  while (!queue_.empty()) {
+    // Peek past cancelled entries to find the next live event time.
+    QueueEntry entry = queue_.top();
+    if (callbacks_.find(entry.id) == callbacks_.end()) {
+      queue_.pop();
+      continue;
+    }
+    if (entry.time > t) break;
+    dispatch_next();
+    ++fired;
+  }
+  now_ = t;
+  return fired;
+}
+
+}  // namespace mron::sim

@@ -1,0 +1,76 @@
+// Discrete-event simulation engine.
+//
+// Single-threaded: all model code runs inside event callbacks dispatched by
+// Engine::run(). Events at equal timestamps fire in schedule order, which
+// keeps experiments bit-reproducible for a fixed seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strong_id.h"
+#include "common/units.h"
+
+namespace mron::sim {
+
+struct EventTag {};
+using EventId = StrongId<EventTag>;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t >= now()`.
+  EventId schedule_at(SimTime t, Callback cb);
+  /// Schedule `cb` after a non-negative delay.
+  EventId schedule_after(SimTime delay, Callback cb);
+  /// Cancel a pending event. Cancelling an already-fired or already-cancelled
+  /// event is a no-op (the common pattern when a completion races a cancel).
+  void cancel(EventId id);
+
+  /// Run until the event queue drains (or `max_events` fire, as a runaway
+  /// guard). Returns the number of events dispatched.
+  std::int64_t run(std::int64_t max_events =
+                       std::numeric_limits<std::int64_t>::max());
+  /// Run events with timestamp <= `t`, then set now() = t.
+  std::int64_t run_until(SimTime t);
+
+  [[nodiscard]] bool empty() const { return live_events_ == 0; }
+  [[nodiscard]] std::size_t pending() const { return live_events_; }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::int64_t seq;
+    EventId id;
+    bool operator>(const QueueEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops the next live event; returns false when drained.
+  bool dispatch_next();
+
+  SimTime now_ = 0.0;
+  std::int64_t next_seq_ = 0;
+  IdAllocator<EventId> ids_;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                      std::greater<QueueEntry>>
+      queue_;
+  std::unordered_map<EventId, Callback> callbacks_;
+  std::size_t live_events_ = 0;
+};
+
+}  // namespace mron::sim

@@ -1,0 +1,167 @@
+#include "sim/shared_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace mron::sim {
+
+namespace {
+// Streams with less than this much work left are considered complete; guards
+// against floating-point residue keeping a stream alive forever.
+constexpr double kWorkEpsilon = 1e-9;
+// A stream whose remaining time at its current rate is below this is also
+// retired: otherwise the completion event can land at `now + dt` where dt is
+// smaller than double resolution at `now`, time never advances, and the
+// event re-fires forever.
+constexpr double kTimeEpsilon = 1e-9;
+}  // namespace
+
+SharedServer::SharedServer(Engine& engine, double capacity, std::string name,
+                           double concurrency_penalty)
+    : engine_(engine),
+      capacity_(capacity),
+      concurrency_penalty_(concurrency_penalty),
+      name_(std::move(name)) {
+  MRON_CHECK_MSG(capacity_ > 0.0, "server " << name_ << " capacity must be >0");
+  MRON_CHECK(concurrency_penalty_ >= 0.0);
+  last_update_ = engine_.now();
+}
+
+StreamId SharedServer::submit(double work, double cap, Done done) {
+  MRON_CHECK_MSG(work >= 0.0, "negative work " << work);
+  MRON_CHECK_MSG(cap > 0.0, "non-positive cap " << cap);
+  MRON_CHECK(done != nullptr);
+  advance();
+  const StreamId id = ids_.next();
+  streams_.emplace(id, Stream{std::max(work, kWorkEpsilon), cap, 0.0,
+                              std::move(done)});
+  reallocate();
+  return id;
+}
+
+void SharedServer::cancel(StreamId id) {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  advance();
+  streams_.erase(it);
+  reallocate();
+}
+
+void SharedServer::set_cap(StreamId id, double cap) {
+  MRON_CHECK(cap > 0.0);
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return;
+  advance();
+  it->second.cap = cap;
+  reallocate();
+}
+
+double SharedServer::remaining(StreamId id) const {
+  auto it = streams_.find(id);
+  if (it == streams_.end()) return 0.0;
+  // Account for progress since the last state change without mutating.
+  const double dt = engine_.now() - last_update_;
+  return std::max(0.0, it->second.remaining - it->second.rate * dt);
+}
+
+double SharedServer::busy_integral() const {
+  return busy_integral_ + total_rate_ * (engine_.now() - last_update_);
+}
+
+void SharedServer::advance() {
+  const SimTime now = engine_.now();
+  const double dt = now - last_update_;
+  if (dt <= 0.0) {
+    last_update_ = now;
+    return;
+  }
+  for (auto& [id, s] : streams_) {
+    s.remaining = std::max(0.0, s.remaining - s.rate * dt);
+  }
+  busy_integral_ += total_rate_ * dt;
+  last_update_ = now;
+}
+
+void SharedServer::reallocate() {
+  if (has_pending_event_) {
+    engine_.cancel(pending_event_);
+    has_pending_event_ = false;
+  }
+  total_rate_ = 0.0;
+  if (streams_.empty()) return;
+
+  // Water-filling: equal shares, respecting per-stream caps.
+  std::vector<Stream*> unsat;
+  unsat.reserve(streams_.size());
+  for (auto& [id, s] : streams_) {
+    s.rate = 0.0;
+    unsat.push_back(&s);
+  }
+  double remaining_capacity =
+      capacity_ /
+      (1.0 + concurrency_penalty_ *
+                 (static_cast<double>(streams_.size()) - 1.0));
+  while (!unsat.empty() && remaining_capacity > 1e-12) {
+    const double share = remaining_capacity / static_cast<double>(unsat.size());
+    std::vector<Stream*> still_unsat;
+    bool any_capped = false;
+    for (Stream* s : unsat) {
+      if (s->cap - s->rate <= share) {
+        remaining_capacity -= (s->cap - s->rate);
+        s->rate = s->cap;
+        any_capped = true;
+      } else {
+        still_unsat.push_back(s);
+      }
+    }
+    if (!any_capped) {
+      for (Stream* s : still_unsat) {
+        s->rate += share;
+      }
+      remaining_capacity = 0.0;
+      still_unsat.clear();
+    }
+    unsat = std::move(still_unsat);
+  }
+
+  SimTime next_completion = std::numeric_limits<double>::infinity();
+  for (auto& [id, s] : streams_) {
+    total_rate_ += s.rate;
+    if (s.rate > 0.0) {
+      next_completion =
+          std::min(next_completion, s.remaining / s.rate);
+    }
+  }
+  MRON_CHECK_MSG(std::isfinite(next_completion),
+                 "server " << name_ << " stalled with " << streams_.size()
+                           << " streams and zero rate");
+  pending_event_ = engine_.schedule_after(next_completion,
+                                          [this] { on_completion(); });
+  has_pending_event_ = true;
+}
+
+void SharedServer::on_completion() {
+  has_pending_event_ = false;
+  advance();
+  // The retirement threshold must exceed double-precision resolution at the
+  // current timestamp or time stops advancing for near-finished streams.
+  const double time_eps =
+      std::max(kTimeEpsilon, engine_.now() * 1e-12);
+  std::vector<Done> finished;
+  for (auto it = streams_.begin(); it != streams_.end();) {
+    if (it->second.remaining <= kWorkEpsilon + it->second.rate * time_eps) {
+      finished.push_back(std::move(it->second.done));
+      it = streams_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reallocate();
+  // Callbacks run after the server is in a consistent state; they may submit
+  // new streams re-entrantly.
+  for (auto& done : finished) done();
+}
+
+}  // namespace mron::sim

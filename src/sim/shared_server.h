@@ -1,0 +1,97 @@
+// Capacity-capped processor-sharing server.
+//
+// Models a contended resource (disk, network link, node CPU) that divides a
+// fixed capacity fairly among concurrent streams, where each stream may also
+// be individually capped (e.g. a task limited to its allocated vcores).
+// Allocation follows water-filling: capacity is split equally, streams whose
+// cap is below their equal share keep their cap, and the surplus is
+// redistributed among the rest.
+//
+// Work is a scalar in resource-specific units: bytes for disks and links,
+// core-seconds for CPU.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "common/strong_id.h"
+#include "sim/engine.h"
+
+namespace mron::sim {
+
+struct StreamTag {};
+using StreamId = StrongId<StreamTag>;
+
+class SharedServer {
+ public:
+  using Done = std::function<void()>;
+
+  static constexpr double kUncapped = std::numeric_limits<double>::infinity();
+
+  /// `capacity` is in work-units per simulated second and must be positive.
+  /// `concurrency_penalty` models efficiency loss under concurrent streams
+  /// (e.g. disk seek thrashing): the effective capacity becomes
+  /// capacity / (1 + penalty * (n - 1)) for n active streams.
+  SharedServer(Engine& engine, double capacity, std::string name,
+               double concurrency_penalty = 0.0);
+
+  SharedServer(const SharedServer&) = delete;
+  SharedServer& operator=(const SharedServer&) = delete;
+
+  /// Submit `work` units; `cap` limits this stream's rate. `done` fires when
+  /// the stream completes. Zero-work streams complete via a 0-delay event so
+  /// callers observe uniform asynchronous behaviour.
+  StreamId submit(double work, double cap, Done done);
+  StreamId submit(double work, Done done) {
+    return submit(work, kUncapped, std::move(done));
+  }
+
+  /// Abort a stream; its `done` never fires. No-op if already finished.
+  void cancel(StreamId id);
+  /// Change a live stream's rate cap (e.g. container resize).
+  void set_cap(StreamId id, double cap);
+  /// Remaining work of a live stream, or 0 when finished/unknown.
+  [[nodiscard]] double remaining(StreamId id) const;
+
+  [[nodiscard]] std::size_t active() const { return streams_.size(); }
+  [[nodiscard]] double capacity() const { return capacity_; }
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Integral of (allocated rate) dt since construction, i.e. total work
+  /// served. utilization over [t0,t1] = delta(busy_integral)/(capacity*(t1-t0)).
+  [[nodiscard]] double busy_integral() const;
+  /// Instantaneous total allocated rate.
+  [[nodiscard]] double current_rate() const { return total_rate_; }
+
+ private:
+  struct Stream {
+    double remaining;
+    double cap;
+    double rate = 0.0;  // current allocation, recomputed by reallocate()
+    Done done;
+  };
+
+  /// Progress all streams from last_update_ to now.
+  void advance();
+  /// Recompute the water-filling allocation and reschedule the next
+  /// completion event.
+  void reallocate();
+  /// Completion event body: retire all streams that have drained.
+  void on_completion();
+
+  Engine& engine_;
+  double capacity_;
+  double concurrency_penalty_;
+  std::string name_;
+  IdAllocator<StreamId> ids_;
+  std::map<StreamId, Stream> streams_;  // ordered: deterministic iteration
+  SimTime last_update_ = 0.0;
+  double busy_integral_ = 0.0;
+  double total_rate_ = 0.0;
+  EventId pending_event_;
+  bool has_pending_event_ = false;
+};
+
+}  // namespace mron::sim

@@ -1,0 +1,141 @@
+#include "trace/timeline.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "common/check.h"
+#include "common/stats.h"
+
+namespace mron::trace {
+
+using mapreduce::JobResult;
+using mapreduce::TaskKind;
+using mapreduce::TaskReport;
+
+void write_task_csv(const JobResult& result, std::ostream& os) {
+  os << "kind,index,attempt,node,start,end,duration,locality,cpu_util,"
+        "mem_util,spilled_records,shuffle_bytes,failed_oom\n";
+  auto row = [&os](const TaskReport& r) {
+    os << mapreduce::task_kind_name(r.task.kind) << ',' << r.task.index << ','
+       << r.attempt << ',' << r.node.value() << ',' << r.start_time << ','
+       << r.end_time << ',' << r.duration() << ','
+       << dfs::locality_name(r.locality) << ',' << r.cpu_util << ','
+       << r.mem_util << ',' << r.counters.spilled_records << ','
+       << r.counters.shuffle_bytes.count() << ','
+       << (r.failed_oom ? 1 : 0) << '\n';
+  };
+  for (const auto& r : result.map_reports) row(r);
+  for (const auto& r : result.reduce_reports) row(r);
+}
+
+double TimelineSummary::locality_fraction() const {
+  const int total = node_local + rack_local + off_rack;
+  return total == 0 ? 0.0 : static_cast<double>(node_local) / total;
+}
+
+TimelineSummary summarize(const JobResult& result) {
+  TimelineSummary s;
+  std::vector<double> map_durs, reduce_durs;
+  bool first_map = true, first_reduce = true;
+  for (const auto& r : result.map_reports) {
+    if (r.failed_oom) {
+      ++s.failed_attempts;
+      continue;
+    }
+    if (first_map) {
+      s.map_phase = {r.start_time, r.end_time};
+      first_map = false;
+    }
+    s.map_phase.start = std::min(s.map_phase.start, r.start_time);
+    s.map_phase.end = std::max(s.map_phase.end, r.end_time);
+    map_durs.push_back(r.duration());
+    ++s.successful_maps;
+    switch (r.locality) {
+      case dfs::Locality::NodeLocal:
+        ++s.node_local;
+        break;
+      case dfs::Locality::RackLocal:
+        ++s.rack_local;
+        break;
+      case dfs::Locality::OffRack:
+        ++s.off_rack;
+        break;
+    }
+  }
+  for (const auto& r : result.reduce_reports) {
+    if (r.failed_oom) {
+      ++s.failed_attempts;
+      continue;
+    }
+    if (first_reduce) {
+      s.reduce_phase = {r.start_time, r.end_time};
+      first_reduce = false;
+    }
+    s.reduce_phase.start = std::min(s.reduce_phase.start, r.start_time);
+    s.reduce_phase.end = std::max(s.reduce_phase.end, r.end_time);
+    reduce_durs.push_back(r.duration());
+    ++s.successful_reduces;
+  }
+  if (!map_durs.empty()) {
+    s.avg_map_secs = mean_of(map_durs);
+    s.p95_map_secs = percentile(map_durs, 0.95);
+  }
+  if (!reduce_durs.empty()) {
+    s.avg_reduce_secs = mean_of(reduce_durs);
+    s.p95_reduce_secs = percentile(reduce_durs, 0.95);
+  }
+  return s;
+}
+
+std::string render_swimlanes(const JobResult& result, int num_nodes,
+                             int width) {
+  MRON_CHECK(num_nodes > 0 && width > 0);
+  const double t0 = result.submit_time;
+  const double t1 = std::max(result.finish_time, t0 + 1e-9);
+  const double bucket = (t1 - t0) / width;
+
+  // Per node x bucket: bit 1 = map, bit 2 = reduce, bit 4 = failure.
+  std::vector<std::vector<int>> lanes(
+      static_cast<std::size_t>(num_nodes),
+      std::vector<int>(static_cast<std::size_t>(width), 0));
+  auto paint = [&](const TaskReport& r, int bit) {
+    if (!r.node.valid() || r.node.value() >= num_nodes) return;
+    auto& lane = lanes[static_cast<std::size_t>(r.node.value())];
+    const int b0 = std::clamp(
+        static_cast<int>((r.start_time - t0) / bucket), 0, width - 1);
+    const int b1 = std::clamp(static_cast<int>((r.end_time - t0) / bucket),
+                              0, width - 1);
+    for (int b = b0; b <= b1; ++b) {
+      lane[static_cast<std::size_t>(b)] |= r.failed_oom ? 4 : bit;
+    }
+  };
+  for (const auto& r : result.map_reports) paint(r, 1);
+  for (const auto& r : result.reduce_reports) paint(r, 2);
+
+  std::ostringstream os;
+  os << "time 0.." << (t1 - t0) << "s, " << width
+     << " buckets ('M' map, 'R' reduce, 'B' both, 'x' failed)\n";
+  for (int n = 0; n < num_nodes; ++n) {
+    os << "node" << (n < 10 ? " " : "") << n << " |";
+    for (int b = 0; b < width; ++b) {
+      const int v = lanes[static_cast<std::size_t>(n)]
+                         [static_cast<std::size_t>(b)];
+      char c = '.';
+      if (v & 4) {
+        c = 'x';
+      } else if ((v & 3) == 3) {
+        c = 'B';
+      } else if (v & 1) {
+        c = 'M';
+      } else if (v & 2) {
+        c = 'R';
+      }
+      os << c;
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace mron::trace

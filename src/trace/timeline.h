@@ -1,0 +1,54 @@
+// Execution-trace export and timeline analysis for completed jobs.
+//
+// Turns a JobResult's per-attempt reports into (a) a machine-readable CSV
+// for external analysis, (b) a TimelineSummary with the phase spans and
+// distribution statistics the paper's figures are built from, and (c) an
+// ASCII per-node swimlane for eyeballing scheduling behavior (waves,
+// stragglers, failure re-executions).
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "mapreduce/job.h"
+
+namespace mron::trace {
+
+/// One CSV row per task attempt:
+/// kind,index,attempt,node,start,end,duration,locality,cpu_util,mem_util,
+/// spilled_records,shuffle_bytes,failed_oom
+void write_task_csv(const mapreduce::JobResult& result, std::ostream& os);
+
+struct PhaseSpan {
+  SimTime start = 0.0;
+  SimTime end = 0.0;
+  [[nodiscard]] double seconds() const { return end - start; }
+};
+
+struct TimelineSummary {
+  PhaseSpan map_phase;     ///< first map start .. last map end
+  PhaseSpan reduce_phase;  ///< first reduce start .. last reduce end
+  double avg_map_secs = 0.0;
+  double p95_map_secs = 0.0;
+  double avg_reduce_secs = 0.0;
+  double p95_reduce_secs = 0.0;
+  int node_local = 0;
+  int rack_local = 0;
+  int off_rack = 0;
+  int failed_attempts = 0;
+  int successful_maps = 0;
+  int successful_reduces = 0;
+
+  /// Fraction of successful maps that read node-locally.
+  [[nodiscard]] double locality_fraction() const;
+};
+
+TimelineSummary summarize(const mapreduce::JobResult& result);
+
+/// ASCII swimlanes: one row per node, `width` time buckets; each cell shows
+/// what dominated the bucket on that node — 'M' maps, 'R' reduces, 'B' both,
+/// '.' idle, 'x' a failed attempt.
+std::string render_swimlanes(const mapreduce::JobResult& result,
+                             int num_nodes, int width = 72);
+
+}  // namespace mron::trace

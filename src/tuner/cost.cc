@@ -1,0 +1,42 @@
+#include "tuner/cost.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mron::tuner {
+
+double task_cost(const mapreduce::TaskReport& report,
+                 double max_task_seconds) {
+  if (report.failed_oom) return kOomCostPenalty;
+  const double u_mem = std::clamp(report.mem_util, 0.0, 1.0);
+  const double u_cpu = std::clamp(report.cpu_util, 0.0, 1.0);
+
+  // Spill amplification: 1.0 at the optimum (each combined record written
+  // once on the map side; nothing spilled on the reduce side).
+  double spill_ratio;
+  if (report.task.kind == mapreduce::TaskKind::Map) {
+    const double optimal =
+        static_cast<double>(report.counters.combine_output_records);
+    spill_ratio = optimal > 0.0
+                      ? static_cast<double>(report.counters.spilled_records) /
+                            optimal
+                      : 0.0;
+  } else {
+    const double shuffled = report.counters.shuffle_bytes.as_double();
+    spill_ratio =
+        shuffled > 0.0
+            ? report.counters.local_disk_write_bytes.as_double() / shuffled
+            : 0.0;
+  }
+
+  const double t_max = std::max(max_task_seconds, report.duration());
+  const double t_norm = t_max > 0.0 ? report.duration() / t_max : 0.0;
+
+  const double oom_risk =
+      std::max(0.0, report.mem_commit - kMemCommitSafe) * kMemCommitRiskSlope;
+
+  return (1.0 - u_mem) + (1.0 - u_cpu) + spill_ratio + t_norm + oom_risk;
+}
+
+}  // namespace mron::tuner

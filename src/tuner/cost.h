@@ -1,0 +1,32 @@
+// The task cost estimate — Equation 1 of the paper:
+//
+//   y = (1 - u_mem) + (1 - u_cpu) + n_spill / n_mapoutput + T / T_max
+//
+// Lower is better: the formula rewards full (but not over-) utilization of
+// the container's memory and CPU, penalizes spill amplification, and
+// normalizes task time against the slowest task seen so far in the job.
+// OOM-killed attempts get a large fixed penalty so the search retreats from
+// configurations that do not even run, and near-OOM commitments (buffers +
+// working set close to the container limit) pay a risk surcharge — the
+// paper's Section-6 guidance that pushing past ~90% memory utilization
+// trades throughput for container kills.
+#pragma once
+
+#include "mapreduce/job.h"
+
+namespace mron::tuner {
+
+/// Penalty assigned to an attempt that died of OOM.
+constexpr double kOomCostPenalty = 100.0;
+/// Committed memory above this fraction of the container accrues risk cost.
+constexpr double kMemCommitSafe = 0.90;
+/// Risk cost per unit of commitment beyond the safe fraction.
+constexpr double kMemCommitRiskSlope = 30.0;
+
+/// Eq. 1. `max_task_seconds` is the running maximum duration of completed
+/// tasks of the same kind within the job (>= report duration for the
+/// slowest task itself).
+double task_cost(const mapreduce::TaskReport& report,
+                 double max_task_seconds);
+
+}  // namespace mron::tuner

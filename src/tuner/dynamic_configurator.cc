@@ -1,0 +1,125 @@
+#include "tuner/dynamic_configurator.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mron::tuner {
+
+using mapreduce::JobConfig;
+using mapreduce::JobId;
+using mapreduce::MrAppMaster;
+using mapreduce::ParamCategory;
+using mapreduce::ParamRegistry;
+using mapreduce::TaskKind;
+using mapreduce::TaskRef;
+
+void DynamicConfigurator::register_job(MrAppMaster* am) {
+  MRON_CHECK(am != nullptr);
+  jobs_[am->id()] = am;
+}
+
+void DynamicConfigurator::unregister_job(JobId id) { jobs_.erase(id); }
+
+MrAppMaster* DynamicConfigurator::job(JobId id) const {
+  auto it = jobs_.find(id);
+  return it == jobs_.end() ? nullptr : it->second;
+}
+
+std::vector<std::string> DynamicConfigurator::get_configurable_job_parameters(
+    JobId jid) const {
+  if (job(jid) == nullptr) return {};
+  // Job-level changes affect tasks launched later: categories II and III.
+  std::vector<std::string> out;
+  for (const auto& p : ParamRegistry::standard().params()) {
+    if (p.category != ParamCategory::JobStatic) out.push_back(p.name);
+  }
+  return out;
+}
+
+std::vector<std::string> DynamicConfigurator::get_configurable_task_parameters(
+    JobId jid, const TaskRef& tid) const {
+  MrAppMaster* am = job(jid);
+  if (am == nullptr) return {};
+  const auto queued = am->queued_tasks();
+  const bool is_queued =
+      std::find(queued.begin(), queued.end(), tid) != queued.end();
+  std::vector<std::string> out;
+  for (const auto& p : ParamRegistry::standard().params()) {
+    if (p.category == ParamCategory::JobStatic) continue;
+    // A task already launched can only absorb category-III parameters.
+    if (!is_queued && p.category != ParamCategory::Live) continue;
+    out.push_back(p.name);
+  }
+  return out;
+}
+
+namespace {
+/// Parse/assign kv pairs onto `cfg`; returns how many failed.
+int apply_kv(JobConfig& cfg, const std::map<std::string, std::string>& kv) {
+  const auto& reg = ParamRegistry::standard();
+  int failures = 0;
+  for (const auto& [name, value] : kv) {
+    try {
+      if (!reg.set_by_name(cfg, name, std::stod(value))) ++failures;
+    } catch (const std::exception&) {
+      ++failures;
+    }
+  }
+  return failures;
+}
+}  // namespace
+
+int DynamicConfigurator::set_job_parameters(
+    JobId jid, const std::map<std::string, std::string>& kv) {
+  MrAppMaster* am = job(jid);
+  if (am == nullptr) return -1;
+  JobConfig cfg = am->job_config();
+  const int failures = apply_kv(cfg, kv);
+  am->set_job_config(cfg);
+  return failures;
+}
+
+int DynamicConfigurator::set_task_parameters(
+    JobId jid, const TaskRef& tid,
+    const std::map<std::string, std::string>& kv) {
+  MrAppMaster* am = job(jid);
+  if (am == nullptr) return -1;
+  JobConfig cfg = am->job_config();
+  const int failures = apply_kv(cfg, kv);
+  if (!am->set_task_config(tid, cfg)) return -1;
+  return failures;
+}
+
+int DynamicConfigurator::set_task_parameters(
+    JobId jid, const std::map<std::string, std::string>& kv) {
+  MrAppMaster* am = job(jid);
+  if (am == nullptr) return -1;
+  JobConfig cfg = am->job_config();
+  const int failures = apply_kv(cfg, kv);
+  am->set_all_task_configs(TaskKind::Map, cfg);
+  am->set_all_task_configs(TaskKind::Reduce, cfg);
+  return failures;
+}
+
+bool DynamicConfigurator::set_job_config(JobId jid, const JobConfig& cfg) {
+  MrAppMaster* am = job(jid);
+  if (am == nullptr) return false;
+  am->set_job_config(cfg);
+  return true;
+}
+
+bool DynamicConfigurator::set_task_config(JobId jid, const TaskRef& tid,
+                                          const JobConfig& cfg) {
+  MrAppMaster* am = job(jid);
+  if (am == nullptr) return false;
+  return am->set_task_config(tid, cfg);
+}
+
+int DynamicConfigurator::push_live_params(JobId jid, const JobConfig& cfg) {
+  MrAppMaster* am = job(jid);
+  if (am == nullptr) return -1;
+  return am->push_live_params(cfg);
+}
+
+}  // namespace mron::tuner

@@ -1,0 +1,52 @@
+// The dynamic configurator — the Table-1 API of the paper.
+//
+// Registers running jobs (their application masters) and exposes both the
+// paper's string-keyed interface and typed equivalents used by the online
+// tuner. Category semantics follow Section 2.2: for a queued task both
+// category-II and category-III parameters are configurable; for a running
+// task only category III (pushed live); category-I parameters are never
+// offered.
+//
+// Integer return codes mirror the paper's API: 0 on success, -1 for an
+// unknown job/task, otherwise the number of parameters that could not be
+// applied.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mapreduce/mr_app_master.h"
+
+namespace mron::tuner {
+
+class DynamicConfigurator {
+ public:
+  void register_job(mapreduce::MrAppMaster* am);
+  void unregister_job(mapreduce::JobId id);
+  [[nodiscard]] mapreduce::MrAppMaster* job(mapreduce::JobId id) const;
+
+  // --- Table-1 string API ----------------------------------------------------
+  [[nodiscard]] std::vector<std::string> get_configurable_job_parameters(
+      mapreduce::JobId jid) const;
+  [[nodiscard]] std::vector<std::string> get_configurable_task_parameters(
+      mapreduce::JobId jid, const mapreduce::TaskRef& tid) const;
+  int set_job_parameters(mapreduce::JobId jid,
+                         const std::map<std::string, std::string>& kv);
+  int set_task_parameters(mapreduce::JobId jid, const mapreduce::TaskRef& tid,
+                          const std::map<std::string, std::string>& kv);
+  /// All queued tasks of the job.
+  int set_task_parameters(mapreduce::JobId jid,
+                          const std::map<std::string, std::string>& kv);
+
+  // --- typed equivalents (used by OnlineTuner) -------------------------------
+  bool set_job_config(mapreduce::JobId jid, const mapreduce::JobConfig& cfg);
+  bool set_task_config(mapreduce::JobId jid, const mapreduce::TaskRef& tid,
+                       const mapreduce::JobConfig& cfg);
+  int push_live_params(mapreduce::JobId jid, const mapreduce::JobConfig& cfg);
+
+ private:
+  std::map<mapreduce::JobId, mapreduce::MrAppMaster*> jobs_;
+};
+
+}  // namespace mron::tuner

@@ -1,0 +1,41 @@
+// Tuning knowledge base (Figure 3): stores the best configuration found per
+// job signature so later runs of the same application start from it. Also
+// serializable to a simple `name param=value ...` text format so knowledge
+// survives across processes.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "mapreduce/params.h"
+
+namespace mron::tuner {
+
+class TuningKnowledgeBase {
+ public:
+  struct Entry {
+    mapreduce::JobConfig config;
+    double cost = 0.0;
+  };
+
+  /// Keeps the cheaper entry when the key already exists.
+  void store(const std::string& job_signature,
+             const mapreduce::JobConfig& config, double cost);
+  [[nodiscard]] std::optional<mapreduce::JobConfig> lookup(
+      const std::string& job_signature) const;
+  [[nodiscard]] std::optional<Entry> lookup_entry(
+      const std::string& job_signature) const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// One line per entry: `signature cost p1=v1 p2=v2 ...`.
+  [[nodiscard]] std::string serialize() const;
+  /// Merges entries parsed from `text` (keeping cheaper duplicates).
+  /// Returns the number of entries read; unknown parameters are ignored.
+  int deserialize(const std::string& text);
+
+ private:
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace mron::tuner

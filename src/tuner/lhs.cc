@@ -1,0 +1,68 @@
+#include "tuner/lhs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace mron::tuner {
+
+LhsSampler::LhsSampler(int intervals, Rng rng, bool stratified)
+    : intervals_(intervals), rng_(rng), stratified_(stratified) {
+  MRON_CHECK(intervals_ >= 2);
+}
+
+double LhsSampler::quantize(double v) const {
+  // Snap to the k-point lattice over [0,1].
+  const double k = static_cast<double>(intervals_ - 1);
+  return std::round(v * k) / k;
+}
+
+std::vector<std::vector<double>> LhsSampler::sample(const SearchSpace& space,
+                                                    int n) {
+  std::vector<double> center(space.dims());
+  for (std::size_t d = 0; d < space.dims(); ++d) {
+    center[d] = 0.5 * (space.lower(d) + space.upper(d));
+  }
+  // A radius of 1 covers the full band in every dimension.
+  return sample_neighborhood(space, center, 1.0, n);
+}
+
+std::vector<std::vector<double>> LhsSampler::sample_neighborhood(
+    const SearchSpace& space, const std::vector<double>& center, double radius,
+    int n) {
+  MRON_CHECK(n >= 1);
+  MRON_CHECK(center.size() == space.dims());
+  const std::size_t dims = space.dims();
+
+  std::vector<std::vector<double>> points(
+      static_cast<std::size_t>(n), std::vector<double>(dims, 0.0));
+
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double lo = std::max(space.lower(d), center[d] - radius);
+    const double hi = std::min(space.upper(d), center[d] + radius);
+    const double width = std::max(hi - lo, 0.0);
+    // One stratum per sample, shuffled so strata pair randomly across
+    // dimensions (the Latin property).
+    std::vector<int> strata(static_cast<std::size_t>(n));
+    std::iota(strata.begin(), strata.end(), 0);
+    std::shuffle(strata.begin(), strata.end(), rng_);
+    for (int i = 0; i < n; ++i) {
+      const double u =
+          stratified_
+              ? (static_cast<double>(strata[static_cast<std::size_t>(i)]) +
+                 rng_.uniform01()) /
+                    static_cast<double>(n)
+              : rng_.uniform01();
+      double v = lo + u * width;
+      v = quantize(v);
+      // Quantization may step just outside the band; clamp back.
+      points[static_cast<std::size_t>(i)][d] =
+          std::clamp(v, space.lower(d), space.upper(d));
+    }
+  }
+  return points;
+}
+
+}  // namespace mron::tuner

@@ -1,0 +1,220 @@
+#include "tuner/online_tuner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace mron::tuner {
+
+using mapreduce::JobConfig;
+using mapreduce::JobId;
+using mapreduce::MrAppMaster;
+using mapreduce::TaskKind;
+using mapreduce::TaskRef;
+using mapreduce::TaskReport;
+
+void merge_map_side(JobConfig& dst, const JobConfig& src) {
+  dst.map_memory_mb = src.map_memory_mb;
+  dst.io_sort_mb = src.io_sort_mb;
+  dst.sort_spill_percent = src.sort_spill_percent;
+  dst.map_cpu_vcores = src.map_cpu_vcores;
+  dst.io_sort_factor = src.io_sort_factor;
+}
+
+void merge_reduce_side(JobConfig& dst, const JobConfig& src) {
+  dst.reduce_memory_mb = src.reduce_memory_mb;
+  dst.shuffle_input_buffer_percent = src.shuffle_input_buffer_percent;
+  dst.shuffle_merge_percent = src.shuffle_merge_percent;
+  dst.shuffle_memory_limit_percent = src.shuffle_memory_limit_percent;
+  dst.merge_inmem_threshold = src.merge_inmem_threshold;
+  dst.reduce_input_buffer_percent = src.reduce_input_buffer_percent;
+  dst.reduce_cpu_vcores = src.reduce_cpu_vcores;
+  dst.shuffle_parallelcopies = src.shuffle_parallelcopies;
+}
+
+OnlineTuner::OnlineTuner(TunerOptions options)
+    : options_(options), rng_(options.seed) {}
+
+void OnlineTuner::attach(MrAppMaster& am) {
+  configurator_.register_job(&am);
+  JobState& js = jobs_[am.id()];
+  js.am = &am;
+
+  am.set_task_listener(
+      [this, id = am.id()](const TaskReport& report) {
+        on_task(jobs_.at(id), report);
+      });
+
+  if (options_.strategy == TuningStrategy::Conservative) {
+    js.conservative.emplace(am.job_config());
+    js.outcome.best_config = am.job_config();
+    return;
+  }
+
+  // Aggressive: hold every launch, then release wave by wave. Wave sizes
+  // shrink for small jobs so the search can still complete several
+  // iterations before the tasks run out (the Figure-13 effect: a job needs
+  // enough tasks to explore with).
+  am.set_launch_budget(0);
+  js.map_space.emplace(SearchSpace::map_side(am.job_config()));
+  js.reduce_space.emplace(SearchSpace::reduce_side(am.job_config()));
+  // Floors of 12/8: below that, LHS coverage of the 5-8 dimensional spaces
+  // is too sparse to trust — small jobs simply run out of tasks first (the
+  // paper's Figure-13 observation).
+  auto scaled = [](ClimberOptions opt, int tasks) {
+    opt.global_samples =
+        std::max(std::min(opt.global_samples, 12),
+                 std::min(opt.global_samples, tasks / 6));
+    opt.local_samples = std::max(std::min(opt.local_samples, 8),
+                                 std::min(opt.local_samples, tasks / 8));
+    return opt;
+  };
+  js.map_climber.emplace(&*js.map_space,
+                         scaled(options_.climber, am.num_maps()),
+                         rng_.fork(1));
+  js.reduce_climber.emplace(&*js.reduce_space,
+                            scaled(options_.climber, am.num_reduces()),
+                            rng_.fork(2));
+  start_wave(js, /*is_map=*/true);
+  start_wave(js, /*is_map=*/false);
+}
+
+void OnlineTuner::start_wave(JobState& js, bool is_map) {
+  GrayBoxHillClimber& climber =
+      is_map ? *js.map_climber : *js.reduce_climber;
+  auto& wave_slot = is_map ? js.map_wave : js.reduce_wave;
+  const TaskKind kind = is_map ? TaskKind::Map : TaskKind::Reduce;
+
+  if (climber.done()) {
+    finalize(js, is_map);
+    return;
+  }
+  std::vector<TaskRef> queued;
+  for (const auto& t : js.am->queued_tasks()) {
+    if (t.kind == kind) queued.push_back(t);
+  }
+  const std::vector<JobConfig> batch = climber.next_batch();
+  if (batch.empty() || queued.size() < batch.size()) {
+    // Out of tasks to sample on: stop searching, run the rest tuned.
+    climber.finish();
+    finalize(js, is_map);
+    return;
+  }
+
+  Wave wave;
+  wave.costs.assign(batch.size(), 0.0);
+  wave.filled.assign(batch.size(), false);
+  wave.remaining = batch.size();
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const bool ok =
+        configurator_.set_task_config(js.am->id(), queued[i], batch[i]);
+    MRON_CHECK_MSG(ok, "failed to assign wave config to queued task");
+    wave.slots[queued[i]] = i;
+  }
+  wave_slot = std::move(wave);
+  js.am->set_launch_budget(kind, static_cast<int>(batch.size()));
+  ++js.outcome.waves;
+}
+
+void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
+  const bool is_map = report.task.kind == TaskKind::Map;
+  if (!report.failed_oom) {
+    double& max_secs = is_map ? js.max_map_secs : js.max_reduce_secs;
+    max_secs = std::max(max_secs, report.duration());
+  }
+
+  if (js.conservative.has_value()) {
+    js.conservative->observe(report);
+    if (js.conservative->ready()) {
+      const JobConfig cfg = js.conservative->adjust();
+      configurator_.set_job_config(js.am->id(), cfg);
+      configurator_.push_live_params(js.am->id(), cfg);
+      js.outcome.best_config = cfg;
+      js.outcome.conservative_adjustments = js.conservative->adjustments();
+    }
+    if (js.am->finished()) maybe_store_outcome(js);
+    return;
+  }
+
+  auto& wave_slot = is_map ? js.map_wave : js.reduce_wave;
+  if (wave_slot.has_value()) {
+    on_wave_task(js, *wave_slot, report, is_map);
+  }
+}
+
+void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
+                               const TaskReport& report, bool is_map) {
+  auto it = wave.slots.find(report.task);
+  if (it == wave.slots.end()) return;
+  const std::size_t slot = it->second;
+  if (wave.filled[slot]) return;  // e.g. a retry of an OOM-killed attempt
+  wave.filled[slot] = true;
+  wave.costs[slot] = task_cost(
+      report, is_map ? js.max_map_secs : js.max_reduce_secs);
+  wave.reports.push_back(report);
+  if (--wave.remaining > 0) return;
+
+  // Wave complete: gray-box rules first, then advance the climber.
+  GrayBoxHillClimber& climber =
+      is_map ? *js.map_climber : *js.reduce_climber;
+  if (options_.use_tuning_rules) {
+    const WaveStats stats = WaveStats::from_reports(wave.reports);
+    if (is_map) {
+      apply_map_rules(stats, *js.map_space);
+    } else {
+      apply_reduce_rules(stats, *js.reduce_space);
+    }
+  }
+  const std::vector<double> costs = wave.costs;
+  (is_map ? js.map_wave : js.reduce_wave).reset();
+  climber.report_costs(costs);
+  js.outcome.configs_tried += static_cast<int>(costs.size());
+  start_wave(js, is_map);
+}
+
+void OnlineTuner::finalize(JobState& js, bool is_map) {
+  bool& flag = is_map ? js.map_finalized : js.reduce_finalized;
+  if (flag) return;
+  flag = true;
+
+  GrayBoxHillClimber& climber =
+      is_map ? *js.map_climber : *js.reduce_climber;
+  JobConfig merged = js.am->job_config();
+  if (climber.has_best()) {
+    const JobConfig best = climber.best_config();
+    if (is_map) {
+      merge_map_side(merged, best);
+      js.outcome.map_best_cost = climber.best_cost();
+      js.outcome.map_converged = climber.done();
+    } else {
+      merge_reduce_side(merged, best);
+      js.outcome.reduce_best_cost = climber.best_cost();
+      js.outcome.reduce_converged = climber.done();
+    }
+    configurator_.set_job_config(js.am->id(), merged);
+  }
+  js.am->set_launch_budget(is_map ? TaskKind::Map : TaskKind::Reduce, -1);
+  maybe_store_outcome(js);
+}
+
+void OnlineTuner::maybe_store_outcome(JobState& js) {
+  if (js.conservative.has_value()) {
+    if (js.am->finished()) {
+      kb_.store(js.am->spec().name, js.outcome.best_config, 0.0);
+    }
+    return;
+  }
+  if (!js.map_finalized || !js.reduce_finalized) return;
+  js.outcome.best_config = js.am->job_config();
+  kb_.store(js.am->spec().name, js.outcome.best_config,
+            js.outcome.map_best_cost + js.outcome.reduce_best_cost);
+}
+
+const OnlineTuner::JobOutcome& OnlineTuner::outcome(JobId id) const {
+  auto it = jobs_.find(id);
+  MRON_CHECK_MSG(it != jobs_.end(), "unknown job " << id);
+  return it->second.outcome;
+}
+
+}  // namespace mron::tuner

@@ -1,0 +1,309 @@
+#include "tuner/rules.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/stats.h"
+#include "mapreduce/spill_model.h"
+
+namespace mron::tuner {
+
+using mapreduce::JobConfig;
+using mapreduce::TaskKind;
+using mapreduce::TaskReport;
+
+WaveStats WaveStats::from_reports(const std::vector<TaskReport>& reports) {
+  WaveStats s;
+  double rec_bytes_sum = 0.0;
+  int rec_bytes_n = 0;
+  for (const auto& r : reports) {
+    if (r.failed_oom) {
+      ++s.oom_count;
+      continue;
+    }
+    s.mem_util.push_back(r.mem_util);
+    s.cpu_util.push_back(r.cpu_util);
+    s.duration.push_back(r.duration());
+    if (r.task.kind == TaskKind::Map) {
+      s.sampled_memory_mb.push_back(r.config.map_memory_mb);
+      s.sampled_sort_mb.push_back(r.config.io_sort_mb);
+      s.resident_mb.push_back(r.mem_util * r.config.map_memory_mb);
+      s.map_output_mb.push_back(r.counters.map_output_bytes.mib());
+      // Kept aligned with sampled_sort_mb (one entry per map task); an
+      // outputless map trivially achieves the optimal ratio.
+      s.spill_ratio.push_back(
+          r.counters.combine_output_records > 0
+              ? static_cast<double>(r.counters.spilled_records) /
+                    static_cast<double>(r.counters.combine_output_records)
+              : 1.0);
+      if (r.counters.map_output_records > 0) {
+        rec_bytes_sum += r.counters.map_output_bytes.as_double() /
+                         static_cast<double>(r.counters.map_output_records);
+        ++rec_bytes_n;
+      }
+    } else {
+      s.sampled_memory_mb.push_back(r.config.reduce_memory_mb);
+      s.resident_mb.push_back(r.mem_util * r.config.reduce_memory_mb);
+    }
+  }
+  if (rec_bytes_n > 0) s.record_bytes = rec_bytes_sum / rec_bytes_n;
+  return s;
+}
+
+namespace {
+
+/// Normalized value of a raw parameter reading within its descriptor range.
+double normalized(const mapreduce::ParamDescriptor& p, double raw) {
+  if (p.max <= p.min) return 0.0;
+  return std::clamp((raw - p.min) / (p.max - p.min), 0.0, 1.0);
+}
+
+/// The shared memory-bound rule: tighten the bounds of `dim` from observed
+/// utilizations and the raw sampled values.
+void apply_memory_bound_rule(const WaveStats& stats, SearchSpace& space,
+                             std::size_t dim) {
+  if (stats.mem_util.empty() || stats.sampled_memory_mb.empty()) return;
+  const auto& p = space.param(dim);
+  std::vector<double> sampled_norm;
+  sampled_norm.reserve(stats.sampled_memory_mb.size());
+  for (double mb : stats.sampled_memory_mb) {
+    sampled_norm.push_back(normalized(p, mb));
+  }
+  // The paper tracks the 80th percentile of utilization so data skew does
+  // not whipsaw the bounds. OOM-killed attempts are deliberately NOT folded
+  // in here: an OOM usually means the sampled sort buffer crowded out the
+  // working set, and the Eq.-1 penalty already steers the climber away —
+  // raising the memory lower bound for it would ratchet containers up and
+  // wreck production concurrency.
+  const double util_p80 = percentile(stats.mem_util, 0.8);
+  if (util_p80 > 0.9) {
+    // Over-utilization: raise the lower bound.
+    space.set_bounds(dim,
+                     std::max(space.lower(dim),
+                              percentile(sampled_norm, 0.8)),
+                     space.upper(dim));
+  } else if (util_p80 < 0.7) {
+    // The paper's 50% rule, raised to 70% here because our utilization
+    // metric is the time-averaged resident set (buffers half full on
+    // average), which reads lower than the RSS-style figure the paper's
+    // node managers report for the same configuration.
+    const double new_hi = percentile(sampled_norm, 0.8);
+    if (new_hi > space.lower(dim)) {
+      space.set_bounds(dim, space.lower(dim),
+                       std::min(space.upper(dim), new_hi));
+    }
+  }
+}
+
+}  // namespace
+
+void apply_map_rules(const WaveStats& stats, SearchSpace& space) {
+  const std::size_t mem_dim = space.dim_of("mapreduce.map.memory.mb");
+  if (mem_dim != SearchSpace::npos) {
+    apply_memory_bound_rule(stats, space, mem_dim);
+  }
+
+  // io.sort.mb: each task pairs a sampled buffer size with its observed
+  // spill amplification. Buffers that still spilled more than once raise
+  // the lower bound (80th percentile of the failing values: "not big
+  // enough"); buffers that achieved a single spill pull the upper bound
+  // down (no reason to go above them) — together the bounds close in on the
+  // smallest single-spill buffer.
+  const std::size_t sort_dim = space.dim_of("mapreduce.task.io.sort.mb");
+  if (sort_dim != SearchSpace::npos &&
+      stats.spill_ratio.size() == stats.sampled_sort_mb.size() &&
+      !stats.spill_ratio.empty()) {
+    const auto& p = space.param(sort_dim);
+    std::vector<double> spilled_norm, clean_norm;
+    for (std::size_t i = 0; i < stats.spill_ratio.size(); ++i) {
+      const double v = normalized(p, stats.sampled_sort_mb[i]);
+      (stats.spill_ratio[i] > 1.05 ? spilled_norm : clean_norm).push_back(v);
+    }
+    double lo = space.lower(sort_dim);
+    double hi = space.upper(sort_dim);
+    if (!spilled_norm.empty()) {
+      lo = std::max(lo, percentile(spilled_norm, 0.8));
+    }
+    if (!clean_norm.empty()) {
+      // Median of the values that already achieved a single spill: no
+      // reason to sample above them, and the bound ratchets toward the
+      // smallest sufficient buffer wave by wave.
+      hi = std::min(hi, percentile(clean_norm, 0.5));
+    }
+    if (lo <= hi) space.set_bounds(sort_dim, lo, hi);
+  }
+
+  // sort.spill.percent: pin at 0.99 while one spill is attainable at the
+  // top of the io.sort.mb range; otherwise leave the full range.
+  const std::size_t spill_dim =
+      space.dim_of("mapreduce.map.sort.spill.percent");
+  if (spill_dim != SearchSpace::npos && !stats.map_output_mb.empty()) {
+    const auto& sort_p = mapreduce::ParamRegistry::standard();
+    const auto* sort_desc = sort_p.find("mapreduce.task.io.sort.mb");
+    const double data_fraction =
+        stats.record_bytes /
+        (stats.record_bytes + mapreduce::kSpillMetadataBytes);
+    const double max_single_spill_mb =
+        sort_desc->max * 0.99 * data_fraction;
+    const double out_p80 = percentile(stats.map_output_mb, 0.8);
+    const auto& p = space.param(spill_dim);
+    if (out_p80 <= max_single_spill_mb) {
+      const double pin = normalized(p, 0.99);
+      space.set_bounds(spill_dim, pin, 1.0);
+    } else {
+      space.set_bounds(spill_dim, 0.0, 1.0);
+    }
+  }
+}
+
+void apply_reduce_rules(const WaveStats& stats, SearchSpace& space) {
+  const std::size_t mem_dim = space.dim_of("mapreduce.reduce.memory.mb");
+  if (mem_dim != SearchSpace::npos) {
+    apply_memory_bound_rule(stats, space, mem_dim);
+  }
+  // Merge trigger: only on memory consumption (Section 6.2).
+  const std::size_t thresh_dim =
+      space.dim_of("mapreduce.reduce.merge.inmem.threshold");
+  if (thresh_dim != SearchSpace::npos) {
+    space.set_bounds(thresh_dim, 0.0, 0.0);
+  }
+  // merge.percent rides just below input.buffer.percent; narrow it to the
+  // upper half of its range so the sampler stops wasting waves on tiny
+  // merge triggers.
+  const std::size_t merge_dim =
+      space.dim_of("mapreduce.reduce.shuffle.merge.percent");
+  if (merge_dim != SearchSpace::npos) {
+    space.set_bounds(merge_dim, std::max(space.lower(merge_dim), 0.5),
+                     space.upper(merge_dim));
+  }
+}
+
+// --- conservative mode -------------------------------------------------------
+
+ConservativeTuner::ConservativeTuner(JobConfig initial) : current_(initial) {}
+
+void ConservativeTuner::observe(const TaskReport& report) {
+  (report.task.kind == TaskKind::Map ? new_maps_ : new_reduces_)
+      .push_back(report);
+}
+
+bool ConservativeTuner::ready() const {
+  return new_maps_.size() + new_reduces_.size() >= kConservativeBatch;
+}
+
+JobConfig ConservativeTuner::adjust() {
+  JobConfig cfg = current_;
+  if (!new_maps_.empty()) adjust_map_side(cfg);
+  if (!new_reduces_.empty()) adjust_reduce_side(cfg);
+  mapreduce::clamp_constraints(cfg);
+  current_ = cfg;
+  new_maps_.clear();
+  new_reduces_.clear();
+  ++adjustments_;
+  return cfg;
+}
+
+void ConservativeTuner::adjust_map_side(JobConfig& cfg) {
+  const WaveStats stats = WaveStats::from_reports(new_maps_);
+  if (stats.mem_util.empty()) return;
+
+  // Size the sort buffer to hold the estimated map output in one spill.
+  const double out_p80 = percentile(stats.map_output_mb, 0.8);
+  const double data_fraction =
+      stats.record_bytes /
+      (stats.record_bytes + mapreduce::kSpillMetadataBytes);
+  const double wanted_sort =
+      std::min(1024.0, out_p80 / (0.99 * data_fraction) + 16.0);
+  if (wanted_sort > cfg.io_sort_mb) {
+    cfg.io_sort_mb = std::ceil(wanted_sort / 16.0) * 16.0;
+    cfg.sort_spill_percent = 0.99;
+  } else {
+    // Buffer already big enough: raise the trigger to avoid early spills.
+    cfg.sort_spill_percent = 0.99;
+  }
+
+  // Right-size the container: estimated resident set plus the part of the
+  // sort buffer the utilization figure does not include, plus safety.
+  const double resident_p80 = percentile(stats.resident_mb, 0.8);
+  const double target = std::max(
+      512.0, std::ceil((resident_p80 + 0.6 * cfg.io_sort_mb + 128.0) / 64.0) *
+                 64.0);
+  // Conservative: shrink only when clearly under-utilized, grow on OOM.
+  const double util_p80 = percentile(stats.mem_util, 0.8);
+  if (stats.oom_count > 0) {
+    cfg.map_memory_mb = std::min(3072.0, cfg.map_memory_mb + 512.0);
+  } else if (util_p80 < 0.7 && target < cfg.map_memory_mb) {
+    cfg.map_memory_mb = target;
+  }
+
+  // CPU: escalate vcores while the quota is saturated and times improve.
+  const double cpu_p80 = percentile(stats.cpu_util, 0.8);
+  const double avg_dur = mean_of(stats.duration);
+  if (!vcores_frozen_ && cpu_p80 > 0.95 && cfg.map_cpu_vcores < 4) {
+    if (last_map_avg_duration_ < 0.0 ||
+        avg_dur < last_map_avg_duration_ * 0.97) {
+      cfg.map_cpu_vcores += 1;
+    } else {
+      vcores_frozen_ = true;
+    }
+  }
+  last_map_avg_duration_ = avg_dur;
+}
+
+void ConservativeTuner::adjust_reduce_side(JobConfig& cfg) {
+  const WaveStats stats = WaveStats::from_reports(new_reduces_);
+  if (stats.mem_util.empty()) {
+    if (stats.oom_count > 0) {
+      cfg.reduce_memory_mb = std::min(3072.0, cfg.reduce_memory_mb + 512.0);
+    }
+    return;
+  }
+
+  // Section 6.2: merge purely on memory; keep the shuffle buffer large and
+  // let reduce input stay in memory when it fits.
+  cfg.merge_inmem_threshold = 0;
+  cfg.shuffle_merge_percent = cfg.shuffle_input_buffer_percent - 0.04;
+
+  double shuffle_p80_mb = 0.0;
+  {
+    std::vector<double> shuffled;
+    for (const auto& r : new_reduces_) {
+      if (!r.failed_oom) shuffled.push_back(r.counters.shuffle_bytes.mib());
+    }
+    if (!shuffled.empty()) shuffle_p80_mb = percentile(shuffled, 0.8);
+  }
+  const double buffer_mb = cfg.reduce_memory_mb * mapreduce::kHeapFraction *
+                           cfg.shuffle_input_buffer_percent;
+  if (shuffle_p80_mb > 0.0 && shuffle_p80_mb < buffer_mb * 0.9) {
+    // Whole reduce input fits the shuffle buffer: avoid all disk spills.
+    cfg.reduce_input_buffer_percent = cfg.shuffle_input_buffer_percent;
+    cfg.shuffle_memory_limit_percent = 0.5;
+  }
+
+  // Memory right-sizing, mirroring the map rule.
+  const double util_p80 = percentile(stats.mem_util, 0.8);
+  if (stats.oom_count > 0) {
+    cfg.reduce_memory_mb = std::min(3072.0, cfg.reduce_memory_mb + 512.0);
+  } else if (util_p80 < 0.5) {
+    const double resident_p80 = percentile(stats.resident_mb, 0.8);
+    const double target =
+        std::max(512.0, std::ceil((resident_p80 * 1.3 + 128.0) / 64.0) * 64.0);
+    if (target < cfg.reduce_memory_mb) cfg.reduce_memory_mb = target;
+  }
+
+  // Shuffle concurrency: +10 while times improve (Section 6.3).
+  const double avg_dur = mean_of(stats.duration);
+  if (!copies_frozen_ && cfg.shuffle_parallelcopies < 50) {
+    if (last_reduce_avg_duration_ < 0.0 ||
+        avg_dur < last_reduce_avg_duration_ * 0.97) {
+      cfg.shuffle_parallelcopies =
+          std::min(50.0, cfg.shuffle_parallelcopies + 10);
+    } else {
+      copies_frozen_ = true;
+    }
+  }
+  last_reduce_avg_duration_ = avg_dur;
+}
+
+}  // namespace mron::tuner

@@ -1,0 +1,87 @@
+// Section-6 tuning rules — the "gray box" part of MRONLINE.
+//
+// Aggressive mode: after each wave, the observed task statistics tighten the
+// search-space bounds the LHS sampler draws from:
+//   * container memory: >90% utilization raises the dimension's lower bound
+//     to the 80th percentile of the wave's sampled values; <50% lowers the
+//     upper bound to the 80th percentile (tracking skew per the paper);
+//   * io.sort.mb: spill amplification above 1 raises the lower bound;
+//     amplification at exactly 1 lowers the upper bound;
+//   * sort.spill.percent is pinned at 0.99 while a single spill is
+//     attainable, and released to its full range otherwise;
+//   * merge.inmem.threshold is pinned at 0 (merge on memory consumption);
+//   * shuffle.merge.percent is tied to shuffle.input.buffer.percent - 0.04.
+//
+// Conservative mode: a single running job is nudged from its observed
+// statistics — estimated map output sizes the sort buffer, estimated task
+// working sets size the containers, CPU saturation escalates vcores one at
+// a time, and parallelcopies/io.sort.factor are stepped while task times
+// keep improving.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/job.h"
+#include "tuner/search_space.h"
+
+namespace mron::tuner {
+
+/// Distilled per-wave statistics for one task kind.
+struct WaveStats {
+  std::vector<double> mem_util;
+  std::vector<double> cpu_util;
+  std::vector<double> sampled_memory_mb;
+  std::vector<double> sampled_sort_mb;   // maps only
+  std::vector<double> spill_ratio;       // maps: spilled/combined
+  std::vector<double> duration;
+  std::vector<double> map_output_mb;     // pre-combiner, maps only
+  std::vector<double> resident_mb;       // mem_util * container MB
+  double record_bytes = 100.0;
+  int oom_count = 0;
+
+  static WaveStats from_reports(
+      const std::vector<mapreduce::TaskReport>& reports);
+};
+
+/// Apply the aggressive-mode bound-tightening rules to the map-side space.
+void apply_map_rules(const WaveStats& stats, SearchSpace& space);
+/// Apply the aggressive-mode rules to the reduce-side space.
+void apply_reduce_rules(const WaveStats& stats, SearchSpace& space);
+
+/// Conservative-mode online tuner for a single running job. Feed it every
+/// completed TaskReport; ask for an adjusted config after each batch.
+class ConservativeTuner {
+ public:
+  explicit ConservativeTuner(mapreduce::JobConfig initial);
+
+  void observe(const mapreduce::TaskReport& report);
+  /// True once enough new observations arrived to justify an adjustment.
+  [[nodiscard]] bool ready() const;
+  /// Produce the next configuration (also remembers it as current).
+  mapreduce::JobConfig adjust();
+
+  [[nodiscard]] const mapreduce::JobConfig& current() const {
+    return current_;
+  }
+  [[nodiscard]] int adjustments() const { return adjustments_; }
+
+ private:
+  void adjust_map_side(mapreduce::JobConfig& cfg);
+  void adjust_reduce_side(mapreduce::JobConfig& cfg);
+
+  mapreduce::JobConfig current_;
+  std::vector<mapreduce::TaskReport> new_maps_;
+  std::vector<mapreduce::TaskReport> new_reduces_;
+  int adjustments_ = 0;
+
+  // Escalation state: keep raising while times improve (Section 6.3).
+  double last_map_avg_duration_ = -1.0;
+  double last_reduce_avg_duration_ = -1.0;
+  bool vcores_frozen_ = false;
+  bool copies_frozen_ = false;
+};
+
+/// Observations needed before the first conservative adjustment.
+constexpr std::size_t kConservativeBatch = 12;
+
+}  // namespace mron::tuner

@@ -1,0 +1,113 @@
+#include "tuner/search_space.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mron::tuner {
+
+using mapreduce::JobConfig;
+using mapreduce::ParamDescriptor;
+using mapreduce::ParamRegistry;
+
+SearchSpace::SearchSpace(const ParamRegistry& registry,
+                         std::vector<std::string> param_names, JobConfig base)
+    : registry_(&registry), base_(base) {
+  for (const auto& name : param_names) {
+    const ParamDescriptor* p = registry.find(name);
+    MRON_CHECK_MSG(p != nullptr, "unknown parameter " << name);
+    dims_.push_back(static_cast<std::size_t>(p - registry.params().data()));
+  }
+  lo_.assign(dims_.size(), 0.0);
+  hi_.assign(dims_.size(), 1.0);
+}
+
+SearchSpace SearchSpace::map_side(JobConfig base) {
+  return SearchSpace(ParamRegistry::standard(),
+                     {
+                         "mapreduce.map.memory.mb",
+                         "mapreduce.task.io.sort.mb",
+                         "mapreduce.map.sort.spill.percent",
+                         "mapreduce.map.cpu.vcores",
+                         "mapreduce.task.io.sort.factor",
+                     },
+                     base);
+}
+
+SearchSpace SearchSpace::reduce_side(JobConfig base) {
+  return SearchSpace(ParamRegistry::standard(),
+                     {
+                         "mapreduce.reduce.memory.mb",
+                         "mapreduce.reduce.shuffle.input.buffer.percent",
+                         "mapreduce.reduce.shuffle.merge.percent",
+                         "mapreduce.reduce.shuffle.memory.limit.percent",
+                         "mapreduce.reduce.merge.inmem.threshold",
+                         "mapreduce.reduce.input.buffer.percent",
+                         "mapreduce.reduce.cpu.vcores",
+                         "mapreduce.reduce.shuffle.parallelcopies",
+                     },
+                     base);
+}
+
+const ParamDescriptor& SearchSpace::param(std::size_t d) const {
+  MRON_CHECK(d < dims_.size());
+  return registry_->at(dims_[d]);
+}
+
+std::size_t SearchSpace::dim_of(const std::string& name) const {
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    if (param(d).name == name) return d;
+  }
+  return npos;
+}
+
+JobConfig SearchSpace::to_config(const std::vector<double>& x) const {
+  MRON_CHECK(x.size() == dims_.size());
+  JobConfig cfg = base_;
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const ParamDescriptor& p = param(d);
+    const double v = std::clamp(x[d], 0.0, 1.0);
+    registry_->set(cfg, dims_[d], p.min + v * (p.max - p.min));
+  }
+  mapreduce::clamp_constraints(cfg);
+  return cfg;
+}
+
+std::vector<double> SearchSpace::from_config(const JobConfig& cfg) const {
+  std::vector<double> x(dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    const ParamDescriptor& p = param(d);
+    const double raw = registry_->get(cfg, dims_[d]);
+    x[d] = p.max > p.min ? (raw - p.min) / (p.max - p.min) : 0.0;
+    x[d] = std::clamp(x[d], 0.0, 1.0);
+  }
+  return x;
+}
+
+void SearchSpace::set_bounds(std::size_t dim, double lo, double hi) {
+  MRON_CHECK(dim < dims_.size());
+  lo = std::clamp(lo, 0.0, 1.0);
+  hi = std::clamp(hi, 0.0, 1.0);
+  MRON_CHECK_MSG(lo <= hi, "bounds inverted for " << param(dim).name);
+  lo_[dim] = lo;
+  hi_[dim] = hi;
+}
+
+double SearchSpace::lower(std::size_t dim) const {
+  MRON_CHECK(dim < dims_.size());
+  return lo_[dim];
+}
+
+double SearchSpace::upper(std::size_t dim) const {
+  MRON_CHECK(dim < dims_.size());
+  return hi_[dim];
+}
+
+void SearchSpace::clamp(std::vector<double>& x) const {
+  MRON_CHECK(x.size() == dims_.size());
+  for (std::size_t d = 0; d < dims_.size(); ++d) {
+    x[d] = std::clamp(x[d], lo_[d], hi_[d]);
+  }
+}
+
+}  // namespace mron::tuner

@@ -1,0 +1,54 @@
+#include "tuner/static_planner.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "mapreduce/simulation.h"
+
+namespace mron::tuner {
+
+StaticPlan plan_static_parameters(const mapreduce::JobSpec& template_spec,
+                                  Bytes input_size,
+                                  const StaticPlanOptions& options) {
+  MRON_CHECK(input_size > Bytes(0));
+  const int num_maps = std::max(
+      1, static_cast<int>(std::ceil(input_size.as_double() /
+                                    mebibytes(128).as_double())));
+  std::vector<int> reducers = options.reducer_candidates;
+  if (reducers.empty()) {
+    for (int divisor : {8, 4, 2, 1}) {
+      const int r = std::max(1, num_maps / divisor);
+      if (reducers.empty() || reducers.back() != r) reducers.push_back(r);
+    }
+  }
+  MRON_CHECK(!options.slowstart_candidates.empty());
+
+  StaticPlan plan;
+  plan.simulated_secs = std::numeric_limits<double>::infinity();
+  for (int r : reducers) {
+    for (double slowstart : options.slowstart_candidates) {
+      // A fresh world per candidate: same seed, so candidates differ only
+      // in the planned parameters.
+      mapreduce::SimulationOptions sopt;
+      sopt.cluster = options.cluster;
+      sopt.seed = options.seed;
+      mapreduce::Simulation sim(sopt);
+      mapreduce::JobSpec spec = template_spec;
+      spec.input = sim.load_dataset("planner", input_size);
+      spec.num_maps_override = -1;
+      spec.num_reduces = r;
+      spec.slowstart = slowstart;
+      const double secs = sim.run_job(std::move(spec)).exec_time();
+      plan.sweep.push_back({r, slowstart, secs});
+      if (secs < plan.simulated_secs) {
+        plan.simulated_secs = secs;
+        plan.num_reduces = r;
+        plan.slowstart = slowstart;
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace mron::tuner

@@ -1,0 +1,49 @@
+// Category-I parameter planning — the paper's stated future work.
+//
+// Section 2.2 classifies #reducers and slowstart as category I: impossible
+// to change once the job starts, so MRONLINE cannot tune them online; the
+// authors point to simulation tools (their own MRPerf) as the way to pick
+// them, "a focus of our on-going research". This module closes that loop:
+// the discrete-event simulator doubles as the MRPerf-style evaluator, and
+// the planner sweeps candidate (num_reduces, slowstart) pairs with full
+// simulated runs before the production job is submitted.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/job.h"
+
+namespace mron::tuner {
+
+struct StaticPlanOptions {
+  /// Reducer counts to try; empty = fractions of the map count
+  /// (maps/8, maps/4, maps/2, maps).
+  std::vector<int> reducer_candidates;
+  std::vector<double> slowstart_candidates = {0.05, 0.5, 1.0};
+  std::uint64_t seed = 21;
+  cluster::ClusterSpec cluster;
+};
+
+struct StaticPlanPoint {
+  int num_reduces = 0;
+  double slowstart = 0.0;
+  double simulated_secs = 0.0;
+};
+
+struct StaticPlan {
+  int num_reduces = 0;
+  double slowstart = 0.0;
+  double simulated_secs = 0.0;
+  /// Every evaluated point, in evaluation order.
+  std::vector<StaticPlanPoint> sweep;
+};
+
+/// Simulate every candidate pair for a job with `template_spec`'s profile
+/// and configuration over `input_size` bytes of input; return the best.
+/// The template's own num_reduces/slowstart are ignored (they are what is
+/// being planned).
+StaticPlan plan_static_parameters(const mapreduce::JobSpec& template_spec,
+                                  Bytes input_size,
+                                  const StaticPlanOptions& options = {});
+
+}  // namespace mron::tuner

@@ -1,0 +1,211 @@
+#include "whatif/predictor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "mapreduce/reduce_task.h"  // kFetchLatency
+#include "mapreduce/spill_model.h"
+
+namespace mron::whatif {
+
+using mapreduce::JobConfig;
+using mapreduce::kCodecCompressionRatio;
+using mapreduce::kHeapFraction;
+
+namespace {
+
+/// Containers of `mem_mb`/`vcores` that fit one node.
+int slots_per_node(const cluster::ClusterSpec& cluster, double mem_mb,
+                   double vcores) {
+  const int by_mem = static_cast<int>(cluster.container_memory.as_double() /
+                                      mebibytes(mem_mb).as_double());
+  const int by_vcores =
+      static_cast<int>(cluster.container_vcores / std::max(1.0, vcores));
+  return std::max(0, std::min(by_mem, by_vcores));
+}
+
+/// Fair-share disk rate for `streams` concurrent streams on one spindle.
+double disk_rate(const cluster::ClusterSpec& cluster, int streams) {
+  const double eff =
+      cluster.disk_bandwidth.rate() /
+      (1.0 + cluster.disk_seek_penalty * std::max(0, streams - 1));
+  return eff / std::max(1, streams);
+}
+
+/// Fair-share CPU rate (core-units) for a task whose quota is `quota`
+/// among `tasks` concurrent tasks on the node.
+double cpu_rate(const cluster::ClusterSpec& cluster, double quota,
+                double demand, int tasks) {
+  const double share =
+      cluster.container_core_units() / std::max(1, tasks);
+  return std::min({quota, demand, std::max(share, 1e-9)});
+}
+
+}  // namespace
+
+Prediction predict(const PredictionInputs& inputs) {
+  const cluster::ClusterSpec& cl = inputs.cluster;
+  const mapreduce::AppProfile& p = inputs.profile;
+  JobConfig cfg = inputs.config;
+  mapreduce::clamp_constraints(cfg);
+
+  Prediction out;
+  const Bytes block = mebibytes(128);
+  const int num_maps =
+      inputs.num_maps > 0
+          ? inputs.num_maps
+          : std::max(1, static_cast<int>(std::ceil(
+                            inputs.input_size.as_double() /
+                            block.as_double())));
+  const Bytes split = inputs.num_maps > 0 && inputs.input_size > Bytes(0)
+                          ? inputs.input_size * (1.0 / inputs.num_maps)
+                          : (inputs.input_size > Bytes(0) ? block : Bytes(0));
+
+  // --- geometry ---------------------------------------------------------------
+  out.map_slots_per_node =
+      slots_per_node(cl, cfg.map_memory_mb, cfg.map_cpu_vcores);
+  out.reduce_slots_per_node =
+      slots_per_node(cl, cfg.reduce_memory_mb, cfg.reduce_cpu_vcores);
+  MRON_CHECK_MSG(out.map_slots_per_node > 0, "map container exceeds a node");
+  const int map_concurrency = out.map_slots_per_node * cl.num_slaves;
+  out.map_waves = (num_maps + map_concurrency - 1) / map_concurrency;
+
+  // --- map task ---------------------------------------------------------------
+  const Bytes map_out = split * p.map_output_ratio + p.map_output_bytes_fixed;
+  const auto map_records = static_cast<std::int64_t>(std::llround(
+      map_out.as_double() / p.map_record_bytes));
+  const auto plan =
+      mapreduce::plan_map_spills(map_out, map_records, p.combiner_ratio, cfg);
+  out.map_spill_records =
+      plan.spill_records * static_cast<std::int64_t>(num_maps);
+  const bool compress = cfg.map_output_compress >= 0.5;
+  const double codec = compress ? kCodecCompressionRatio : 1.0;
+
+  // Node-level contention: assume all slots busy with like tasks.
+  const int streams = out.map_slots_per_node;
+  const double read_secs = split.as_double() / disk_rate(cl, streams);
+  const double cpu =
+      (split.mib() * p.map_cpu_secs_per_mib + p.map_cpu_secs_fixed) /
+      cpu_rate(cl, cfg.map_cpu_vcores * cl.cpu_quota_per_vcore,
+               p.map_cpu_demand_cores, streams);
+  const double spill_secs =
+      (plan.disk_write_bytes + plan.disk_read_bytes).as_double() * codec /
+      disk_rate(cl, streams);
+  out.map_task_secs =
+      p.task_startup_secs + std::max(read_secs, cpu) + spill_secs;
+  out.map_phase_secs = out.map_waves * out.map_task_secs;
+
+  // --- reduce task ------------------------------------------------------------
+  const Bytes total_shuffle = map_out * p.combiner_ratio * codec *
+                              static_cast<double>(num_maps);
+  out.shuffle_bytes = total_shuffle;
+  if (inputs.num_reduces > 0 && out.reduce_slots_per_node > 0) {
+    const int reduce_concurrency =
+        out.reduce_slots_per_node * cl.num_slaves;
+    out.reduce_waves =
+        (inputs.num_reduces + reduce_concurrency - 1) / reduce_concurrency;
+    const Bytes partition =
+        total_shuffle * (1.0 / inputs.num_reduces);
+
+    // Fetch: receiver NICs are the contended resource; each node hosts
+    // reduce_slots_per_node concurrent fetchers.
+    const double net_secs =
+        partition.as_double() /
+        (cl.nic_bandwidth.rate() /
+         std::max(1, out.reduce_slots_per_node)) +
+        static_cast<double>(num_maps) /
+            std::max(1.0, cfg.shuffle_parallelcopies) *
+            mapreduce::kFetchLatency;
+
+    // Buffer mechanics via the shared model, fed with equal segments.
+    mapreduce::ShuffleBufferModel buffer(cfg,
+                                         p.map_record_bytes * codec);
+    const Bytes segment = partition * (1.0 / num_maps);
+    Bytes disk_in_shuffle{0};
+    for (int i = 0; i < num_maps; ++i) {
+      disk_in_shuffle += buffer.add_segment(segment);
+    }
+    disk_in_shuffle += buffer.finalize();
+    const auto merge = mapreduce::plan_disk_merge(
+        buffer.disk_files(), static_cast<int>(cfg.io_sort_factor));
+    const int rstreams = out.reduce_slots_per_node;
+    const double shuffle_disk_secs =
+        disk_in_shuffle.as_double() / disk_rate(cl, rstreams);
+    const double merge_secs =
+        (merge.read + merge.write).as_double() / disk_rate(cl, rstreams);
+    const double logical_mib = partition.mib() / codec;
+    double reduce_cpu_secs =
+        logical_mib * p.reduce_cpu_secs_per_mib /
+        cpu_rate(cl, cfg.reduce_cpu_vcores * cl.cpu_quota_per_vcore,
+                 p.reduce_cpu_demand_cores, rstreams);
+    if (compress) {
+      reduce_cpu_secs += logical_mib * mapreduce::kDecompressCpuSecsPerMib;
+    }
+    const double final_read_secs =
+        buffer.disk_write_bytes().as_double() / disk_rate(cl, rstreams);
+    const Bytes output = partition * (p.reduce_output_ratio / codec);
+    const double write_secs =
+        std::max(output.as_double() / disk_rate(cl, rstreams),
+                 output.as_double() / cl.nic_bandwidth.rate());
+
+    out.reduce_task_secs = p.task_startup_secs + net_secs +
+                           shuffle_disk_secs + merge_secs +
+                           std::max(reduce_cpu_secs, final_read_secs) +
+                           write_secs;
+    out.reduce_phase_secs = out.reduce_waves * out.reduce_task_secs;
+  }
+
+  // Shuffle overlaps the map phase (slowstart); the reduce compute tail
+  // does not. Empirically the overlap hides roughly the fetch component,
+  // which is why the tail below keeps everything else.
+  out.total_secs = out.map_phase_secs + out.reduce_phase_secs;
+  return out;
+}
+
+JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
+                              std::uint64_t seed) {
+  MRON_CHECK(evaluations >= 1);
+  const auto& reg = mapreduce::ParamRegistry::standard();
+  Rng rng(seed);
+
+  JobConfig best = base.config;
+  mapreduce::clamp_constraints(best);
+  auto score = [&](const JobConfig& cfg) {
+    PredictionInputs probe = base;
+    probe.config = cfg;
+    return predict(probe).total_secs;
+  };
+  double best_secs = score(best);
+
+  // Random restarts + coordinate refinement: cheap model calls make a
+  // simple search sufficient (Starfish uses recursive random search).
+  for (int e = 0; e < evaluations; ++e) {
+    JobConfig cand = best;
+    if (e % 3 == 0) {
+      // Fresh random point.
+      for (std::size_t i = 0; i < reg.size(); ++i) {
+        const auto& prm = reg.at(i);
+        reg.set(cand, i, rng.uniform(prm.min, prm.max));
+      }
+    } else {
+      // Perturb one coordinate of the incumbent.
+      const auto i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(reg.size()) - 1));
+      const auto& prm = reg.at(i);
+      const double width = (prm.max - prm.min) * 0.2;
+      reg.set(cand, i,
+              reg.get(best, i) + rng.uniform(-width, width));
+    }
+    mapreduce::clamp_constraints(cand);
+    const double secs = score(cand);
+    if (secs < best_secs) {
+      best_secs = secs;
+      best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace mron::whatif

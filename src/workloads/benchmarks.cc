@@ -1,0 +1,236 @@
+#include "workloads/benchmarks.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mron::workloads {
+
+using mapreduce::AppProfile;
+using mapreduce::JobSpec;
+
+namespace {
+
+constexpr int kWikipediaBlocks = 676;  // "90.5 GB"
+constexpr int kFreebaseBlocks = 752;   // "100.8 GB"
+constexpr int kPaperReducers = 200;
+
+Bytes blocks_to_bytes(int blocks) { return mebibytes(128.0 * blocks); }
+
+/// Shuffle selectivity = shuffle bytes / input bytes, from Table 3.
+struct Selectivity {
+  double map_output_ratio;   // pre-combiner
+  double combiner_ratio;     // combiner output / map output
+  double reduce_output_ratio;
+  double record_bytes;
+};
+
+Selectivity selectivity_for(Benchmark b, Corpus c) {
+  const bool wiki = c == Corpus::Wikipedia;
+  switch (b) {
+    case Benchmark::Bigram:
+      // wiki: 80.8/90.5 = 0.893; out 27.6/80.8 = 0.342
+      // freebase: 84.8/100.8 = 0.841; out 77.8/84.8 = 0.917
+      return wiki ? Selectivity{0.94, 0.95, 0.342, 20.0}
+                  : Selectivity{0.89, 0.945, 0.917, 20.0};
+    case Benchmark::InvertedIndex:
+      // wiki: 38/90.5 = 0.420; out 10.3/38 = 0.271
+      // freebase: 21/100.8 = 0.208; out 11/21 = 0.524
+      return wiki ? Selectivity{0.42, 1.0, 0.271, 60.0}
+                  : Selectivity{0.208, 1.0, 0.524, 60.0};
+    case Benchmark::WordCount:
+      // wiki: 30.3/90.5 = 0.335; out 8.6/30.3 = 0.284
+      // freebase: 16.7/100.8 = 0.166; out 9.4/16.7 = 0.563
+      return wiki ? Selectivity{1.40, 0.239, 0.284, 16.0}
+                  : Selectivity{1.20, 0.138, 0.563, 16.0};
+    case Benchmark::TextSearch:
+      // wiki: 2.3/90.5 = 0.0254; out 0.469/2.3 = 0.204
+      // freebase: 0.906/100.8 = 0.0090; out 0.229/0.906 = 0.253
+      return wiki ? Selectivity{0.0254, 1.0, 0.204, 120.0}
+                  : Selectivity{0.0090, 1.0, 0.253, 120.0};
+    case Benchmark::Terasort:
+      return Selectivity{1.0, 1.0, 1.0, 100.0};
+    case Benchmark::Bbp:
+      return Selectivity{0.0, 1.0, 0.01, 50.0};
+  }
+  MRON_CHECK(false);
+  return {};
+}
+
+}  // namespace
+
+AppProfile profile_for(Benchmark b, Corpus c) {
+  const Selectivity sel = selectivity_for(b, c);
+  AppProfile p;
+  p.map_output_ratio = sel.map_output_ratio;
+  p.combiner_ratio = sel.combiner_ratio;
+  p.reduce_output_ratio = sel.reduce_output_ratio;
+  p.map_record_bytes = sel.record_bytes;
+  switch (b) {
+    case Benchmark::Bigram:  // Shuffle intensive
+      p.map_cpu_secs_per_mib = 0.50;
+      p.reduce_cpu_secs_per_mib = 0.12;
+      p.map_working_set = mebibytes(400);
+      p.reduce_working_set = mebibytes(240);
+      p.partition_skew_cv = 0.20;
+      break;
+    case Benchmark::InvertedIndex:  // Map (wiki) / Compute (freebase)
+      p.map_cpu_secs_per_mib = 0.70;
+      p.reduce_cpu_secs_per_mib = 0.15;
+      p.map_working_set = mebibytes(400);
+      p.reduce_working_set = mebibytes(220);
+      p.partition_skew_cv = 0.20;
+      break;
+    case Benchmark::WordCount:  // Map intensive
+      p.map_cpu_secs_per_mib = 0.60;
+      p.reduce_cpu_secs_per_mib = 0.15;
+      p.map_working_set = mebibytes(350);
+      p.reduce_working_set = mebibytes(200);
+      p.partition_skew_cv = 0.20;
+      break;
+    case Benchmark::TextSearch:  // Compute intensive
+      p.map_cpu_secs_per_mib = 0.90;
+      p.reduce_cpu_secs_per_mib = 0.10;
+      p.map_working_set = mebibytes(250);
+      p.reduce_working_set = mebibytes(150);
+      p.partition_skew_cv = 0.15;
+      break;
+    case Benchmark::Terasort:  // Shuffle intensive
+      p.map_cpu_secs_per_mib = 0.16;
+      p.reduce_cpu_secs_per_mib = 0.08;
+      p.map_working_set = mebibytes(300);
+      p.reduce_working_set = mebibytes(200);
+      p.partition_skew_cv = 0.05;
+      break;
+    case Benchmark::Bbp:  // Compute intensive, multi-threaded digit slices
+      p.map_cpu_secs_per_mib = 0.0;
+      p.map_cpu_secs_fixed = 200.0;
+      p.map_cpu_demand_cores = 2.0;
+      p.map_output_bytes_fixed = kibibytes(2.52);  // 252 KB over 100 maps
+      p.reduce_cpu_secs_per_mib = 0.5;
+      p.map_working_set = mebibytes(220);
+      p.reduce_working_set = mebibytes(120);
+      break;
+  }
+  return p;
+}
+
+int corpus_blocks(Corpus c) {
+  switch (c) {
+    case Corpus::Wikipedia:
+      return kWikipediaBlocks;
+    case Corpus::Freebase:
+      return kFreebaseBlocks;
+    case Corpus::Synthetic:
+      return kFreebaseBlocks;  // Terasort "100 GB"
+    case Corpus::None:
+      return 0;
+  }
+  return 0;
+}
+
+Bytes corpus_bytes(Corpus c) { return blocks_to_bytes(corpus_blocks(c)); }
+
+const char* benchmark_name(Benchmark b) {
+  switch (b) {
+    case Benchmark::Bigram:
+      return "Bigram";
+    case Benchmark::InvertedIndex:
+      return "InvertedIndex";
+    case Benchmark::WordCount:
+      return "Wordcount";
+    case Benchmark::TextSearch:
+      return "TextSearch";
+    case Benchmark::Terasort:
+      return "Terasort";
+    case Benchmark::Bbp:
+      return "BBP";
+  }
+  return "?";
+}
+
+const char* corpus_name(Corpus c) {
+  switch (c) {
+    case Corpus::Wikipedia:
+      return "Wikipedia";
+    case Corpus::Freebase:
+      return "Freebase";
+    case Corpus::Synthetic:
+      return "synthetic";
+    case Corpus::None:
+      return "N/A";
+  }
+  return "?";
+}
+
+JobSpec make_job(mapreduce::Simulation& sim, Benchmark b, Corpus c) {
+  if (b == Benchmark::Bbp) return make_bbp();
+  if (b == Benchmark::Terasort) {
+    return make_terasort(sim, corpus_bytes(Corpus::Synthetic), kPaperReducers);
+  }
+  JobSpec spec;
+  spec.name = std::string(benchmark_name(b)) + "/" + corpus_name(c);
+  spec.input = sim.load_dataset(corpus_name(c), corpus_bytes(c));
+  spec.num_reduces = kPaperReducers;
+  spec.profile = profile_for(b, c);
+  return spec;
+}
+
+JobSpec make_terasort(mapreduce::Simulation& sim, Bytes input,
+                      int num_reduces) {
+  JobSpec spec;
+  spec.name = "Terasort";
+  spec.input = sim.load_dataset("teragen", input);
+  const int maps = static_cast<int>(
+      std::ceil(input.as_double() / mebibytes(128).as_double()));
+  // Section 8.4's rule: reducers ~ 1/4 of mappers unless told otherwise.
+  spec.num_reduces = num_reduces > 0 ? num_reduces : std::max(1, maps / 4);
+  spec.profile = profile_for(Benchmark::Terasort, Corpus::Synthetic);
+  return spec;
+}
+
+JobSpec make_bbp(int num_maps) {
+  JobSpec spec;
+  spec.name = "BBP";
+  spec.num_maps_override = num_maps;
+  spec.num_reduces = 1;
+  spec.profile = profile_for(Benchmark::Bbp, Corpus::None);
+  return spec;
+}
+
+std::vector<BenchmarkInfo> table3() {
+  auto row = [](Benchmark b, Corpus c, double in_gb, double shuffle_gb,
+                double out_gb, int maps, int reduces, const char* type) {
+    BenchmarkInfo info;
+    info.benchmark = b;
+    info.corpus = c;
+    info.name = benchmark_name(b);
+    info.input_name = corpus_name(c);
+    info.input_size = Bytes(static_cast<std::int64_t>(in_gb * 1e9));
+    info.shuffle_size = Bytes(static_cast<std::int64_t>(shuffle_gb * 1e9));
+    info.output_size = Bytes(static_cast<std::int64_t>(out_gb * 1e9));
+    info.num_maps = maps;
+    info.num_reduces = reduces;
+    info.job_type = type;
+    return info;
+  };
+  using B = Benchmark;
+  using C = Corpus;
+  return {
+      row(B::Bigram, C::Wikipedia, 90.5, 80.8, 27.6, 676, 200, "Shuffle"),
+      row(B::InvertedIndex, C::Wikipedia, 90.5, 38.0, 10.3, 676, 200, "Map"),
+      row(B::WordCount, C::Wikipedia, 90.5, 30.3, 8.6, 676, 200, "Map"),
+      row(B::TextSearch, C::Wikipedia, 90.5, 2.3, 0.469, 676, 200, "Compute"),
+      row(B::Bigram, C::Freebase, 100.8, 84.8, 77.8, 752, 200, "Shuffle"),
+      row(B::InvertedIndex, C::Freebase, 100.8, 21.0, 11.0, 752, 200,
+          "Compute"),
+      row(B::WordCount, C::Freebase, 100.8, 16.7, 9.4, 752, 200, "Map"),
+      row(B::TextSearch, C::Freebase, 100.8, 0.906, 0.229, 752, 200,
+          "Compute"),
+      row(B::Terasort, C::Synthetic, 100.0, 100.0, 100.0, 752, 200,
+          "Shuffle"),
+      row(B::Bbp, C::None, 0.0, 0.000252, 0.0, 100, 1, "Compute"),
+  };
+}
+
+}  // namespace mron::workloads

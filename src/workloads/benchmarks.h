@@ -1,0 +1,68 @@
+// The paper's benchmark suite (Table 3).
+//
+// Each benchmark is an AppProfile (per-byte CPU costs, selectivities,
+// record sizes, working sets) plus a corpus. Input sizes are expressed in
+// 128 MiB blocks so the map counts match the paper exactly: Wikipedia =
+// 676 blocks ("90.5 GB"), Freebase = 752 blocks ("100.8 GB"), Terasort
+// 100 GB = 752 blocks. Selectivities are derived from Table 3's
+// input/shuffle/output columns; CPU costs are calibrated so job phase mixes
+// match the paper's Map/Shuffle/Compute classification.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "mapreduce/job.h"
+#include "mapreduce/simulation.h"
+
+namespace mron::workloads {
+
+enum class Benchmark {
+  Bigram,
+  InvertedIndex,
+  WordCount,
+  TextSearch,
+  Terasort,
+  Bbp,
+};
+
+enum class Corpus { Wikipedia, Freebase, Synthetic, None };
+
+/// Table-3 row: declared characteristics for reporting/validation.
+struct BenchmarkInfo {
+  Benchmark benchmark;
+  Corpus corpus;
+  std::string name;        // e.g. "Bigram"
+  std::string input_name;  // e.g. "Wikipedia"
+  Bytes input_size;
+  Bytes shuffle_size;  // expected, from Table 3
+  Bytes output_size;   // expected, from Table 3
+  int num_maps;
+  int num_reduces;
+  std::string job_type;  // Shuffle / Map / Compute
+};
+
+/// All ten Table-3 rows, in table order.
+std::vector<BenchmarkInfo> table3();
+
+const char* benchmark_name(Benchmark b);
+const char* corpus_name(Corpus c);
+
+/// The application profile for a benchmark/corpus pair.
+mapreduce::AppProfile profile_for(Benchmark b, Corpus c);
+
+/// Number of 128 MiB input blocks for a corpus (0 for None).
+int corpus_blocks(Corpus c);
+Bytes corpus_bytes(Corpus c);
+
+/// Build a ready-to-submit JobSpec. Creates (or reuses, see Simulation) the
+/// corpus dataset inside `sim`'s DFS. For Terasort, `terasort_bytes`
+/// overrides the input size (Figure 13's sweep); reducers default to the
+/// paper's 200 (or ~maps/4 for small Terasort jobs, matching Section 8.4).
+mapreduce::JobSpec make_job(mapreduce::Simulation& sim, Benchmark b, Corpus c);
+mapreduce::JobSpec make_terasort(mapreduce::Simulation& sim, Bytes input,
+                                 int num_reduces = -1);
+mapreduce::JobSpec make_bbp(int num_maps = 100);
+
+}  // namespace mron::workloads

@@ -1,0 +1,47 @@
+// YARN resource primitives: the (memory, vcores) pair, containers, and ids.
+//
+// Unlike stock YARN of the paper's era — which fixed one container size for
+// all map tasks and one for all reduce tasks — every container here carries
+// its own Resource, reproducing MRONLINE's variable-sized-container
+// extension of the resource scheduler.
+#pragma once
+
+#include <ostream>
+
+#include "cluster/topology.h"
+#include "common/strong_id.h"
+#include "common/units.h"
+
+namespace mron::yarn {
+
+struct AppTag {};
+using AppId = StrongId<AppTag>;
+struct ContainerTag {};
+using ContainerId = StrongId<ContainerTag>;
+struct RequestTag {};
+using RequestId = StrongId<RequestTag>;
+
+struct Resource {
+  Bytes memory;
+  int vcores = 1;
+
+  [[nodiscard]] bool fits_in(Bytes mem_avail, int vcores_avail) const {
+    return memory <= mem_avail && vcores <= vcores_avail;
+  }
+
+  friend bool operator==(const Resource& a, const Resource& b) {
+    return a.memory == b.memory && a.vcores == b.vcores;
+  }
+  friend std::ostream& operator<<(std::ostream& os, const Resource& r) {
+    return os << "<" << r.memory.mib() << " MiB, " << r.vcores << " vcores>";
+  }
+};
+
+struct Container {
+  ContainerId id;
+  AppId app;
+  cluster::NodeId node;
+  Resource resource;
+};
+
+}  // namespace mron::yarn

@@ -1,0 +1,280 @@
+#include "yarn/resource_manager.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/log.h"
+
+namespace mron::yarn {
+
+ResourceManager::ResourceManager(sim::Engine& engine,
+                                 const cluster::Topology& topo,
+                                 std::vector<cluster::Node*> nodes,
+                                 std::unique_ptr<SchedulingPolicy> policy)
+    : engine_(engine),
+      topo_(topo),
+      nodes_(std::move(nodes)),
+      policy_(std::move(policy)) {
+  MRON_CHECK(policy_ != nullptr);
+  MRON_CHECK(static_cast<int>(nodes_.size()) == topo_.num_nodes());
+  alive_.assign(nodes_.size(), true);
+}
+
+void ResourceManager::fail_node(cluster::NodeId node) {
+  MRON_CHECK(node.valid() &&
+             node.value() < static_cast<std::int64_t>(alive_.size()));
+  auto flag = alive_.begin() + node.value();
+  if (!*flag) return;
+  *flag = false;
+  // Subscribers may release containers and issue fresh requests
+  // re-entrantly; copy the list to stay iterator-safe.
+  const auto subscribers = failure_subscribers_;
+  for (const auto& cb : subscribers) cb(node);
+  trigger_schedule();
+}
+
+bool ResourceManager::node_alive(cluster::NodeId node) const {
+  MRON_CHECK(node.valid() &&
+             node.value() < static_cast<std::int64_t>(alive_.size()));
+  return alive_[static_cast<std::size_t>(node.value())];
+}
+
+void ResourceManager::subscribe_node_failures(NodeFailureCb cb) {
+  MRON_CHECK(cb != nullptr);
+  failure_subscribers_.push_back(std::move(cb));
+}
+
+AppId ResourceManager::register_app(const std::string& name, double weight,
+                                    int queue) {
+  MRON_CHECK(weight > 0.0);
+  const AppId id = app_ids_.next();
+  AppState state;
+  state.name = name;
+  state.submit_order = next_submit_order_++;
+  state.weight = weight;
+  state.sched_queue = queue;
+  state.live = true;
+  apps_.emplace(id, std::move(state));
+  return id;
+}
+
+void ResourceManager::unregister_app(AppId app) {
+  auto it = apps_.find(app);
+  MRON_CHECK(it != apps_.end());
+  MRON_CHECK_MSG(it->second.allocated_memory == Bytes(0),
+                 "app " << it->second.name
+                        << " unregistered with live containers");
+  apps_.erase(it);
+}
+
+RequestId ResourceManager::request_container(
+    AppId app, Resource resource, std::vector<cluster::NodeId> preferred,
+    AllocationCb on_allocated) {
+  auto it = apps_.find(app);
+  MRON_CHECK_MSG(it != apps_.end(), "request from unknown app " << app);
+  MRON_CHECK(resource.memory > Bytes(0) && resource.vcores >= 1);
+  MRON_CHECK(on_allocated != nullptr);
+  const RequestId id = request_ids_.next();
+  it->second.queue.push_back(PendingRequest{
+      id, resource, std::move(preferred), std::move(on_allocated)});
+  trigger_schedule();
+  return id;
+}
+
+void ResourceManager::cancel_request(RequestId id) {
+  for (auto& [app_id, app] : apps_) {
+    auto it = std::find_if(app.queue.begin(), app.queue.end(),
+                           [id](const PendingRequest& r) { return r.id == id; });
+    if (it != app.queue.end()) {
+      app.queue.erase(it);
+      return;
+    }
+  }
+}
+
+void ResourceManager::release_container(const Container& container) {
+  auto it = apps_.find(container.app);
+  MRON_CHECK(it != apps_.end());
+  node(container.node).release(container.resource.memory,
+                               container.resource.vcores);
+  it->second.allocated_memory -= container.resource.memory;
+  MRON_CHECK(it->second.allocated_memory >= Bytes(0));
+  MRON_CHECK(live_containers_ > 0);
+  --live_containers_;
+  trigger_schedule();
+}
+
+Bytes ResourceManager::app_allocated_memory(AppId app) const {
+  auto it = apps_.find(app);
+  MRON_CHECK(it != apps_.end());
+  return it->second.allocated_memory;
+}
+
+std::size_t ResourceManager::pending_requests() const {
+  std::size_t n = 0;
+  for (const auto& [id, app] : apps_) n += app.queue.size();
+  return n;
+}
+
+Bytes ResourceManager::cluster_memory_capacity() const {
+  Bytes total{0};
+  for (const auto* n : nodes_) total += n->memory_capacity();
+  return total;
+}
+
+void ResourceManager::trigger_schedule() {
+  if (pass_scheduled_) return;
+  pass_scheduled_ = true;
+  engine_.schedule_after(0.0, [this] {
+    pass_scheduled_ = false;
+    schedule_pass();
+  });
+}
+
+void ResourceManager::schedule_pass() {
+  // Repeatedly let the policy pick an app and try to place one of its
+  // requests; an app that fails placement is skipped for the rest of the
+  // pass so the loop always terminates.
+  std::vector<AppSchedState> view;
+  auto rebuild_view = [&] {
+    // Preserve skip flags across rebuilds within this pass.
+    std::map<AppId, bool> skipped;
+    for (const auto& s : view) skipped[s.id] = s.skip;
+    view.clear();
+    for (const auto& [id, app] : apps_) {
+      AppSchedState s;
+      s.id = id;
+      s.submit_order = app.submit_order;
+      s.weight = app.weight;
+      s.queue = app.sched_queue;
+      s.allocated_memory = app.allocated_memory;
+      s.pending_requests = app.queue.size();
+      auto it = skipped.find(id);
+      s.skip = it != skipped.end() && it->second;
+      view.push_back(s);
+    }
+  };
+  rebuild_view();
+  while (true) {
+    auto next = policy_->pick_next(view);
+    if (!next.has_value()) break;
+    auto app_it = apps_.find(*next);
+    MRON_CHECK(app_it != apps_.end());
+    AppState& app = app_it->second;
+
+    // Scan the app's queue for the first placeable request; MRONLINE's
+    // variable-sized containers mean a stuck head must not block smaller
+    // requests behind it.
+    bool placed = false;
+    for (auto it = app.queue.begin(); it != app.queue.end(); ++it) {
+      if (try_place(*next, app, *it)) {
+        app.queue.erase(it);
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      for (auto& s : view) {
+        if (s.id == *next) s.skip = true;
+      }
+      continue;
+    }
+    rebuild_view();
+  }
+}
+
+void ResourceManager::set_cluster_monitor(
+    const cluster::ClusterMonitor* monitor, double hot_threshold) {
+  monitor_ = monitor;
+  hot_threshold_ = hot_threshold;
+}
+
+void ResourceManager::set_locality_delay(int passes) {
+  MRON_CHECK(passes >= 0);
+  locality_delay_passes_ = passes;
+}
+
+bool ResourceManager::is_hot(const cluster::Node& node) const {
+  if (monitor_ == nullptr) return false;
+  const cluster::NodeSample& s = monitor_->latest(node.id());
+  return s.disk_util > hot_threshold_ || s.net_util > hot_threshold_;
+}
+
+bool ResourceManager::try_place(AppId app_id, AppState& app,
+                                PendingRequest& req) {
+  // Delay scheduling: a request with preferences holds out for a
+  // node-local slot for a bounded number of passes.
+  if (locality_delay_passes_ > 0 && !req.preferred.empty() &&
+      req.locality_misses < locality_delay_passes_) {
+    bool local_ok = false;
+    for (auto pref : req.preferred) {
+      cluster::Node& n = node(pref);
+      if (node_alive(pref) &&
+          req.resource.fits_in(n.memory_available(), n.vcores_available())) {
+        local_ok = true;
+        break;
+      }
+    }
+    if (!local_ok) {
+      ++req.locality_misses;
+      return false;
+    }
+  }
+  // Prefer placements that dodge monitor-flagged hot spots; fall back to
+  // hot nodes rather than leaving the request starved.
+  cluster::Node* target = find_node(req, /*avoid_hot=*/monitor_ != nullptr);
+  if (target == nullptr) target = find_node(req, /*avoid_hot=*/false);
+  if (target == nullptr) return false;
+  target->allocate(req.resource.memory, req.resource.vcores);
+  app.allocated_memory += req.resource.memory;
+  ++live_containers_;
+
+  Container container;
+  container.id = container_ids_.next();
+  container.app = app_id;
+  container.node = target->id();
+  container.resource = req.resource;
+
+  // Defer the callback so the AM cannot re-enter the placement loop.
+  engine_.schedule_after(
+      0.0, [cb = std::move(req.on_allocated), container] { cb(container); });
+  return true;
+}
+
+cluster::Node* ResourceManager::find_node(const PendingRequest& req,
+                                          bool avoid_hot) {
+  auto fits = [&](const cluster::Node& n) {
+    return node_alive(n.id()) &&
+           req.resource.fits_in(n.memory_available(), n.vcores_available()) &&
+           (!avoid_hot || !is_hot(n));
+  };
+  // 1. node-local
+  for (auto pref : req.preferred) {
+    cluster::Node& n = node(pref);
+    if (fits(n)) return &n;
+  }
+  // 2. rack-local: any node sharing a rack with a preferred node.
+  cluster::Node* best = nullptr;
+  for (auto pref : req.preferred) {
+    for (auto cand : topo_.nodes_in_rack(topo_.rack_of(pref))) {
+      cluster::Node& n = node(cand);
+      if (fits(n) &&
+          (best == nullptr ||
+           n.memory_available() > best->memory_available())) {
+        best = &n;
+      }
+    }
+  }
+  if (best != nullptr) return best;
+  // 3. anywhere: most free memory.
+  for (auto* n : nodes_) {
+    if (fits(*n) &&
+        (best == nullptr || n->memory_available() > best->memory_available())) {
+      best = n;
+    }
+  }
+  return best;
+}
+
+}  // namespace mron::yarn

@@ -1,0 +1,145 @@
+// The YARN resource manager.
+//
+// Owns the cluster's nodes for allocation purposes, tracks registered
+// applications, queues container requests, and runs locality-aware placement
+// passes under a pluggable scheduling policy. Requests may each carry a
+// different Resource — the variable-sized-container extension MRONLINE adds
+// to the stock scheduler (Section 4 of the paper; implemented there with a
+// hash map keyed by container size, here by simply storing the size on the
+// request).
+//
+// Placement preference order per request: node-local (a preferred node with
+// room) -> rack-local -> any node, picking the candidate with the most free
+// memory. Allocation callbacks are dispatched through 0-delay events so
+// application masters never re-enter the placement loop.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/monitor.h"
+#include "cluster/node.h"
+#include "cluster/topology.h"
+#include "sim/engine.h"
+#include "yarn/resource.h"
+#include "yarn/scheduling_policy.h"
+
+namespace mron::yarn {
+
+class ResourceManager {
+ public:
+  using AllocationCb = std::function<void(const Container&)>;
+
+  ResourceManager(sim::Engine& engine, const cluster::Topology& topo,
+                  std::vector<cluster::Node*> nodes,
+                  std::unique_ptr<SchedulingPolicy> policy);
+
+  ResourceManager(const ResourceManager&) = delete;
+  ResourceManager& operator=(const ResourceManager&) = delete;
+
+  // --- application lifecycle ----------------------------------------------
+  /// `queue` is consumed by the capacity policy (ignored by FIFO/fair).
+  AppId register_app(const std::string& name, double weight = 1.0,
+                     int queue = 0);
+  /// Releases nothing by itself: apps must release containers first.
+  void unregister_app(AppId app);
+
+  // --- container requests --------------------------------------------------
+  /// Ask for one container; `preferred` are the nodes holding the input
+  /// split's replicas (may be empty for don't-care, e.g. reducers).
+  RequestId request_container(AppId app, Resource resource,
+                              std::vector<cluster::NodeId> preferred,
+                              AllocationCb on_allocated);
+  /// Cancel a not-yet-satisfied request (no-op once allocated).
+  void cancel_request(RequestId id);
+  void release_container(const Container& container);
+
+  // --- node liveness (failure injection) -------------------------------------
+  /// Fail-stop a node: it receives no further containers and every
+  /// subscriber (application master) is told so it can re-execute lost
+  /// work. Idempotent.
+  void fail_node(cluster::NodeId node);
+  [[nodiscard]] bool node_alive(cluster::NodeId node) const;
+  using NodeFailureCb = std::function<void(cluster::NodeId)>;
+  void subscribe_node_failures(NodeFailureCb cb);
+
+  /// Enable hot-spot-aware placement (one of MRONLINE's runtime levers):
+  /// nodes whose disk or NIC utilization exceeded `threshold` in the
+  /// monitor's last window are avoided while a cooler candidate exists.
+  void set_cluster_monitor(const cluster::ClusterMonitor* monitor,
+                           double hot_threshold = 0.9);
+
+  /// Delay scheduling (Zaharia et al.): a request with node preferences
+  /// passes on non-local placements for up to `passes` scheduling passes
+  /// before relaxing to rack-local/any. 0 disables (the default).
+  void set_locality_delay(int passes);
+
+  // --- introspection --------------------------------------------------------
+  [[nodiscard]] Bytes app_allocated_memory(AppId app) const;
+  [[nodiscard]] std::size_t pending_requests() const;
+  [[nodiscard]] std::size_t live_containers() const {
+    return live_containers_;
+  }
+  [[nodiscard]] cluster::Node& node(cluster::NodeId id) {
+    return *nodes_[static_cast<std::size_t>(id.value())];
+  }
+  [[nodiscard]] const cluster::Topology& topology() const { return topo_; }
+  [[nodiscard]] int num_nodes() const {
+    return static_cast<int>(nodes_.size());
+  }
+  [[nodiscard]] Bytes cluster_memory_capacity() const;
+
+ private:
+  struct PendingRequest {
+    RequestId id;
+    Resource resource;
+    std::vector<cluster::NodeId> preferred;
+    AllocationCb on_allocated;
+    int locality_misses = 0;  ///< passes spent waiting for a local slot
+  };
+  struct AppState {
+    std::string name;
+    std::int64_t submit_order = 0;
+    double weight = 1.0;
+    int sched_queue = 0;  ///< capacity-scheduler queue
+    Bytes allocated_memory{0};
+    std::deque<PendingRequest> queue;
+    bool live = false;
+  };
+
+  void trigger_schedule();
+  void schedule_pass();
+  /// Try to place request `req`; returns true and fires its callback on
+  /// success.
+  bool try_place(AppId app_id, AppState& app, PendingRequest& req);
+  /// Best node for `req` following node-local -> rack-local -> any;
+  /// `avoid_hot` filters out monitor-flagged hot nodes.
+  [[nodiscard]] cluster::Node* find_node(const PendingRequest& req,
+                                         bool avoid_hot);
+  [[nodiscard]] bool is_hot(const cluster::Node& node) const;
+
+  sim::Engine& engine_;
+  const cluster::Topology& topo_;
+  std::vector<cluster::Node*> nodes_;
+  std::unique_ptr<SchedulingPolicy> policy_;
+  std::map<AppId, AppState> apps_;  // ordered for deterministic iteration
+  IdAllocator<AppId> app_ids_;
+  IdAllocator<ContainerId> container_ids_;
+  IdAllocator<RequestId> request_ids_;
+  std::int64_t next_submit_order_ = 0;
+  bool pass_scheduled_ = false;
+  std::size_t live_containers_ = 0;
+  const cluster::ClusterMonitor* monitor_ = nullptr;
+  double hot_threshold_ = 0.9;
+  std::vector<bool> alive_;
+  std::vector<NodeFailureCb> failure_subscribers_;
+  int locality_delay_passes_ = 0;
+};
+
+}  // namespace mron::yarn

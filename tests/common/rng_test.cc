@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mron {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.fork(1);
+  Rng parent2(7);
+  Rng child2 = parent2.fork(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child(), child2());
+  // Different salts give different streams.
+  Rng parent3(7);
+  Rng other = parent3.fork(2);
+  int equal = 0;
+  Rng parent4(7);
+  Rng base = parent4.fork(1);
+  for (int i = 0; i < 100; ++i) {
+    if (base() == other()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, Uniform01Bounds) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform01();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(4);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    ASSERT_GE(v, 3);
+    ASSERT_LE(v, 7);
+    saw_lo |= (v == 3);
+    saw_hi |= (v == 7);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, LognormalNoiseMeanIsOne) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += rng.lognormal_noise(0.2);
+  EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, LognormalNoiseCvZeroIsExactlyOne) {
+  Rng rng(6);
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(rng.lognormal_noise(0.0), 1.0);
+}
+
+TEST(Rng, LognormalNoiseCvMatches) {
+  Rng rng(8);
+  const double cv = 0.3;
+  const int n = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.lognormal_noise(cv);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, cv, 0.01);
+}
+
+}  // namespace
+}  // namespace mron

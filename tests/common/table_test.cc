@@ -1,0 +1,37 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mron {
+namespace {
+
+TEST(TextTable, RendersAlignedRows) {
+  TextTable t({"Benchmark", "Time (s)"});
+  t.add_row({"Terasort", TextTable::num(4012.5)});
+  t.add_row({"WC", TextTable::num(900.0)});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Benchmark"), std::string::npos);
+  EXPECT_NE(out.find("4012.5"), std::string::npos);
+  EXPECT_NE(out.find("Terasort"), std::string::npos);
+  // Header separator lines exist.
+  EXPECT_NE(out.find("+-"), std::string::npos);
+}
+
+TEST(TextTable, NumPrecision) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(3.0, 0), "3");
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+}  // namespace
+}  // namespace mron

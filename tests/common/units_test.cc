@@ -1,0 +1,47 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+namespace mron {
+namespace {
+
+TEST(Bytes, ArithmeticAndComparisons) {
+  const Bytes a = mebibytes(100);
+  const Bytes b = mebibytes(28);
+  EXPECT_EQ((a + b).count(), mebibytes(128).count());
+  EXPECT_EQ((a - b).count(), mebibytes(72).count());
+  EXPECT_LT(b, a);
+  EXPECT_DOUBLE_EQ(a.mib(), 100.0);
+  EXPECT_DOUBLE_EQ(gibibytes(2).gib(), 2.0);
+}
+
+TEST(Bytes, ScalingAndRatios) {
+  const Bytes buf = mebibytes(100);
+  EXPECT_DOUBLE_EQ((buf * 0.8).mib(), 80.0);
+  EXPECT_DOUBLE_EQ((0.5 * buf).mib(), 50.0);
+  EXPECT_DOUBLE_EQ(mebibytes(50) / mebibytes(100), 0.5);
+}
+
+TEST(Bytes, CompoundAssignment) {
+  Bytes b = mebibytes(10);
+  b += mebibytes(5);
+  EXPECT_EQ(b, mebibytes(15));
+  b -= mebibytes(15);
+  EXPECT_EQ(b, Bytes(0));
+}
+
+TEST(BytesPerSec, TimeFor) {
+  const BytesPerSec disk = mib_per_sec(100);
+  EXPECT_DOUBLE_EQ(disk.time_for(mebibytes(200)), 2.0);
+  // 1 Gbps moves 125 MB/s.
+  EXPECT_NEAR(gbit_per_sec(1).time_for(Bytes(125'000'000)), 1.0, 1e-9);
+}
+
+TEST(BytesPerSec, Scaling) {
+  const BytesPerSec nic = gbit_per_sec(1);
+  EXPECT_DOUBLE_EQ((nic * 0.5).rate(), nic.rate() / 2.0);
+  EXPECT_DOUBLE_EQ((nic / 4.0).rate(), nic.rate() / 4.0);
+}
+
+}  // namespace
+}  // namespace mron

@@ -1,0 +1,122 @@
+#include "dfs/dfs.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace mron::dfs {
+namespace {
+
+class DfsTest : public ::testing::Test {
+ protected:
+  cluster::ClusterSpec spec;
+  cluster::Topology topo{spec};
+  Dfs dfs{topo, Rng(42)};
+};
+
+TEST_F(DfsTest, BlockCountAndSizes) {
+  const auto id = dfs.create_dataset("wiki", gibibytes(1));
+  const auto& ds = dfs.dataset(id);
+  // 1 GiB / 128 MiB = 8 full blocks.
+  EXPECT_EQ(ds.blocks.size(), 8u);
+  Bytes total{0};
+  for (const auto& b : ds.blocks) total += b.size;
+  EXPECT_EQ(total, gibibytes(1));
+}
+
+TEST_F(DfsTest, PartialLastBlock) {
+  const auto id = dfs.create_dataset("odd", mebibytes(300));
+  const auto& ds = dfs.dataset(id);
+  ASSERT_EQ(ds.blocks.size(), 3u);
+  EXPECT_EQ(ds.blocks[0].size, mebibytes(128));
+  EXPECT_EQ(ds.blocks[1].size, mebibytes(128));
+  EXPECT_EQ(ds.blocks[2].size, mebibytes(44));
+}
+
+TEST_F(DfsTest, ReplicationPolicy) {
+  const auto id = dfs.create_dataset("d", gibibytes(10));
+  for (const auto& b : dfs.dataset(id).blocks) {
+    ASSERT_EQ(b.replicas.size(), 3u);
+    // All replicas distinct.
+    std::set<cluster::NodeId> uniq(b.replicas.begin(), b.replicas.end());
+    EXPECT_EQ(uniq.size(), 3u);
+    // Second replica off the first's rack; third on the second's rack.
+    EXPECT_FALSE(topo.same_rack(b.replicas[0], b.replicas[1]));
+    EXPECT_TRUE(topo.same_rack(b.replicas[1], b.replicas[2]));
+  }
+}
+
+TEST_F(DfsTest, LocalityClassification) {
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  const auto& block = dfs.dataset(id).blocks[0];
+  EXPECT_EQ(dfs.locality(id, 0, block.replicas[0]), Locality::NodeLocal);
+  // A rack-mate of a replica that is not itself a replica.
+  for (auto n : topo.all_nodes()) {
+    const bool is_replica =
+        std::find(block.replicas.begin(), block.replicas.end(), n) !=
+        block.replicas.end();
+    if (is_replica) continue;
+    bool rack_of_replica = false;
+    for (auto r : block.replicas) {
+      if (topo.same_rack(n, r)) rack_of_replica = true;
+    }
+    EXPECT_EQ(dfs.locality(id, 0, n),
+              rack_of_replica ? Locality::RackLocal : Locality::OffRack);
+  }
+}
+
+TEST_F(DfsTest, PickReplicaPrefersLocalThenRack) {
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  const auto& block = dfs.dataset(id).blocks[0];
+  EXPECT_EQ(dfs.pick_replica(id, 0, block.replicas[1]), block.replicas[1]);
+  // A non-replica rack-mate of replica 0 gets replica 0 (rack local).
+  for (auto n : topo.nodes_in_rack(topo.rack_of(block.replicas[0]))) {
+    if (std::find(block.replicas.begin(), block.replicas.end(), n) !=
+        block.replicas.end()) {
+      continue;
+    }
+    const auto picked = dfs.pick_replica(id, 0, n);
+    EXPECT_TRUE(topo.same_rack(picked, n));
+    break;
+  }
+}
+
+TEST_F(DfsTest, PlacementIsRoughlyBalanced) {
+  const auto id = dfs.create_dataset("big", gibibytes(90));
+  std::vector<int> per_node(static_cast<std::size_t>(topo.num_nodes()), 0);
+  int total = 0;
+  for (const auto& b : dfs.dataset(id).blocks) {
+    for (auto r : b.replicas) {
+      ++per_node[static_cast<std::size_t>(r.value())];
+      ++total;
+    }
+  }
+  const double avg = static_cast<double>(total) / topo.num_nodes();
+  for (int c : per_node) {
+    EXPECT_GT(c, avg * 0.5);
+    EXPECT_LT(c, avg * 1.5);
+  }
+}
+
+TEST_F(DfsTest, EmptyDatasetHasNoBlocks) {
+  const auto id = dfs.create_dataset("empty", Bytes(0));
+  EXPECT_TRUE(dfs.dataset(id).blocks.empty());
+}
+
+TEST(DfsSingleRack, SecondReplicaFallsBackToSameRack) {
+  cluster::ClusterSpec spec;
+  spec.num_slaves = 3;
+  spec.rack_sizes = {3};
+  cluster::Topology topo(spec);
+  Dfs dfs(topo, Rng(1));
+  const auto id = dfs.create_dataset("d", mebibytes(256));
+  for (const auto& b : dfs.dataset(id).blocks) {
+    ASSERT_GE(b.replicas.size(), 2u);
+    EXPECT_NE(b.replicas[0], b.replicas[1]);
+  }
+}
+
+}  // namespace
+}  // namespace mron::dfs

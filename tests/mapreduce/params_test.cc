@@ -1,0 +1,126 @@
+#include "mapreduce/params.h"
+
+#include <gtest/gtest.h>
+
+namespace mron::mapreduce {
+namespace {
+
+TEST(ParamRegistry, HasAllTable2Parameters) {
+  const auto& reg = ParamRegistry::standard();
+  EXPECT_EQ(reg.size(), 13u);
+  // Spot-check the table's names.
+  EXPECT_NE(reg.find("mapreduce.task.io.sort.mb"), nullptr);
+  EXPECT_NE(reg.find("mapreduce.reduce.shuffle.parallelcopies"), nullptr);
+  EXPECT_NE(reg.find("mapreduce.reduce.merge.inmem.threshold"), nullptr);
+  EXPECT_EQ(reg.find("not.a.parameter"), nullptr);
+}
+
+TEST(ParamRegistry, DefaultsMatchTable2) {
+  const JobConfig cfg;
+  const auto& reg = ParamRegistry::standard();
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.map.memory.mb"), 1024);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.reduce.memory.mb"), 1024);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.task.io.sort.mb"), 100);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.map.sort.spill.percent"), 0.8);
+  EXPECT_EQ(*reg.get_by_name(cfg,
+                             "mapreduce.reduce.shuffle.input.buffer.percent"),
+            0.7);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.reduce.shuffle.merge.percent"),
+            0.66);
+  EXPECT_EQ(
+      *reg.get_by_name(cfg, "mapreduce.reduce.shuffle.memory.limit.percent"),
+      0.25);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.reduce.merge.inmem.threshold"),
+            1000);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.reduce.input.buffer.percent"),
+            0.0);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.map.cpu.vcores"), 1);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.reduce.cpu.vcores"), 1);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.task.io.sort.factor"), 10);
+  EXPECT_EQ(*reg.get_by_name(cfg, "mapreduce.reduce.shuffle.parallelcopies"),
+            5);
+}
+
+TEST(ParamRegistry, SetClampsToRange) {
+  const auto& reg = ParamRegistry::standard();
+  JobConfig cfg;
+  reg.set_by_name(cfg, "mapreduce.task.io.sort.mb", 99999);
+  EXPECT_EQ(cfg.io_sort_mb, 1024);
+  reg.set_by_name(cfg, "mapreduce.task.io.sort.mb", -5);
+  EXPECT_EQ(cfg.io_sort_mb, 50);
+}
+
+TEST(ParamRegistry, SetRoundsIntegerParams) {
+  const auto& reg = ParamRegistry::standard();
+  JobConfig cfg;
+  reg.set_by_name(cfg, "mapreduce.map.cpu.vcores", 2.6);
+  EXPECT_EQ(cfg.map_cpu_vcores, 3);
+  reg.set_by_name(cfg, "mapreduce.map.sort.spill.percent", 0.777);
+  EXPECT_DOUBLE_EQ(cfg.sort_spill_percent, 0.777);
+}
+
+TEST(ParamRegistry, SetByNameUnknownReturnsFalse) {
+  const auto& reg = ParamRegistry::standard();
+  JobConfig cfg;
+  EXPECT_FALSE(reg.set_by_name(cfg, "bogus", 1.0));
+  EXPECT_FALSE(reg.get_by_name(cfg, "bogus").has_value());
+}
+
+TEST(ParamRegistry, IndexedAccessRoundTrips) {
+  const auto& reg = ParamRegistry::standard();
+  JobConfig cfg;
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const auto& d = reg.at(i);
+    reg.set(cfg, i, d.min);
+    EXPECT_EQ(reg.get(cfg, i), d.min) << d.name;
+    reg.set(cfg, i, d.max);
+    EXPECT_EQ(reg.get(cfg, i), d.max) << d.name;
+  }
+}
+
+TEST(ParamRegistry, CategoriesFollowSection22) {
+  const auto& reg = ParamRegistry::standard();
+  EXPECT_EQ(reg.find("mapreduce.task.io.sort.mb")->category,
+            ParamCategory::TaskLaunch);
+  EXPECT_EQ(reg.find("mapreduce.map.memory.mb")->category,
+            ParamCategory::TaskLaunch);
+  // The paper's category-III examples: inmem threshold and spill percent.
+  EXPECT_EQ(reg.find("mapreduce.reduce.merge.inmem.threshold")->category,
+            ParamCategory::Live);
+  EXPECT_EQ(reg.find("mapreduce.map.sort.spill.percent")->category,
+            ParamCategory::Live);
+}
+
+TEST(ClampConstraints, SortBufferFitsContainer) {
+  JobConfig cfg;
+  cfg.map_memory_mb = 512;
+  cfg.io_sort_mb = 512;  // cannot exceed 512 - 256 headroom
+  EXPECT_EQ(clamp_constraints(cfg), 1);
+  EXPECT_DOUBLE_EQ(cfg.io_sort_mb, 256);
+}
+
+TEST(ClampConstraints, MergePercentBoundedByInputBuffer) {
+  JobConfig cfg;
+  cfg.shuffle_input_buffer_percent = 0.5;
+  cfg.shuffle_merge_percent = 0.8;
+  EXPECT_EQ(clamp_constraints(cfg), 1);
+  EXPECT_DOUBLE_EQ(cfg.shuffle_merge_percent, 0.5);
+}
+
+TEST(ClampConstraints, ReduceInputBufferBounded) {
+  JobConfig cfg;
+  cfg.shuffle_input_buffer_percent = 0.6;
+  cfg.shuffle_merge_percent = 0.5;  // already valid
+  cfg.reduce_input_buffer_percent = 0.9;
+  EXPECT_EQ(clamp_constraints(cfg), 1);
+  EXPECT_DOUBLE_EQ(cfg.reduce_input_buffer_percent, 0.6);
+}
+
+TEST(ClampConstraints, ValidConfigUntouched) {
+  JobConfig cfg;
+  EXPECT_EQ(clamp_constraints(cfg), 0);
+  EXPECT_EQ(cfg, JobConfig{});
+}
+
+}  // namespace
+}  // namespace mron::mapreduce

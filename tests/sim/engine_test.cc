@@ -1,0 +1,103 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mron::sim {
+namespace {
+
+TEST(Engine, FiresInTimeOrder) {
+  Engine eng;
+  std::vector<int> order;
+  eng.schedule_at(3.0, [&] { order.push_back(3); });
+  eng.schedule_at(1.0, [&] { order.push_back(1); });
+  eng.schedule_at(2.0, [&] { order.push_back(2); });
+  eng.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(eng.now(), 3.0);
+}
+
+TEST(Engine, EqualTimesFireInScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    eng.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  }
+  eng.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime) {
+  Engine eng;
+  double fired_at = -1.0;
+  eng.schedule_at(5.0, [&] {
+    eng.schedule_after(2.5, [&] { fired_at = eng.now(); });
+  });
+  eng.run();
+  EXPECT_DOUBLE_EQ(fired_at, 7.5);
+}
+
+TEST(Engine, CancelPreventsFiring) {
+  Engine eng;
+  bool fired = false;
+  const EventId id = eng.schedule_at(1.0, [&] { fired = true; });
+  eng.cancel(id);
+  eng.run();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(eng.empty());
+}
+
+TEST(Engine, CancelTwiceAndAfterFireAreNoops) {
+  Engine eng;
+  int count = 0;
+  const EventId id = eng.schedule_at(1.0, [&] { ++count; });
+  eng.run();
+  eng.cancel(id);  // already fired
+  eng.cancel(id);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Engine, RunUntilStopsAtBoundary) {
+  Engine eng;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    eng.schedule_at(t, [&times, &eng] { times.push_back(eng.now()); });
+  }
+  const auto fired = eng.run_until(2.5);
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(eng.now(), 2.5);
+  EXPECT_EQ(eng.pending(), 2u);
+  eng.run();
+  EXPECT_EQ(times.size(), 4u);
+}
+
+TEST(Engine, EventsCanChain) {
+  Engine eng;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) eng.schedule_after(1.0, chain);
+  };
+  eng.schedule_after(1.0, chain);
+  eng.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_DOUBLE_EQ(eng.now(), 100.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine eng;
+  eng.schedule_at(10.0, [] {});
+  eng.run();
+  EXPECT_THROW(eng.schedule_at(5.0, [] {}), CheckError);
+  EXPECT_THROW(eng.schedule_after(-1.0, [] {}), CheckError);
+}
+
+TEST(Engine, MaxEventsGuardThrows) {
+  Engine eng;
+  std::function<void()> forever = [&] { eng.schedule_after(1.0, forever); };
+  eng.schedule_after(1.0, forever);
+  EXPECT_THROW(eng.run(1000), CheckError);
+}
+
+}  // namespace
+}  // namespace mron::sim

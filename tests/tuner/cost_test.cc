@@ -1,0 +1,86 @@
+#include "tuner/cost.h"
+
+#include <gtest/gtest.h>
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::TaskKind;
+using mapreduce::TaskReport;
+
+TaskReport make_report(double mem, double cpu, std::int64_t spilled,
+                       std::int64_t combined, double dur) {
+  TaskReport r;
+  r.task.kind = TaskKind::Map;
+  r.start_time = 0.0;
+  r.end_time = dur;
+  r.mem_util = mem;
+  r.cpu_util = cpu;
+  r.mem_commit = mem;
+  r.counters.spilled_records = spilled;
+  r.counters.combine_output_records = combined;
+  return r;
+}
+
+TEST(Cost, IdealTaskScoresNearOne) {
+  // Full utilization, optimal spills, fastest task: only the T/Tmax term
+  // remains (its own duration / itself = 1 when it IS the max).
+  const auto r = make_report(0.88, 1.0, 100, 100, 10.0);
+  EXPECT_NEAR(task_cost(r, 10.0), 0.12 + 0.0 + 1.0 + 1.0, 1e-9);
+}
+
+TEST(Cost, LowUtilizationPenalized) {
+  const auto good = make_report(0.85, 0.9, 100, 100, 10.0);
+  const auto bad = make_report(0.3, 0.2, 100, 100, 10.0);
+  EXPECT_LT(task_cost(good, 20.0), task_cost(bad, 20.0));
+}
+
+TEST(Cost, SpillAmplificationPenalized) {
+  const auto clean = make_report(0.8, 0.8, 100, 100, 10.0);
+  const auto spilly = make_report(0.8, 0.8, 300, 100, 10.0);
+  EXPECT_NEAR(task_cost(spilly, 20.0) - task_cost(clean, 20.0), 2.0, 1e-9);
+}
+
+TEST(Cost, SlowTasksPenalizedRelativeToMax) {
+  const auto fast = make_report(0.8, 0.8, 100, 100, 5.0);
+  const auto slow = make_report(0.8, 0.8, 100, 100, 50.0);
+  EXPECT_LT(task_cost(fast, 50.0), task_cost(slow, 50.0));
+}
+
+TEST(Cost, OomGetsFlatPenalty) {
+  TaskReport r = make_report(0.5, 0.5, 0, 0, 5.0);
+  r.failed_oom = true;
+  EXPECT_DOUBLE_EQ(task_cost(r, 10.0), kOomCostPenalty);
+}
+
+TEST(Cost, NearOomCommitmentAccruesRisk) {
+  auto safe = make_report(0.8, 0.8, 100, 100, 10.0);
+  safe.mem_commit = 0.85;
+  auto risky = make_report(0.8, 0.8, 100, 100, 10.0);
+  risky.mem_commit = 1.0;
+  EXPECT_NEAR(task_cost(risky, 20.0) - task_cost(safe, 20.0),
+              (1.0 - kMemCommitSafe) * kMemCommitRiskSlope, 1e-9);
+}
+
+TEST(Cost, ReduceSpillRatioUsesShuffledBytes) {
+  TaskReport r;
+  r.task.kind = TaskKind::Reduce;
+  r.start_time = 0.0;
+  r.end_time = 10.0;
+  r.mem_util = 1.0;
+  r.cpu_util = 1.0;
+  r.counters.shuffle_bytes = mebibytes(100);
+  r.counters.local_disk_write_bytes = mebibytes(50);
+  // 0 util penalties, spill = 0.5, time = 1.
+  EXPECT_NEAR(task_cost(r, 10.0), 1.5, 1e-9);
+}
+
+TEST(Cost, MaxTaskSecondsFloorsAtOwnDuration) {
+  auto r = make_report(1.0, 1.0, 100, 100, 30.0);
+  r.mem_commit = 0.85;  // below the risk threshold
+  // Even if the caller's running max is stale (10 < 30), T/Tmax <= 1.
+  EXPECT_LE(task_cost(r, 10.0), 2.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace mron::tuner

@@ -1,0 +1,135 @@
+#include "tuner/hill_climber.h"
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::JobConfig;
+
+// Drive the climber synchronously against an analytic cost surface defined
+// on the normalized point of each issued config.
+double drive(GrayBoxHillClimber& climber, SearchSpace& space,
+             const std::function<double(const std::vector<double>&)>& f,
+             int max_waves = 200) {
+  for (int w = 0; w < max_waves && !climber.done(); ++w) {
+    const auto batch = climber.next_batch();
+    if (batch.empty()) break;
+    std::vector<double> costs;
+    for (const auto& cfg : batch) {
+      costs.push_back(f(space.from_config(cfg)));
+    }
+    climber.report_costs(costs);
+  }
+  return climber.best_cost();
+}
+
+TEST(HillClimber, ConvergesOnConvexBowl) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  ClimberOptions opt;
+  GrayBoxHillClimber climber(&space, opt, Rng(1));
+  // Minimum at x = (0.3, 0.7, 0.5, 0.5, 0.5).
+  const std::vector<double> target{0.3, 0.7, 0.5, 0.5, 0.5};
+  const double best = drive(climber, space, [&](const std::vector<double>& x) {
+    double s = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      s += (x[d] - target[d]) * (x[d] - target[d]);
+    }
+    return s;
+  });
+  EXPECT_TRUE(climber.done());
+  EXPECT_LT(best, 0.08);  // near the bowl's floor
+  const auto best_x = space.from_config(climber.best_config());
+  EXPECT_NEAR(best_x[0], 0.3, 0.2);
+  EXPECT_NEAR(best_x[1], 0.7, 0.2);
+}
+
+TEST(HillClimber, TerminatesAfterGlobalStrikes) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  ClimberOptions opt;
+  opt.max_global_rounds = 3;
+  GrayBoxHillClimber climber(&space, opt, Rng(2));
+  // Constant surface: nothing ever improves after the first wave.
+  drive(climber, space, [](const std::vector<double>&) { return 1.0; });
+  EXPECT_TRUE(climber.done());
+  EXPECT_TRUE(climber.has_best());
+}
+
+TEST(HillClimber, WaveSizesFollowOptions) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  ClimberOptions opt;
+  opt.global_samples = 10;
+  opt.local_samples = 4;
+  GrayBoxHillClimber climber(&space, opt, Rng(3));
+  auto first = climber.next_batch();
+  EXPECT_EQ(first.size(), 10u);  // global
+  climber.report_costs(std::vector<double>(10, 1.0));
+  auto second = climber.next_batch();
+  EXPECT_EQ(second.size(), 4u);  // local after first global
+}
+
+TEST(HillClimber, NeighborhoodShrinksWithoutImprovement) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  ClimberOptions opt;
+  GrayBoxHillClimber climber(&space, opt, Rng(4));
+  climber.report_costs(std::vector<double>(
+      climber.next_batch().size(), 1.0));  // enter local phase
+  const double before = climber.neighborhood_size();
+  // Local wave with worse costs than current (cost 1.0) -> shrink.
+  climber.report_costs(std::vector<double>(
+      climber.next_batch().size(), 2.0));
+  EXPECT_LT(climber.neighborhood_size(), before);
+}
+
+TEST(HillClimber, FindsBestOnNoisySurface) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  ClimberOptions opt;
+  GrayBoxHillClimber climber(&space, opt, Rng(5));
+  Rng noise(99);
+  const double best =
+      drive(climber, space, [&](const std::vector<double>& x) {
+        return (x[0] - 0.5) * (x[0] - 0.5) + 0.02 * noise.uniform01();
+      });
+  EXPECT_LT(best, 0.05);
+}
+
+TEST(HillClimber, RespectsTightenedBoundsMidSearch) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  ClimberOptions opt;
+  GrayBoxHillClimber climber(&space, opt, Rng(6));
+  auto batch = climber.next_batch();
+  climber.report_costs(std::vector<double>(batch.size(), 1.0));
+  // A rule tightens dimension 0 to [0.8, 1.0]; every later sample obeys.
+  space.set_bounds(0, 0.8, 1.0);
+  while (!climber.done()) {
+    batch = climber.next_batch();
+    if (batch.empty()) break;
+    for (const auto& cfg : batch) {
+      EXPECT_GE(space.from_config(cfg)[0], 0.8 - 0.05);
+    }
+    climber.report_costs(std::vector<double>(batch.size(), 1.0));
+  }
+}
+
+TEST(HillClimber, FinishStopsBatches) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  GrayBoxHillClimber climber(&space, ClimberOptions{}, Rng(7));
+  climber.finish();
+  EXPECT_TRUE(climber.done());
+  EXPECT_TRUE(climber.next_batch().empty());
+}
+
+TEST(HillClimber, MismatchedCostCountRejected) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  GrayBoxHillClimber climber(&space, ClimberOptions{}, Rng(8));
+  climber.next_batch();
+  EXPECT_THROW(climber.report_costs({1.0}), CheckError);
+}
+
+}  // namespace
+}  // namespace mron::tuner

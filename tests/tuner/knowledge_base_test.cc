@@ -1,0 +1,59 @@
+#include "tuner/knowledge_base.h"
+
+#include <gtest/gtest.h>
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::JobConfig;
+
+TEST(KnowledgeBase, StoreAndLookup) {
+  TuningKnowledgeBase kb;
+  JobConfig cfg;
+  cfg.io_sort_mb = 256;
+  kb.store("Terasort", cfg, 1.5);
+  const auto got = kb.lookup("Terasort");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->io_sort_mb, 256);
+  EXPECT_FALSE(kb.lookup("Unknown").has_value());
+}
+
+TEST(KnowledgeBase, KeepsCheaperEntry) {
+  TuningKnowledgeBase kb;
+  JobConfig cheap, pricey;
+  cheap.io_sort_mb = 111;
+  pricey.io_sort_mb = 999;
+  kb.store("job", cheap, 1.0);
+  kb.store("job", pricey, 2.0);  // worse: ignored
+  EXPECT_DOUBLE_EQ(kb.lookup("job")->io_sort_mb, 111);
+  kb.store("job", pricey, 0.5);  // better: replaces
+  EXPECT_DOUBLE_EQ(kb.lookup("job")->io_sort_mb, 999);
+}
+
+TEST(KnowledgeBase, SerializeRoundTrips) {
+  TuningKnowledgeBase kb;
+  JobConfig cfg;
+  cfg.io_sort_mb = 320;
+  cfg.map_memory_mb = 640;
+  cfg.shuffle_parallelcopies = 30;
+  kb.store("WC/wiki", cfg, 2.25);
+  kb.store("Terasort", JobConfig{}, 3.0);
+
+  TuningKnowledgeBase other;
+  EXPECT_EQ(other.deserialize(kb.serialize()), 2);
+  const auto got = other.lookup("WC/wiki");
+  ASSERT_TRUE(got.has_value());
+  EXPECT_DOUBLE_EQ(got->io_sort_mb, 320);
+  EXPECT_DOUBLE_EQ(got->map_memory_mb, 640);
+  EXPECT_DOUBLE_EQ(got->shuffle_parallelcopies, 30);
+  EXPECT_DOUBLE_EQ(other.lookup_entry("WC/wiki")->cost, 2.25);
+}
+
+TEST(KnowledgeBase, DeserializeSkipsGarbage) {
+  TuningKnowledgeBase kb;
+  EXPECT_EQ(kb.deserialize("\n\nnot-a-valid-line\n"), 0);
+  EXPECT_EQ(kb.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mron::tuner

@@ -1,0 +1,84 @@
+#include "tuner/lhs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::JobConfig;
+
+TEST(Lhs, SamplesWithinUnitCube) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  LhsSampler sampler(24, Rng(1));
+  const auto points = sampler.sample(space, 24);
+  ASSERT_EQ(points.size(), 24u);
+  for (const auto& p : points) {
+    ASSERT_EQ(p.size(), space.dims());
+    for (double v : p) {
+      ASSERT_GE(v, 0.0);
+      ASSERT_LE(v, 1.0);
+    }
+  }
+}
+
+// The defining Latin property: with n samples, each of the n equal strata
+// of every dimension contains exactly one sample.
+TEST(Lhs, StratificationHoldsPerDimension) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  const int n = 16;
+  LhsSampler sampler(1000001, Rng(2));  // fine lattice: quantization ~0
+  const auto points = sampler.sample(space, n);
+  for (std::size_t d = 0; d < space.dims(); ++d) {
+    std::set<int> strata;
+    for (const auto& p : points) {
+      strata.insert(static_cast<int>(p[d] * n * 0.999999));
+    }
+    EXPECT_EQ(strata.size(), static_cast<std::size_t>(n)) << "dim " << d;
+  }
+}
+
+TEST(Lhs, RespectsDynamicBounds) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  space.set_bounds(0, 0.3, 0.5);
+  LhsSampler sampler(24, Rng(3));
+  for (const auto& p : sampler.sample(space, 20)) {
+    ASSERT_GE(p[0], 0.3 - 1e-9);
+    ASSERT_LE(p[0], 0.5 + 1e-9);
+  }
+}
+
+TEST(Lhs, NeighborhoodSamplingStaysLocal) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  LhsSampler sampler(24, Rng(4));
+  std::vector<double> center(space.dims(), 0.5);
+  for (const auto& p : sampler.sample_neighborhood(space, center, 0.1, 16)) {
+    for (double v : p) {
+      ASSERT_GE(v, 0.4 - 0.05);  // quantization slack
+      ASSERT_LE(v, 0.6 + 0.05);
+    }
+  }
+}
+
+TEST(Lhs, QuantizesOntoLattice) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  const int k = 5;  // lattice {0, .25, .5, .75, 1}
+  LhsSampler sampler(k, Rng(5));
+  for (const auto& p : sampler.sample(space, 8)) {
+    for (double v : p) {
+      const double scaled = v * (k - 1);
+      EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+    }
+  }
+}
+
+TEST(Lhs, DeterministicForSeed) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  LhsSampler a(24, Rng(6)), b(24, Rng(6));
+  EXPECT_EQ(a.sample(space, 10), b.sample(space, 10));
+}
+
+}  // namespace
+}  // namespace mron::tuner

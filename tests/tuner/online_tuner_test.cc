@@ -1,0 +1,183 @@
+#include "tuner/online_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "workloads/benchmarks.h"
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::JobSpec;
+using mapreduce::Simulation;
+using mapreduce::SimulationOptions;
+using workloads::Benchmark;
+using workloads::Corpus;
+
+// A scaled-down Terasort (fewer blocks, small waves) keeps these
+// integration tests fast while exercising the full machinery.
+JobSpec small_terasort(Simulation& sim, int blocks = 120) {
+  JobSpec spec = workloads::make_terasort(
+      sim, mebibytes(128.0 * blocks), std::max(4, blocks / 4));
+  return spec;
+}
+
+TunerOptions small_options(TuningStrategy strategy) {
+  TunerOptions opt;
+  opt.strategy = strategy;
+  opt.climber.global_samples = 8;
+  opt.climber.local_samples = 6;
+  opt.climber.max_global_rounds = 2;
+  return opt;
+}
+
+TEST(OnlineTunerAggressive, TestRunCompletesAndProducesConfig) {
+  SimulationOptions sopt;
+  sopt.seed = 11;
+  Simulation sim(sopt);
+  JobSpec spec = small_terasort(sim);
+  OnlineTuner tuner(small_options(TuningStrategy::Aggressive));
+  bool finished = false;
+  auto& am = sim.submit_job(spec, [&](const JobResult&) { finished = true; });
+  tuner.attach(am);
+  sim.run();
+  EXPECT_TRUE(finished);
+  const auto& out = tuner.outcome(am.id());
+  EXPECT_GT(out.waves, 1);
+  EXPECT_GT(out.configs_tried, 8);
+  // The found config must differ from the default and satisfy constraints.
+  JobConfig best = out.best_config;
+  EXPECT_NE(best, JobConfig{});
+  EXPECT_EQ(mapreduce::clamp_constraints(best), 0);
+}
+
+TEST(OnlineTunerAggressive, BestConfigBeatsDefaultOnRerun) {
+  // The paper's expedited-test-run flow: tune once, rerun with the result.
+  SimulationOptions sopt;
+  sopt.seed = 12;
+  Simulation tune_sim(sopt);
+  JobSpec spec = small_terasort(tune_sim, 160);
+  OnlineTuner tuner(small_options(TuningStrategy::Aggressive));
+  auto& am = tune_sim.submit_job(spec);
+  tuner.attach(am);
+  tune_sim.run();
+  const JobConfig best = tuner.outcome(am.id()).best_config;
+
+  auto run_with = [](const JobConfig& cfg, std::uint64_t seed) {
+    SimulationOptions o;
+    o.seed = seed;
+    Simulation sim(o);
+    JobSpec s = small_terasort(sim, 160);
+    s.config = cfg;
+    return sim.run_job(s).exec_time();
+  };
+  const double def = run_with(JobConfig{}, 5);
+  const double tuned = run_with(best, 5);
+  EXPECT_LT(tuned, def);
+}
+
+TEST(OnlineTunerAggressive, StoresOutcomeInKnowledgeBase) {
+  SimulationOptions sopt;
+  sopt.seed = 13;
+  Simulation sim(sopt);
+  JobSpec spec = small_terasort(sim);
+  OnlineTuner tuner(small_options(TuningStrategy::Aggressive));
+  auto& am = sim.submit_job(spec);
+  tuner.attach(am);
+  sim.run();
+  EXPECT_TRUE(tuner.knowledge_base().lookup("Terasort").has_value());
+}
+
+TEST(OnlineTunerAggressive, SpillsReachOptimalOnTunedRerun) {
+  SimulationOptions sopt;
+  sopt.seed = 14;
+  Simulation tune_sim(sopt);
+  JobSpec spec = small_terasort(tune_sim);
+  OnlineTuner tuner(small_options(TuningStrategy::Aggressive));
+  auto& am = tune_sim.submit_job(spec);
+  tuner.attach(am);
+  tune_sim.run();
+
+  SimulationOptions o;
+  o.seed = 15;
+  Simulation sim(o);
+  JobSpec s = small_terasort(sim);
+  s.config = tuner.outcome(am.id()).best_config;
+  const JobResult r = sim.run_job(s);
+  EXPECT_EQ(r.counters.map.spilled_records,
+            r.counters.map.combine_output_records);
+}
+
+TEST(OnlineTunerAggressive, RulesAblationStillConverges) {
+  SimulationOptions sopt;
+  sopt.seed = 16;
+  Simulation sim(sopt);
+  JobSpec spec = small_terasort(sim);
+  TunerOptions opt = small_options(TuningStrategy::Aggressive);
+  opt.use_tuning_rules = false;  // pure black-box smart hill climbing
+  OnlineTuner tuner(opt);
+  bool finished = false;
+  auto& am = sim.submit_job(spec, [&](const JobResult&) { finished = true; });
+  tuner.attach(am);
+  sim.run();
+  EXPECT_TRUE(finished);
+  EXPECT_GT(tuner.outcome(am.id()).configs_tried, 0);
+}
+
+TEST(OnlineTunerConservative, ImprovesSingleRunWithoutGating) {
+  auto run_job = [](bool tuned, std::uint64_t seed) {
+    SimulationOptions sopt;
+    sopt.seed = seed;
+    Simulation sim(sopt);
+    JobSpec spec = small_terasort(sim, 200);
+    double exec = -1;
+    auto& am =
+        sim.submit_job(spec, [&](const JobResult& r) { exec = r.exec_time(); });
+    OnlineTuner tuner(small_options(TuningStrategy::Conservative));
+    if (tuned) tuner.attach(am);
+    sim.run();
+    return exec;
+  };
+  const double def = run_job(false, 21);
+  const double tuned = run_job(true, 21);
+  EXPECT_LT(tuned, def * 1.02);  // never materially worse
+  EXPECT_GT(tuned, 0.0);
+}
+
+TEST(OnlineTunerConservative, MakesAdjustmentsDuringRun) {
+  SimulationOptions sopt;
+  sopt.seed = 22;
+  Simulation sim(sopt);
+  JobSpec spec = small_terasort(sim, 200);
+  OnlineTuner tuner(small_options(TuningStrategy::Conservative));
+  auto& am = sim.submit_job(spec);
+  tuner.attach(am);
+  sim.run();
+  const auto& out = tuner.outcome(am.id());
+  EXPECT_GT(out.conservative_adjustments, 0);
+  // Conservative tuning should at minimum have fixed the spill trigger.
+  EXPECT_DOUBLE_EQ(out.best_config.sort_spill_percent, 0.99);
+}
+
+TEST(OnlineTuner, MultipleJobsTunedIndependently) {
+  SimulationOptions sopt;
+  sopt.seed = 23;
+  sopt.fair_scheduler = true;
+  Simulation sim(sopt);
+  OnlineTuner tuner(small_options(TuningStrategy::Conservative));
+  JobSpec a = small_terasort(sim, 80);
+  JobSpec b = workloads::make_bbp(20);
+  int done = 0;
+  auto& am_a = sim.submit_job(a, [&](const JobResult&) { ++done; });
+  auto& am_b = sim.submit_job(b, [&](const JobResult&) { ++done; });
+  tuner.attach(am_a);
+  tuner.attach(am_b);
+  sim.run();
+  EXPECT_EQ(done, 2);
+  EXPECT_NO_THROW((void)tuner.outcome(am_a.id()));
+  EXPECT_NO_THROW((void)tuner.outcome(am_b.id()));
+}
+
+}  // namespace
+}  // namespace mron::tuner

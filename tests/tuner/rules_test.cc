@@ -1,0 +1,183 @@
+#include "tuner/rules.h"
+
+#include <gtest/gtest.h>
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::TaskKind;
+using mapreduce::TaskReport;
+
+TaskReport map_report(double mem_mb, double sort_mb, double mem_util,
+                      double cpu_util, std::int64_t spilled,
+                      std::int64_t combined, double out_mb, double dur = 30) {
+  TaskReport r;
+  r.task.kind = TaskKind::Map;
+  r.end_time = dur;
+  r.config.map_memory_mb = mem_mb;
+  r.config.io_sort_mb = sort_mb;
+  r.mem_util = mem_util;
+  r.cpu_util = cpu_util;
+  r.counters.spilled_records = spilled;
+  r.counters.combine_output_records = combined;
+  r.counters.map_output_records = combined;
+  r.counters.map_output_bytes = mebibytes(out_mb);
+  return r;
+}
+
+TEST(WaveStats, AggregatesMapReports) {
+  std::vector<TaskReport> reports{
+      map_report(1024, 100, 0.5, 0.6, 200, 100, 128),
+      map_report(2048, 200, 0.3, 0.4, 100, 100, 128),
+  };
+  const auto s = WaveStats::from_reports(reports);
+  EXPECT_EQ(s.mem_util.size(), 2u);
+  EXPECT_EQ(s.sampled_sort_mb.size(), 2u);
+  EXPECT_EQ(s.spill_ratio.size(), 2u);
+  EXPECT_DOUBLE_EQ(s.spill_ratio[0], 2.0);
+  EXPECT_DOUBLE_EQ(s.spill_ratio[1], 1.0);
+  EXPECT_EQ(s.oom_count, 0);
+}
+
+TEST(WaveStats, CountsOomsSeparately) {
+  TaskReport oom = map_report(512, 100, 1.0, 0, 0, 0, 0);
+  oom.failed_oom = true;
+  const auto s = WaveStats::from_reports({oom});
+  EXPECT_EQ(s.oom_count, 1);
+  EXPECT_TRUE(s.mem_util.empty());
+}
+
+TEST(MapRules, UnderUtilizationLowersMemoryUpperBound) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  std::vector<TaskReport> reports;
+  for (int i = 0; i < 8; ++i) {
+    reports.push_back(
+        map_report(2000 + 100 * i, 100, 0.3, 0.6, 100, 100, 50));
+  }
+  const auto before = space.upper(space.dim_of("mapreduce.map.memory.mb"));
+  apply_map_rules(WaveStats::from_reports(reports), space);
+  EXPECT_LT(space.upper(space.dim_of("mapreduce.map.memory.mb")), before);
+}
+
+TEST(MapRules, OverUtilizationRaisesMemoryLowerBound) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  std::vector<TaskReport> reports;
+  for (int i = 0; i < 8; ++i) {
+    reports.push_back(map_report(600 + 20 * i, 100, 0.95, 0.6, 100, 100, 50));
+  }
+  apply_map_rules(WaveStats::from_reports(reports), space);
+  EXPECT_GT(space.lower(space.dim_of("mapreduce.map.memory.mb")), 0.0);
+}
+
+TEST(MapRules, SpillPairingTightensSortBufferBothSides) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  std::vector<TaskReport> reports;
+  // Small buffers spilled 2x, large buffers reached the optimum.
+  for (int i = 0; i < 4; ++i) {
+    reports.push_back(map_report(1024, 80 + i * 10, 0.6, 0.6, 200, 100, 128));
+    reports.push_back(map_report(1024, 400 + i * 50, 0.6, 0.6, 100, 100, 128));
+  }
+  apply_map_rules(WaveStats::from_reports(reports), space);
+  const auto dim = space.dim_of("mapreduce.task.io.sort.mb");
+  // Lower bound rose above the failing values (~110 of [50,1024]).
+  EXPECT_GT(space.lower(dim), 0.04);
+  // Upper bound fell toward the clean values (~550).
+  EXPECT_LT(space.upper(dim), 0.6);
+  EXPECT_LE(space.lower(dim), space.upper(dim));
+}
+
+TEST(MapRules, SpillPercentPinnedWhenSingleSpillAttainable) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  std::vector<TaskReport> reports{
+      map_report(1024, 100, 0.6, 0.6, 100, 100, /*out_mb=*/128)};
+  apply_map_rules(WaveStats::from_reports(reports), space);
+  const auto dim = space.dim_of("mapreduce.map.sort.spill.percent");
+  // 0.99 normalized in [0.5, 0.99] = 1.0.
+  EXPECT_GT(space.lower(dim), 0.95);
+}
+
+TEST(ReduceRules, InmemThresholdPinnedToZero) {
+  auto space = SearchSpace::reduce_side(JobConfig{});
+  TaskReport r;
+  r.task.kind = TaskKind::Reduce;
+  r.end_time = 10;
+  r.mem_util = 0.6;
+  r.config.reduce_memory_mb = 1024;
+  apply_reduce_rules(WaveStats::from_reports({r}), space);
+  const auto dim = space.dim_of("mapreduce.reduce.merge.inmem.threshold");
+  EXPECT_DOUBLE_EQ(space.upper(dim), 0.0);
+}
+
+TEST(ConservativeTuner, GrowsSortBufferFromObservedOutput) {
+  ConservativeTuner tuner{JobConfig{}};
+  for (std::size_t i = 0; i < kConservativeBatch; ++i) {
+    tuner.observe(map_report(1024, 100, 0.45, 0.5, 200, 100, /*out_mb=*/150));
+  }
+  ASSERT_TRUE(tuner.ready());
+  const auto cfg = tuner.adjust();
+  EXPECT_GT(cfg.io_sort_mb, 150);  // sized to hold the output in one spill
+  EXPECT_DOUBLE_EQ(cfg.sort_spill_percent, 0.99);
+}
+
+TEST(ConservativeTuner, ShrinksUnderUtilizedContainers) {
+  ConservativeTuner tuner{JobConfig{}};
+  for (std::size_t i = 0; i < kConservativeBatch; ++i) {
+    tuner.observe(map_report(1024, 100, 0.35, 0.5, 100, 100, 30));
+  }
+  const auto cfg = tuner.adjust();
+  EXPECT_LT(cfg.map_memory_mb, 1024);
+  EXPECT_GE(cfg.map_memory_mb, 512);
+}
+
+TEST(ConservativeTuner, EscalatesVcoresWhileImproving) {
+  ConservativeTuner tuner{JobConfig{}};
+  // Batch 1: CPU-saturated, duration 100 -> vcores 2.
+  for (std::size_t i = 0; i < kConservativeBatch; ++i) {
+    tuner.observe(map_report(1024, 100, 0.6, 0.99, 100, 100, 30, 100));
+  }
+  EXPECT_DOUBLE_EQ(tuner.adjust().map_cpu_vcores, 2);
+  // Batch 2: still saturated and faster -> vcores 3.
+  for (std::size_t i = 0; i < kConservativeBatch; ++i) {
+    tuner.observe(map_report(1024, 100, 0.6, 0.99, 100, 100, 30, 60));
+  }
+  EXPECT_DOUBLE_EQ(tuner.adjust().map_cpu_vcores, 3);
+  // Batch 3: no longer improving -> frozen.
+  for (std::size_t i = 0; i < kConservativeBatch; ++i) {
+    tuner.observe(map_report(1024, 100, 0.6, 0.99, 100, 100, 30, 60));
+  }
+  EXPECT_DOUBLE_EQ(tuner.adjust().map_cpu_vcores, 3);
+}
+
+TEST(ConservativeTuner, GrowsReduceMemoryOnOom) {
+  ConservativeTuner tuner{JobConfig{}};
+  for (std::size_t i = 0; i < kConservativeBatch; ++i) {
+    TaskReport r;
+    r.task.kind = TaskKind::Reduce;
+    r.failed_oom = true;
+    r.config.reduce_memory_mb = 1024;
+    tuner.observe(r);
+  }
+  const auto cfg = tuner.adjust();
+  EXPECT_GT(cfg.reduce_memory_mb, 1024);
+}
+
+TEST(ConservativeTuner, KeepsReduceInputInMemoryWhenItFits) {
+  ConservativeTuner tuner{JobConfig{}};
+  for (std::size_t i = 0; i < kConservativeBatch; ++i) {
+    TaskReport r;
+    r.task.kind = TaskKind::Reduce;
+    r.end_time = 60;
+    r.mem_util = 0.6;
+    r.config.reduce_memory_mb = 1024;
+    r.counters.shuffle_bytes = mebibytes(150);  // fits the ~573 MiB buffer
+    tuner.observe(r);
+  }
+  const auto cfg = tuner.adjust();
+  EXPECT_DOUBLE_EQ(cfg.reduce_input_buffer_percent,
+                   cfg.shuffle_input_buffer_percent);
+  EXPECT_DOUBLE_EQ(cfg.merge_inmem_threshold, 0);
+}
+
+}  // namespace
+}  // namespace mron::tuner

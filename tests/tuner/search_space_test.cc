@@ -1,0 +1,88 @@
+#include "tuner/search_space.h"
+
+#include "common/check.h"
+
+#include <gtest/gtest.h>
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::JobConfig;
+
+TEST(SearchSpace, MapSideDimensions) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  EXPECT_EQ(space.dims(), 5u);
+  EXPECT_NE(space.dim_of("mapreduce.task.io.sort.mb"), SearchSpace::npos);
+  EXPECT_EQ(space.dim_of("mapreduce.reduce.memory.mb"), SearchSpace::npos);
+}
+
+TEST(SearchSpace, ReduceSideDimensions) {
+  auto space = SearchSpace::reduce_side(JobConfig{});
+  EXPECT_EQ(space.dims(), 8u);
+  EXPECT_NE(space.dim_of("mapreduce.reduce.shuffle.parallelcopies"),
+            SearchSpace::npos);
+  EXPECT_EQ(space.dim_of("mapreduce.task.io.sort.mb"), SearchSpace::npos);
+}
+
+TEST(SearchSpace, ToConfigMapsUnitIntervalOntoRanges) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  const auto lo = space.to_config(std::vector<double>(space.dims(), 0.0));
+  EXPECT_DOUBLE_EQ(lo.map_memory_mb, 512);
+  EXPECT_DOUBLE_EQ(lo.io_sort_mb, 50);
+  const auto hi = space.to_config(std::vector<double>(space.dims(), 1.0));
+  EXPECT_DOUBLE_EQ(hi.map_memory_mb, 3072);
+  EXPECT_DOUBLE_EQ(hi.map_cpu_vcores, 4);
+}
+
+TEST(SearchSpace, ToConfigAppliesConstraints) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  std::vector<double> x(space.dims(), 0.0);
+  x[space.dim_of("mapreduce.map.memory.mb")] = 0.0;   // 512 MB
+  x[space.dim_of("mapreduce.task.io.sort.mb")] = 1.0; // 1024 MB
+  const auto cfg = space.to_config(x);
+  EXPECT_LE(cfg.io_sort_mb, cfg.map_memory_mb - mapreduce::kJvmHeadroomMb);
+}
+
+TEST(SearchSpace, ToConfigPreservesBaseOutsideDims) {
+  JobConfig base;
+  base.shuffle_parallelcopies = 42;  // not a map-side dim
+  auto space = SearchSpace::map_side(base);
+  const auto cfg = space.to_config(std::vector<double>(space.dims(), 0.5));
+  EXPECT_DOUBLE_EQ(cfg.shuffle_parallelcopies, 42);
+}
+
+TEST(SearchSpace, FromConfigRoundTrips) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  std::vector<double> x(space.dims(), 0.5);
+  const auto cfg = space.to_config(x);
+  const auto back = space.from_config(cfg);
+  for (std::size_t d = 0; d < space.dims(); ++d) {
+    const auto& p = space.param(d);
+    // Integer rounding perturbs a coordinate by at most half a step.
+    const double tol = p.integer ? 0.51 / (p.max - p.min) : 1e-9;
+    EXPECT_NEAR(back[d], x[d], tol) << p.name;
+  }
+}
+
+TEST(SearchSpace, BoundsClampPoints) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  space.set_bounds(0, 0.4, 0.6);
+  std::vector<double> x(space.dims(), 0.9);
+  space.clamp(x);
+  EXPECT_DOUBLE_EQ(x[0], 0.6);
+  EXPECT_DOUBLE_EQ(x[1], 0.9);
+}
+
+TEST(SearchSpace, InvertedBoundsRejected) {
+  auto space = SearchSpace::map_side(JobConfig{});
+  EXPECT_THROW(space.set_bounds(0, 0.8, 0.2), CheckError);
+}
+
+TEST(SearchSpace, UnknownParamRejected) {
+  EXPECT_THROW(SearchSpace(mapreduce::ParamRegistry::standard(),
+                           {"not.a.param"}, JobConfig{}),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace mron::tuner

@@ -1,0 +1,111 @@
+// Delay scheduling: requests with node preferences hold out briefly for a
+// local slot instead of taking the first non-local one.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "mapreduce/simulation.h"
+#include "yarn/resource_manager.h"
+
+namespace mron::yarn {
+namespace {
+
+class DelayTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec.num_slaves = 4;
+    spec.rack_sizes = {2, 2};
+    topo = std::make_unique<cluster::Topology>(spec);
+    std::vector<cluster::Node*> ptrs;
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(
+          std::make_unique<cluster::Node>(eng, cluster::NodeId(i), spec));
+      ptrs.push_back(nodes.back().get());
+    }
+    rm = std::make_unique<ResourceManager>(eng, *topo, ptrs,
+                                           make_fifo_policy());
+    app = rm->register_app("a");
+  }
+
+  sim::Engine eng;
+  cluster::ClusterSpec spec;
+  std::unique_ptr<cluster::Topology> topo;
+  std::vector<std::unique_ptr<cluster::Node>> nodes;
+  std::unique_ptr<ResourceManager> rm;
+  AppId app;
+};
+
+TEST_F(DelayTest, WaitsForLocalSlotWithinBudget) {
+  rm->set_locality_delay(5);
+  // Fill the preferred node; a non-delayed request would immediately land
+  // elsewhere.
+  nodes[1]->allocate(nodes[1]->memory_available(), 1);
+  std::vector<Container> got;
+  rm->request_container(app, {gibibytes(1), 1}, {cluster::NodeId(1)},
+                        [&](const Container& c) { got.push_back(c); });
+  eng.run();
+  EXPECT_TRUE(got.empty());  // still holding out
+  // Free the preferred node and trigger passes via another allocation.
+  nodes[1]->release(gibibytes(6), 0);
+  rm->request_container(app, {mebibytes(256), 1}, {},
+                        [&](const Container&) {});
+  eng.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].node, cluster::NodeId(1));
+}
+
+TEST_F(DelayTest, RelaxesAfterBudgetExhausted) {
+  rm->set_locality_delay(2);
+  nodes[2]->allocate(nodes[2]->memory_available(), 1);
+  std::vector<Container> got;
+  rm->request_container(app, {gibibytes(1), 1}, {cluster::NodeId(2)},
+                        [&](const Container& c) { got.push_back(c); });
+  // Burn the two delay passes with unrelated scheduling activity.
+  for (int i = 0; i < 3; ++i) {
+    rm->request_container(app, {mebibytes(128), 1}, {},
+                          [&](const Container&) {});
+    eng.run();
+  }
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].node, cluster::NodeId(2));  // relaxed off-node
+}
+
+TEST_F(DelayTest, ZeroDelayPlacesImmediately) {
+  nodes[0]->allocate(nodes[0]->memory_available(), 1);
+  std::vector<Container> got;
+  rm->request_container(app, {gibibytes(1), 1}, {cluster::NodeId(0)},
+                        [&](const Container& c) { got.push_back(c); });
+  eng.run();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_NE(got[0].node, cluster::NodeId(0));
+}
+
+TEST(DelaySchedulingEndToEnd, ImprovesMapLocality) {
+  auto locality_fraction = [](int delay_passes) {
+    mapreduce::SimulationOptions opt;
+    opt.cluster.num_slaves = 6;
+    opt.cluster.rack_sizes = {3, 3};
+    opt.seed = 7;
+    opt.locality_delay_passes = delay_passes;
+    mapreduce::Simulation sim(opt);
+    mapreduce::JobSpec spec;
+    spec.name = "loc";
+    spec.input = sim.load_dataset("in", mebibytes(128.0 * 48));
+    spec.num_reduces = 4;
+    const auto r = sim.run_job(std::move(spec));
+    int local = 0, total = 0;
+    for (const auto& rep : r.map_reports) {
+      if (rep.failed_oom) continue;
+      ++total;
+      if (rep.locality == dfs::Locality::NodeLocal) ++local;
+    }
+    return static_cast<double>(local) / total;
+  };
+  const double without = locality_fraction(0);
+  const double with = locality_fraction(8);
+  EXPECT_GE(with, without);
+}
+
+}  // namespace
+}  // namespace mron::yarn

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cluster/monitor.h"
+#include "yarn/resource_manager.h"
+
+namespace mron::yarn {
+namespace {
+
+class HotspotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    spec.num_slaves = 4;
+    spec.rack_sizes = {2, 2};
+    topo = std::make_unique<cluster::Topology>(spec);
+    std::vector<cluster::Node*> ptrs;
+    for (int i = 0; i < 4; ++i) {
+      nodes.push_back(
+          std::make_unique<cluster::Node>(eng, cluster::NodeId(i), spec));
+      ptrs.push_back(nodes.back().get());
+    }
+    monitor = std::make_unique<cluster::ClusterMonitor>(eng, ptrs, 1.0);
+    rm = std::make_unique<ResourceManager>(eng, *topo, ptrs,
+                                           make_fifo_policy());
+    rm->set_cluster_monitor(monitor.get(), 0.9);
+    app = rm->register_app("a");
+  }
+
+  /// Keep node `i`'s disk saturated and let the monitor observe it.
+  void make_hot(int i) {
+    monitor->start();
+    nodes[static_cast<std::size_t>(i)]->disk().submit(
+        spec.disk_bandwidth.rate() * 1000.0, [] {});
+    eng.run_until(eng.now() + 2.5);
+  }
+
+  sim::Engine eng;
+  cluster::ClusterSpec spec;
+  std::unique_ptr<cluster::Topology> topo;
+  std::vector<std::unique_ptr<cluster::Node>> nodes;
+  std::unique_ptr<cluster::ClusterMonitor> monitor;
+  std::unique_ptr<ResourceManager> rm;
+  AppId app;
+};
+
+TEST_F(HotspotTest, AvoidsHotNodeWhenAlternativesExist) {
+  make_hot(2);
+  // Prefer the hot node 2; placement should dodge to a cooler node.
+  std::vector<Container> got;
+  for (int i = 0; i < 3; ++i) {
+    rm->request_container(app, {gibibytes(1), 1}, {cluster::NodeId(2)},
+                          [&](const Container& c) { got.push_back(c); });
+  }
+  eng.run_until(eng.now() + 1.0);
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& c : got) EXPECT_NE(c.node, cluster::NodeId(2));
+}
+
+TEST_F(HotspotTest, FallsBackToHotNodeWhenNothingElseFits) {
+  make_hot(0);
+  // Fill every cool node completely.
+  for (int i = 1; i < 4; ++i) {
+    nodes[static_cast<std::size_t>(i)]->allocate(
+        nodes[static_cast<std::size_t>(i)]->memory_available(), 1);
+  }
+  bool placed = false;
+  cluster::NodeId where;
+  rm->request_container(app, {gibibytes(1), 1}, {},
+                        [&](const Container& c) {
+                          placed = true;
+                          where = c.node;
+                        });
+  eng.run_until(eng.now() + 1.0);
+  EXPECT_TRUE(placed);
+  EXPECT_EQ(where, cluster::NodeId(0));
+}
+
+TEST_F(HotspotTest, WithoutMonitorHotnessIgnored) {
+  rm->set_cluster_monitor(nullptr);
+  make_hot(2);
+  std::vector<Container> got;
+  rm->request_container(app, {gibibytes(1), 1}, {cluster::NodeId(2)},
+                        [&](const Container& c) { got.push_back(c); });
+  eng.run_until(eng.now() + 1.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].node, cluster::NodeId(2));  // locality wins again
+}
+
+TEST_F(HotspotTest, CoolNodesUnaffected) {
+  make_hot(3);
+  std::vector<Container> got;
+  rm->request_container(app, {gibibytes(1), 1}, {cluster::NodeId(1)},
+                        [&](const Container& c) { got.push_back(c); });
+  eng.run_until(eng.now() + 1.0);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].node, cluster::NodeId(1));
+}
+
+}  // namespace
+}  // namespace mron::yarn
