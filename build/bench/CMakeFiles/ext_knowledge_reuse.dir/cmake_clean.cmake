@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_knowledge_reuse.dir/ext_knowledge_reuse.cc.o"
+  "CMakeFiles/ext_knowledge_reuse.dir/ext_knowledge_reuse.cc.o.d"
+  "ext_knowledge_reuse"
+  "ext_knowledge_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_knowledge_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

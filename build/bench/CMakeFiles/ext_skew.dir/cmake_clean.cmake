@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_skew.dir/ext_skew.cc.o"
+  "CMakeFiles/ext_skew.dir/ext_skew.cc.o.d"
+  "ext_skew"
+  "ext_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_static_planner.dir/ext_static_planner.cc.o"
+  "CMakeFiles/ext_static_planner.dir/ext_static_planner.cc.o.d"
+  "ext_static_planner"
+  "ext_static_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_static_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

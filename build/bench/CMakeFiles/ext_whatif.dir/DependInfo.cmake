@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_whatif.cc" "bench/CMakeFiles/ext_whatif.dir/ext_whatif.cc.o" "gcc" "bench/CMakeFiles/ext_whatif.dir/ext_whatif.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/mron_bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/mron_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mron_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mron_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/whatif/CMakeFiles/mron_whatif.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/mron_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mron_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mron_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mron_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mron_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mron_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_whatif.dir/ext_whatif.cc.o"
+  "CMakeFiles/ext_whatif.dir/ext_whatif.cc.o.d"
+  "ext_whatif"
+  "ext_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_terasort_expedited.dir/fig04_terasort_expedited.cc.o"
+  "CMakeFiles/fig04_terasort_expedited.dir/fig04_terasort_expedited.cc.o.d"
+  "fig04_terasort_expedited"
+  "fig04_terasort_expedited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_terasort_expedited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_terasort_expedited.
+# This may be replaced when dependencies are built.

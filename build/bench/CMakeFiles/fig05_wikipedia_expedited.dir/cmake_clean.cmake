@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_wikipedia_expedited.dir/fig05_wikipedia_expedited.cc.o"
+  "CMakeFiles/fig05_wikipedia_expedited.dir/fig05_wikipedia_expedited.cc.o.d"
+  "fig05_wikipedia_expedited"
+  "fig05_wikipedia_expedited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_wikipedia_expedited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

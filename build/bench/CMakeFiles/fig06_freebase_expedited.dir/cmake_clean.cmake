@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_freebase_expedited.dir/fig06_freebase_expedited.cc.o"
+  "CMakeFiles/fig06_freebase_expedited.dir/fig06_freebase_expedited.cc.o.d"
+  "fig06_freebase_expedited"
+  "fig06_freebase_expedited.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_freebase_expedited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_terasort_spills.dir/fig07_terasort_spills.cc.o"
+  "CMakeFiles/fig07_terasort_spills.dir/fig07_terasort_spills.cc.o.d"
+  "fig07_terasort_spills"
+  "fig07_terasort_spills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_terasort_spills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig07_terasort_spills.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_wikipedia_spills.dir/fig08_wikipedia_spills.cc.o"
+  "CMakeFiles/fig08_wikipedia_spills.dir/fig08_wikipedia_spills.cc.o.d"
+  "fig08_wikipedia_spills"
+  "fig08_wikipedia_spills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_wikipedia_spills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

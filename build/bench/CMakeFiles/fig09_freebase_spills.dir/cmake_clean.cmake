@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_freebase_spills.dir/fig09_freebase_spills.cc.o"
+  "CMakeFiles/fig09_freebase_spills.dir/fig09_freebase_spills.cc.o.d"
+  "fig09_freebase_spills"
+  "fig09_freebase_spills.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_freebase_spills.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

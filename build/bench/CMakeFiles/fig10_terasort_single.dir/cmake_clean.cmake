@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_terasort_single.dir/fig10_terasort_single.cc.o"
+  "CMakeFiles/fig10_terasort_single.dir/fig10_terasort_single.cc.o.d"
+  "fig10_terasort_single"
+  "fig10_terasort_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_terasort_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_wikipedia_single.dir/fig11_wikipedia_single.cc.o"
+  "CMakeFiles/fig11_wikipedia_single.dir/fig11_wikipedia_single.cc.o.d"
+  "fig11_wikipedia_single"
+  "fig11_wikipedia_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_wikipedia_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_freebase_single.dir/fig12_freebase_single.cc.o"
+  "CMakeFiles/fig12_freebase_single.dir/fig12_freebase_single.cc.o.d"
+  "fig12_freebase_single"
+  "fig12_freebase_single.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_freebase_single.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

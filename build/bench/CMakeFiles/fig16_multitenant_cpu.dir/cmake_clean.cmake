@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_multitenant_cpu.dir/fig16_multitenant_cpu.cc.o"
+  "CMakeFiles/fig16_multitenant_cpu.dir/fig16_multitenant_cpu.cc.o.d"
+  "fig16_multitenant_cpu"
+  "fig16_multitenant_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_multitenant_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

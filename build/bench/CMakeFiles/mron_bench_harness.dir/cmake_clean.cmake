@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/mron_bench_harness.dir/harness.cc.o.d"
+  "libmron_bench_harness.a"
+  "libmron_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_configuration.dir/dynamic_configuration.cpp.o"
+  "CMakeFiles/dynamic_configuration.dir/dynamic_configuration.cpp.o.d"
+  "dynamic_configuration"
+  "dynamic_configuration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_configuration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

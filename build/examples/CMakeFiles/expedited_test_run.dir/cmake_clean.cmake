@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expedited_test_run.dir/expedited_test_run.cpp.o"
+  "CMakeFiles/expedited_test_run.dir/expedited_test_run.cpp.o.d"
+  "expedited_test_run"
+  "expedited_test_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expedited_test_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

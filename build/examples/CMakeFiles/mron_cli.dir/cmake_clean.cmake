@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_cli.dir/mron_cli.cpp.o"
+  "CMakeFiles/mron_cli.dir/mron_cli.cpp.o.d"
+  "mron_cli"
+  "mron_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

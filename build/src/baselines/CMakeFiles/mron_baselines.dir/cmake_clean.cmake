@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_baselines.dir/genetic_tuner.cc.o"
+  "CMakeFiles/mron_baselines.dir/genetic_tuner.cc.o.d"
+  "CMakeFiles/mron_baselines.dir/offline_guide.cc.o"
+  "CMakeFiles/mron_baselines.dir/offline_guide.cc.o.d"
+  "libmron_baselines.a"
+  "libmron_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmron_baselines.a"
+)

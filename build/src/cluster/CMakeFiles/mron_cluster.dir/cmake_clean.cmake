@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_cluster.dir/fabric.cc.o"
+  "CMakeFiles/mron_cluster.dir/fabric.cc.o.d"
+  "CMakeFiles/mron_cluster.dir/monitor.cc.o"
+  "CMakeFiles/mron_cluster.dir/monitor.cc.o.d"
+  "CMakeFiles/mron_cluster.dir/node.cc.o"
+  "CMakeFiles/mron_cluster.dir/node.cc.o.d"
+  "CMakeFiles/mron_cluster.dir/topology.cc.o"
+  "CMakeFiles/mron_cluster.dir/topology.cc.o.d"
+  "libmron_cluster.a"
+  "libmron_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_common.dir/flags.cc.o"
+  "CMakeFiles/mron_common.dir/flags.cc.o.d"
+  "CMakeFiles/mron_common.dir/log.cc.o"
+  "CMakeFiles/mron_common.dir/log.cc.o.d"
+  "CMakeFiles/mron_common.dir/rng.cc.o"
+  "CMakeFiles/mron_common.dir/rng.cc.o.d"
+  "CMakeFiles/mron_common.dir/stats.cc.o"
+  "CMakeFiles/mron_common.dir/stats.cc.o.d"
+  "CMakeFiles/mron_common.dir/table.cc.o"
+  "CMakeFiles/mron_common.dir/table.cc.o.d"
+  "libmron_common.a"
+  "libmron_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_dfs.dir/dfs.cc.o"
+  "CMakeFiles/mron_dfs.dir/dfs.cc.o.d"
+  "libmron_dfs.a"
+  "libmron_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

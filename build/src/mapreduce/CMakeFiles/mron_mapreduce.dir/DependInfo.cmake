@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapreduce/map_task.cc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/map_task.cc.o" "gcc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/map_task.cc.o.d"
+  "/root/repo/src/mapreduce/mr_app_master.cc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/mr_app_master.cc.o" "gcc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/mr_app_master.cc.o.d"
+  "/root/repo/src/mapreduce/params.cc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/params.cc.o" "gcc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/params.cc.o.d"
+  "/root/repo/src/mapreduce/reduce_task.cc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/reduce_task.cc.o" "gcc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/reduce_task.cc.o.d"
+  "/root/repo/src/mapreduce/simulation.cc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/simulation.cc.o" "gcc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/simulation.cc.o.d"
+  "/root/repo/src/mapreduce/spill_model.cc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/spill_model.cc.o" "gcc" "src/mapreduce/CMakeFiles/mron_mapreduce.dir/spill_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/yarn/CMakeFiles/mron_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mron_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mron_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mron_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_mapreduce.dir/map_task.cc.o"
+  "CMakeFiles/mron_mapreduce.dir/map_task.cc.o.d"
+  "CMakeFiles/mron_mapreduce.dir/mr_app_master.cc.o"
+  "CMakeFiles/mron_mapreduce.dir/mr_app_master.cc.o.d"
+  "CMakeFiles/mron_mapreduce.dir/params.cc.o"
+  "CMakeFiles/mron_mapreduce.dir/params.cc.o.d"
+  "CMakeFiles/mron_mapreduce.dir/reduce_task.cc.o"
+  "CMakeFiles/mron_mapreduce.dir/reduce_task.cc.o.d"
+  "CMakeFiles/mron_mapreduce.dir/simulation.cc.o"
+  "CMakeFiles/mron_mapreduce.dir/simulation.cc.o.d"
+  "CMakeFiles/mron_mapreduce.dir/spill_model.cc.o"
+  "CMakeFiles/mron_mapreduce.dir/spill_model.cc.o.d"
+  "libmron_mapreduce.a"
+  "libmron_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

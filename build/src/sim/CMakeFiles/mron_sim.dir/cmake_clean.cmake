@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_sim.dir/engine.cc.o"
+  "CMakeFiles/mron_sim.dir/engine.cc.o.d"
+  "CMakeFiles/mron_sim.dir/shared_server.cc.o"
+  "CMakeFiles/mron_sim.dir/shared_server.cc.o.d"
+  "libmron_sim.a"
+  "libmron_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

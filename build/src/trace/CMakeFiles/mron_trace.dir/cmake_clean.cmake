@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_trace.dir/timeline.cc.o"
+  "CMakeFiles/mron_trace.dir/timeline.cc.o.d"
+  "libmron_trace.a"
+  "libmron_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tuner/cost.cc" "src/tuner/CMakeFiles/mron_tuner.dir/cost.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/cost.cc.o.d"
+  "/root/repo/src/tuner/dynamic_configurator.cc" "src/tuner/CMakeFiles/mron_tuner.dir/dynamic_configurator.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/dynamic_configurator.cc.o.d"
+  "/root/repo/src/tuner/hill_climber.cc" "src/tuner/CMakeFiles/mron_tuner.dir/hill_climber.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/hill_climber.cc.o.d"
+  "/root/repo/src/tuner/knowledge_base.cc" "src/tuner/CMakeFiles/mron_tuner.dir/knowledge_base.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/knowledge_base.cc.o.d"
+  "/root/repo/src/tuner/lhs.cc" "src/tuner/CMakeFiles/mron_tuner.dir/lhs.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/lhs.cc.o.d"
+  "/root/repo/src/tuner/online_tuner.cc" "src/tuner/CMakeFiles/mron_tuner.dir/online_tuner.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/online_tuner.cc.o.d"
+  "/root/repo/src/tuner/rules.cc" "src/tuner/CMakeFiles/mron_tuner.dir/rules.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/rules.cc.o.d"
+  "/root/repo/src/tuner/search_space.cc" "src/tuner/CMakeFiles/mron_tuner.dir/search_space.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/search_space.cc.o.d"
+  "/root/repo/src/tuner/static_planner.cc" "src/tuner/CMakeFiles/mron_tuner.dir/static_planner.cc.o" "gcc" "src/tuner/CMakeFiles/mron_tuner.dir/static_planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mapreduce/CMakeFiles/mron_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mron_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mron_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mron_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mron_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_tuner.dir/cost.cc.o"
+  "CMakeFiles/mron_tuner.dir/cost.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/dynamic_configurator.cc.o"
+  "CMakeFiles/mron_tuner.dir/dynamic_configurator.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/hill_climber.cc.o"
+  "CMakeFiles/mron_tuner.dir/hill_climber.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/knowledge_base.cc.o"
+  "CMakeFiles/mron_tuner.dir/knowledge_base.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/lhs.cc.o"
+  "CMakeFiles/mron_tuner.dir/lhs.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/online_tuner.cc.o"
+  "CMakeFiles/mron_tuner.dir/online_tuner.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/rules.cc.o"
+  "CMakeFiles/mron_tuner.dir/rules.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/search_space.cc.o"
+  "CMakeFiles/mron_tuner.dir/search_space.cc.o.d"
+  "CMakeFiles/mron_tuner.dir/static_planner.cc.o"
+  "CMakeFiles/mron_tuner.dir/static_planner.cc.o.d"
+  "libmron_tuner.a"
+  "libmron_tuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_tuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

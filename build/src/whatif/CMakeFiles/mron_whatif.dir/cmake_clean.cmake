@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_whatif.dir/predictor.cc.o"
+  "CMakeFiles/mron_whatif.dir/predictor.cc.o.d"
+  "libmron_whatif.a"
+  "libmron_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

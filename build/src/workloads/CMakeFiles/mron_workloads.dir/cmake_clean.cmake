@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_workloads.dir/benchmarks.cc.o"
+  "CMakeFiles/mron_workloads.dir/benchmarks.cc.o.d"
+  "libmron_workloads.a"
+  "libmron_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

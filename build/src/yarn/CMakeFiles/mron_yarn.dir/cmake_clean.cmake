@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mron_yarn.dir/resource_manager.cc.o"
+  "CMakeFiles/mron_yarn.dir/resource_manager.cc.o.d"
+  "CMakeFiles/mron_yarn.dir/scheduling_policy.cc.o"
+  "CMakeFiles/mron_yarn.dir/scheduling_policy.cc.o.d"
+  "libmron_yarn.a"
+  "libmron_yarn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mron_yarn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cluster/fabric_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/fabric_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/fabric_test.cc.o.d"
+  "/root/repo/tests/cluster/monitor_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/monitor_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/monitor_test.cc.o.d"
+  "/root/repo/tests/cluster/node_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/node_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/node_test.cc.o.d"
+  "/root/repo/tests/cluster/topology_test.cc" "tests/CMakeFiles/cluster_test.dir/cluster/topology_test.cc.o" "gcc" "tests/CMakeFiles/cluster_test.dir/cluster/topology_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mron_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

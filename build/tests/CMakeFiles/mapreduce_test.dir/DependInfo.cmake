@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/mapreduce/compression_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/compression_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/compression_test.cc.o.d"
+  "/root/repo/tests/mapreduce/failure_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/failure_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/failure_test.cc.o.d"
+  "/root/repo/tests/mapreduce/map_task_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/map_task_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/map_task_test.cc.o.d"
+  "/root/repo/tests/mapreduce/mr_app_master_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/mr_app_master_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/mr_app_master_test.cc.o.d"
+  "/root/repo/tests/mapreduce/params_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/params_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/params_test.cc.o.d"
+  "/root/repo/tests/mapreduce/reduce_task_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/reduce_task_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/reduce_task_test.cc.o.d"
+  "/root/repo/tests/mapreduce/simulation_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/simulation_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/simulation_test.cc.o.d"
+  "/root/repo/tests/mapreduce/speculation_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/speculation_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/speculation_test.cc.o.d"
+  "/root/repo/tests/mapreduce/spill_model_test.cc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/spill_model_test.cc.o" "gcc" "tests/CMakeFiles/mapreduce_test.dir/mapreduce/spill_model_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mron_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mron_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mron_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mron_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mron_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

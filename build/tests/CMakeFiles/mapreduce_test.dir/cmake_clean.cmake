@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_test.dir/mapreduce/compression_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/compression_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/failure_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/failure_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/map_task_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/map_task_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/mr_app_master_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/mr_app_master_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/params_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/params_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/reduce_task_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/reduce_task_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/simulation_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/simulation_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/speculation_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/speculation_test.cc.o.d"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/spill_model_test.cc.o"
+  "CMakeFiles/mapreduce_test.dir/mapreduce/spill_model_test.cc.o.d"
+  "mapreduce_test"
+  "mapreduce_test.pdb"
+  "mapreduce_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

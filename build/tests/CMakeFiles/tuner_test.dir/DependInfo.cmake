@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tuner/cost_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/cost_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/cost_test.cc.o.d"
+  "/root/repo/tests/tuner/dynamic_configurator_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/dynamic_configurator_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/dynamic_configurator_test.cc.o.d"
+  "/root/repo/tests/tuner/hill_climber_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/hill_climber_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/hill_climber_test.cc.o.d"
+  "/root/repo/tests/tuner/knowledge_base_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/knowledge_base_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/knowledge_base_test.cc.o.d"
+  "/root/repo/tests/tuner/lhs_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/lhs_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/lhs_test.cc.o.d"
+  "/root/repo/tests/tuner/online_tuner_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/online_tuner_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/online_tuner_test.cc.o.d"
+  "/root/repo/tests/tuner/rules_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/rules_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/rules_test.cc.o.d"
+  "/root/repo/tests/tuner/search_space_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/search_space_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/search_space_test.cc.o.d"
+  "/root/repo/tests/tuner/static_planner_test.cc" "tests/CMakeFiles/tuner_test.dir/tuner/static_planner_test.cc.o" "gcc" "tests/CMakeFiles/tuner_test.dir/tuner/static_planner_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuner/CMakeFiles/mron_tuner.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mron_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mron_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mron_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mron_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mron_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuner_test.dir/tuner/cost_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/cost_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/dynamic_configurator_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/dynamic_configurator_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/hill_climber_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/hill_climber_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/knowledge_base_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/knowledge_base_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/lhs_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/lhs_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/online_tuner_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/online_tuner_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/rules_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/rules_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/search_space_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/search_space_test.cc.o.d"
+  "CMakeFiles/tuner_test.dir/tuner/static_planner_test.cc.o"
+  "CMakeFiles/tuner_test.dir/tuner/static_planner_test.cc.o.d"
+  "tuner_test"
+  "tuner_test.pdb"
+  "tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

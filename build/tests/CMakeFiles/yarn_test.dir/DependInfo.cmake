@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/yarn/capacity_policy_test.cc" "tests/CMakeFiles/yarn_test.dir/yarn/capacity_policy_test.cc.o" "gcc" "tests/CMakeFiles/yarn_test.dir/yarn/capacity_policy_test.cc.o.d"
+  "/root/repo/tests/yarn/delay_scheduling_test.cc" "tests/CMakeFiles/yarn_test.dir/yarn/delay_scheduling_test.cc.o" "gcc" "tests/CMakeFiles/yarn_test.dir/yarn/delay_scheduling_test.cc.o.d"
+  "/root/repo/tests/yarn/hotspot_test.cc" "tests/CMakeFiles/yarn_test.dir/yarn/hotspot_test.cc.o" "gcc" "tests/CMakeFiles/yarn_test.dir/yarn/hotspot_test.cc.o.d"
+  "/root/repo/tests/yarn/resource_manager_test.cc" "tests/CMakeFiles/yarn_test.dir/yarn/resource_manager_test.cc.o" "gcc" "tests/CMakeFiles/yarn_test.dir/yarn/resource_manager_test.cc.o.d"
+  "/root/repo/tests/yarn/scheduling_policy_test.cc" "tests/CMakeFiles/yarn_test.dir/yarn/scheduling_policy_test.cc.o" "gcc" "tests/CMakeFiles/yarn_test.dir/yarn/scheduling_policy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mron_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/yarn/CMakeFiles/mron_yarn.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/mron_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/mron_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/mron_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mron_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

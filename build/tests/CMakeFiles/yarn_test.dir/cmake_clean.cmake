@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/yarn_test.dir/yarn/capacity_policy_test.cc.o"
+  "CMakeFiles/yarn_test.dir/yarn/capacity_policy_test.cc.o.d"
+  "CMakeFiles/yarn_test.dir/yarn/delay_scheduling_test.cc.o"
+  "CMakeFiles/yarn_test.dir/yarn/delay_scheduling_test.cc.o.d"
+  "CMakeFiles/yarn_test.dir/yarn/hotspot_test.cc.o"
+  "CMakeFiles/yarn_test.dir/yarn/hotspot_test.cc.o.d"
+  "CMakeFiles/yarn_test.dir/yarn/resource_manager_test.cc.o"
+  "CMakeFiles/yarn_test.dir/yarn/resource_manager_test.cc.o.d"
+  "CMakeFiles/yarn_test.dir/yarn/scheduling_policy_test.cc.o"
+  "CMakeFiles/yarn_test.dir/yarn/scheduling_policy_test.cc.o.d"
+  "yarn_test"
+  "yarn_test.pdb"
+  "yarn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/yarn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
