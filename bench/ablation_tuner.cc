@@ -25,7 +25,8 @@ double rerun(const mapreduce::JobConfig& cfg) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble("Ablation A1",
                         "tuner design choices on Terasort 60 GB");
   const double def = rerun(mapreduce::JobConfig{});

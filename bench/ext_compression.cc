@@ -10,7 +10,8 @@ using namespace mron;
 using workloads::Benchmark;
 using workloads::Corpus;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble("Extension",
                         "map-output compression (snappy-like codec: bytes "
                         "x0.45, compress 10 ms/MiB, decompress 5 ms/MiB)");

@@ -39,7 +39,8 @@ SkewPoint run_with_skew(double cv, const mapreduce::JobConfig& cfg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble("Extension",
                         "reducer data skew (Bigram/Wikipedia): exec time "
                         "and reduce-task tail vs partition skew");

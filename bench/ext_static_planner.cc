@@ -11,7 +11,8 @@ using namespace mron;
 using workloads::Benchmark;
 using workloads::Corpus;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble("Extension",
                         "category-I planning (#reducers, slowstart) via "
                         "simulation — Terasort 60 GB (480 maps)");

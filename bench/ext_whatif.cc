@@ -27,7 +27,8 @@ whatif::PredictionInputs terasort_inputs() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble("Extension",
                         "Starfish-style what-if engine vs MRONLINE "
                         "(Terasort 100 GB)");

@@ -5,7 +5,8 @@
 
 using namespace mron;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::expedited_figure(
       "Figure 4",
       {{workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,

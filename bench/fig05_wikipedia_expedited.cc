@@ -7,7 +7,8 @@ using namespace mron;
 using workloads::Benchmark;
 using workloads::Corpus;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::expedited_figure(
       "Figure 5",
       {{Benchmark::Bigram, Corpus::Wikipedia, "Bigram", 25.0},

@@ -5,7 +5,8 @@ using namespace mron;
 using workloads::Benchmark;
 using workloads::Corpus;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::spill_figure(
       "Figure 8",
       {{Benchmark::Bigram, Corpus::Wikipedia, "Bigram", 0.0},

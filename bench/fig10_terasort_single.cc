@@ -5,7 +5,8 @@
 
 using namespace mron;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::single_run_figure(
       "Figure 10",
       {{workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,

@@ -6,7 +6,8 @@ using namespace mron;
 using workloads::Benchmark;
 using workloads::Corpus;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::single_run_figure(
       "Figure 12",
       {{Benchmark::Bigram, Corpus::Freebase, "Bigram", 22.0},

@@ -7,7 +7,8 @@
 
 using namespace mron;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble("Figure 14",
                         "multi-tenant execution time (fair scheduler): "
                         "Terasort 60 GB + BBP");

@@ -1,7 +1,11 @@
 #include "bench/harness.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <iostream>
+#include <utility>
 
 #include "common/check.h"
 
@@ -17,6 +21,36 @@ using workloads::Benchmark;
 using workloads::Corpus;
 
 namespace {
+
+ObsOutputs g_obs;
+
+/// Turn observation on for a simulation when any export path is configured.
+void apply_obs(SimulationOptions& opt) {
+  if (!g_obs.any()) return;
+  opt.observe = true;
+  opt.trace_detail = g_obs.trace_detail;
+}
+
+/// Write the configured artifacts from a finished observed run.
+void export_obs(Simulation& sim) {
+  auto* rec = sim.recorder();
+  if (rec == nullptr) return;
+  if (!g_obs.metrics_out.empty()) {
+    std::ofstream out(g_obs.metrics_out);
+    MRON_CHECK_MSG(out.good(), "cannot open " << g_obs.metrics_out);
+    rec->metrics().write_json(out);
+  }
+  if (!g_obs.trace_out.empty()) {
+    std::ofstream out(g_obs.trace_out);
+    MRON_CHECK_MSG(out.good(), "cannot open " << g_obs.trace_out);
+    rec->trace().write_chrome_json(out);
+  }
+  if (!g_obs.audit_out.empty()) {
+    std::ofstream out(g_obs.audit_out);
+    MRON_CHECK_MSG(out.good(), "cannot open " << g_obs.audit_out);
+    rec->audit().write_jsonl(out);
+  }
+}
 
 JobSpec make_spec(Simulation& sim, Benchmark b, Corpus c,
                   Bytes terasort_bytes, int terasort_reduces) {
@@ -68,15 +102,54 @@ RunStats average(const std::vector<RunStats>& all) {
 
 }  // namespace
 
+void set_obs_outputs(ObsOutputs outputs) { g_obs = std::move(outputs); }
+
+const ObsOutputs& obs_outputs() { return g_obs; }
+
+void init_obs_from_flags(int argc, char** argv) {
+  ObsOutputs out;
+  auto value_of = [&](const char* flag, int& i) -> std::string {
+    const std::size_t len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, len) != 0) return {};
+    if (argv[i][len] == '=') return argv[i] + len + 1;
+    if (argv[i][len] == '\0' && i + 1 < argc) return argv[++i];
+    return {};
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-detail") == 0) {
+      out.trace_detail = true;
+      continue;
+    }
+    std::string v;
+    if (!(v = value_of("--metrics-out", i)).empty()) {
+      out.metrics_out = v;
+    } else if (!(v = value_of("--trace-out", i)).empty()) {
+      out.trace_out = v;
+    } else if (!(v = value_of("--audit-out", i)).empty()) {
+      out.audit_out = v;
+    } else {
+      std::fprintf(stderr,
+                   "unknown flag %s\nusage: %s [--metrics-out=F] "
+                   "[--trace-out=F] [--audit-out=F] [--trace-detail]\n",
+                   argv[i], argv[0]);
+      std::exit(2);
+    }
+  }
+  set_obs_outputs(std::move(out));
+}
+
 RunStats run_plain(Benchmark b, Corpus c, const JobConfig& cfg,
                    std::uint64_t seed, Bytes terasort_bytes,
                    int terasort_reduces) {
   SimulationOptions opt;
   opt.seed = seed;
+  apply_obs(opt);
   Simulation sim(opt);
   JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
   spec.config = cfg;
-  return stats_from(sim.run_job(std::move(spec)));
+  RunStats stats = stats_from(sim.run_job(std::move(spec)));
+  export_obs(sim);
+  return stats;
 }
 
 RunStats run_averaged(Benchmark b, Corpus c, const JobConfig& cfg,
@@ -94,6 +167,7 @@ TuneResult tune_aggressive(Benchmark b, Corpus c, std::uint64_t seed,
                            tuner::TunerOptions options) {
   SimulationOptions opt;
   opt.seed = seed;
+  apply_obs(opt);
   Simulation sim(opt);
   JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
   options.strategy = tuner::TuningStrategy::Aggressive;
@@ -104,6 +178,7 @@ TuneResult tune_aggressive(Benchmark b, Corpus c, std::uint64_t seed,
   });
   online_tuner.attach(am);
   sim.run();
+  export_obs(sim);
   const auto& out = online_tuner.outcome(am.id());
   return TuneResult{out.best_config, secs, out.waves, out.configs_tried};
 }
@@ -112,6 +187,7 @@ RunStats run_conservative(Benchmark b, Corpus c, std::uint64_t seed,
                           Bytes terasort_bytes, int terasort_reduces) {
   SimulationOptions opt;
   opt.seed = seed;
+  apply_obs(opt);
   Simulation sim(opt);
   JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
   tuner::TunerOptions topt;
@@ -123,6 +199,7 @@ RunStats run_conservative(Benchmark b, Corpus c, std::uint64_t seed,
   });
   online_tuner.attach(am);
   sim.run();
+  export_obs(sim);
   return stats;
 }
 

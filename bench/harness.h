@@ -22,6 +22,27 @@ namespace mron::bench {
 /// Seeds for the paper's "repeat each experiment four times".
 inline std::vector<std::uint64_t> repeat_seeds() { return {101, 202, 303, 404}; }
 
+/// Flight-recorder export destinations for a bench binary. When any path is
+/// set, every simulation the harness builds runs with observation on, and
+/// the artifacts are rewritten after each run (so the files describe the
+/// last simulation of the binary).
+struct ObsOutputs {
+  std::string metrics_out;  ///< MetricsRegistry JSON
+  std::string trace_out;    ///< Chrome trace_event JSON (chrome://tracing)
+  std::string audit_out;    ///< tuner decision log, JSONL
+  bool trace_detail = false;  ///< per-phase spans + shuffle fetch spans
+  [[nodiscard]] bool any() const {
+    return !metrics_out.empty() || !trace_out.empty() || !audit_out.empty();
+  }
+};
+void set_obs_outputs(ObsOutputs outputs);
+[[nodiscard]] const ObsOutputs& obs_outputs();
+
+/// Parse the shared bench flags (--metrics-out=F --trace-out=F --audit-out=F
+/// --trace-detail) and install them via set_obs_outputs(). Every bench main
+/// calls this first. Unknown flags print usage and exit(2).
+void init_obs_from_flags(int argc, char** argv);
+
 struct RunStats {
   double exec_secs = 0.0;
   double map_spilled = 0.0;    ///< map-side SPILLED_RECORDS

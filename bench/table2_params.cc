@@ -7,7 +7,8 @@
 
 using namespace mron;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble(
       "Table 2", "key configuration parameters in MRONLINE (YARN defaults)");
   TextTable table({"Configuration parameter", "Default", "Range", "Category"});

@@ -7,7 +7,8 @@
 using namespace mron;
 using workloads::BenchmarkInfo;
 
-int main() {
+int main(int argc, char** argv) {
+  mron::bench::init_obs_from_flags(argc, argv);
   bench::print_preamble("Table 3",
                         "benchmarks and their characteristics (paper vs "
                         "modeled workload, measured by running each job)");

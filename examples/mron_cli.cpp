@@ -3,6 +3,7 @@
 //   mron_cli --app=terasort --size-gb=60 --strategy=aggressive --runs=2
 //   mron_cli --app=wordcount --corpus=freebase --strategy=conservative
 //   mron_cli --app=bigram --strategy=offline --seed=9
+//   mron_cli --app=terasort --strategy=aggressive --trace-out --audit-out
 //   mron_cli --list
 //
 // Strategies:
@@ -11,11 +12,19 @@
 //   aggressive    one MRONLINE expedited test run, then `--runs` production
 //                 executions with the discovered configuration
 //   offline       the static offline tuning-guide configuration
+//
+// Flight recorder: any of --metrics-out[=F] / --trace-out[=F] /
+// --audit-out[=F] turns observation on and writes the artifact after the
+// last simulation (defaults mron_metrics.json / mron_trace.json /
+// mron_audit.jsonl). --trace-detail adds per-phase and shuffle-fetch spans.
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include "baselines/offline_guide.h"
+#include "common/check.h"
 #include "common/flags.h"
+#include "common/log.h"
 #include "mapreduce/simulation.h"
 #include "tuner/online_tuner.h"
 #include "workloads/benchmarks.h"
@@ -23,6 +32,42 @@
 using namespace mron;
 
 namespace {
+
+/// Flight-recorder destinations (empty path = don't write). When any is
+/// set, every simulation runs observed; each finished run rewrites the
+/// files, so they describe the last simulation of the invocation.
+struct ObsConfig {
+  std::string metrics_out, trace_out, audit_out;
+  bool trace_detail = false;
+  [[nodiscard]] bool any() const {
+    return !metrics_out.empty() || !trace_out.empty() || !audit_out.empty();
+  }
+};
+ObsConfig g_obs;
+
+void apply_obs(mapreduce::SimulationOptions& opt) {
+  if (!g_obs.any()) return;
+  opt.observe = true;
+  opt.trace_detail = g_obs.trace_detail;
+}
+
+void export_obs(mapreduce::Simulation& sim) {
+  auto* rec = sim.recorder();
+  if (rec == nullptr) return;
+  auto write = [](const std::string& path, auto&& writer) {
+    if (path.empty()) return;
+    std::ofstream out(path);
+    MRON_CHECK_MSG(out.good(), "cannot open " << path);
+    writer(out);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  };
+  write(g_obs.metrics_out,
+        [&](std::ostream& o) { rec->metrics().write_json(o); });
+  write(g_obs.trace_out,
+        [&](std::ostream& o) { rec->trace().write_chrome_json(o); });
+  write(g_obs.audit_out,
+        [&](std::ostream& o) { rec->audit().write_jsonl(o); });
+}
 
 struct AppChoice {
   workloads::Benchmark benchmark;
@@ -85,21 +130,27 @@ mapreduce::JobResult run_once(const AppChoice& app, double size_gb,
   mapreduce::SimulationOptions opt;
   opt.seed = seed;
   opt.fair_scheduler = fair;
+  apply_obs(opt);
   mapreduce::Simulation sim(opt);
   mapreduce::JobSpec spec = make_spec(sim, app, size_gb);
   spec.config = cfg;
-  return sim.run_job(std::move(spec));
+  mapreduce::JobResult result = sim.run_job(std::move(spec));
+  export_obs(sim);
+  return result;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
+int run_cli(int argc, char** argv) {
   const Flags flags(argc, argv);
   if (flags.get("help", false)) {
     std::printf("usage: mron_cli --app=<terasort|wordcount|bigram|"
                 "invertedindex|textsearch|bbp> [--corpus=wikipedia|freebase]"
                 " [--size-gb=N] [--strategy=none|conservative|aggressive|"
-                "offline] [--seed=N] [--runs=N] [--fair] [--show-config]\n");
+                "offline] [--seed=N] [--runs=N] [--fair] [--show-config]"
+                " [--log-level=trace|debug|info|warn|error]"
+                " [--metrics-out[=F]] [--trace-out[=F]] [--audit-out[=F]]"
+                " [--trace-detail]\n");
     return 0;
   }
   if (flags.get("list", false)) {
@@ -123,6 +174,27 @@ int main(int argc, char** argv) {
   const int runs = flags.get("runs", 1);
   const bool fair = flags.get("fair", false);
   const bool show_config = flags.get("show-config", false);
+  const std::string log_level = flags.get("log-level", std::string(""));
+  if (!log_level.empty()) {
+    LogLevel level = LogLevel::Warn;
+    if (!log_level_from_name(log_level, level)) {
+      std::fprintf(stderr, "unknown --log-level=%s\n", log_level.c_str());
+      return 2;
+    }
+    Logger::instance().set_level(level);
+  }
+  if (flags.has("metrics-out")) {
+    g_obs.metrics_out =
+        flags.get("metrics-out", std::string("mron_metrics.json"));
+  }
+  if (flags.has("trace-out")) {
+    g_obs.trace_out = flags.get("trace-out", std::string("mron_trace.json"));
+  }
+  if (flags.has("audit-out")) {
+    g_obs.audit_out =
+        flags.get("audit-out", std::string("mron_audit.jsonl"));
+  }
+  g_obs.trace_detail = flags.get("trace-detail", false);
   for (const auto& u : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", u.c_str());
   }
@@ -153,6 +225,7 @@ int main(int argc, char** argv) {
       mapreduce::SimulationOptions opt;
       opt.seed = seed + i;
       opt.fair_scheduler = fair;
+      apply_obs(opt);
       mapreduce::Simulation sim(opt);
       tuner::TunerOptions topt;
       topt.strategy = tuner::TuningStrategy::Conservative;
@@ -164,6 +237,7 @@ int main(int argc, char** argv) {
                                 });
       online_tuner.attach(am);
       sim.run();
+      export_obs(sim);
       print_result("conservative", result);
       if (show_config) print_config(online_tuner.outcome(am.id()).best_config);
     }
@@ -173,6 +247,7 @@ int main(int argc, char** argv) {
   if (strategy == "aggressive") {
     mapreduce::SimulationOptions opt;
     opt.seed = seed;
+    apply_obs(opt);
     mapreduce::Simulation sim(opt);
     tuner::OnlineTuner online_tuner{tuner::TunerOptions{}};
     double test_secs = 0.0;
@@ -181,6 +256,10 @@ int main(int argc, char** argv) {
         [&](const mapreduce::JobResult& r) { test_secs = r.exec_time(); });
     online_tuner.attach(am);
     sim.run();
+    export_obs(sim);
+    // The tuner's test run is the one worth inspecting — keep its artifacts
+    // instead of letting the production runs below overwrite them.
+    g_obs = ObsConfig{};
     const auto& out = online_tuner.outcome(am.id());
     std::printf("test run: %.1f s, %d waves, %d configurations\n", test_secs,
                 out.waves, out.configs_tried);
@@ -195,4 +274,15 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "unknown --strategy=%s\n", strategy.c_str());
   return 2;
+}
+
+int main(int argc, char** argv) {
+  try {
+    return run_cli(argc, argv);
+  } catch (const std::exception& e) {
+    // Bad export paths and the like surface as CheckError; a clean message
+    // beats an abort for a command-line tool.
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 }

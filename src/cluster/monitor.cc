@@ -1,8 +1,10 @@
 #include "cluster/monitor.h"
 
 #include <algorithm>
+#include <string>
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace mron::cluster {
 
@@ -51,6 +53,36 @@ void ClusterMonitor::sample() {
     latest_[i] = s;
     prev_[i] = Integrals{n.cpu().busy_integral(), n.disk().busy_integral(),
                          n.nic_in().busy_integral(), now};
+  }
+  // Publish the window into the flight recorder and snapshot every metric's
+  // scalar onto the sim-time axis. The monitor is the registry's sampling
+  // clock: all time series advance at its period.
+  if (auto* rec = engine_.recorder()) {
+    auto& reg = rec->metrics();
+    if (node_gauges_.empty()) {
+      node_gauges_.resize(nodes_.size());
+      for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const std::string prefix =
+            "cluster.node" + std::to_string(nodes_[i]->id().value()) + ".";
+        node_gauges_[i].cpu = &reg.gauge(prefix + "cpu_util");
+        node_gauges_[i].disk = &reg.gauge(prefix + "disk_util");
+        node_gauges_[i].net = &reg.gauge(prefix + "net_util");
+        node_gauges_[i].mem_alloc = &reg.gauge(prefix + "mem_alloc_frac");
+        node_gauges_[i].mem_used = &reg.gauge(prefix + "mem_used_frac");
+      }
+      samples_counter_ = &reg.counter("monitor.samples");
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+      const NodeSample& s = latest_[i];
+      node_gauges_[i].cpu->set(s.cpu_util);
+      node_gauges_[i].disk->set(s.disk_util);
+      node_gauges_[i].net->set(s.net_util);
+      node_gauges_[i].mem_alloc->set(s.mem_alloc_frac);
+      node_gauges_[i].mem_used->set(s.mem_used_frac);
+    }
+    samples_counter_->add(1.0);
+    rec->flush();  // pull-model publishers (SharedServer gauges)
+    reg.sample(now);
   }
   // Re-arm only while the simulation has other live events: a quiescent
   // engine means every job finished, and a self-perpetuating sampler would

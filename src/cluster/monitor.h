@@ -12,6 +12,11 @@
 #include "cluster/node.h"
 #include "sim/engine.h"
 
+namespace mron::obs {
+class Counter;
+class Gauge;
+}  // namespace mron::obs
+
 namespace mron::cluster {
 
 struct NodeSample {
@@ -49,6 +54,17 @@ class ClusterMonitor {
   bool running_ = false;
   sim::EventId pending_;
   std::vector<NodeSample> latest_;
+  /// Flight-recorder handles, resolved once on the first published sample
+  /// (registry lookups are by name; the publish path must not re-do them).
+  struct NodeGauges {
+    obs::Gauge* cpu = nullptr;
+    obs::Gauge* disk = nullptr;
+    obs::Gauge* net = nullptr;
+    obs::Gauge* mem_alloc = nullptr;
+    obs::Gauge* mem_used = nullptr;
+  };
+  std::vector<NodeGauges> node_gauges_;
+  obs::Counter* samples_counter_ = nullptr;
   struct Integrals {
     double cpu = 0.0;
     double disk = 0.0;

@@ -1,5 +1,7 @@
 #include "common/log.h"
 
+#include <algorithm>
+#include <cctype>
 #include <iostream>
 
 namespace mron {
@@ -28,6 +30,27 @@ const char* log_level_name(LogLevel level) {
       return "ERROR";
   }
   return "?";
+}
+
+bool log_level_from_name(const std::string& name, LogLevel& out) {
+  std::string low = name;
+  std::transform(low.begin(), low.end(), low.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  if (low == "trace") {
+    out = LogLevel::Trace;
+  } else if (low == "debug") {
+    out = LogLevel::Debug;
+  } else if (low == "info") {
+    out = LogLevel::Info;
+  } else if (low == "warn" || low == "warning") {
+    out = LogLevel::Warn;
+  } else if (low == "error") {
+    out = LogLevel::Error;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace mron

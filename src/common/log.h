@@ -30,6 +30,9 @@ class Logger {
 };
 
 const char* log_level_name(LogLevel level);
+/// Parse "trace"/"debug"/"info"/"warn"/"error" (case-insensitive); false on
+/// an unknown name, leaving `out` untouched.
+bool log_level_from_name(const std::string& name, LogLevel& out);
 
 }  // namespace mron
 

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace mron::mapreduce {
 
@@ -50,9 +51,22 @@ void MapTask::update_config(const JobConfig& config) {
   config_.reduce_input_buffer_percent = config.reduce_input_buffer_percent;
 }
 
+void MapTask::switch_phase_span(const char* name) {
+  auto* rec = engine_.recorder();
+  if (rec == nullptr) return;
+  rec->trace().end(phase_span_, engine_.now());
+  phase_span_ = obs::kInvalidSpan;
+  if (name != nullptr && rec->trace().detail()) {
+    phase_span_ = rec->trace().begin(
+        name, "phase", static_cast<int>(node_.id().value()),
+        inputs_.trace_tid, engine_.now());
+  }
+}
+
 void MapTask::abort() {
   if (aborted_ || finished_) return;
   aborted_ = true;
+  switch_phase_span(nullptr);
   if (started_) node_.sub_used_memory(working_set_);
 }
 
@@ -93,6 +107,7 @@ void MapTask::start() {
 
 void MapTask::phase_read_and_map() {
   if (aborted_) return;
+  switch_phase_span("map_read");
   auto remaining = std::make_shared<int>(0);
   auto arm = [this, remaining]() {
     if (--*remaining == 0) phase_spill();
@@ -137,10 +152,20 @@ void MapTask::phase_read_and_map() {
 
 void MapTask::phase_spill() {
   if (aborted_) return;
+  switch_phase_span("map_spill");
   // The spill plan is materialized here so that live sort.spill.percent
   // changes pushed during phase 2 are honored.
   const MapSpillPlan plan = plan_map_spills(
       output_bytes_, output_records_, profile_.combiner_ratio, config_);
+  if (auto* rec = engine_.recorder()) {
+    auto& reg = rec->metrics();
+    reg.counter("mr.map.spills").add(static_cast<double>(plan.num_spills));
+    reg.counter("mr.map.spill_records")
+        .add(static_cast<double>(plan.spill_records));
+    reg.counter("mr.map.spill_bytes").add(plan.disk_write_bytes.as_double());
+    reg.counter("mr.map.merge_rounds")
+        .add(static_cast<double>(plan.merge_rounds));
+  }
   // The codec shrinks every on-disk byte; record counts are unchanged.
   const bool compress = config_.map_output_compress >= 0.5;
   const double codec = compress ? kCodecCompressionRatio : 1.0;
@@ -187,6 +212,7 @@ void MapTask::phase_spill() {
 void MapTask::finish(bool oom) {
   if (aborted_) return;
   finished_ = true;
+  switch_phase_span(nullptr);
   node_.sub_used_memory(working_set_);
   report_.end_time = engine_.now();
   report_.failed_oom = oom;

@@ -21,6 +21,7 @@
 #include "dfs/dfs.h"
 #include "mapreduce/job.h"
 #include "mapreduce/spill_model.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 
 namespace mron::mapreduce {
@@ -38,6 +39,8 @@ class MapTask {
     double ws_factor = 1.0;
     /// Multiplicative service-time noise CV (JobSpec::noise_cv).
     double noise_cv = 0.08;
+    /// Trace lane (container id) for the attempt's phase spans.
+    std::int64_t trace_tid = 0;
   };
   /// Fired once, with the attempt's report (failed_oom set on OOM).
   using Done = std::function<void(const TaskReport&)>;
@@ -66,6 +69,9 @@ class MapTask {
   void phase_read_and_map();
   void phase_spill();
   void finish(bool oom);
+  /// Close the open phase span (if any) and open `name` when detail tracing
+  /// is on; pass nullptr to just close.
+  void switch_phase_span(const char* name);
 
   sim::Engine& engine_;
   cluster::Node& node_;
@@ -85,6 +91,7 @@ class MapTask {
   bool started_ = false;
   bool aborted_ = false;
   bool finished_ = false;
+  obs::SpanId phase_span_ = obs::kInvalidSpan;
 };
 
 }  // namespace mron::mapreduce

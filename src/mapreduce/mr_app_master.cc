@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/recorder.h"
 
 namespace mron::mapreduce {
 
@@ -178,6 +179,21 @@ bool MrAppMaster::consume_budget(TaskKind kind) {
   return true;
 }
 
+void MrAppMaster::begin_task_span(obs::SpanId& slot, const char* name,
+                                  const yarn::Container& c) {
+  if (auto* rec = engine_.recorder()) {
+    const int pid = static_cast<int>(c.node.value());
+    slot = rec->trace().begin(name, "task", pid, c.id.value(), engine_.now());
+  }
+}
+
+void MrAppMaster::end_task_span(obs::SpanId& slot) {
+  if (auto* rec = engine_.recorder()) {
+    rec->trace().end(slot, engine_.now());
+  }
+  slot = obs::kInvalidSpan;
+}
+
 void MrAppMaster::schedule_pump() {
   if (pump_scheduled_ || finished_ || !submitted_) return;
   pump_scheduled_ = true;
@@ -257,6 +273,7 @@ void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
   m.running = true;
   m.run_started = engine_.now();
   ++m.attempts;
+  begin_task_span(m.span, "map_attempt", c);
 
   MapTask::Inputs inputs;
   inputs.task = TaskRef{TaskKind::Map, index};
@@ -264,6 +281,7 @@ void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
   inputs.input_bytes = m.input;
   inputs.ws_factor = ws_factor_;
   inputs.noise_cv = spec_.noise_cv;
+  inputs.trace_tid = c.id.value();
   if (spec_.input.valid()) {
     inputs.source = pick_live_replica(m, c.node);
     inputs.locality = inputs.source == c.node
@@ -294,6 +312,7 @@ void MrAppMaster::on_reduce_container(int index, const yarn::Container& c) {
   r.container = c;
   r.running = true;
   ++r.attempts;
+  begin_task_span(r.span, "reduce_attempt", c);
 
   ReduceTask::Inputs inputs;
   inputs.task = TaskRef{TaskKind::Reduce, index};
@@ -302,6 +321,7 @@ void MrAppMaster::on_reduce_container(int index, const yarn::Container& c) {
   inputs.num_nodes = rm_.num_nodes();
   inputs.ws_factor = ws_factor_;
   inputs.noise_cv = spec_.noise_cv;
+  inputs.trace_tid = c.id.value();
 
   const JobConfig cfg = config_for(inputs.task);
   if (r.run != nullptr) dead_reduce_runs_.push_back(std::move(r.run));
@@ -327,9 +347,16 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
   if (speculative) {
     m.spec_running = false;
     rm_.release_container(m.spec_container);
+    end_task_span(m.spec_span);
   } else {
     m.running = false;
     rm_.release_container(m.container);
+    end_task_span(m.span);
+  }
+  if (report.failed_oom) {
+    if (auto* rec = engine_.recorder()) {
+      rec->metrics().counter("mr.task.oom_kills").add(1.0);
+    }
   }
   // A late duplicate (e.g. an OOM-retried original finishing after the
   // speculative copy already won) only needs its container back.
@@ -393,12 +420,14 @@ void MrAppMaster::settle_speculation(int index, bool speculative_won) {
       m.run->abort();
       m.running = false;
       rm_.release_container(m.container);
+      end_task_span(m.span);
     }
   } else {
     if (m.spec_running && m.spec_run != nullptr) {
       m.spec_run->abort();
       m.spec_running = false;
       rm_.release_container(m.spec_container);
+      end_task_span(m.spec_span);
       --active_speculations_;
     } else if (m.spec_requested && !m.spec_running) {
       rm_.cancel_request(m.spec_request);
@@ -447,6 +476,7 @@ void MrAppMaster::on_speculative_container(int index,
   }
   m.spec_container = c;
   m.spec_running = true;
+  begin_task_span(m.spec_span, "map_attempt", c);
 
   MapTask::Inputs inputs;
   inputs.task = TaskRef{TaskKind::Map, index};
@@ -454,6 +484,7 @@ void MrAppMaster::on_speculative_container(int index,
   inputs.input_bytes = m.input;
   inputs.ws_factor = ws_factor_;
   inputs.noise_cv = spec_.noise_cv;
+  inputs.trace_tid = c.id.value();
   if (spec_.input.valid()) {
     inputs.source = pick_live_replica(m, c.node);
     inputs.locality = inputs.source == c.node
@@ -496,10 +527,14 @@ void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
   r.running = false;
   --running_reduces_or_requested_;
   rm_.release_container(r.container);
+  end_task_span(r.span);
   result_.reduce_reports.push_back(report);
   if (task_listener_) task_listener_(report);
 
   if (report.failed_oom) {
+    if (auto* rec = engine_.recorder()) {
+      rec->metrics().counter("mr.task.oom_kills").add(1.0);
+    }
     ++result_.counters.failed_task_attempts;
     MRON_CHECK_MSG(r.attempts < spec_.max_task_attempts,
                    "reduce " << index << " exceeded max attempts");
@@ -564,6 +599,7 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
       m.run->abort();
       m.running = false;
       rm_.release_container(m.container);
+      end_task_span(m.span);
       request_map(i);
     }
     if (m.spec_running && m.spec_container.node == node) {
@@ -572,6 +608,7 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
       m.spec_requested = false;
       --active_speculations_;
       rm_.release_container(m.spec_container);
+      end_task_span(m.spec_span);
     }
   }
   for (int i = 0; i < spec_.num_reduces; ++i) {
@@ -581,6 +618,7 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
       r.running = false;
       --running_reduces_or_requested_;
       rm_.release_container(r.container);
+      end_task_span(r.span);
       // The aborted run is parked by the next on_reduce_container().
       r.stashed.clear();
       for (int mi = 0; mi < num_maps_; ++mi) {

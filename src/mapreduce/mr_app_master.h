@@ -32,6 +32,7 @@
 #include "mapreduce/job.h"
 #include "mapreduce/map_task.h"
 #include "mapreduce/reduce_task.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 #include "yarn/resource_manager.h"
 
@@ -90,6 +91,10 @@ class MrAppMaster {
     task_listener_ = std::move(listener);
   }
 
+  /// The engine this job runs on — the tuner and configurator reach the
+  /// flight recorder through it.
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+
  private:
   struct MapState {
     std::size_t block = 0;
@@ -105,12 +110,14 @@ class MrAppMaster {
     Bytes combined_output{0};
     cluster::NodeId ran_on;
     SimTime run_started = 0.0;
+    obs::SpanId span = obs::kInvalidSpan;  ///< open attempt trace span
     // Speculative backup attempt.
     std::unique_ptr<MapTask> spec_run;
     yarn::Container spec_container;
     yarn::RequestId spec_request;
     bool spec_requested = false;
     bool spec_running = false;
+    obs::SpanId spec_span = obs::kInvalidSpan;
   };
   struct ReduceState {
     std::optional<JobConfig> override_config;
@@ -120,6 +127,7 @@ class MrAppMaster {
     bool requested = false;
     bool running = false;
     bool done = false;
+    obs::SpanId span = obs::kInvalidSpan;  ///< open attempt trace span
     /// Map outputs (index, location, bytes) that completed before this
     /// reducer started.
     std::vector<std::tuple<int, cluster::NodeId, Bytes>> stashed;
@@ -152,6 +160,10 @@ class MrAppMaster {
   [[nodiscard]] int cluster_slots_estimate(const JobConfig& cfg,
                                            bool map) const;
   [[nodiscard]] bool consume_budget(TaskKind kind);
+  /// Open/close the per-attempt trace span (no-op without a recorder).
+  void begin_task_span(obs::SpanId& slot, const char* name,
+                       const yarn::Container& c);
+  void end_task_span(obs::SpanId& slot);
 
   sim::Engine& engine_;
   yarn::ResourceManager& rm_;

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "obs/recorder.h"
 
 namespace mron::mapreduce {
 
@@ -44,9 +45,22 @@ void ReduceTask::add_map_output(int map_index, cluster::NodeId source,
   if (startup_done_ && !oom_ && !aborted_) pump_fetches();
 }
 
+void ReduceTask::switch_phase_span(const char* name) {
+  auto* rec = engine_.recorder();
+  if (rec == nullptr) return;
+  rec->trace().end(phase_span_, engine_.now());
+  phase_span_ = obs::kInvalidSpan;
+  if (name != nullptr && rec->trace().detail()) {
+    phase_span_ = rec->trace().begin(
+        name, "phase", static_cast<int>(node_.id().value()),
+        inputs_.trace_tid, engine_.now());
+  }
+}
+
 void ReduceTask::abort() {
   if (aborted_ || finished_) return;
   aborted_ = true;
+  switch_phase_span(nullptr);
   if (started_) node_.sub_used_memory(resident_memory_);
 }
 
@@ -86,6 +100,7 @@ void ReduceTask::start() {
   engine_.schedule_after(
       profile_.task_startup_secs * rng_.lognormal_noise(0.1), [this] {
         startup_done_ = true;
+        switch_phase_span("shuffle");
         if (inputs_.total_maps == 0) {
           maybe_finish_shuffle();
         } else {
@@ -106,26 +121,47 @@ void ReduceTask::pump_fetches() {
 }
 
 void ReduceTask::begin_fetch(PendingFetch fetch) {
+  // Fetches overlap on the reducer's lane, so they trace as async b/e
+  // pairs keyed by a per-attempt sequence (B/E spans must nest).
+  const std::int64_t fetch_id =
+      (inputs_.trace_tid << 16) | (next_fetch_seq_++ & 0xffff);
+  if (auto* rec = engine_.recorder()) {
+    if (rec->trace().detail()) {
+      rec->trace().async_begin("shuffle_fetch", "fetch",
+                               static_cast<int>(node_.id().value()), fetch_id,
+                               engine_.now());
+    }
+  }
   // Connection setup latency, then a network flow. The source's disk is
   // NOT charged: map outputs were written moments ago and the shuffle
   // service reads them back through the page cache, so shuffle fan-in
   // contends on the fabric, not on source spindles (see DESIGN.md).
-  engine_.schedule_after(kFetchLatency, [this, fetch] {
+  engine_.schedule_after(kFetchLatency, [this, fetch, fetch_id] {
     if (fetch.bytes <= Bytes(0)) {
-      on_fetch_done(fetch.bytes);
+      on_fetch_done(fetch.bytes, fetch_id);
       return;
     }
-    fabric_.transfer(fetch.source, node_.id(), fetch.bytes,
-                     [this, bytes = fetch.bytes] { on_fetch_done(bytes); });
+    fabric_.transfer(
+        fetch.source, node_.id(), fetch.bytes,
+        [this, bytes = fetch.bytes, fetch_id] { on_fetch_done(bytes, fetch_id); });
   });
 }
 
-void ReduceTask::on_fetch_done(Bytes bytes) {
+void ReduceTask::on_fetch_done(Bytes bytes, std::int64_t fetch_id) {
   if (aborted_) return;
   --active_fetches_;
   ++fetched_maps_;
   total_input_ += bytes;
   report_.counters.shuffle_bytes += bytes;
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("mr.shuffle.fetches").add(1.0);
+    rec->metrics().counter("mr.shuffle.bytes").add(bytes.as_double());
+    if (rec->trace().detail()) {
+      rec->trace().async_end("shuffle_fetch", "fetch",
+                             static_cast<int>(node_.id().value()), fetch_id,
+                             engine_.now());
+    }
+  }
 
   const Bytes flushed = buffer_.add_segment(bytes);
   if (flushed > Bytes(0)) {
@@ -157,11 +193,19 @@ void ReduceTask::maybe_finish_shuffle() {
 
 void ReduceTask::phase_merge() {
   if (aborted_) return;
+  switch_phase_span("merge");
   report_.counters.spilled_records += buffer_.spilled_records();
   report_.counters.local_disk_write_bytes += buffer_.disk_write_bytes();
 
   const MergeCost mid = plan_disk_merge(
       buffer_.disk_files(), static_cast<int>(config_.io_sort_factor));
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("mr.reduce.spill_records")
+        .add(static_cast<double>(buffer_.spilled_records()));
+    if (mid.write > Bytes(0)) {
+      rec->metrics().counter("mr.reduce.merge_passes").add(1.0);
+    }
+  }
   if (mid.write > Bytes(0)) {
     report_.counters.spilled_records += static_cast<std::int64_t>(
         std::llround(mid.write.as_double() / profile_.map_record_bytes));
@@ -176,6 +220,7 @@ void ReduceTask::phase_merge() {
 
 void ReduceTask::phase_reduce() {
   if (aborted_) return;
+  switch_phase_span("reduce");
   // Final merge streams on-disk bytes into reduce(), pipelined with the
   // user CPU work over the full input.
   const Bytes on_disk = buffer_.disk_write_bytes();
@@ -216,6 +261,7 @@ void ReduceTask::phase_reduce() {
 
 void ReduceTask::phase_write_output() {
   if (aborted_) return;
+  switch_phase_span("write");
   // Output volume follows the logical input, not the compressed wire size.
   const double codec = config_.map_output_compress >= 0.5
                            ? kCodecCompressionRatio
@@ -245,6 +291,7 @@ void ReduceTask::phase_write_output() {
 void ReduceTask::finish(bool oom) {
   if (aborted_) return;
   finished_ = true;
+  switch_phase_span(nullptr);
   node_.sub_used_memory(resident_memory_);
   report_.end_time = engine_.now();
   report_.failed_oom = oom;

@@ -22,6 +22,7 @@
 #include "common/rng.h"
 #include "mapreduce/job.h"
 #include "mapreduce/spill_model.h"
+#include "obs/trace.h"
 #include "sim/engine.h"
 
 namespace mron::mapreduce {
@@ -37,6 +38,8 @@ class ReduceTask {
     double ws_factor = 1.0;
     /// Multiplicative service-time noise CV (JobSpec::noise_cv).
     double noise_cv = 0.08;
+    /// Trace lane (container id) for the attempt's phase spans.
+    std::int64_t trace_tid = 0;
   };
   using Done = std::function<void(const TaskReport&)>;
   /// Resolves a NodeId to the node (for charging source-disk reads).
@@ -70,12 +73,14 @@ class ReduceTask {
 
   void pump_fetches();
   void begin_fetch(PendingFetch fetch);
-  void on_fetch_done(Bytes bytes);
+  void on_fetch_done(Bytes bytes, std::int64_t fetch_id);
   void maybe_finish_shuffle();
   void phase_merge();
   void phase_reduce();
   void phase_write_output();
   void finish(bool oom);
+  /// See MapTask::switch_phase_span.
+  void switch_phase_span(const char* name);
 
   sim::Engine& engine_;
   cluster::Node& node_;
@@ -105,6 +110,8 @@ class ReduceTask {
   Bytes committed_memory_{0};
   double cpu_noise_ = 1.0;
   TaskReport report_;
+  obs::SpanId phase_span_ = obs::kInvalidSpan;
+  std::int64_t next_fetch_seq_ = 0;  ///< async-span id source for fetches
 };
 
 /// Per-fetch connection/setup latency (seconds); hidden by parallelcopies.

@@ -1,5 +1,6 @@
 #include "mapreduce/simulation.h"
 
+#include <string>
 #include <utility>
 
 #include "common/check.h"
@@ -8,6 +9,15 @@ namespace mron::mapreduce {
 
 Simulation::Simulation(SimulationOptions options)
     : options_(options), rng_(options.seed) {
+#if MRON_OBS_ENABLED
+  if (options_.observe) {
+    // Attach before any substrate object exists: SharedServers resolve
+    // their metric handles at construction.
+    recorder_ = std::make_unique<obs::Recorder>();
+    recorder_->trace().set_detail(options_.trace_detail);
+    engine_.set_recorder(recorder_.get());
+  }
+#endif
   topo_ = std::make_unique<cluster::Topology>(options_.cluster);
   std::vector<cluster::Node*> ptrs;
   for (int i = 0; i < topo_->num_nodes(); ++i) {
@@ -32,6 +42,15 @@ Simulation::Simulation(SimulationOptions options)
   }
   if (options_.locality_delay_passes > 0) {
     rm_->set_locality_delay(options_.locality_delay_passes);
+  }
+  if (recorder_ != nullptr) {
+    // The monitor is the metrics registry's sampling clock.
+    monitor_->start();
+    auto& trace = recorder_->trace();
+    for (int i = 0; i < topo_->num_nodes(); ++i) {
+      trace.set_process_name(i, "node" + std::to_string(i));
+    }
+    trace.set_process_name(obs::kTunerTracePid, "tuner");
   }
 }
 

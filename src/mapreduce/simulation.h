@@ -19,6 +19,7 @@
 #include "dfs/dfs.h"
 #include "mapreduce/job.h"
 #include "mapreduce/mr_app_master.h"
+#include "obs/recorder.h"
 #include "sim/engine.h"
 #include "yarn/resource_manager.h"
 
@@ -40,6 +41,14 @@ struct SimulationOptions {
   double hot_threshold = 0.9;
   /// Delay-scheduling passes for data locality (0 = off).
   int locality_delay_passes = 0;
+  /// Attach the flight recorder (metrics + trace + audit) and start the
+  /// cluster monitor as its sampling clock. No-op when compiled out
+  /// (cmake -DMRON_OBS=OFF).
+  bool observe = false;
+  /// Record phase-level spans and per-fetch async spans too. With detail
+  /// off the trace holds exactly one span per task attempt plus one per
+  /// tuner wave.
+  bool trace_detail = false;
 };
 
 class Simulation {
@@ -56,6 +65,12 @@ class Simulation {
   [[nodiscard]] cluster::ClusterMonitor& monitor() { return *monitor_; }
   [[nodiscard]] const cluster::Topology& topology() const { return *topo_; }
   [[nodiscard]] const SimulationOptions& options() const { return options_; }
+  /// The flight recorder, or nullptr unless options.observe (or when
+  /// observability is compiled out).
+  [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
+  [[nodiscard]] const obs::Recorder* recorder() const {
+    return recorder_.get();
+  }
 
   /// Create + place a dataset in the simulated DFS.
   dfs::DatasetId load_dataset(const std::string& name, Bytes size);
@@ -77,6 +92,9 @@ class Simulation {
  private:
   SimulationOptions options_;
   sim::Engine engine_;
+  /// Declared before the substrate objects: nodes and servers cache metric
+  /// handles into the recorder, so it must outlive them.
+  std::unique_ptr<obs::Recorder> recorder_;
   Rng rng_;
   std::unique_ptr<cluster::Topology> topo_;
   std::vector<std::unique_ptr<cluster::Node>> nodes_;

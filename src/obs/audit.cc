@@ -1,0 +1,60 @@
+#include "obs/audit.h"
+
+#include "obs/json.h"
+
+namespace mron::obs {
+
+std::vector<const AuditEvent*> AuditLog::for_job(std::int64_t job) const {
+  std::vector<const AuditEvent*> out;
+  for (const AuditEvent& ev : events_) {
+    if (ev.job == job) out.push_back(&ev);
+  }
+  return out;
+}
+
+std::size_t AuditLog::count(std::int64_t job, const std::string& kind) const {
+  std::size_t n = 0;
+  for (const AuditEvent& ev : events_) {
+    if (ev.kind == kind && (job == -1 || ev.job == job)) ++n;
+  }
+  return n;
+}
+
+namespace {
+
+void write_pairs(std::ostream& os, const char* key,
+                 const std::vector<std::pair<std::string, double>>& pairs) {
+  if (pairs.empty()) return;
+  os << ",\"" << key << "\":{";
+  bool first = true;
+  for (const auto& [name, value] : pairs) {
+    if (!first) os << ",";
+    first = false;
+    write_json_string(os, name);
+    os << ":";
+    write_json_number(os, value);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void AuditLog::write_jsonl(std::ostream& os) const {
+  for (const AuditEvent& ev : events_) {
+    os << "{\"t\":";
+    write_json_number(os, ev.time);
+    os << ",\"kind\":";
+    write_json_string(os, ev.kind);
+    if (ev.job >= 0) os << ",\"job\":" << ev.job;
+    if (!ev.detail.empty()) {
+      os << ",\"detail\":";
+      write_json_string(os, ev.detail);
+    }
+    write_pairs(os, "before", ev.before);
+    write_pairs(os, "after", ev.after);
+    write_pairs(os, "sample", ev.sample);
+    os << "}\n";
+  }
+}
+
+}  // namespace mron::obs

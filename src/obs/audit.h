@@ -1,0 +1,58 @@
+// Tuner decision audit log.
+//
+// Every decision the online tuner makes — attaching to a job, opening an LHS
+// wave, handing a config to a task batch, tightening gray-box bounds from a
+// Section-6 rule, stepping the hill climber, firing a Conservative rule,
+// pushing parameters through the dynamic configurator — is recorded here with
+// its sim-time, the before/after config values it changed, and the monitor
+// sample that triggered it. The log answers "why is the config what it is?"
+// after the run, and the JSONL export (--audit-out) makes it greppable.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace mron::obs {
+
+struct AuditEvent {
+  SimTime time = 0.0;
+  std::string kind;       ///< e.g. "wave_start", "bound_tighten", "rule_fire"
+  std::int64_t job = -1;  ///< owning job id, or -1 for global events
+  std::string detail;     ///< free-form human hint (rule name, param, ...)
+  /// Config/bound values before and after the decision (only the changed
+  /// ones), and the monitor/report sample that triggered it.
+  std::vector<std::pair<std::string, double>> before;
+  std::vector<std::pair<std::string, double>> after;
+  std::vector<std::pair<std::string, double>> sample;
+};
+
+class AuditLog {
+ public:
+  void record(AuditEvent ev) { events_.push_back(std::move(ev)); }
+
+  [[nodiscard]] const std::vector<AuditEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Events belonging to one job, in record order.
+  [[nodiscard]] std::vector<const AuditEvent*> for_job(std::int64_t job) const;
+  /// Number of events of `kind` for `job` (job == -1 matches every job).
+  [[nodiscard]] std::size_t count(std::int64_t job,
+                                  const std::string& kind) const;
+
+  /// One JSON object per line:
+  /// {"t":..,"kind":..,"job":..,"detail":..,"before":{..},"after":{..},
+  ///  "sample":{..}} — empty maps omitted.
+  void write_jsonl(std::ostream& os) const;
+
+ private:
+  std::vector<AuditEvent> events_;
+};
+
+}  // namespace mron::obs

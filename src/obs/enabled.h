@@ -1,0 +1,20 @@
+// Compile-time observability switch.
+//
+// MRON_OBS_ENABLED gates every flight-recorder hook: with it defined to 0
+// (cmake -DMRON_OBS=OFF) Engine::recorder() becomes a constant nullptr, so
+// each `if (auto* rec = engine.recorder())` instrumentation site folds away
+// and the simulator pays literally nothing. The default is on; the runtime
+// cost is then one pointer test per hook plus the recording work only when a
+// Recorder is actually attached (see bench/microbench.cc's Observed variant
+// for the measured overhead).
+#pragma once
+
+#ifndef MRON_OBS_ENABLED
+#define MRON_OBS_ENABLED 1
+#endif
+
+namespace mron::obs {
+
+inline constexpr bool kEnabled = MRON_OBS_ENABLED != 0;
+
+}  // namespace mron::obs

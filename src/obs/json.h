@@ -1,0 +1,55 @@
+// Minimal JSON emission helpers shared by the observability exporters.
+//
+// The exporters hand-build their JSON (the schemas are tiny and fixed);
+// these helpers keep string escaping and double formatting in one place.
+// Doubles are printed with enough digits to round-trip and never as bare
+// `nan`/`inf` (which JSON forbids) — non-finite values degrade to null.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace mron::obs {
+
+inline void write_json_string(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+inline void write_json_number(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  // Integers print exactly; everything else with round-trip precision.
+  if (v == static_cast<double>(static_cast<long long>(v)) &&
+      std::fabs(v) < 1e15) {
+    os << static_cast<long long>(v);
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  os << buf;
+}
+
+}  // namespace mron::obs

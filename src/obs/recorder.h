@@ -1,0 +1,48 @@
+// The flight recorder: one bundle of the three observability pillars.
+//
+// A Simulation constructed with observe=true owns a Recorder and hands a
+// pointer to its Engine; every instrumentation site reaches it through
+// `engine.recorder()` (nullptr when observation is off or compiled out, so
+// hooks cost one branch). The bundle is deliberately dumb — each pillar is
+// independently testable and exportable.
+#pragma once
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "obs/audit.h"
+#include "obs/enabled.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace mron::obs {
+
+class Recorder {
+ public:
+  [[nodiscard]] MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const MetricsRegistry& metrics() const { return metrics_; }
+  [[nodiscard]] TraceRecorder& trace() { return trace_; }
+  [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
+  [[nodiscard]] AuditLog& audit() { return audit_; }
+  [[nodiscard]] const AuditLog& audit() const { return audit_; }
+
+  /// Pull-model publishing for hot components: instead of writing gauges on
+  /// every state change, register a hook that refreshes them, and the
+  /// sampling clock calls flush() once per tick. The publisher must outlive
+  /// the recorder's last flush (in practice: the simulation owns both).
+  void add_flush_hook(std::function<void()> hook) {
+    flush_hooks_.push_back(std::move(hook));
+  }
+  void flush() {
+    for (const auto& hook : flush_hooks_) hook();
+  }
+
+ private:
+  MetricsRegistry metrics_;
+  TraceRecorder trace_;
+  AuditLog audit_;
+  std::vector<std::function<void()>> flush_hooks_;
+};
+
+}  // namespace mron::obs

@@ -1,0 +1,159 @@
+#include "obs/trace.h"
+
+#include <cstring>
+
+#include "common/check.h"
+#include "obs/json.h"
+
+namespace mron::obs {
+
+SpanId TraceRecorder::begin(const char* name, const char* cat, int pid,
+                            std::int64_t tid, SimTime t, const char* arg_key,
+                            double arg_val) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'B';
+  e.time = t;
+  e.pid = pid;
+  e.tid = tid;
+  e.arg_key = arg_key;
+  e.arg_val = arg_val;
+  events_.push_back(e);
+  ++open_;
+  return static_cast<SpanId>(events_.size() - 1);
+}
+
+void TraceRecorder::end(SpanId span, SimTime t) {
+  if (span == kInvalidSpan) return;
+  MRON_CHECK(span >= 0 && static_cast<std::size_t>(span) < events_.size());
+  const Event& b = events_[static_cast<std::size_t>(span)];
+  MRON_CHECK_MSG(b.ph == 'B', "TraceRecorder::end on a non-begin event");
+  Event e;
+  e.name = b.name;
+  e.cat = b.cat;
+  e.ph = 'E';
+  e.time = t;
+  e.pid = b.pid;
+  e.tid = b.tid;
+  events_.push_back(e);
+  MRON_CHECK(open_ > 0);
+  --open_;
+}
+
+void TraceRecorder::async_begin(const char* name, const char* cat, int pid,
+                                std::int64_t id, SimTime t) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'b';
+  e.time = t;
+  e.pid = pid;
+  e.tid = id;  // lane within the async track; id is what correlates
+  e.id = id;
+  events_.push_back(e);
+}
+
+void TraceRecorder::async_end(const char* name, const char* cat, int pid,
+                              std::int64_t id, SimTime t) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'e';
+  e.time = t;
+  e.pid = pid;
+  e.tid = id;
+  e.id = id;
+  events_.push_back(e);
+}
+
+void TraceRecorder::instant(const char* name, const char* cat, int pid,
+                            std::int64_t tid, SimTime t) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'i';
+  e.time = t;
+  e.pid = pid;
+  e.tid = tid;
+  events_.push_back(e);
+}
+
+void TraceRecorder::set_process_name(int pid, std::string name) {
+  process_names_[pid] = std::move(name);
+}
+
+void TraceRecorder::set_thread_name(int pid, std::int64_t tid,
+                                    std::string name) {
+  thread_names_[{pid, tid}] = std::move(name);
+}
+
+std::size_t TraceRecorder::span_count(const char* cat) const {
+  std::size_t n = 0;
+  for (const Event& e : events_) {
+    if (e.ph != 'E') continue;
+    if (cat == nullptr || (e.cat != nullptr && std::strcmp(e.cat, cat) == 0)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+namespace {
+
+void write_event_common(std::ostream& os, const char* name, const char* cat,
+                        char ph, SimTime time, int pid, std::int64_t tid) {
+  os << "{\"name\":";
+  write_json_string(os, name != nullptr ? name : "");
+  os << ",\"cat\":";
+  write_json_string(os, cat != nullptr ? cat : "");
+  os << ",\"ph\":\"" << ph << "\",\"ts\":";
+  write_json_number(os, time * 1e6);
+  os << ",\"pid\":" << pid << ",\"tid\":" << tid;
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ",";
+    first = false;
+  };
+  for (const auto& [pid, name] : process_names_) {
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    write_json_string(os, name);
+    os << "}}";
+  }
+  for (const auto& [key, name] : thread_names_) {
+    sep();
+    os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << key.first
+       << ",\"tid\":" << key.second << ",\"args\":{\"name\":";
+    write_json_string(os, name);
+    os << "}}";
+  }
+  for (const Event& e : events_) {
+    sep();
+    write_event_common(os, e.name, e.cat, e.ph, e.time, e.pid, e.tid);
+    if (e.ph == 'b' || e.ph == 'e') {
+      os << ",\"id\":" << e.id;
+    }
+    if (e.ph == 'i') {
+      os << ",\"s\":\"t\"";
+    }
+    if (e.arg_key != nullptr) {
+      os << ",\"args\":{";
+      write_json_string(os, e.arg_key);
+      os << ":";
+      write_json_number(os, e.arg_val);
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+}  // namespace mron::obs

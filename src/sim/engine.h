@@ -15,6 +15,11 @@
 #include "common/check.h"
 #include "common/strong_id.h"
 #include "common/units.h"
+#include "obs/enabled.h"
+
+namespace mron::obs {
+class Recorder;
+}  // namespace mron::obs
 
 namespace mron::sim {
 
@@ -49,6 +54,27 @@ class Engine {
   [[nodiscard]] bool empty() const { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_events_; }
 
+  /// Attach/detach the flight recorder. The engine does not own it; the
+  /// Simulation (or test) that created the recorder keeps it alive for the
+  /// engine's lifetime.
+  void set_recorder(obs::Recorder* rec) {
+#if MRON_OBS_ENABLED
+    recorder_ = rec;
+#else
+    (void)rec;
+#endif
+  }
+  /// The attached recorder, or nullptr when observation is off. With
+  /// MRON_OBS_ENABLED=0 this is a constant nullptr, so instrumentation sites
+  /// guarded by `if (auto* rec = engine.recorder())` compile away entirely.
+  [[nodiscard]] obs::Recorder* recorder() const {
+#if MRON_OBS_ENABLED
+    return recorder_;
+#else
+    return nullptr;
+#endif
+  }
+
  private:
   struct QueueEntry {
     SimTime time;
@@ -71,6 +97,9 @@ class Engine {
       queue_;
   std::unordered_map<EventId, Callback> callbacks_;
   std::size_t live_events_ = 0;
+#if MRON_OBS_ENABLED
+  obs::Recorder* recorder_ = nullptr;
+#endif
 };
 
 }  // namespace mron::sim

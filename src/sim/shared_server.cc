@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/recorder.h"
+
 namespace mron::sim {
 
 namespace {
@@ -27,6 +29,17 @@ SharedServer::SharedServer(Engine& engine, double capacity, std::string name,
   MRON_CHECK_MSG(capacity_ > 0.0, "server " << name_ << " capacity must be >0");
   MRON_CHECK(concurrency_penalty_ >= 0.0);
   last_update_ = engine_.now();
+  if (auto* rec = engine_.recorder()) {
+    busy_gauge_ = &rec->metrics().gauge("server." + name_ + ".busy_integral");
+    streams_gauge_ =
+        &rec->metrics().gauge("server." + name_ + ".active_streams");
+    // Pull model: advance()/reallocate() are the simulation's hottest paths,
+    // so the gauges refresh once per sampling tick instead of per event.
+    rec->add_flush_hook([this] {
+      busy_gauge_->set(busy_integral());
+      streams_gauge_->set(static_cast<double>(streams_.size()));
+    });
+  }
 }
 
 StreamId SharedServer::submit(double work, double cap, Done done) {

@@ -19,6 +19,10 @@
 #include "common/strong_id.h"
 #include "sim/engine.h"
 
+namespace mron::obs {
+class Gauge;
+}  // namespace mron::obs
+
 namespace mron::sim {
 
 struct StreamTag {};
@@ -92,6 +96,10 @@ class SharedServer {
   double total_rate_ = 0.0;
   EventId pending_event_;
   bool has_pending_event_ = false;
+  // Flight-recorder handles, resolved once at construction when a recorder
+  // is attached to the engine; null otherwise.
+  obs::Gauge* busy_gauge_ = nullptr;
+  obs::Gauge* streams_gauge_ = nullptr;
 };
 
 }  // namespace mron::sim

@@ -1,8 +1,11 @@
 #include "tuner/dynamic_configurator.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
+#include "obs/recorder.h"
+#include "sim/engine.h"
 
 namespace mron::tuner {
 
@@ -119,7 +122,16 @@ bool DynamicConfigurator::set_task_config(JobId jid, const TaskRef& tid,
 int DynamicConfigurator::push_live_params(JobId jid, const JobConfig& cfg) {
   MrAppMaster* am = job(jid);
   if (am == nullptr) return -1;
-  return am->push_live_params(cfg);
+  const int pushed = am->push_live_params(cfg);
+  if (auto* rec = am->engine().recorder()) {
+    obs::AuditEvent ev;
+    ev.time = am->engine().now();
+    ev.job = am->id().value();
+    ev.kind = "config_push";
+    ev.sample.emplace_back("tasks_updated", static_cast<double>(pushed));
+    rec->audit().record(std::move(ev));
+  }
+  return pushed;
 }
 
 }  // namespace mron::tuner

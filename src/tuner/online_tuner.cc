@@ -1,6 +1,8 @@
 #include "tuner/online_tuner.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "common/check.h"
 #include "common/log.h"
@@ -33,13 +35,50 @@ void merge_reduce_side(JobConfig& dst, const JobConfig& src) {
   dst.shuffle_parallelcopies = src.shuffle_parallelcopies;
 }
 
+namespace {
+
+/// Params whose value differs between `a` and `b`, as (name, value) pairs
+/// from each side — the before/after payload of an audit event.
+void diff_configs(const JobConfig& a, const JobConfig& b,
+                  std::vector<std::pair<std::string, double>>& before,
+                  std::vector<std::pair<std::string, double>>& after) {
+  const auto& reg = mapreduce::ParamRegistry::extended();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    const double va = reg.get(a, i);
+    const double vb = reg.get(b, i);
+    if (va != vb) {
+      before.emplace_back(reg.at(i).name, va);
+      after.emplace_back(reg.at(i).name, vb);
+    }
+  }
+}
+
+}  // namespace
+
 OnlineTuner::OnlineTuner(TunerOptions options)
     : options_(options), rng_(options.seed) {}
+
+void OnlineTuner::audit(JobState& js, obs::AuditEvent ev) {
+  if (js.rec == nullptr) return;
+  ev.time = js.am->engine().now();
+  ev.job = js.am->id().value();
+  js.rec->audit().record(std::move(ev));
+}
 
 void OnlineTuner::attach(MrAppMaster& am) {
   configurator_.register_job(&am);
   JobState& js = jobs_[am.id()];
   js.am = &am;
+  js.rec = am.engine().recorder();
+  js.outcome.decisions = js.rec != nullptr ? &js.rec->audit() : nullptr;
+  {
+    obs::AuditEvent ev;
+    ev.kind = "attach";
+    ev.detail = options_.strategy == TuningStrategy::Conservative
+                    ? "conservative"
+                    : "aggressive";
+    audit(js, std::move(ev));
+  }
 
   am.set_task_listener(
       [this, id = am.id()](const TaskReport& report) {
@@ -106,11 +145,31 @@ void OnlineTuner::start_wave(JobState& js, bool is_map) {
   wave.costs.assign(batch.size(), 0.0);
   wave.filled.assign(batch.size(), false);
   wave.remaining = batch.size();
+  {
+    obs::AuditEvent ev;
+    ev.kind = "wave_start";
+    ev.detail = is_map ? "map" : "reduce";
+    ev.sample.emplace_back("batch", static_cast<double>(batch.size()));
+    audit(js, std::move(ev));
+  }
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const bool ok =
         configurator_.set_task_config(js.am->id(), queued[i], batch[i]);
     MRON_CHECK_MSG(ok, "failed to assign wave config to queued task");
     wave.slots[queued[i]] = i;
+    // One event per configuration handed to a task — the audit-log count of
+    // these equals JobOutcome::configs_tried once the waves complete.
+    obs::AuditEvent ev;
+    ev.kind = "config_assign";
+    ev.detail = (is_map ? "map " : "reduce ") + std::to_string(queued[i].index);
+    diff_configs(js.am->job_config(), batch[i], ev.before, ev.after);
+    audit(js, std::move(ev));
+  }
+  if (js.rec != nullptr) {
+    wave.span = js.rec->trace().begin(
+        is_map ? "map_wave" : "reduce_wave", "tuner", obs::kTunerTracePid,
+        js.am->id().value() * 2 + (is_map ? 0 : 1), js.am->engine().now(),
+        "batch", static_cast<double>(batch.size()));
   }
   wave_slot = std::move(wave);
   js.am->set_launch_budget(kind, static_cast<int>(batch.size()));
@@ -127,7 +186,23 @@ void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
   if (js.conservative.has_value()) {
     js.conservative->observe(report);
     if (js.conservative->ready()) {
+      const JobConfig old = js.conservative->current();
       const JobConfig cfg = js.conservative->adjust();
+      for (const std::string& rule : js.conservative->last_actions()) {
+        obs::AuditEvent ev;
+        ev.kind = "rule_fire";
+        ev.detail = rule;
+        ev.sample.emplace_back("mem_util", report.mem_util);
+        ev.sample.emplace_back("cpu_util", report.cpu_util);
+        ev.sample.emplace_back("duration", report.duration());
+        audit(js, std::move(ev));
+      }
+      {
+        obs::AuditEvent ev;
+        ev.kind = "conservative_adjust";
+        diff_configs(old, cfg, ev.before, ev.after);
+        audit(js, std::move(ev));
+      }
       configurator_.set_job_config(js.am->id(), cfg);
       configurator_.push_live_params(js.am->id(), cfg);
       js.outcome.best_config = cfg;
@@ -156,20 +231,60 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
   if (--wave.remaining > 0) return;
 
   // Wave complete: gray-box rules first, then advance the climber.
+  if (js.rec != nullptr) js.rec->trace().end(wave.span, js.am->engine().now());
+  {
+    obs::AuditEvent ev;
+    ev.kind = "wave_complete";
+    ev.detail = is_map ? "map" : "reduce";
+    const auto [min_it, max_it] =
+        std::minmax_element(wave.costs.begin(), wave.costs.end());
+    ev.sample.emplace_back("min_cost", *min_it);
+    ev.sample.emplace_back("max_cost", *max_it);
+    audit(js, std::move(ev));
+  }
   GrayBoxHillClimber& climber =
       is_map ? *js.map_climber : *js.reduce_climber;
   if (options_.use_tuning_rules) {
     const WaveStats stats = WaveStats::from_reports(wave.reports);
+    SearchSpace& space = is_map ? *js.map_space : *js.reduce_space;
+    std::vector<std::pair<double, double>> old_bounds;
+    for (std::size_t d = 0; d < space.dims(); ++d) {
+      old_bounds.emplace_back(space.lower(d), space.upper(d));
+    }
     if (is_map) {
-      apply_map_rules(stats, *js.map_space);
+      apply_map_rules(stats, space);
     } else {
-      apply_reduce_rules(stats, *js.reduce_space);
+      apply_reduce_rules(stats, space);
+    }
+    for (std::size_t d = 0; d < space.dims(); ++d) {
+      if (space.lower(d) == old_bounds[d].first &&
+          space.upper(d) == old_bounds[d].second) {
+        continue;
+      }
+      obs::AuditEvent ev;
+      ev.kind = "bound_tighten";
+      ev.detail = space.param(d).name;
+      ev.before.emplace_back("lower", old_bounds[d].first);
+      ev.before.emplace_back("upper", old_bounds[d].second);
+      ev.after.emplace_back("lower", space.lower(d));
+      ev.after.emplace_back("upper", space.upper(d));
+      audit(js, std::move(ev));
     }
   }
   const std::vector<double> costs = wave.costs;
   (is_map ? js.map_wave : js.reduce_wave).reset();
   climber.report_costs(costs);
   js.outcome.configs_tried += static_cast<int>(costs.size());
+  {
+    obs::AuditEvent ev;
+    ev.kind = "climber_step";
+    ev.detail = is_map ? "map" : "reduce";
+    if (climber.has_best()) {
+      ev.sample.emplace_back("best_cost", climber.best_cost());
+      ev.sample.emplace_back("neighborhood", climber.neighborhood_size());
+    }
+    audit(js, std::move(ev));
+  }
   start_wave(js, is_map);
 }
 
@@ -181,6 +296,9 @@ void OnlineTuner::finalize(JobState& js, bool is_map) {
   GrayBoxHillClimber& climber =
       is_map ? *js.map_climber : *js.reduce_climber;
   JobConfig merged = js.am->job_config();
+  obs::AuditEvent fin;
+  fin.kind = "finalize";
+  fin.detail = is_map ? "map" : "reduce";
   if (climber.has_best()) {
     const JobConfig best = climber.best_config();
     if (is_map) {
@@ -192,8 +310,11 @@ void OnlineTuner::finalize(JobState& js, bool is_map) {
       js.outcome.reduce_best_cost = climber.best_cost();
       js.outcome.reduce_converged = climber.done();
     }
+    diff_configs(js.am->job_config(), merged, fin.before, fin.after);
+    fin.sample.emplace_back("best_cost", climber.best_cost());
     configurator_.set_job_config(js.am->id(), merged);
   }
+  audit(js, std::move(fin));
   js.am->set_launch_budget(is_map ? TaskKind::Map : TaskKind::Reduce, -1);
   maybe_store_outcome(js);
 }

@@ -23,6 +23,7 @@
 
 #include "common/rng.h"
 #include "mapreduce/mr_app_master.h"
+#include "obs/recorder.h"
 #include "tuner/cost.h"
 #include "tuner/dynamic_configurator.h"
 #include "tuner/hill_climber.h"
@@ -59,6 +60,10 @@ class OnlineTuner {
     bool map_converged = false;
     bool reduce_converged = false;
     int conservative_adjustments = 0;
+    /// The flight recorder's decision audit log, when the job ran with
+    /// observation on (nullptr otherwise). Shared across jobs on one
+    /// engine — filter with AuditLog::for_job(id).
+    const obs::AuditLog* decisions = nullptr;
   };
   [[nodiscard]] const JobOutcome& outcome(mapreduce::JobId id) const;
 
@@ -72,9 +77,11 @@ class OnlineTuner {
     std::vector<bool> filled;
     std::vector<mapreduce::TaskReport> reports;
     std::size_t remaining = 0;
+    obs::SpanId span = obs::kInvalidSpan;  ///< open wave trace span
   };
   struct JobState {
     mapreduce::MrAppMaster* am = nullptr;
+    obs::Recorder* rec = nullptr;  ///< the job engine's flight recorder
     // Aggressive machinery.
     std::optional<SearchSpace> map_space, reduce_space;
     std::optional<GrayBoxHillClimber> map_climber, reduce_climber;
@@ -92,6 +99,9 @@ class OnlineTuner {
   void start_wave(JobState& js, bool is_map);
   void finalize(JobState& js, bool is_map);
   void maybe_store_outcome(JobState& js);
+  /// Record a decision in the job's audit log (no-op without a recorder);
+  /// stamps the sim-time and job id.
+  void audit(JobState& js, obs::AuditEvent ev);
 
   TunerOptions options_;
   Rng rng_;

@@ -194,6 +194,7 @@ bool ConservativeTuner::ready() const {
 
 JobConfig ConservativeTuner::adjust() {
   JobConfig cfg = current_;
+  last_actions_.clear();
   if (!new_maps_.empty()) adjust_map_side(cfg);
   if (!new_reduces_.empty()) adjust_reduce_side(cfg);
   mapreduce::clamp_constraints(cfg);
@@ -218,9 +219,11 @@ void ConservativeTuner::adjust_map_side(JobConfig& cfg) {
   if (wanted_sort > cfg.io_sort_mb) {
     cfg.io_sort_mb = std::ceil(wanted_sort / 16.0) * 16.0;
     cfg.sort_spill_percent = 0.99;
+    last_actions_.push_back("map.sort_buffer_grow");
   } else {
     // Buffer already big enough: raise the trigger to avoid early spills.
     cfg.sort_spill_percent = 0.99;
+    last_actions_.push_back("map.single_spill");
   }
 
   // Right-size the container: estimated resident set plus the part of the
@@ -233,8 +236,10 @@ void ConservativeTuner::adjust_map_side(JobConfig& cfg) {
   const double util_p80 = percentile(stats.mem_util, 0.8);
   if (stats.oom_count > 0) {
     cfg.map_memory_mb = std::min(3072.0, cfg.map_memory_mb + 512.0);
+    last_actions_.push_back("map.container_grow_oom");
   } else if (util_p80 < 0.7 && target < cfg.map_memory_mb) {
     cfg.map_memory_mb = target;
+    last_actions_.push_back("map.container_shrink");
   }
 
   // CPU: escalate vcores while the quota is saturated and times improve.
@@ -244,6 +249,7 @@ void ConservativeTuner::adjust_map_side(JobConfig& cfg) {
     if (last_map_avg_duration_ < 0.0 ||
         avg_dur < last_map_avg_duration_ * 0.97) {
       cfg.map_cpu_vcores += 1;
+      last_actions_.push_back("map.vcores_escalate");
     } else {
       vcores_frozen_ = true;
     }
@@ -256,6 +262,7 @@ void ConservativeTuner::adjust_reduce_side(JobConfig& cfg) {
   if (stats.mem_util.empty()) {
     if (stats.oom_count > 0) {
       cfg.reduce_memory_mb = std::min(3072.0, cfg.reduce_memory_mb + 512.0);
+      last_actions_.push_back("reduce.container_grow_oom");
     }
     return;
   }
@@ -264,6 +271,7 @@ void ConservativeTuner::adjust_reduce_side(JobConfig& cfg) {
   // let reduce input stay in memory when it fits.
   cfg.merge_inmem_threshold = 0;
   cfg.shuffle_merge_percent = cfg.shuffle_input_buffer_percent - 0.04;
+  last_actions_.push_back("reduce.merge_policy");
 
   double shuffle_p80_mb = 0.0;
   {
@@ -279,17 +287,22 @@ void ConservativeTuner::adjust_reduce_side(JobConfig& cfg) {
     // Whole reduce input fits the shuffle buffer: avoid all disk spills.
     cfg.reduce_input_buffer_percent = cfg.shuffle_input_buffer_percent;
     cfg.shuffle_memory_limit_percent = 0.5;
+    last_actions_.push_back("reduce.input_buffer_in_memory");
   }
 
   // Memory right-sizing, mirroring the map rule.
   const double util_p80 = percentile(stats.mem_util, 0.8);
   if (stats.oom_count > 0) {
     cfg.reduce_memory_mb = std::min(3072.0, cfg.reduce_memory_mb + 512.0);
+    last_actions_.push_back("reduce.container_grow_oom");
   } else if (util_p80 < 0.5) {
     const double resident_p80 = percentile(stats.resident_mb, 0.8);
     const double target =
         std::max(512.0, std::ceil((resident_p80 * 1.3 + 128.0) / 64.0) * 64.0);
-    if (target < cfg.reduce_memory_mb) cfg.reduce_memory_mb = target;
+    if (target < cfg.reduce_memory_mb) {
+      cfg.reduce_memory_mb = target;
+      last_actions_.push_back("reduce.container_shrink");
+    }
   }
 
   // Shuffle concurrency: +10 while times improve (Section 6.3).
@@ -299,6 +312,7 @@ void ConservativeTuner::adjust_reduce_side(JobConfig& cfg) {
         avg_dur < last_reduce_avg_duration_ * 0.97) {
       cfg.shuffle_parallelcopies =
           std::min(50.0, cfg.shuffle_parallelcopies + 10);
+      last_actions_.push_back("reduce.parallelcopies");
     } else {
       copies_frozen_ = true;
     }

@@ -19,6 +19,7 @@
 // keep improving.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "mapreduce/job.h"
@@ -64,6 +65,12 @@ class ConservativeTuner {
     return current_;
   }
   [[nodiscard]] int adjustments() const { return adjustments_; }
+  /// Names of the Section-6 rules that fired during the most recent
+  /// adjust() call (e.g. "map.sort_buffer_grow", "reduce.parallelcopies") —
+  /// the audit log records one event per entry.
+  [[nodiscard]] const std::vector<std::string>& last_actions() const {
+    return last_actions_;
+  }
 
  private:
   void adjust_map_side(mapreduce::JobConfig& cfg);
@@ -72,6 +79,7 @@ class ConservativeTuner {
   mapreduce::JobConfig current_;
   std::vector<mapreduce::TaskReport> new_maps_;
   std::vector<mapreduce::TaskReport> new_reduces_;
+  std::vector<std::string> last_actions_;
   int adjustments_ = 0;
 
   // Escalation state: keep raising while times improve (Section 6.3).

@@ -5,8 +5,24 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/recorder.h"
 
 namespace mron::yarn {
+
+namespace {
+
+// Mirror the RM's queue/allocation state into the flight recorder; sampled
+// onto the time axis by the cluster monitor.
+void publish_rm_gauges(sim::Engine& engine, std::size_t pending,
+                       std::size_t live) {
+  if (auto* rec = engine.recorder()) {
+    rec->metrics().gauge("yarn.pending_requests")
+        .set(static_cast<double>(pending));
+    rec->metrics().gauge("yarn.live_containers").set(static_cast<double>(live));
+  }
+}
+
+}  // namespace
 
 ResourceManager::ResourceManager(sim::Engine& engine,
                                  const cluster::Topology& topo,
@@ -78,6 +94,7 @@ RequestId ResourceManager::request_container(
   const RequestId id = request_ids_.next();
   it->second.queue.push_back(PendingRequest{
       id, resource, std::move(preferred), std::move(on_allocated)});
+  publish_rm_gauges(engine_, pending_requests(), live_containers_);
   trigger_schedule();
   return id;
 }
@@ -102,6 +119,7 @@ void ResourceManager::release_container(const Container& container) {
   MRON_CHECK(it->second.allocated_memory >= Bytes(0));
   MRON_CHECK(live_containers_ > 0);
   --live_containers_;
+  publish_rm_gauges(engine_, pending_requests(), live_containers_);
   trigger_schedule();
 }
 
@@ -229,6 +247,12 @@ bool ResourceManager::try_place(AppId app_id, AppState& app,
   target->allocate(req.resource.memory, req.resource.vcores);
   app.allocated_memory += req.resource.memory;
   ++live_containers_;
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("yarn.containers_allocated").add(1.0);
+  }
+  // pending_requests() still counts this request (the caller erases it after
+  // we return true), so subtract it from the published gauge.
+  publish_rm_gauges(engine_, pending_requests() - 1, live_containers_);
 
   Container container;
   container.id = container_ids_.next();

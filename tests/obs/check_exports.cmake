@@ -1,0 +1,31 @@
+# Run mron_cli with every export flag and validate the artifacts with a
+# stock Python interpreter: the trace and metrics files must be one JSON
+# document each, the audit log one JSON object per line.
+execute_process(
+  COMMAND ${CLI} --app=terasort --size-gb=2 --strategy=conservative
+          --metrics-out=check_metrics.json --trace-out=check_trace.json
+          --audit-out=check_audit.jsonl
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE cli_rc
+  OUTPUT_QUIET)
+if(NOT cli_rc EQUAL 0)
+  message(FATAL_ERROR "mron_cli failed with ${cli_rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} -c
+"import json
+json.load(open('check_trace.json'))
+json.load(open('check_metrics.json'))
+lines = [json.loads(l) for l in open('check_audit.jsonl')]
+assert lines, 'audit log is empty'
+assert all('kind' in l and 't' in l for l in lines)
+trace = json.load(open('check_trace.json'))
+events = trace['traceEvents']
+assert sum(e['ph'] == 'B' for e in events) == sum(e['ph'] == 'E' for e in events)
+"
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE py_rc)
+if(NOT py_rc EQUAL 0)
+  message(FATAL_ERROR "export validation failed with ${py_rc}")
+endif()

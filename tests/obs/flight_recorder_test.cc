@@ -1,0 +1,197 @@
+// End-to-end flight-recorder checks: the invariants that make the exported
+// artifacts trustworthy. Task spans match the attempt reports, wave spans
+// match the tuner's wave count, every configuration the aggressive search
+// tried has a config_assign audit event, and the conservative tuner logs a
+// rule_fire per Section-6 rule firing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "mapreduce/simulation.h"
+#include "obs/enabled.h"
+#include "obs/recorder.h"
+#include "tuner/online_tuner.h"
+#include "workloads/benchmarks.h"
+
+namespace mron::tuner {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::JobSpec;
+using mapreduce::Simulation;
+using mapreduce::SimulationOptions;
+
+JobSpec small_terasort(Simulation& sim, int blocks = 120) {
+  return workloads::make_terasort(sim, mebibytes(128.0 * blocks),
+                                  std::max(4, blocks / 4));
+}
+
+#if MRON_OBS_ENABLED
+TunerOptions small_options(TuningStrategy strategy) {
+  TunerOptions opt;
+  opt.strategy = strategy;
+  opt.climber.global_samples = 8;
+  opt.climber.local_samples = 6;
+  opt.climber.max_global_rounds = 2;
+  return opt;
+}
+#endif
+
+TEST(FlightRecorder, OffByDefault) {
+  SimulationOptions sopt;
+  sopt.seed = 31;
+  Simulation sim(sopt);
+  EXPECT_EQ(sim.recorder(), nullptr);
+  const JobResult r = sim.run_job(small_terasort(sim, 16));
+  EXPECT_GT(r.exec_time(), 0.0);
+}
+
+#if MRON_OBS_ENABLED
+
+TEST(FlightRecorder, PlainRunPublishesMetricsAndTaskSpans) {
+  SimulationOptions sopt;
+  sopt.seed = 32;
+  sopt.observe = true;
+  Simulation sim(sopt);
+  const JobResult r = sim.run_job(small_terasort(sim, 40));
+  ASSERT_NE(sim.recorder(), nullptr);
+  const auto& rec = *sim.recorder();
+
+  // Substrate metrics: server gauges, monitor samples, YARN counters, task
+  // counters all present.
+  const auto& m = rec.metrics();
+  EXPECT_GT(m.value("monitor.samples"), 0.0);
+  EXPECT_TRUE(m.has("cluster.node0.cpu_util"));
+  EXPECT_GT(m.value("yarn.containers_allocated"), 0.0);
+  EXPECT_GT(m.value("mr.map.spills"), 0.0);
+  EXPECT_GT(m.value("mr.shuffle.fetches"), 0.0);
+  const auto* series = m.series("monitor.samples");
+  ASSERT_NE(series, nullptr);
+  EXPECT_GT(series->size(), 0u);
+
+  // Without trace detail there is exactly one span per task attempt;
+  // speculative kills close their spans but file no report.
+  const std::size_t attempts = r.map_reports.size() + r.reduce_reports.size() +
+                               static_cast<std::size_t>(r.speculative_launches);
+  EXPECT_EQ(rec.trace().span_count("task"), attempts);
+  EXPECT_EQ(rec.trace().span_count("phase"), 0u);
+  EXPECT_EQ(rec.trace().open_spans(), 0u);
+}
+
+TEST(FlightRecorder, TraceDetailAddsPhaseSpans) {
+  SimulationOptions sopt;
+  sopt.seed = 33;
+  sopt.observe = true;
+  sopt.trace_detail = true;
+  Simulation sim(sopt);
+  (void)sim.run_job(small_terasort(sim, 24));
+  const auto& trace = sim.recorder()->trace();
+  EXPECT_GT(trace.span_count("phase"), 0u);
+  EXPECT_EQ(trace.open_spans(), 0u);
+}
+
+TEST(FlightRecorder, AggressiveAuditMatchesOutcome) {
+  SimulationOptions sopt;
+  sopt.seed = 34;
+  sopt.observe = true;
+  Simulation sim(sopt);
+  JobSpec spec = small_terasort(sim);
+  OnlineTuner tuner(small_options(TuningStrategy::Aggressive));
+  JobResult result;
+  auto& am = sim.submit_job(spec, [&](const JobResult& r) { result = r; });
+  tuner.attach(am);
+  sim.run();
+
+  const auto& out = tuner.outcome(am.id());
+  ASSERT_NE(out.decisions, nullptr);
+  const std::int64_t job = am.id().value();
+
+  // Every configuration the search tried has its config_assign event.
+  EXPECT_GT(out.configs_tried, 0);
+  EXPECT_EQ(out.decisions->count(job, "config_assign"),
+            static_cast<std::size_t>(out.configs_tried));
+  // One wave span per wave, on the tuner's synthetic trace process.
+  EXPECT_EQ(sim.recorder()->trace().span_count("tuner"),
+            static_cast<std::size_t>(out.waves));
+  // One task span per attempt (killed speculative backups report nothing).
+  const std::size_t attempts =
+      result.map_reports.size() + result.reduce_reports.size() +
+      static_cast<std::size_t>(result.speculative_launches);
+  EXPECT_EQ(sim.recorder()->trace().span_count("task"), attempts);
+  EXPECT_EQ(sim.recorder()->trace().open_spans(), 0u);
+
+  // The decision flow is bracketed: attach, then waves, then finalize.
+  EXPECT_EQ(out.decisions->count(job, "attach"), 1u);
+  EXPECT_GE(out.decisions->count(job, "wave_start"),
+            out.decisions->count(job, "wave_complete"));
+  EXPECT_EQ(out.decisions->count(job, "finalize"), 2u);  // map + reduce
+  EXPECT_GT(out.decisions->count(job, "climber_step"), 0u);
+
+  // The exports are structurally sound JSON.
+  std::ostringstream trace_os, audit_os;
+  sim.recorder()->trace().write_chrome_json(trace_os);
+  sim.recorder()->audit().write_jsonl(audit_os);
+  int depth = 0;
+  for (char ch : trace_os.str()) {
+    if (ch == '{' || ch == '[') ++depth;
+    if (ch == '}' || ch == ']') --depth;
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(audit_os.str().find("\"kind\":\"config_assign\""),
+            std::string::npos);
+}
+
+TEST(FlightRecorder, ConservativeAuditsEveryRuleFiring) {
+  SimulationOptions sopt;
+  sopt.seed = 35;
+  sopt.observe = true;
+  Simulation sim(sopt);
+  JobSpec spec = small_terasort(sim, 200);
+  OnlineTuner tuner(small_options(TuningStrategy::Conservative));
+  auto& am = sim.submit_job(spec);
+  tuner.attach(am);
+  sim.run();
+
+  const auto& out = tuner.outcome(am.id());
+  ASSERT_NE(out.decisions, nullptr);
+  const std::int64_t job = am.id().value();
+  ASSERT_GT(out.conservative_adjustments, 0);
+  EXPECT_EQ(out.decisions->count(job, "conservative_adjust"),
+            static_cast<std::size_t>(out.conservative_adjustments));
+  // Each adjustment is justified by at least one named Section-6 rule.
+  EXPECT_GE(out.decisions->count(job, "rule_fire"),
+            out.decisions->count(job, "conservative_adjust"));
+  // Category-III pushes into running tasks leave config_push events.
+  EXPECT_GT(out.decisions->count(job, "config_push"), 0u);
+  // No aggressive machinery ran.
+  EXPECT_EQ(out.decisions->count(job, "wave_start"), 0u);
+}
+
+TEST(FlightRecorder, AuditLogFiltersByJob) {
+  SimulationOptions sopt;
+  sopt.seed = 36;
+  sopt.observe = true;
+  sopt.fair_scheduler = true;
+  Simulation sim(sopt);
+  OnlineTuner tuner(small_options(TuningStrategy::Conservative));
+  auto& am_a = sim.submit_job(small_terasort(sim, 80));
+  auto& am_b = sim.submit_job(workloads::make_bbp(20));
+  tuner.attach(am_a);
+  tuner.attach(am_b);
+  sim.run();
+
+  const auto& audit = sim.recorder()->audit();
+  EXPECT_EQ(audit.count(am_a.id().value(), "attach"), 1u);
+  EXPECT_EQ(audit.count(am_b.id().value(), "attach"), 1u);
+  const auto a_events = audit.for_job(am_a.id().value());
+  for (const auto* ev : a_events) {
+    EXPECT_EQ(ev->job, am_a.id().value());
+  }
+  EXPECT_EQ(audit.count(-1, "attach"), 2u);
+}
+
+#endif  // MRON_OBS_ENABLED
+
+}  // namespace
+}  // namespace mron::tuner

@@ -1,0 +1,100 @@
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace mron::obs {
+namespace {
+
+TEST(TraceRecorder, SpanPairingAndCounts) {
+  TraceRecorder tr;
+  const SpanId a = tr.begin("map_attempt", "task", 0, 1, 0.0);
+  const SpanId b = tr.begin("map_wave", "tuner", kTunerTracePid, 0, 0.5);
+  EXPECT_EQ(tr.open_spans(), 2u);
+  tr.end(a, 1.0);
+  EXPECT_EQ(tr.open_spans(), 1u);
+  tr.end(b, 2.0);
+  EXPECT_EQ(tr.open_spans(), 0u);
+  EXPECT_EQ(tr.span_count(), 2u);
+  EXPECT_EQ(tr.span_count("task"), 1u);
+  EXPECT_EQ(tr.span_count("tuner"), 1u);
+  EXPECT_EQ(tr.span_count("phase"), 0u);
+  EXPECT_EQ(tr.event_count(), 4u);
+}
+
+TEST(TraceRecorder, EndOnInvalidSpanIsNoop) {
+  TraceRecorder tr;
+  tr.end(kInvalidSpan, 1.0);
+  EXPECT_EQ(tr.event_count(), 0u);
+  EXPECT_EQ(tr.open_spans(), 0u);
+}
+
+TEST(TraceRecorder, DetailDefaultsOff) {
+  TraceRecorder tr;
+  EXPECT_FALSE(tr.detail());
+  tr.set_detail(true);
+  EXPECT_TRUE(tr.detail());
+}
+
+// Golden test: the exact Chrome trace_event JSON for a tiny trace. Every
+// begin has a matching end, metadata precedes the events, and sim-time
+// seconds are exported as integer microseconds.
+TEST(TraceRecorder, GoldenChromeJson) {
+  TraceRecorder tr;
+  tr.set_process_name(0, "node0");
+  tr.set_thread_name(0, 7, "c7");
+  const SpanId s = tr.begin("map_attempt", "task", 0, 7, 1.5);
+  tr.end(s, 2.0);
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  EXPECT_EQ(
+      os.str(),
+      "{\"traceEvents\":["
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+      "\"args\":{\"name\":\"node0\"}},"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":7,"
+      "\"args\":{\"name\":\"c7\"}},"
+      "{\"name\":\"map_attempt\",\"cat\":\"task\",\"ph\":\"B\","
+      "\"ts\":1500000,\"pid\":0,\"tid\":7},"
+      "{\"name\":\"map_attempt\",\"cat\":\"task\",\"ph\":\"E\","
+      "\"ts\":2000000,\"pid\":0,\"tid\":7}"
+      "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(TraceRecorder, AsyncEventsCarryCorrelationId) {
+  TraceRecorder tr;
+  tr.async_begin("shuffle_fetch", "fetch", 3, 42, 0.25);
+  tr.async_end("shuffle_fetch", "fetch", 3, 42, 0.75);
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\":42"), std::string::npos);
+  // Async pairs are not duration spans.
+  EXPECT_EQ(tr.span_count(), 0u);
+  EXPECT_EQ(tr.open_spans(), 0u);
+}
+
+TEST(TraceRecorder, BeginArgumentsLandInArgsObject) {
+  TraceRecorder tr;
+  const SpanId s =
+      tr.begin("map_wave", "tuner", kTunerTracePid, 0, 0.0, "batch", 8.0);
+  tr.end(s, 1.0);
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"args\":{\"batch\":8}"), std::string::npos);
+}
+
+TEST(TraceRecorder, InstantEventsAreThreadScoped) {
+  TraceRecorder tr;
+  tr.instant("oom", "task", 2, 9, 3.0);
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  EXPECT_NE(os.str().find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(os.str().find("\"s\":\"t\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mron::obs
