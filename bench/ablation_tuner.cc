@@ -68,7 +68,9 @@ int main(int argc, char** argv) {
   }
   // Gunther-style offline GA with 30 full runs (the paper's 20-40 band).
   {
-    baselines::GeneticOfflineTuner ga;
+    baselines::GeneticOptions gopt;
+    gopt.jobs = bench::jobs();
+    baselines::GeneticOfflineTuner ga(gopt);
     const mapreduce::JobConfig best = ga.tune(
         [&](const mapreduce::JobConfig& cfg) {
           return bench::run_plain(Benchmark::Terasort, Corpus::Synthetic, cfg,

@@ -5,6 +5,8 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <mutex>
 #include <utility>
 
 #include "common/check.h"
@@ -23,6 +25,10 @@ using workloads::Corpus;
 namespace {
 
 ObsOutputs g_obs;
+int g_jobs = 1;
+// Serializes artifact export when runs finish on several workers at once;
+// the files still describe one whole run (the last to finish).
+std::mutex g_obs_mu;
 
 /// Turn observation on for a simulation when any export path is configured.
 void apply_obs(SimulationOptions& opt) {
@@ -35,6 +41,7 @@ void apply_obs(SimulationOptions& opt) {
 void export_obs(Simulation& sim) {
   auto* rec = sim.recorder();
   if (rec == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_obs_mu);
   if (!g_obs.metrics_out.empty()) {
     std::ofstream out(g_obs.metrics_out);
     MRON_CHECK_MSG(out.good(), "cannot open " << g_obs.metrics_out);
@@ -106,6 +113,17 @@ void set_obs_outputs(ObsOutputs outputs) { g_obs = std::move(outputs); }
 
 const ObsOutputs& obs_outputs() { return g_obs; }
 
+void set_jobs(int jobs) { g_jobs = jobs > 0 ? jobs : 1; }
+
+int jobs() { return g_jobs; }
+
+sim::ParallelRunner& runner() {
+  // Lazily sized from the flags; lives for the whole bench process.
+  static std::unique_ptr<sim::ParallelRunner> pool =
+      std::make_unique<sim::ParallelRunner>(g_jobs);
+  return *pool;
+}
+
 void init_obs_from_flags(int argc, char** argv) {
   ObsOutputs out;
   auto value_of = [&](const char* flag, int& i) -> std::string {
@@ -125,11 +143,19 @@ void init_obs_from_flags(int argc, char** argv) {
       out.metrics_out = v;
     } else if (!(v = value_of("--trace-out", i)).empty()) {
       out.trace_out = v;
+    } else if (!(v = value_of("--jobs", i)).empty()) {
+      const int n = std::atoi(v.c_str());
+      if (n < 1) {
+        std::fprintf(stderr, "--jobs wants a positive integer, got %s\n",
+                     v.c_str());
+        std::exit(2);
+      }
+      set_jobs(n);
     } else if (!(v = value_of("--audit-out", i)).empty()) {
       out.audit_out = v;
     } else {
       std::fprintf(stderr,
-                   "unknown flag %s\nusage: %s [--metrics-out=F] "
+                   "unknown flag %s\nusage: %s [--jobs=N] [--metrics-out=F] "
                    "[--trace-out=F] [--audit-out=F] [--trace-detail]\n",
                    argv[i], argv[0]);
       std::exit(2);
@@ -154,11 +180,12 @@ RunStats run_plain(Benchmark b, Corpus c, const JobConfig& cfg,
 
 RunStats run_averaged(Benchmark b, Corpus c, const JobConfig& cfg,
                       Bytes terasort_bytes, int terasort_reduces) {
-  std::vector<RunStats> all;
-  for (auto seed : repeat_seeds()) {
-    all.push_back(
-        run_plain(b, c, cfg, seed, terasort_bytes, terasort_reduces));
-  }
+  const auto seeds = repeat_seeds();
+  const std::vector<RunStats> all = runner().map<RunStats>(
+      seeds.size(), [&](std::size_t i) {
+        return run_plain(b, c, cfg, seeds[i], terasort_bytes,
+                         terasort_reduces);
+      });
   return average(all);
 }
 
@@ -206,11 +233,12 @@ RunStats run_conservative(Benchmark b, Corpus c, std::uint64_t seed,
 RunStats run_conservative_averaged(Benchmark b, Corpus c,
                                    Bytes terasort_bytes,
                                    int terasort_reduces) {
-  std::vector<RunStats> all;
-  for (auto seed : repeat_seeds()) {
-    all.push_back(
-        run_conservative(b, c, seed, terasort_bytes, terasort_reduces));
-  }
+  const auto seeds = repeat_seeds();
+  const std::vector<RunStats> all = runner().map<RunStats>(
+      seeds.size(), [&](std::size_t i) {
+        return run_conservative(b, c, seeds[i], terasort_bytes,
+                                terasort_reduces);
+      });
   return average(all);
 }
 
@@ -237,22 +265,29 @@ void expedited_figure(const std::string& figure,
                          "(aggressive tuning) vs Default and Offline guide");
   TextTable table({"Benchmark", "Default (s)", "Offline (s)", "MRONLINE (s)",
                    "Improvement", "Paper"});
-  for (const auto& app : apps) {
-    const RunStats def =
-        run_averaged(app.benchmark, app.corpus, JobConfig{});
-    const RunStats offline = run_averaged(
-        app.benchmark, app.corpus, offline_config(app.benchmark, app.corpus));
-    const TuneResult tuned_cfg = tune_aggressive(app.benchmark, app.corpus);
-    const RunStats tuned =
-        run_averaged(app.benchmark, app.corpus, tuned_cfg.config);
-    table.add_row({app.label, TextTable::num(def.exec_secs, 0),
-                   TextTable::num(offline.exec_secs, 0),
-                   TextTable::num(tuned.exec_secs, 0),
-                   TextTable::num(
-                       improvement_pct(def.exec_secs, tuned.exec_secs), 1) +
-                       "%",
-                   TextTable::num(app.paper_improvement_pct, 0) + "%"});
-  }
+  // Rows are independent experiments: fan them across the worker pool and
+  // add them to the table in app order afterwards.
+  const auto rows = runner().map<std::vector<std::string>>(
+      apps.size(), [&](std::size_t i) -> std::vector<std::string> {
+        const auto& app = apps[i];
+        const RunStats def =
+            run_averaged(app.benchmark, app.corpus, JobConfig{});
+        const RunStats offline =
+            run_averaged(app.benchmark, app.corpus,
+                         offline_config(app.benchmark, app.corpus));
+        const TuneResult tuned_cfg = tune_aggressive(app.benchmark,
+                                                     app.corpus);
+        const RunStats tuned =
+            run_averaged(app.benchmark, app.corpus, tuned_cfg.config);
+        return {app.label, TextTable::num(def.exec_secs, 0),
+                TextTable::num(offline.exec_secs, 0),
+                TextTable::num(tuned.exec_secs, 0),
+                TextTable::num(
+                    improvement_pct(def.exec_secs, tuned.exec_secs), 1) +
+                    "%",
+                TextTable::num(app.paper_improvement_pct, 0) + "%"};
+      });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
 }
 
@@ -262,19 +297,24 @@ void spill_figure(const std::string& figure,
                  "map-side spill records (1e9) under Optimal / Default / "
                  "Offline guide / MRONLINE");
   TextTable table({"Benchmark", "Optimal", "Default", "Offline", "MRONLINE"});
-  for (const auto& app : apps) {
-    const RunStats def =
-        run_averaged(app.benchmark, app.corpus, JobConfig{});
-    const RunStats offline = run_averaged(
-        app.benchmark, app.corpus, offline_config(app.benchmark, app.corpus));
-    const TuneResult tuned_cfg = tune_aggressive(app.benchmark, app.corpus);
-    const RunStats tuned =
-        run_averaged(app.benchmark, app.corpus, tuned_cfg.config);
-    table.add_row({app.label, TextTable::num(def.optimal_spilled / 1e9, 2),
-                   TextTable::num(def.map_spilled / 1e9, 2),
-                   TextTable::num(offline.map_spilled / 1e9, 2),
-                   TextTable::num(tuned.map_spilled / 1e9, 2)});
-  }
+  const auto rows = runner().map<std::vector<std::string>>(
+      apps.size(), [&](std::size_t i) -> std::vector<std::string> {
+        const auto& app = apps[i];
+        const RunStats def =
+            run_averaged(app.benchmark, app.corpus, JobConfig{});
+        const RunStats offline =
+            run_averaged(app.benchmark, app.corpus,
+                         offline_config(app.benchmark, app.corpus));
+        const TuneResult tuned_cfg = tune_aggressive(app.benchmark,
+                                                     app.corpus);
+        const RunStats tuned =
+            run_averaged(app.benchmark, app.corpus, tuned_cfg.config);
+        return {app.label, TextTable::num(def.optimal_spilled / 1e9, 2),
+                TextTable::num(def.map_spilled / 1e9, 2),
+                TextTable::num(offline.map_spilled / 1e9, 2),
+                TextTable::num(tuned.map_spilled / 1e9, 2)};
+      });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
 }
 
@@ -284,18 +324,21 @@ void single_run_figure(const std::string& figure,
                          "(conservative in-run tuning) vs Default");
   TextTable table({"Benchmark", "Default (s)", "MRONLINE (s)", "Improvement",
                    "Paper"});
-  for (const auto& app : apps) {
-    const RunStats def =
-        run_averaged(app.benchmark, app.corpus, JobConfig{});
-    const RunStats tuned =
-        run_conservative_averaged(app.benchmark, app.corpus);
-    table.add_row({app.label, TextTable::num(def.exec_secs, 0),
-                   TextTable::num(tuned.exec_secs, 0),
-                   TextTable::num(
-                       improvement_pct(def.exec_secs, tuned.exec_secs), 1) +
-                       "%",
-                   TextTable::num(app.paper_improvement_pct, 0) + "%"});
-  }
+  const auto rows = runner().map<std::vector<std::string>>(
+      apps.size(), [&](std::size_t i) -> std::vector<std::string> {
+        const auto& app = apps[i];
+        const RunStats def =
+            run_averaged(app.benchmark, app.corpus, JobConfig{});
+        const RunStats tuned =
+            run_conservative_averaged(app.benchmark, app.corpus);
+        return {app.label, TextTable::num(def.exec_secs, 0),
+                TextTable::num(tuned.exec_secs, 0),
+                TextTable::num(
+                    improvement_pct(def.exec_secs, tuned.exec_secs), 1) +
+                    "%",
+                TextTable::num(app.paper_improvement_pct, 0) + "%"};
+      });
+  for (const auto& row : rows) table.add_row(row);
   table.print(std::cout);
 }
 
@@ -331,23 +374,43 @@ TenantRun run_tenants(const JobConfig& terasort_cfg, const JobConfig& bbp_cfg,
 
 MultiTenantOutcome multi_tenant_experiment() {
   // Aggressive test runs derive each application's configuration
-  // (Section 8.5 runs MRONLINE with aggressive tuning first).
-  const TuneResult terasort_cfg = tune_aggressive(
-      workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,
-      /*seed=*/77, gibibytes(60), /*terasort_reduces=*/200);
-  const TuneResult bbp_cfg =
-      tune_aggressive(workloads::Benchmark::Bbp, workloads::Corpus::None);
+  // (Section 8.5 runs MRONLINE with aggressive tuning first). The two test
+  // runs are independent simulations, as is every seeded tenant pair below.
+  TuneResult terasort_cfg, bbp_cfg;
+  runner().for_each(2, [&](std::size_t i) {
+    if (i == 0) {
+      terasort_cfg = tune_aggressive(
+          workloads::Benchmark::Terasort, workloads::Corpus::Synthetic,
+          /*seed=*/77, gibibytes(60), /*terasort_reduces=*/200);
+    } else {
+      bbp_cfg =
+          tune_aggressive(workloads::Benchmark::Bbp, workloads::Corpus::None);
+    }
+  });
+
+  const auto seeds = repeat_seeds();
+  struct SeedRuns {
+    TenantRun def, tuned;
+  };
+  const auto per_seed = runner().map<SeedRuns>(
+      seeds.size() * 2, [&](std::size_t i) {
+        const auto seed = seeds[i / 2];
+        SeedRuns r;
+        if (i % 2 == 0) {
+          r.def = run_tenants(JobConfig{}, JobConfig{}, seed);
+        } else {
+          r.tuned = run_tenants(terasort_cfg.config, bbp_cfg.config, seed);
+        }
+        return r;
+      });
 
   MultiTenantOutcome out;
   std::vector<RunStats> td, tt, bd, bt;
-  for (auto seed : repeat_seeds()) {
-    const TenantRun def = run_tenants(JobConfig{}, JobConfig{}, seed);
-    const TenantRun tuned =
-        run_tenants(terasort_cfg.config, bbp_cfg.config, seed);
-    td.push_back(def.terasort);
-    bd.push_back(def.bbp);
-    tt.push_back(tuned.terasort);
-    bt.push_back(tuned.bbp);
+  for (std::size_t i = 0; i < per_seed.size(); i += 2) {
+    td.push_back(per_seed[i].def.terasort);
+    bd.push_back(per_seed[i].def.bbp);
+    tt.push_back(per_seed[i + 1].tuned.terasort);
+    bt.push_back(per_seed[i + 1].tuned.bbp);
   }
   out.terasort_default = average(td);
   out.terasort_tuned = average(tt);

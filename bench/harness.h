@@ -14,6 +14,7 @@
 #include "baselines/offline_guide.h"
 #include "common/table.h"
 #include "mapreduce/simulation.h"
+#include "sim/parallel_runner.h"
 #include "tuner/online_tuner.h"
 #include "workloads/benchmarks.h"
 
@@ -38,9 +39,19 @@ struct ObsOutputs {
 void set_obs_outputs(ObsOutputs outputs);
 [[nodiscard]] const ObsOutputs& obs_outputs();
 
-/// Parse the shared bench flags (--metrics-out=F --trace-out=F --audit-out=F
-/// --trace-detail) and install them via set_obs_outputs(). Every bench main
-/// calls this first. Unknown flags print usage and exit(2).
+/// Worker-thread count for the experiment fan-out (repeat seeds, per-app
+/// figure rows, sweep points). 1 = fully serial on the calling thread.
+void set_jobs(int jobs);
+[[nodiscard]] int jobs();
+/// The shared work-stealing pool, sized by set_jobs() at first use. Results
+/// are always delivered in task order, so output is identical at any jobs
+/// value.
+[[nodiscard]] sim::ParallelRunner& runner();
+
+/// Parse the shared bench flags (--jobs=N --metrics-out=F --trace-out=F
+/// --audit-out=F --trace-detail) and install them via set_obs_outputs() /
+/// set_jobs(). Every bench main calls this first. Unknown flags print usage
+/// and exit(2).
 void init_obs_from_flags(int argc, char** argv);
 
 struct RunStats {

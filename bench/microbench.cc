@@ -1,12 +1,31 @@
 // google-benchmark microbenchmarks for the simulator's hot paths: the event
 // engine, the processor-sharing server, LHS sampling, the spill model, and
 // a small end-to-end job.
+//
+// Besides the google-benchmark suite, `--baseline-out=FILE` runs a small
+// hand-timed baseline suite and writes machine-readable BENCH_engine.json
+// (engine events/sec, terasort wall times, and a seeds-by-configs sweep at
+// --jobs=1 vs --jobs=N). CI diffs that file against the committed baseline
+// with tools/check_perf.py.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/harness.h"
 #include "common/rng.h"
 #include "mapreduce/simulation.h"
 #include "mapreduce/spill_model.h"
 #include "sim/engine.h"
+#include "sim/parallel_runner.h"
 #include "sim/shared_server.h"
 #include "tuner/lhs.h"
 #include "workloads/benchmarks.h"
@@ -26,6 +45,23 @@ void BM_EngineScheduleDispatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 1000);
 }
 BENCHMARK(BM_EngineScheduleDispatch);
+
+// Schedule/cancel churn: the timeout-heavy pattern (speculation timers,
+// heartbeats) where most events never fire. Exercises slot reuse and the
+// amortized heap compaction.
+void BM_EngineCancelChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Engine eng;
+    for (int i = 0; i < 1000; ++i) {
+      auto id = eng.schedule_after(1000.0, [] {});
+      eng.schedule_at(static_cast<double>(i % 97), [] {});
+      eng.cancel(id);
+    }
+    benchmark::DoNotOptimize(eng.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_EngineCancelChurn);
 
 void BM_SharedServerChurn(benchmark::State& state) {
   const int streams = static_cast<int>(state.range(0));
@@ -116,6 +152,176 @@ BENCHMARK(BM_EndToEndTerasortObserved)
     ->Arg(32)
     ->Unit(benchmark::kMillisecond);
 
+// --- the --baseline-out hand-timed suite -----------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+/// Best-of-`reps` wall time of `fn` in milliseconds.
+template <typename Fn>
+double best_wall_ms(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+double measure_engine_events_per_sec() {
+  constexpr int kEvents = 200'000;
+  const double ms = best_wall_ms(5, [] {
+    sim::Engine eng;
+    for (int i = 0; i < kEvents; ++i) {
+      eng.schedule_at(static_cast<double>(i % 97), [] {});
+    }
+    benchmark::DoNotOptimize(eng.run());
+  });
+  return kEvents / (ms / 1e3);
+}
+
+double measure_terasort_wall_ms(int gb, int reps) {
+  return best_wall_ms(reps, [&] {
+    mapreduce::SimulationOptions opt;
+    opt.seed = 3;
+    mapreduce::Simulation sim(opt);
+    auto spec = workloads::make_terasort(sim, gibibytes(gb));
+    benchmark::DoNotOptimize(sim.run_job(std::move(spec)).exec_time());
+  });
+}
+
+/// Eight configurations spanning the map-side and reduce-side knobs, the
+/// shape of a small tuning sweep.
+std::vector<mapreduce::JobConfig> sweep_configs() {
+  std::vector<mapreduce::JobConfig> configs(8);
+  configs[1].io_sort_mb = 256;
+  configs[2].sort_spill_percent = 0.95;
+  configs[3].map_memory_mb = 2048;
+  configs[4].reduce_memory_mb = 2048;
+  configs[5].reduce_input_buffer_percent = 0.6;
+  configs[6].merge_inmem_threshold = 0;
+  configs[7].io_sort_factor = 64;
+  for (auto& cfg : configs) mapreduce::clamp_constraints(cfg);
+  return configs;
+}
+
+/// Runs the 4-seed x 8-config terasort sweep through a pool with `jobs`
+/// workers; returns wall ms and the per-run exec times (task-index order,
+/// so identical at any jobs value).
+double run_sweep_ms(int jobs, std::vector<double>* exec_secs) {
+  const auto seeds = bench::repeat_seeds();
+  const auto configs = sweep_configs();
+  const std::size_t n = seeds.size() * configs.size();
+  sim::ParallelRunner pool(jobs);
+  const auto t0 = Clock::now();
+  *exec_secs = pool.map<double>(n, [&](std::size_t i) {
+    const auto& cfg = configs[i / seeds.size()];
+    const auto seed = seeds[i % seeds.size()];
+    return bench::run_plain(workloads::Benchmark::Terasort,
+                            workloads::Corpus::Synthetic, cfg, seed,
+                            gibibytes(8))
+        .exec_secs;
+  });
+  const std::chrono::duration<double, std::milli> dt = Clock::now() - t0;
+  return dt.count();
+}
+
+int run_baseline_suite(const std::string& out_path, int jobs) {
+  if (jobs <= 0) {
+    jobs = static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }
+  const double events_per_sec = measure_engine_events_per_sec();
+  const double terasort2_ms = measure_terasort_wall_ms(2, 5);
+  const double terasort32_ms = measure_terasort_wall_ms(32, 3);
+
+  std::vector<double> serial_runs, parallel_runs;
+  run_sweep_ms(1, &serial_runs);  // warmup (page cache, allocator arenas)
+  double sweep_serial_ms = std::numeric_limits<double>::infinity();
+  double sweep_parallel_ms = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < 3; ++rep) {
+    sweep_serial_ms = std::min(sweep_serial_ms, run_sweep_ms(1, &serial_runs));
+    sweep_parallel_ms =
+        std::min(sweep_parallel_ms, run_sweep_ms(jobs, &parallel_runs));
+  }
+  if (serial_runs != parallel_runs) {
+    std::cerr << "FATAL: sweep results differ between --jobs=1 and --jobs="
+              << jobs << "; the determinism contract is broken\n";
+    return 1;
+  }
+  const double speedup = sweep_serial_ms / sweep_parallel_ms;
+  const double efficiency = speedup / jobs;
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  char buf[256];
+  out << "{\n";
+  out << "  \"schema\": 1,\n";
+#ifdef NDEBUG
+  out << "  \"build\": \"release\",\n";
+#else
+  out << "  \"build\": \"debug\",\n";
+#endif
+  out << "  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency() << ",\n";
+  out << "  \"sweep_jobs\": " << jobs << ",\n";
+  out << "  \"metrics\": {\n";
+  std::snprintf(buf, sizeof buf,
+                "    \"engine_events_per_sec\": %.0f,\n", events_per_sec);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"terasort_2gb_wall_ms\": %.3f,\n", terasort2_ms);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"terasort_32gb_wall_ms\": %.3f,\n", terasort32_ms);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"sweep_serial_wall_ms\": %.3f,\n", sweep_serial_ms);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"sweep_parallel_wall_ms\": %.3f,\n", sweep_parallel_ms);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "    \"sweep_speedup\": %.3f,\n", speedup);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"sweep_efficiency_per_core\": %.3f\n", efficiency);
+  out << buf;
+  out << "  }\n";
+  out << "}\n";
+  out.close();
+  std::cout << "wrote " << out_path << " (events/sec=" << events_per_sec
+            << ", terasort32=" << terasort32_ms << " ms, sweep speedup x"
+            << speedup << " at jobs=" << jobs << ")\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string baseline_out;
+  int jobs = 0;
+  std::vector<char*> rest;
+  rest.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--baseline-out=", 0) == 0) {
+      baseline_out = arg.substr(15);
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      jobs = std::atoi(arg.c_str() + 7);
+    } else {
+      rest.push_back(argv[i]);
+    }
+  }
+  if (!baseline_out.empty()) return run_baseline_suite(baseline_out, jobs);
+  int rest_argc = static_cast<int>(rest.size());
+  benchmark::Initialize(&rest_argc, rest.data());
+  if (benchmark::ReportUnrecognizedArguments(rest_argc, rest.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

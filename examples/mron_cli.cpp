@@ -19,13 +19,17 @@
 // mron_audit.jsonl). --trace-detail adds per-phase and shuffle-fetch spans.
 #include <cstdio>
 #include <fstream>
+#include <mutex>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "baselines/offline_guide.h"
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/log.h"
 #include "mapreduce/simulation.h"
+#include "sim/parallel_runner.h"
 #include "tuner/online_tuner.h"
 #include "workloads/benchmarks.h"
 
@@ -44,6 +48,8 @@ struct ObsConfig {
   }
 };
 ObsConfig g_obs;
+// Runs may finish on several pool workers at once; exports stay whole-file.
+std::mutex g_obs_mu;
 
 void apply_obs(mapreduce::SimulationOptions& opt) {
   if (!g_obs.any()) return;
@@ -54,6 +60,7 @@ void apply_obs(mapreduce::SimulationOptions& opt) {
 void export_obs(mapreduce::Simulation& sim) {
   auto* rec = sim.recorder();
   if (rec == nullptr) return;
+  std::lock_guard<std::mutex> lock(g_obs_mu);
   auto write = [](const std::string& path, auto&& writer) {
     if (path.empty()) return;
     std::ofstream out(path);
@@ -147,7 +154,8 @@ int run_cli(int argc, char** argv) {
     std::printf("usage: mron_cli --app=<terasort|wordcount|bigram|"
                 "invertedindex|textsearch|bbp> [--corpus=wikipedia|freebase]"
                 " [--size-gb=N] [--strategy=none|conservative|aggressive|"
-                "offline] [--seed=N] [--runs=N] [--fair] [--show-config]"
+                "offline] [--seed=N] [--runs=N] [--jobs=N] [--fair]"
+                " [--show-config]"
                 " [--log-level=trace|debug|info|warn|error]"
                 " [--metrics-out[=F]] [--trace-out[=F]] [--audit-out[=F]]"
                 " [--trace-detail]\n");
@@ -172,6 +180,12 @@ int run_cli(int argc, char** argv) {
   const std::string strategy = flags.get("strategy", std::string("none"));
   const auto seed = static_cast<std::uint64_t>(flags.get("seed", 1));
   const int runs = flags.get("runs", 1);
+  const int jobs = flags.get("jobs", 1);
+  if (jobs < 1) {
+    std::fprintf(stderr, "--jobs wants a positive integer\n");
+    return 2;
+  }
+  mron::sim::ParallelRunner pool(jobs);
   const bool fair = flags.get("fair", false);
   const bool show_config = flags.get("show-config", false);
   const std::string log_level = flags.get("log-level", std::string(""));
@@ -213,33 +227,46 @@ int run_cli(int argc, char** argv) {
                                             maps);
     }
     if (show_config) print_config(cfg);
-    for (int i = 0; i < runs; ++i) {
-      print_result(strategy.c_str(), run_once(app, size_gb, cfg, seed + i,
-                                              fair));
-    }
+    // Each seeded run is an independent simulation; results print in run
+    // order whatever finished first, so output is identical at any --jobs.
+    const auto results = pool.map<mapreduce::JobResult>(
+        static_cast<std::size_t>(runs), [&](std::size_t i) {
+          return run_once(app, size_gb, cfg,
+                          seed + static_cast<std::uint64_t>(i), fair);
+        });
+    for (const auto& r : results) print_result(strategy.c_str(), r);
     return 0;
   }
 
   if (strategy == "conservative") {
-    for (int i = 0; i < runs; ++i) {
-      mapreduce::SimulationOptions opt;
-      opt.seed = seed + i;
-      opt.fair_scheduler = fair;
-      apply_obs(opt);
-      mapreduce::Simulation sim(opt);
-      tuner::TunerOptions topt;
-      topt.strategy = tuner::TuningStrategy::Conservative;
-      tuner::OnlineTuner online_tuner(topt);
+    struct ConservativeRun {
       mapreduce::JobResult result;
-      auto& am = sim.submit_job(make_spec(sim, app, size_gb),
-                                [&](const mapreduce::JobResult& r) {
-                                  result = r;
-                                });
-      online_tuner.attach(am);
-      sim.run();
-      export_obs(sim);
-      print_result("conservative", result);
-      if (show_config) print_config(online_tuner.outcome(am.id()).best_config);
+      mapreduce::JobConfig best_config;
+    };
+    const auto results = pool.map<ConservativeRun>(
+        static_cast<std::size_t>(runs), [&](std::size_t i) {
+          mapreduce::SimulationOptions opt;
+          opt.seed = seed + static_cast<std::uint64_t>(i);
+          opt.fair_scheduler = fair;
+          apply_obs(opt);
+          mapreduce::Simulation sim(opt);
+          tuner::TunerOptions topt;
+          topt.strategy = tuner::TuningStrategy::Conservative;
+          tuner::OnlineTuner online_tuner(topt);
+          ConservativeRun out;
+          auto& am = sim.submit_job(make_spec(sim, app, size_gb),
+                                    [&](const mapreduce::JobResult& r) {
+                                      out.result = r;
+                                    });
+          online_tuner.attach(am);
+          sim.run();
+          export_obs(sim);
+          out.best_config = online_tuner.outcome(am.id()).best_config;
+          return out;
+        });
+    for (const auto& run : results) {
+      print_result("conservative", run.result);
+      if (show_config) print_config(run.best_config);
     }
     return 0;
   }
@@ -264,11 +291,12 @@ int run_cli(int argc, char** argv) {
     std::printf("test run: %.1f s, %d waves, %d configurations\n", test_secs,
                 out.waves, out.configs_tried);
     if (show_config) print_config(out.best_config);
-    for (int i = 0; i < runs; ++i) {
-      print_result("aggressive",
-                   run_once(app, size_gb, out.best_config, seed + 1 + i,
-                            fair));
-    }
+    const auto results = pool.map<mapreduce::JobResult>(
+        static_cast<std::size_t>(runs), [&](std::size_t i) {
+          return run_once(app, size_gb, out.best_config,
+                          seed + 1 + static_cast<std::uint64_t>(i), fair);
+        });
+    for (const auto& r : results) print_result("aggressive", r);
     return 0;
   }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "sim/parallel_runner.h"
 
 namespace mron::baselines {
 
@@ -71,10 +72,16 @@ JobConfig GeneticOfflineTuner::tune(const Evaluator& evaluate,
     ind.seconds = evaluate(decode(ind.genome));
     ++runs_used_;
   };
-  for (auto& ind : pop) {
-    if (runs_used_ >= budget_runs) break;
-    eval(ind);
-  }
+  // Seeding wave: every initial individual is an independent full job run,
+  // so fan them across the pool. Fitness lands by index, which makes the
+  // result identical at any options.jobs.
+  const auto wave = static_cast<std::size_t>(
+      std::min<int>(options_.population, budget_runs));
+  sim::ParallelRunner pool(options_.jobs);
+  pool.for_each(wave, [&](std::size_t i) {
+    pop[i].seconds = evaluate(decode(pop[i].genome));
+  });
+  runs_used_ = static_cast<int>(wave);
 
   auto tournament_pick = [&]() -> const Individual& {
     const Individual* best = nullptr;

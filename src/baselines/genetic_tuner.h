@@ -17,6 +17,13 @@ struct GeneticOptions {
   double mutation_sigma = 0.15;
   int tournament = 2;
   std::uint64_t seed = 7;
+  /// Worker threads for the initial-population fitness wave (each fitness
+  /// evaluation is a whole job run, all mutually independent). The
+  /// steady-state loop stays sequential — each child depends on the last
+  /// replacement — so results are identical at any `jobs`, but the seeding
+  /// wave is the embarrassingly parallel chunk of the budget. The evaluator
+  /// must be thread-safe when jobs > 1 (one fresh Simulation per call is).
+  int jobs = 1;
 };
 
 class GeneticOfflineTuner {

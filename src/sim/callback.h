@@ -1,0 +1,111 @@
+// Small-buffer-optimized, move-only callback for the simulation hot path.
+//
+// The engine schedules hundreds of thousands of events per simulated job,
+// and nearly every callback is a lambda capturing a `this` pointer plus a
+// few scalars. std::function's inline buffer (two words on libstdc++) is
+// too small for most of them, so the seed engine paid one heap
+// allocation/deallocation per event. This type keeps a 48-byte inline
+// buffer — enough for every callback the simulator creates today — and
+// only falls back to the heap for larger captures. Being move-only it also
+// accepts non-copyable captures (e.g. std::unique_ptr), which
+// std::function cannot hold at all.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mron::sim {
+
+class Callback {
+ public:
+  /// Inline capture budget. Callables larger than this are heap-allocated.
+  static constexpr std::size_t kInlineSize = 48;
+
+  Callback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, Callback> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  Callback(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                     // std::function at every schedule/submit call site.
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= kInlineSize &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+
+  ~Callback() { reset(); }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  [[nodiscard]] explicit operator bool() const { return ops_ != nullptr; }
+
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-construct into `dst` from `src`, leaving `src` destroyed.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void* storage);
+  };
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* dst, void* src) {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) { std::launder(reinterpret_cast<D*>(s))->~D(); }};
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* dst, void* src) {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* s) { delete *std::launder(reinterpret_cast<D**>(s)); }};
+
+  void move_from(Callback& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(buf_, other.buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char buf_[kInlineSize];
+};
+
+}  // namespace mron::sim

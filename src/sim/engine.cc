@@ -1,17 +1,31 @@
 #include "sim/engine.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace mron::sim {
 
+namespace {
+// Compaction hysteresis: never bother rebuilding a tiny heap.
+constexpr std::size_t kMinHeapForCompaction = 64;
+}  // namespace
+
 EventId Engine::schedule_at(SimTime t, Callback cb) {
   MRON_CHECK_MSG(t >= now_, "schedule_at(" << t << ") before now=" << now_);
-  MRON_CHECK(cb != nullptr);
-  const EventId id = ids_.next();
-  queue_.push(QueueEntry{t, next_seq_++, id});
-  callbacks_.emplace(id, std::move(cb));
+  MRON_CHECK(static_cast<bool>(cb));
+  std::uint32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  heap_push(HeapEntry{t, next_seq_++, slot, s.gen});
   ++live_events_;
-  return id;
+  return pack(slot, s.gen);
 }
 
 EventId Engine::schedule_after(SimTime delay, Callback cb) {
@@ -20,21 +34,60 @@ EventId Engine::schedule_after(SimTime delay, Callback cb) {
 }
 
 void Engine::cancel(EventId id) {
-  auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) return;
-  callbacks_.erase(it);
+  if (!id.valid()) return;
+  const auto packed = static_cast<std::uint64_t>(id.value());
+  const auto slot = static_cast<std::uint32_t>(packed & 0xffffffffu);
+  const auto gen = static_cast<std::uint32_t>(packed >> 32);
+  if (slot >= slots_.size() || slots_[slot].gen != gen || !slots_[slot].cb) {
+    return;  // already fired, already cancelled, or never issued
+  }
+  release_slot(slot);
   --live_events_;
-  // The queue entry stays behind and is skipped lazily at dispatch time.
+  // The heap entry stays behind as a tombstone: dropped at pop time, or
+  // swept by maybe_compact() before tombstones can outnumber live events.
+  ++stale_in_heap_;
+  maybe_compact();
+}
+
+void Engine::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb.reset();
+  // Wrapping at 2^31 keeps EventId::value() non-negative; a stale handle
+  // would have to survive two billion reuses of one slot to collide.
+  s.gen = (s.gen + 1) & 0x7fffffffu;
+  free_slots_.push_back(slot);
+}
+
+void Engine::maybe_compact() {
+  if (stale_in_heap_ <= live_events_ ||
+      heap_.size() < kMinHeapForCompaction) {
+    return;
+  }
+  std::erase_if(heap_, [this](const HeapEntry& e) { return !is_live(e); });
+  std::make_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>{});
+  stale_in_heap_ = 0;
+}
+
+void Engine::heap_push(HeapEntry e) {
+  heap_.push_back(e);
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>{});
+}
+
+void Engine::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>{});
+  heap_.pop_back();
 }
 
 bool Engine::dispatch_next() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    auto it = callbacks_.find(entry.id);
-    if (it == callbacks_.end()) continue;  // cancelled
-    Callback cb = std::move(it->second);
-    callbacks_.erase(it);
+  while (!heap_.empty()) {
+    const HeapEntry entry = heap_.front();
+    heap_pop();
+    if (!is_live(entry)) {
+      --stale_in_heap_;
+      continue;
+    }
+    Callback cb = std::move(slots_[entry.slot].cb);
+    release_slot(entry.slot);
     --live_events_;
     now_ = entry.time;
     cb();
@@ -53,11 +106,12 @@ std::int64_t Engine::run(std::int64_t max_events) {
 std::int64_t Engine::run_until(SimTime t) {
   MRON_CHECK(t >= now_);
   std::int64_t fired = 0;
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Peek past cancelled entries to find the next live event time.
-    QueueEntry entry = queue_.top();
-    if (callbacks_.find(entry.id) == callbacks_.end()) {
-      queue_.pop();
+    const HeapEntry entry = heap_.front();
+    if (!is_live(entry)) {
+      heap_pop();
+      --stale_in_heap_;
       continue;
     }
     if (entry.time > t) break;

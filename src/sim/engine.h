@@ -2,20 +2,28 @@
 //
 // Single-threaded: all model code runs inside event callbacks dispatched by
 // Engine::run(). Events at equal timestamps fire in schedule order, which
-// keeps experiments bit-reproducible for a fixed seed.
+// keeps experiments bit-reproducible for a fixed seed. Whole Engines (one
+// per Simulation) may run concurrently on different threads — see
+// sim/parallel_runner.h — but no two threads ever touch one Engine.
+//
+// Internals are built for the hot path (see DESIGN.md "Engine internals"):
+// callbacks live in a generation-checked slot map (contiguous storage, slots
+// recycled through a free list, no per-event node allocation), the ready
+// queue is a binary heap of 24-byte plain-data entries, and cancel() is O(1)
+// — it releases the slot immediately and leaves a stale heap entry behind
+// that is dropped either at pop time or by an amortized compaction pass that
+// keeps the heap no larger than a constant multiple of the live event count.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <limits>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "common/check.h"
 #include "common/strong_id.h"
 #include "common/units.h"
 #include "obs/enabled.h"
+#include "sim/callback.h"
 
 namespace mron::obs {
 class Recorder;
@@ -24,11 +32,14 @@ class Recorder;
 namespace mron::sim {
 
 struct EventTag {};
+/// Packed handle: low 32 bits slot index, upper bits the slot's generation
+/// at scheduling time. A handle goes stale the moment its event fires or is
+/// cancelled, and stale handles are rejected in O(1).
 using EventId = StrongId<EventTag>;
 
 class Engine {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::Callback;
 
   Engine() = default;
   Engine(const Engine&) = delete;
@@ -54,6 +65,12 @@ class Engine {
   [[nodiscard]] bool empty() const { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_events_; }
 
+  /// Diagnostics for the tombstone-growth regression test: heap entries
+  /// (live + not-yet-collected stale) and slot-map capacity. Both stay
+  /// O(pending()) under any schedule/cancel churn pattern.
+  [[nodiscard]] std::size_t queue_size() const { return heap_.size(); }
+  [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
+
   /// Attach/detach the flight recorder. The engine does not own it; the
   /// Simulation (or test) that created the recorder keeps it alive for the
   /// engine's lifetime.
@@ -76,27 +93,52 @@ class Engine {
   }
 
  private:
-  struct QueueEntry {
+  struct Slot {
+    Callback cb;
+    std::uint32_t gen = 0;
+  };
+
+  struct HeapEntry {
     SimTime time;
     std::int64_t seq;
-    EventId id;
-    bool operator>(const QueueEntry& other) const {
+    std::uint32_t slot;
+    std::uint32_t gen;
+    bool operator>(const HeapEntry& other) const {
       if (time != other.time) return time > other.time;
       return seq > other.seq;
     }
   };
+
+  [[nodiscard]] static EventId pack(std::uint32_t slot, std::uint32_t gen) {
+    return EventId(static_cast<std::int64_t>(
+        (static_cast<std::uint64_t>(gen) << 32) | slot));
+  }
+
+  [[nodiscard]] bool is_live(const HeapEntry& e) const {
+    return slots_[e.slot].gen == e.gen && slots_[e.slot].cb;
+  }
+
+  /// Free the slot for reuse; bumping the generation invalidates every
+  /// outstanding EventId and heap entry pointing at it.
+  void release_slot(std::uint32_t slot);
+
+  /// Rebuild the heap without stale entries once they outnumber live ones.
+  /// Amortized O(1) per cancel; bounds heap memory to O(live).
+  void maybe_compact();
+
+  void heap_push(HeapEntry e);
+  void heap_pop();
 
   /// Pops the next live event; returns false when drained.
   bool dispatch_next();
 
   SimTime now_ = 0.0;
   std::int64_t next_seq_ = 0;
-  IdAllocator<EventId> ids_;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                      std::greater<QueueEntry>>
-      queue_;
-  std::unordered_map<EventId, Callback> callbacks_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<HeapEntry> heap_;  // binary min-heap on (time, seq)
   std::size_t live_events_ = 0;
+  std::size_t stale_in_heap_ = 0;
 #if MRON_OBS_ENABLED
   obs::Recorder* recorder_ = nullptr;
 #endif

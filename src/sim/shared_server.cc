@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <utility>
-#include <vector>
 
 #include "obs/recorder.h"
 
@@ -42,41 +41,52 @@ SharedServer::SharedServer(Engine& engine, double capacity, std::string name,
   }
 }
 
+int SharedServer::find(StreamId id) const {
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    if (streams_[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 StreamId SharedServer::submit(double work, double cap, Done done) {
   MRON_CHECK_MSG(work >= 0.0, "negative work " << work);
   MRON_CHECK_MSG(cap > 0.0, "non-positive cap " << cap);
-  MRON_CHECK(done != nullptr);
+  MRON_CHECK(static_cast<bool>(done));
   advance();
   const StreamId id = ids_.next();
-  streams_.emplace(id, Stream{std::max(work, kWorkEpsilon), cap, 0.0,
-                              std::move(done)});
+  streams_.push_back(Stream{id, std::max(work, kWorkEpsilon), cap, 0.0,
+                            std::move(done)});
+  alloc_dirty_ = true;
   reallocate();
   return id;
 }
 
 void SharedServer::cancel(StreamId id) {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) return;
+  const int i = find(id);
+  if (i < 0) return;
   advance();
-  streams_.erase(it);
+  streams_.erase(streams_.begin() + i);
+  alloc_dirty_ = true;
   reallocate();
 }
 
 void SharedServer::set_cap(StreamId id, double cap) {
   MRON_CHECK(cap > 0.0);
-  auto it = streams_.find(id);
-  if (it == streams_.end()) return;
+  const int i = find(id);
+  if (i < 0) return;
   advance();
-  it->second.cap = cap;
+  streams_[static_cast<std::size_t>(i)].cap = cap;
+  alloc_dirty_ = true;
   reallocate();
 }
 
 double SharedServer::remaining(StreamId id) const {
-  auto it = streams_.find(id);
-  if (it == streams_.end()) return 0.0;
+  const int i = find(id);
+  if (i < 0) return 0.0;
+  const auto& s = streams_[static_cast<std::size_t>(i)];
   // Account for progress since the last state change without mutating.
   const double dt = engine_.now() - last_update_;
-  return std::max(0.0, it->second.remaining - it->second.rate * dt);
+  return std::max(0.0, s.remaining - s.rate * dt);
 }
 
 double SharedServer::busy_integral() const {
@@ -90,61 +100,108 @@ void SharedServer::advance() {
     last_update_ = now;
     return;
   }
-  for (auto& [id, s] : streams_) {
+  for (auto& s : streams_) {
     s.remaining = std::max(0.0, s.remaining - s.rate * dt);
   }
   busy_integral_ += total_rate_ * dt;
   last_update_ = now;
 }
 
+void SharedServer::recompute_rates() {
+  const auto n = streams_.size();
+  const double effective =
+      capacity_ /
+      (1.0 + concurrency_penalty_ * (static_cast<double>(n) - 1.0));
+
+  // Fast path 1: a lone stream takes min(cap, capacity).
+  if (n == 1) {
+    streams_[0].rate = std::min(streams_[0].cap, effective);
+    total_rate_ = streams_[0].rate;
+    return;
+  }
+
+  // One scan classifies the common shapes.
+  const double share = effective / static_cast<double>(n);
+  double cap_sum = 0.0;
+  bool any_below_share = false;
+  for (const auto& s : streams_) {
+    cap_sum += s.cap;  // inf-safe: stays inf once any stream is uncapped
+    if (s.cap < share) any_below_share = true;
+  }
+
+  // Fast path 2: total demand fits — everyone runs at cap.
+  if (cap_sum <= effective) {
+    total_rate_ = 0.0;
+    for (auto& s : streams_) {
+      s.rate = s.cap;
+      total_rate_ += s.rate;
+    }
+    return;
+  }
+
+  // Fast path 3: no cap binds below the equal share — flat split.
+  if (!any_below_share) {
+    for (auto& s : streams_) s.rate = share;
+    total_rate_ = share * static_cast<double>(n);
+    return;
+  }
+
+  // General water-filling over reusable scratch (no allocation once the
+  // scratch vector has grown to the server's high-water stream count).
+  for (auto& s : streams_) s.rate = 0.0;
+  auto& unsat = unsat_scratch_;
+  unsat.resize(n);
+  for (std::uint32_t i = 0; i < n; ++i) unsat[i] = i;
+  double remaining_capacity = effective;
+  while (!unsat.empty() && remaining_capacity > 1e-12) {
+    const double round_share =
+        remaining_capacity / static_cast<double>(unsat.size());
+    std::size_t kept = 0;
+    bool any_capped = false;
+    for (const std::uint32_t i : unsat) {
+      Stream& s = streams_[i];
+      if (s.cap - s.rate <= round_share) {
+        remaining_capacity -= (s.cap - s.rate);
+        s.rate = s.cap;
+        any_capped = true;
+      } else {
+        unsat[kept++] = i;  // compact in place, order preserved
+      }
+    }
+    unsat.resize(kept);
+    if (!any_capped) {
+      for (const std::uint32_t i : unsat) streams_[i].rate += round_share;
+      remaining_capacity = 0.0;
+      unsat.clear();
+    }
+  }
+
+  total_rate_ = 0.0;
+  for (const auto& s : streams_) total_rate_ += s.rate;
+}
+
 void SharedServer::reallocate() {
+  // The completion event is always cancelled and rescheduled here — even
+  // when the rates are provably unchanged — so that the engine sees the
+  // exact event sequence the naive implementation produced (determinism).
   if (has_pending_event_) {
     engine_.cancel(pending_event_);
     has_pending_event_ = false;
   }
-  total_rate_ = 0.0;
-  if (streams_.empty()) return;
-
-  // Water-filling: equal shares, respecting per-stream caps.
-  std::vector<Stream*> unsat;
-  unsat.reserve(streams_.size());
-  for (auto& [id, s] : streams_) {
-    s.rate = 0.0;
-    unsat.push_back(&s);
+  if (streams_.empty()) {
+    total_rate_ = 0.0;
+    return;
   }
-  double remaining_capacity =
-      capacity_ /
-      (1.0 + concurrency_penalty_ *
-                 (static_cast<double>(streams_.size()) - 1.0));
-  while (!unsat.empty() && remaining_capacity > 1e-12) {
-    const double share = remaining_capacity / static_cast<double>(unsat.size());
-    std::vector<Stream*> still_unsat;
-    bool any_capped = false;
-    for (Stream* s : unsat) {
-      if (s->cap - s->rate <= share) {
-        remaining_capacity -= (s->cap - s->rate);
-        s->rate = s->cap;
-        any_capped = true;
-      } else {
-        still_unsat.push_back(s);
-      }
-    }
-    if (!any_capped) {
-      for (Stream* s : still_unsat) {
-        s->rate += share;
-      }
-      remaining_capacity = 0.0;
-      still_unsat.clear();
-    }
-    unsat = std::move(still_unsat);
+
+  if (alloc_dirty_) {
+    recompute_rates();
+    alloc_dirty_ = false;
   }
 
   SimTime next_completion = std::numeric_limits<double>::infinity();
-  for (auto& [id, s] : streams_) {
-    total_rate_ += s.rate;
+  for (const auto& s : streams_) {
     if (s.rate > 0.0) {
-      next_completion =
-          std::min(next_completion, s.remaining / s.rate);
+      next_completion = std::min(next_completion, s.remaining / s.rate);
     }
   }
   MRON_CHECK_MSG(std::isfinite(next_completion),
@@ -162,14 +219,22 @@ void SharedServer::on_completion() {
   // current timestamp or time stops advancing for near-finished streams.
   const double time_eps =
       std::max(kTimeEpsilon, engine_.now() * 1e-12);
+  // Partition finished streams out, preserving the arrival order of the
+  // survivors; callbacks fire after the server is consistent again.
   std::vector<Done> finished;
-  for (auto it = streams_.begin(); it != streams_.end();) {
-    if (it->second.remaining <= kWorkEpsilon + it->second.rate * time_eps) {
-      finished.push_back(std::move(it->second.done));
-      it = streams_.erase(it);
+  std::size_t kept = 0;
+  for (std::size_t i = 0; i < streams_.size(); ++i) {
+    Stream& s = streams_[i];
+    if (s.remaining <= kWorkEpsilon + s.rate * time_eps) {
+      finished.push_back(std::move(s.done));
     } else {
-      ++it;
+      if (kept != i) streams_[kept] = std::move(s);
+      ++kept;
     }
+  }
+  if (kept != streams_.size()) {
+    streams_.resize(kept);
+    alloc_dirty_ = true;
   }
   reallocate();
   // Callbacks run after the server is in a consistent state; they may submit

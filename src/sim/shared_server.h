@@ -9,12 +9,22 @@
 //
 // Work is a scalar in resource-specific units: bytes for disks and links,
 // core-seconds for CPU.
+//
+// Internals (see DESIGN.md "Engine internals"): streams live in a flat
+// insertion-ordered table instead of a node-based map, the water-filling
+// pass runs allocation-free over reusable scratch storage with one-pass
+// fast paths for the common shapes (single stream, nothing capped below its
+// equal share, total demand under capacity), and rates are recomputed only
+// when the binding set — stream membership or caps — actually changed.
+// The completion event is still cancelled and rescheduled on exactly the
+// same occasions as before, so the engine-level event ordering (and with it
+// every seeded experiment) is bit-identical to the straightforward
+// implementation.
 #pragma once
 
-#include <functional>
 #include <limits>
-#include <map>
 #include <string>
+#include <vector>
 
 #include "common/strong_id.h"
 #include "sim/engine.h"
@@ -30,7 +40,7 @@ using StreamId = StrongId<StreamTag>;
 
 class SharedServer {
  public:
-  using Done = std::function<void()>;
+  using Done = Callback;
 
   static constexpr double kUncapped = std::numeric_limits<double>::infinity();
 
@@ -71,17 +81,24 @@ class SharedServer {
 
  private:
   struct Stream {
+    StreamId id;
     double remaining;
     double cap;
     double rate = 0.0;  // current allocation, recomputed by reallocate()
     Done done;
   };
 
+  /// Index into streams_ of the live stream `id`, or -1. Streams per server
+  /// number in the tens, so a linear scan beats any index structure.
+  [[nodiscard]] int find(StreamId id) const;
+
   /// Progress all streams from last_update_ to now.
   void advance();
-  /// Recompute the water-filling allocation and reschedule the next
-  /// completion event.
+  /// Refresh the water-filling allocation (when the binding set changed
+  /// since the last pass) and reschedule the next completion event.
   void reallocate();
+  /// The water-filling pass proper; writes Stream::rate and total_rate_.
+  void recompute_rates();
   /// Completion event body: retire all streams that have drained.
   void on_completion();
 
@@ -90,7 +107,13 @@ class SharedServer {
   double concurrency_penalty_;
   std::string name_;
   IdAllocator<StreamId> ids_;
-  std::map<StreamId, Stream> streams_;  // ordered: deterministic iteration
+  /// Insertion-ordered (ids are issued in ascending order, so this matches
+  /// the id-ordered iteration of the seed's std::map — determinism).
+  std::vector<Stream> streams_;
+  /// Set when membership or caps changed, i.e. the current rates are stale.
+  bool alloc_dirty_ = false;
+  /// Scratch for recompute_rates(); member so the hot path never allocates.
+  std::vector<std::uint32_t> unsat_scratch_;
   SimTime last_update_ = 0.0;
   double busy_integral_ = 0.0;
   double total_rate_ = 0.0;

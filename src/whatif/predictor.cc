@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "common/check.h"
 #include "common/rng.h"
 #include "mapreduce/reduce_task.h"  // kFetchLatency
 #include "mapreduce/spill_model.h"
+#include "sim/parallel_runner.h"
 
 namespace mron::whatif {
 
@@ -164,9 +166,14 @@ Prediction predict(const PredictionInputs& inputs) {
   return out;
 }
 
-JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
-                              std::uint64_t seed) {
-  MRON_CHECK(evaluations >= 1);
+namespace {
+
+/// One search chain: random restarts + coordinate refinement. Cheap model
+/// calls make a simple search sufficient (Starfish uses recursive random
+/// search).
+std::pair<JobConfig, double> search_chain(const PredictionInputs& base,
+                                          int evaluations,
+                                          std::uint64_t seed) {
   const auto& reg = mapreduce::ParamRegistry::standard();
   Rng rng(seed);
 
@@ -179,8 +186,6 @@ JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
   };
   double best_secs = score(best);
 
-  // Random restarts + coordinate refinement: cheap model calls make a
-  // simple search sufficient (Starfish uses recursive random search).
   for (int e = 0; e < evaluations; ++e) {
     JobConfig cand = best;
     if (e % 3 == 0) {
@@ -205,7 +210,33 @@ JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
       best = cand;
     }
   }
-  return best;
+  return {best, best_secs};
+}
+
+}  // namespace
+
+JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
+                              std::uint64_t seed, int restarts, int jobs) {
+  MRON_CHECK(evaluations >= 1);
+  MRON_CHECK(restarts >= 1);
+  if (restarts == 1) return search_chain(base, evaluations, seed).first;
+
+  // Independent chains with forked seeds, fanned across the pool. Chain
+  // results (and therefore the winner) are a pure function of
+  // (seed, restarts, evaluations) — `jobs` only buys wall-clock time.
+  const int per_chain = std::max(1, evaluations / restarts);
+  sim::ParallelRunner pool(jobs);
+  const auto chains = pool.map<std::pair<JobConfig, double>>(
+      static_cast<std::size_t>(restarts), [&](std::size_t k) {
+        Rng salter(seed);
+        return search_chain(base, per_chain,
+                            salter.fork(k + 1)());
+      });
+  std::size_t winner = 0;
+  for (std::size_t k = 1; k < chains.size(); ++k) {
+    if (chains[k].second < chains[winner].second) winner = k;
+  }
+  return chains[winner].first;
 }
 
 }  // namespace mron::whatif

@@ -50,9 +50,14 @@ Prediction predict(const PredictionInputs& inputs);
 
 /// Cost-based optimizer: searches the Table-2 space against predict()
 /// (cheap model invocations, no runs) and returns the best configuration
-/// found. `evaluations` bounds the number of model probes.
+/// found. `evaluations` bounds the number of model probes across all
+/// `restarts` independent search chains; the chains fan out over `jobs`
+/// worker threads but the result depends only on (seed, restarts), never on
+/// `jobs` — ties between chains break toward the lowest chain index.
+/// restarts = 1 reproduces the original single-chain search exactly.
 mapreduce::JobConfig optimize_with_model(const PredictionInputs& base,
                                          int evaluations = 2000,
-                                         std::uint64_t seed = 4);
+                                         std::uint64_t seed = 4,
+                                         int restarts = 1, int jobs = 1);
 
 }  // namespace mron::whatif

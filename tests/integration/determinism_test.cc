@@ -1,0 +1,114 @@
+// The determinism contract (DESIGN.md "Engine internals"): a fixed seed
+// produces byte-identical job metrics on every run, and fanning runs across
+// a ParallelRunner pool changes wall-clock only — never results. Every
+// comparison here is exact (EXPECT_EQ on doubles), not approximate.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/simulation.h"
+#include "sim/parallel_runner.h"
+#include "workloads/benchmarks.h"
+
+namespace mron {
+namespace {
+
+using mapreduce::JobConfig;
+using mapreduce::JobResult;
+using mapreduce::Simulation;
+using mapreduce::SimulationOptions;
+
+/// Everything a run can disagree on, collapsed to comparable numbers.
+struct Fingerprint {
+  double exec_time = 0.0;
+  std::int64_t map_spilled = 0;
+  std::int64_t reduce_spilled = 0;
+  std::int64_t map_output_records = 0;
+  double map_cpu_seconds = 0.0;
+  double reduce_cpu_seconds = 0.0;
+  int failed_attempts = 0;
+  std::size_t map_reports = 0;
+  std::size_t reduce_reports = 0;
+
+  bool operator==(const Fingerprint&) const = default;
+};
+
+Fingerprint run_terasort(std::uint64_t seed, const JobConfig& cfg,
+                         double gb) {
+  SimulationOptions opt;
+  opt.seed = seed;
+  Simulation sim(opt);
+  auto spec = workloads::make_terasort(sim, gibibytes(gb));
+  spec.config = cfg;
+  const JobResult r = sim.run_job(std::move(spec));
+  return Fingerprint{
+      .exec_time = r.exec_time(),
+      .map_spilled = r.counters.map.spilled_records,
+      .reduce_spilled = r.counters.reduce.spilled_records,
+      .map_output_records = r.counters.map.map_output_records,
+      .map_cpu_seconds = r.counters.map.cpu_seconds,
+      .reduce_cpu_seconds = r.counters.reduce.cpu_seconds,
+      .failed_attempts = r.counters.failed_task_attempts,
+      .map_reports = r.map_reports.size(),
+      .reduce_reports = r.reduce_reports.size(),
+  };
+}
+
+TEST(Determinism, SameSeedSameMetricsAcrossRepeatedRuns) {
+  const Fingerprint first = run_terasort(42, JobConfig{}, 4.0);
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(run_terasort(42, JobConfig{}, 4.0), first) << "rep " << rep;
+  }
+}
+
+TEST(Determinism, DifferentSeedsActuallyDiffer) {
+  // Guards against the fingerprint being insensitive (which would make the
+  // tests above vacuous).
+  EXPECT_NE(run_terasort(42, JobConfig{}, 4.0),
+            run_terasort(43, JobConfig{}, 4.0));
+}
+
+TEST(Determinism, TunedConfigIsAlsoReproducible) {
+  JobConfig cfg;
+  cfg.io_sort_mb = 256;
+  cfg.sort_spill_percent = 0.95;
+  cfg.reduce_input_buffer_percent = 0.6;
+  const Fingerprint first = run_terasort(7, cfg, 4.0);
+  EXPECT_EQ(run_terasort(7, cfg, 4.0), first);
+}
+
+TEST(Determinism, ParallelFanOutMatchesSerial) {
+  // The satellite check behind --jobs: the same (seed, config) grid run
+  // through a 1-worker pool and a 4-worker pool must produce identical
+  // result vectors, element for element.
+  const std::vector<std::uint64_t> seeds = {11, 22, 33, 44};
+  std::vector<JobConfig> configs(3);
+  configs[1].io_sort_mb = 200;
+  configs[2].reduce_memory_mb = 2048;
+  const std::size_t n = seeds.size() * configs.size();
+  auto work = [&](std::size_t i) {
+    return run_terasort(seeds[i % seeds.size()], configs[i / seeds.size()],
+                        2.0);
+  };
+  sim::ParallelRunner serial(1);
+  sim::ParallelRunner wide(4);
+  const auto a = serial.map<Fingerprint>(n, work);
+  const auto b = wide.map<Fingerprint>(n, work);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(a[i], b[i]) << "task " << i;
+}
+
+TEST(Determinism, ParallelRepeatOfOneSeedIsSelfConsistent) {
+  // Eight concurrent copies of the identical run: any cross-run state leak
+  // (shared RNG, shared recorder, static scratch) shows up here.
+  sim::ParallelRunner pool(4);
+  const auto runs = pool.map<Fingerprint>(
+      8, [](std::size_t) { return run_terasort(99, JobConfig{}, 2.0); });
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i], runs[0]) << "copy " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mron

@@ -1,0 +1,96 @@
+#include "sim/callback.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace mron::sim {
+namespace {
+
+TEST(Callback, InvokesSmallLambda) {
+  int hits = 0;
+  Callback cb([&hits] { ++hits; });
+  ASSERT_TRUE(static_cast<bool>(cb));
+  cb();
+  cb();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(Callback, DefaultConstructedIsEmpty) {
+  Callback cb;
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(Callback, HoldsMoveOnlyCapture) {
+  auto p = std::make_unique<int>(7);
+  int got = 0;
+  Callback cb([p = std::move(p), &got] { got = *p; });
+  cb();
+  EXPECT_EQ(got, 7);
+}
+
+TEST(Callback, LargeCaptureFallsBackToHeapAndStillWorks) {
+  std::array<double, 32> big{};  // 256 bytes, well past kInlineSize
+  big[0] = 1.5;
+  big[31] = 2.5;
+  double sum = 0.0;
+  Callback cb([big, &sum] { sum = big[0] + big[31]; });
+  cb();
+  EXPECT_DOUBLE_EQ(sum, 4.0);
+}
+
+TEST(Callback, MoveTransfersOwnership) {
+  int hits = 0;
+  Callback a([&hits] { ++hits; });
+  Callback b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
+TEST(Callback, MoveAssignDestroysPreviousTarget) {
+  int destroyed = 0;
+  struct Probe {
+    int* counter;
+    explicit Probe(int* c) : counter(c) {}
+    Probe(Probe&& o) noexcept : counter(o.counter) { o.counter = nullptr; }
+    ~Probe() {
+      if (counter != nullptr) ++*counter;
+    }
+  };
+  Callback a([p = Probe(&destroyed)] { (void)p; });
+  Callback b([] {});
+  a = std::move(b);
+  EXPECT_EQ(destroyed, 1);
+  a();  // the moved-in empty lambda, not the probe
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(Callback, ResetReleasesCapture) {
+  auto shared = std::make_shared<int>(0);
+  Callback cb([shared] { (void)shared; });
+  EXPECT_EQ(shared.use_count(), 2);
+  cb.reset();
+  EXPECT_EQ(shared.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(cb));
+}
+
+TEST(Callback, TypicalEngineCaptureFitsInline) {
+  // The engine's dominant shape: a `this` pointer plus a few scalars. If
+  // this ever stops fitting, every event pays a heap allocation again —
+  // catch it at compile time.
+  struct TypicalCapture {
+    void* self;
+    double time;
+    std::int64_t id;
+    int attempt;
+  };
+  static_assert(sizeof(TypicalCapture) <= Callback::kInlineSize);
+}
+
+}  // namespace
+}  // namespace mron::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
 #include <vector>
 
 namespace mron::sim {
@@ -97,6 +98,75 @@ TEST(Engine, MaxEventsGuardThrows) {
   std::function<void()> forever = [&] { eng.schedule_after(1.0, forever); };
   eng.schedule_after(1.0, forever);
   EXPECT_THROW(eng.run(1000), CheckError);
+}
+
+// The tombstone-growth regression test: the timeout-heavy pattern
+// (speculation timers, heartbeats) schedules far-future events and cancels
+// nearly all of them. The old lazy-deleted priority queue grew a tombstone
+// per cancel; the slot map + amortized compaction must keep every internal
+// structure O(pending()) no matter how long the churn runs.
+TEST(Engine, CancelChurnKeepsMemoryBounded) {
+  Engine eng;
+  for (int i = 0; i < 100'000; ++i) {
+    const EventId id = eng.schedule_after(1e9, [] {});
+    eng.cancel(id);
+  }
+  EXPECT_EQ(eng.pending(), 0u);
+  // Compaction fires once stale entries outnumber live ones (with a small
+  // floor), so the heap never holds more than a constant past that.
+  EXPECT_LE(eng.queue_size(), 128u);
+  EXPECT_LE(eng.slot_capacity(), 128u);
+}
+
+TEST(Engine, CancelChurnWithLiveEventsStaysProportional) {
+  Engine eng;
+  std::vector<EventId> live;
+  live.reserve(100);
+  for (int i = 0; i < 100; ++i) {
+    live.push_back(eng.schedule_at(1e6 + i, [] {}));
+  }
+  for (int i = 0; i < 50'000; ++i) {
+    eng.cancel(eng.schedule_after(1e9, [] {}));
+  }
+  EXPECT_EQ(eng.pending(), 100u);
+  EXPECT_LE(eng.queue_size(), 2 * eng.pending() + 128);
+  EXPECT_LE(eng.slot_capacity(), 2 * eng.pending() + 128);
+  int fired = 0;
+  eng.schedule_at(2e6, [&fired] { ++fired; });
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, StaleHandleAfterSlotReuseIsRejected) {
+  Engine eng;
+  const EventId a = eng.schedule_at(1.0, [] {});
+  eng.cancel(a);
+  // The slot is recycled for b; the stale handle a must not cancel b.
+  int fired = 0;
+  eng.schedule_at(2.0, [&fired] { ++fired; });
+  eng.cancel(a);
+  eng.cancel(a);  // double-cancel is also a no-op
+  eng.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, CancelAfterFireIsNoOp) {
+  Engine eng;
+  const EventId a = eng.schedule_at(1.0, [] {});
+  int fired = 0;
+  eng.schedule_at(2.0, [&fired] { ++fired; });
+  eng.run();
+  eng.cancel(a);  // fired long ago; its slot may host someone else now
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, AcceptsMoveOnlyCaptures) {
+  Engine eng;
+  auto payload = std::make_unique<int>(41);
+  int got = 0;
+  eng.schedule_at(1.0, [p = std::move(payload), &got] { got = *p + 1; });
+  eng.run();
+  EXPECT_EQ(got, 42);
 }
 
 }  // namespace

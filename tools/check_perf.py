@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_engine.json against the committed baseline.
+
+Usage: check_perf.py BASELINE CURRENT [--tolerance PCT]
+
+Fails (exit 1) when any directed metric regresses by more than the
+tolerance (default 20%): wall-time metrics may not rise above
+baseline * (1 + tol), throughput metrics may not fall below
+baseline * (1 - tol). Machine-dependent metrics (speedup, efficiency)
+are reported but never gate, since CI and dev machines differ in core
+count.
+"""
+import argparse
+import json
+import sys
+
+# metric name -> direction ("higher" / "lower" is better). Metrics not
+# listed here are informational only.
+GATED = {
+    "engine_events_per_sec": "higher",
+    "terasort_2gb_wall_ms": "lower",
+    "terasort_32gb_wall_ms": "lower",
+    "sweep_serial_wall_ms": "lower",
+}
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--tolerance", type=float, default=20.0,
+                    help="allowed regression in percent (default 20)")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+    tol = args.tolerance / 100.0
+
+    base_m, cur_m = base["metrics"], cur["metrics"]
+    failures = []
+    for name, direction in GATED.items():
+        if name not in base_m or name not in cur_m:
+            print(f"SKIP  {name}: missing from one side")
+            continue
+        b, c = float(base_m[name]), float(cur_m[name])
+        if b == 0:
+            print(f"SKIP  {name}: baseline is zero")
+            continue
+        delta_pct = 100.0 * (c - b) / b
+        if direction == "lower":
+            bad = c > b * (1.0 + tol)
+        else:
+            bad = c < b * (1.0 - tol)
+        status = "FAIL" if bad else "ok"
+        print(f"{status:5} {name}: baseline={b:g} current={c:g} "
+              f"({delta_pct:+.1f}%, {direction} is better)")
+        if bad:
+            failures.append(name)
+
+    for name in sorted(set(cur_m) - set(GATED)):
+        print(f"info  {name}: {cur_m[name]}")
+
+    if failures:
+        print(f"\nperf regression >{args.tolerance:g}% in: "
+              f"{', '.join(failures)}", file=sys.stderr)
+        return 1
+    print("\nno perf regressions beyond tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
