@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "tuner/eval_cache.h"
 
 namespace mron::bench {
 
@@ -138,6 +139,10 @@ void init_obs_from_flags(int argc, char** argv) {
       out.trace_detail = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--no-eval-cache") == 0) {
+      tuner::set_eval_cache_enabled(false);
+      continue;
+    }
     std::string v;
     if (!(v = value_of("--metrics-out", i)).empty()) {
       out.metrics_out = v;
@@ -156,7 +161,8 @@ void init_obs_from_flags(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--jobs=N] [--metrics-out=F] "
-                   "[--trace-out=F] [--audit-out=F] [--trace-detail]\n",
+                   "[--trace-out=F] [--audit-out=F] [--trace-detail] "
+                   "[--no-eval-cache]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }

@@ -27,7 +27,9 @@
 #include "sim/engine.h"
 #include "sim/parallel_runner.h"
 #include "sim/shared_server.h"
+#include "tuner/eval_cache.h"
 #include "tuner/lhs.h"
+#include "whatif/predictor.h"
 #include "workloads/benchmarks.h"
 
 using namespace mron;
@@ -97,6 +99,53 @@ void BM_MapSpillPlan(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MapSpillPlan);
+
+/// A large what-if probe: 100 GiB terasort, 800 maps. Before the
+/// closed-form shuffle kernel each predict() walked all 800 segments
+/// through the buffer; now the cost is O(1) in num_maps.
+whatif::PredictionInputs whatif_inputs() {
+  whatif::PredictionInputs in;
+  in.profile = workloads::profile_for(workloads::Benchmark::Terasort,
+                                      workloads::Corpus::Synthetic);
+  in.input_size = gibibytes(100);
+  in.num_maps = 800;
+  in.num_reduces = 200;
+  return in;
+}
+
+void BM_WhatifPredict(benchmark::State& state) {
+  auto in = whatif_inputs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(whatif::predict(in).total_secs);
+  }
+}
+BENCHMARK(BM_WhatifPredict);
+
+void BM_ShuffleAddSegmentsClosedForm(benchmark::State& state) {
+  const mapreduce::JobConfig cfg;
+  const Bytes segment = mebibytes(8);
+  for (auto _ : state) {
+    mapreduce::ShuffleBufferModel buf(cfg, 100.0);
+    benchmark::DoNotOptimize(buf.add_segments(800, segment));
+    benchmark::DoNotOptimize(buf.finalize());
+  }
+  state.SetItemsProcessed(state.iterations() * 800);
+}
+BENCHMARK(BM_ShuffleAddSegmentsClosedForm);
+
+void BM_ShuffleAddSegmentsIncremental(benchmark::State& state) {
+  const mapreduce::JobConfig cfg;
+  const Bytes segment = mebibytes(8);
+  for (auto _ : state) {
+    mapreduce::ShuffleBufferModel buf(cfg, 100.0);
+    Bytes flushed{0};
+    for (int i = 0; i < 800; ++i) flushed += buf.add_segment(segment);
+    benchmark::DoNotOptimize(flushed);
+    benchmark::DoNotOptimize(buf.finalize());
+  }
+  state.SetItemsProcessed(state.iterations() * 800);
+}
+BENCHMARK(BM_ShuffleAddSegmentsIncremental);
 
 void BM_EndToEndTerasort(benchmark::State& state) {
   const auto gb = state.range(0);
@@ -227,6 +276,37 @@ double run_sweep_ms(int jobs, std::vector<double>* exec_secs) {
   return dt.count();
 }
 
+double measure_whatif_evals_per_sec() {
+  constexpr int kEvals = 20'000;
+  auto in = whatif_inputs();
+  const double ms = best_wall_ms(5, [&] {
+    double acc = 0.0;
+    for (int i = 0; i < kEvals; ++i) {
+      // Vary one knob so the loop probes distinct configurations.
+      in.config.io_sort_mb = 50 + (i % 64) * 4;
+      acc += whatif::predict(in).total_secs;
+    }
+    benchmark::DoNotOptimize(acc);
+  });
+  return kEvals / (ms / 1e3);
+}
+
+/// Fixed-budget optimize_with_model search; returns best-of-3 wall ms and
+/// stores the winning config. The same (seed, restarts, evaluations) must
+/// produce the same winner regardless of caching or worker count.
+double measure_whatif_search_ms(bool cache_on, int jobs,
+                                mapreduce::JobConfig* winner) {
+  const bool saved = tuner::eval_cache_enabled();
+  tuner::set_eval_cache_enabled(cache_on);
+  const auto in = whatif_inputs();
+  const double ms = best_wall_ms(3, [&] {
+    *winner = whatif::optimize_with_model(in, /*evaluations=*/6000,
+                                          /*seed=*/4, /*restarts=*/4, jobs);
+  });
+  tuner::set_eval_cache_enabled(saved);
+  return ms;
+}
+
 int run_baseline_suite(const std::string& out_path, int jobs) {
   if (jobs <= 0) {
     jobs = static_cast<int>(
@@ -253,6 +333,24 @@ int run_baseline_suite(const std::string& out_path, int jobs) {
   const double speedup = sweep_serial_ms / sweep_parallel_ms;
   const double efficiency = speedup / jobs;
 
+  // Candidate-evaluation fast path: raw model throughput plus a
+  // fixed-budget search with the eval cache off and on. The winner must be
+  // byte-identical in all variants (cache on/off, serial/parallel) — a
+  // mismatch means caching changed results, which is a hard failure.
+  const double whatif_evals_per_sec = measure_whatif_evals_per_sec();
+  mapreduce::JobConfig w_uncached, w_cached, w_cached_wide;
+  const double search_uncached_ms =
+      measure_whatif_search_ms(false, 1, &w_uncached);
+  const double search_cached_ms =
+      measure_whatif_search_ms(true, 1, &w_cached);
+  measure_whatif_search_ms(true, std::max(jobs, 4), &w_cached_wide);
+  if (!(w_uncached == w_cached && w_cached == w_cached_wide)) {
+    std::cerr << "FATAL: optimize_with_model winner differs across eval-cache"
+                 " on/off or --jobs variants; caching changed results\n";
+    return 1;
+  }
+  const double search_speedup = search_uncached_ms / search_cached_ms;
+
   std::ofstream out(out_path);
   if (!out) {
     std::cerr << "cannot open " << out_path << " for writing\n";
@@ -260,7 +358,7 @@ int run_baseline_suite(const std::string& out_path, int jobs) {
   }
   char buf[256];
   out << "{\n";
-  out << "  \"schema\": 1,\n";
+  out << "  \"schema\": 2,\n";
 #ifdef NDEBUG
   out << "  \"build\": \"release\",\n";
 #else
@@ -288,14 +386,30 @@ int run_baseline_suite(const std::string& out_path, int jobs) {
   std::snprintf(buf, sizeof buf, "    \"sweep_speedup\": %.3f,\n", speedup);
   out << buf;
   std::snprintf(buf, sizeof buf,
-                "    \"sweep_efficiency_per_core\": %.3f\n", efficiency);
+                "    \"sweep_efficiency_per_core\": %.3f,\n", efficiency);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "    \"whatif_evals_per_sec\": %.0f,\n",
+                whatif_evals_per_sec);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"whatif_search_uncached_wall_ms\": %.3f,\n",
+                search_uncached_ms);
+  out << buf;
+  std::snprintf(buf, sizeof buf,
+                "    \"whatif_search_cached_wall_ms\": %.3f,\n",
+                search_cached_ms);
+  out << buf;
+  std::snprintf(buf, sizeof buf, "    \"whatif_search_speedup\": %.3f\n",
+                search_speedup);
   out << buf;
   out << "  }\n";
   out << "}\n";
   out.close();
   std::cout << "wrote " << out_path << " (events/sec=" << events_per_sec
             << ", terasort32=" << terasort32_ms << " ms, sweep speedup x"
-            << speedup << " at jobs=" << jobs << ")\n";
+            << speedup << " at jobs=" << jobs << ", whatif evals/sec="
+            << whatif_evals_per_sec << ", search cached speedup x"
+            << search_speedup << ")\n";
   return 0;
 }
 

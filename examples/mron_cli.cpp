@@ -158,7 +158,7 @@ int run_cli(int argc, char** argv) {
                 " [--show-config]"
                 " [--log-level=trace|debug|info|warn|error]"
                 " [--metrics-out[=F]] [--trace-out[=F]] [--audit-out[=F]]"
-                " [--trace-detail]\n");
+                " [--trace-detail] [--no-eval-cache]\n");
     return 0;
   }
   if (flags.get("list", false)) {
@@ -209,6 +209,9 @@ int run_cli(int argc, char** argv) {
         flags.get("audit-out", std::string("mron_audit.jsonl"));
   }
   g_obs.trace_detail = flags.get("trace-detail", false);
+  if (flags.get("no-eval-cache", false)) {
+    tuner::set_eval_cache_enabled(false);
+  }
   for (const auto& u : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", u.c_str());
   }

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "sim/parallel_runner.h"
+#include "tuner/eval_cache.h"
 
 namespace mron::baselines {
 
@@ -67,9 +68,22 @@ JobConfig GeneticOfflineTuner::tune(const Evaluator& evaluate,
         return g;
       }();
 
+  // Memoize fitness per decoded config: quantization + clamping collapse
+  // distinct genomes onto the same JobConfig, so repeat evaluations (and
+  // whole re-runs of a recurring configuration) become cache hits. The
+  // budget still counts every logical evaluation — cached or not — so the
+  // GA's trajectory is identical with the cache disabled.
+  tuner::EvalCache<double> cache;
+  auto fitness = [&](const JobConfig& cfg) {
+    if (!tuner::eval_cache_enabled()) return evaluate(cfg);
+    tuner::CacheKey key;
+    key.add_config(ParamRegistry::extended(), cfg);
+    return cache.get_or_compute(key, [&] { return evaluate(cfg); });
+  };
+
   runs_used_ = 0;
   auto eval = [&](Individual& ind) {
-    ind.seconds = evaluate(decode(ind.genome));
+    ind.seconds = fitness(decode(ind.genome));
     ++runs_used_;
   };
   // Seeding wave: every initial individual is an independent full job run,
@@ -79,7 +93,7 @@ JobConfig GeneticOfflineTuner::tune(const Evaluator& evaluate,
       std::min<int>(options_.population, budget_runs));
   sim::ParallelRunner pool(options_.jobs);
   pool.for_each(wave, [&](std::size_t i) {
-    pop[i].seconds = evaluate(decode(pop[i].genome));
+    pop[i].seconds = fitness(decode(pop[i].genome));
   });
   runs_used_ = static_cast<int>(wave);
 

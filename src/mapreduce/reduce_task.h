@@ -74,6 +74,9 @@ class ReduceTask {
   void pump_fetches();
   void begin_fetch(PendingFetch fetch);
   void on_fetch_done(Bytes bytes, std::int64_t fetch_id);
+  /// Apply the deferred uniform fetch run (see on_fetch_done) through the
+  /// closed-form kernel. Must run before any other buffer interaction.
+  void drain_fetch_run();
   void maybe_finish_shuffle();
   void phase_merge();
   void phase_reduce();
@@ -93,6 +96,11 @@ class ReduceTask {
   Done done_;
 
   ShuffleBufferModel buffer_;
+  /// Deferred run of equal-sized absorbable segments, not yet applied to
+  /// buffer_. Only segments proven side-effect-free (would_absorb) are
+  /// deferred, so batching is observationally invisible.
+  Bytes fetch_run_segment_{0};
+  std::int64_t fetch_run_count_ = 0;
   std::deque<PendingFetch> queue_;
   int active_fetches_ = 0;
   int fetched_maps_ = 0;

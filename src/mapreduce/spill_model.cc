@@ -118,6 +118,93 @@ Bytes ShuffleBufferModel::add_segment(Bytes segment) {
   return Bytes(0);
 }
 
+Bytes ShuffleBufferModel::add_segments(int count, Bytes segment) {
+  MRON_CHECK(!finalized_);
+  MRON_CHECK(count >= 0);
+  if (count == 0 || segment <= Bytes(0)) return Bytes(0);
+  const auto n = static_cast<std::int64_t>(count);
+  const std::int64_t s = segment.count();
+
+  if (segment > segment_limit_) {
+    // Every copy bypasses the pool and lands in its own disk file.
+    const auto records_each = static_cast<std::int64_t>(
+        std::llround(segment.as_double() / record_bytes_));
+    disk_write_ += Bytes(n * s);
+    disk_files_.insert(disk_files_.end(), static_cast<std::size_t>(n),
+                       segment);
+    spilled_records_ += n * records_each;
+    return Bytes(n * s);
+  }
+
+  // Number of adds, starting from a pool of `pool` bytes / `segs` segments,
+  // until the pool flushes. The incremental loop flushes after the add that
+  // makes pool >= merge_trigger_ or (when the threshold is on) segment count
+  // >= inmem_threshold_ — so a pool already at/over a limit (possible after
+  // update_live_params() lowered it) flushes on the very next add.
+  const std::int64_t trigger = merge_trigger_.count();
+  const std::int64_t threshold = inmem_threshold_;
+  const auto adds_until_flush = [&](std::int64_t pool,
+                                    std::int64_t segs) -> std::int64_t {
+    std::int64_t k =
+        trigger > pool ? (trigger - pool + s - 1) / s : std::int64_t{1};
+    if (threshold > 0) {
+      k = std::min(k, std::max<std::int64_t>(1, threshold - segs));
+    }
+    return std::max<std::int64_t>(k, 1);
+  };
+
+  const std::int64_t first = adds_until_flush(pool_.count(), pool_segments_);
+  if (n < first) {
+    // The whole run is absorbed; nothing observable happens.
+    pool_ += Bytes(n * s);
+    pool_segments_ += count;
+    return Bytes(0);
+  }
+
+  // First flush drains the partially filled pool...
+  const Bytes first_flush = pool_ + Bytes(first * s);
+  disk_write_ += first_flush;
+  disk_files_.push_back(first_flush);
+  spilled_records_ += static_cast<std::int64_t>(
+      std::llround(first_flush.as_double() / record_bytes_));
+  ++inmem_merges_;
+  Bytes flushed_total = first_flush;
+
+  // ...then the cycle repeats from empty: absorb `cycle` segments, flush
+  // cycle*s bytes. Each full cycle is byte-identical, so one flush's
+  // accounting times the cycle count reproduces the incremental loop.
+  const std::int64_t rest = n - first;
+  const std::int64_t cycle = adds_until_flush(0, 0);
+  const std::int64_t full_cycles = rest / cycle;
+  const std::int64_t leftover = rest % cycle;
+  if (full_cycles > 0) {
+    const Bytes cycle_flush{cycle * s};
+    const auto cycle_records = static_cast<std::int64_t>(
+        std::llround(cycle_flush.as_double() / record_bytes_));
+    disk_write_ += Bytes(full_cycles * cycle_flush.count());
+    disk_files_.insert(disk_files_.end(),
+                       static_cast<std::size_t>(full_cycles), cycle_flush);
+    spilled_records_ += full_cycles * cycle_records;
+    inmem_merges_ += static_cast<int>(full_cycles);
+    flushed_total += Bytes(full_cycles * cycle_flush.count());
+  }
+  pool_ = Bytes(leftover * s);
+  pool_segments_ = static_cast<int>(leftover);
+  return flushed_total;
+}
+
+bool ShuffleBufferModel::would_absorb(std::int64_t pending,
+                                      Bytes segment) const {
+  if (finalized_ || segment <= Bytes(0)) return false;
+  if (segment > segment_limit_) return false;
+  const std::int64_t adds = pending + 1;
+  if (inmem_threshold_ > 0 &&
+      pool_segments_ + adds >= inmem_threshold_) {
+    return false;
+  }
+  return pool_.count() + adds * segment.count() < merge_trigger_.count();
+}
+
 void ShuffleBufferModel::flush_pool() {
   if (pool_ <= Bytes(0)) return;
   ++inmem_merges_;

@@ -84,6 +84,21 @@ class ShuffleBufferModel {
   /// the segment was absorbed into the in-memory pool without a flush).
   Bytes add_segment(Bytes segment);
 
+  /// Account `count` equal-sized segments in one call, computing the
+  /// steady-state fill→merge→flush cycle in closed form. Bit-exact against
+  /// calling add_segment(segment) `count` times: identical pool state,
+  /// disk-file list, spilled-record and merge counts, and the same total
+  /// flushed bytes (the sum of what the incremental calls would return).
+  /// O(1) in `count` except for appending the flushed-file entries.
+  Bytes add_segments(int count, Bytes segment);
+
+  /// True iff one more add_segment(segment) — issued after `pending`
+  /// additional copies of the same segment have been absorbed — would be
+  /// absorbed into the in-memory pool with no observable side effect (no
+  /// flush, no direct-to-disk write, return value 0). Lets callers defer a
+  /// run of uniform segments and apply it later via add_segments().
+  [[nodiscard]] bool would_absorb(std::int64_t pending, Bytes segment) const;
+
   /// Account end-of-shuffle: applies reduce.input.buffer.percent and
   /// returns bytes flushed by the final spill (0 if everything left in
   /// memory fits the reduce-phase budget).

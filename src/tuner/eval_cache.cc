@@ -1,0 +1,120 @@
+#include "tuner/eval_cache.h"
+
+#include <atomic>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/metrics.h"
+
+namespace mron::tuner {
+
+namespace {
+
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+bool enabled_from_env() {
+  const char* v = std::getenv("MRON_NO_EVAL_CACHE");
+  return v == nullptr || std::strcmp(v, "0") == 0;
+}
+
+std::atomic<bool>& enabled_flag() {
+  static std::atomic<bool> flag{enabled_from_env()};
+  return flag;
+}
+
+struct GlobalStats {
+  std::atomic<std::uint64_t> hits{0};
+  std::atomic<std::uint64_t> misses{0};
+  std::atomic<std::uint64_t> insertions{0};
+  std::atomic<std::uint64_t> evictions{0};
+};
+
+GlobalStats& global_stats() {
+  static GlobalStats stats;
+  return stats;
+}
+
+}  // namespace
+
+bool eval_cache_enabled() {
+  return enabled_flag().load(std::memory_order_relaxed);
+}
+
+void set_eval_cache_enabled(bool enabled) {
+  enabled_flag().store(enabled, std::memory_order_relaxed);
+}
+
+EvalCacheStats eval_cache_global_stats() {
+  const GlobalStats& g = global_stats();
+  EvalCacheStats out;
+  out.hits = g.hits.load(std::memory_order_relaxed);
+  out.misses = g.misses.load(std::memory_order_relaxed);
+  out.insertions = g.insertions.load(std::memory_order_relaxed);
+  out.evictions = g.evictions.load(std::memory_order_relaxed);
+  return out;
+}
+
+void reset_eval_cache_global_stats() {
+  GlobalStats& g = global_stats();
+  g.hits.store(0, std::memory_order_relaxed);
+  g.misses.store(0, std::memory_order_relaxed);
+  g.insertions.store(0, std::memory_order_relaxed);
+  g.evictions.store(0, std::memory_order_relaxed);
+}
+
+void export_eval_cache_metrics(obs::MetricsRegistry& registry) {
+  const EvalCacheStats s = eval_cache_global_stats();
+  registry.gauge("tuner.eval_cache.hits").set(static_cast<double>(s.hits));
+  registry.gauge("tuner.eval_cache.misses")
+      .set(static_cast<double>(s.misses));
+  registry.gauge("tuner.eval_cache.insertions")
+      .set(static_cast<double>(s.insertions));
+  registry.gauge("tuner.eval_cache.evictions")
+      .set(static_cast<double>(s.evictions));
+  registry.gauge("tuner.eval_cache.hit_rate").set(s.hit_rate());
+}
+
+void CacheKey::add_word(std::uint64_t w) {
+  words_.push_back(w);
+  hash_ = (hash_ ^ w) * kFnvPrime;
+  // Mix the word position too, so permuted sequences digest differently.
+  hash_ = (hash_ ^ static_cast<std::uint64_t>(words_.size())) * kFnvPrime;
+}
+
+void CacheKey::add(double v) {
+  // Normalize -0.0 so it keys like +0.0 (they evaluate identically).
+  if (v == 0.0) v = 0.0;
+  add_word(std::bit_cast<std::uint64_t>(v));
+}
+
+void CacheKey::add(std::int64_t v) {
+  add_word(static_cast<std::uint64_t>(v));
+}
+
+void CacheKey::add_config(const mapreduce::ParamRegistry& registry,
+                          mapreduce::JobConfig cfg) {
+  mapreduce::clamp_constraints(cfg);
+  for (std::size_t i = 0; i < registry.size(); ++i) {
+    add(registry.get(cfg, i));
+  }
+}
+
+namespace internal {
+
+void note_global(std::uint64_t hits, std::uint64_t misses,
+                 std::uint64_t insertions, std::uint64_t evictions) {
+  GlobalStats& g = global_stats();
+  if (hits != 0) g.hits.fetch_add(hits, std::memory_order_relaxed);
+  if (misses != 0) g.misses.fetch_add(misses, std::memory_order_relaxed);
+  if (insertions != 0) {
+    g.insertions.fetch_add(insertions, std::memory_order_relaxed);
+  }
+  if (evictions != 0) {
+    g.evictions.fetch_add(evictions, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace internal
+
+}  // namespace mron::tuner

@@ -218,6 +218,27 @@ void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
   }
 }
 
+double OnlineTuner::scored_task_cost(JobState& js, const TaskReport& report,
+                                     double max_task_seconds) {
+  if (!eval_cache_enabled()) return task_cost(report, max_task_seconds);
+  CacheKey key;
+  key.add(report.task.kind == mapreduce::TaskKind::Map);
+  key.add(report.failed_oom);
+  key.add(report.mem_util);
+  key.add(report.cpu_util);
+  key.add(report.mem_commit);
+  key.add(report.duration());
+  key.add(report.counters.combine_output_records);
+  key.add(report.counters.spilled_records);
+  key.add(report.counters.shuffle_bytes);
+  key.add(report.counters.local_disk_write_bytes);
+  key.add(max_task_seconds);
+  const double cost = cost_cache_.get_or_compute(
+      key, [&] { return task_cost(report, max_task_seconds); });
+  if (js.rec != nullptr) export_eval_cache_metrics(js.rec->metrics());
+  return cost;
+}
+
 void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
                                const TaskReport& report, bool is_map) {
   auto it = wave.slots.find(report.task);
@@ -225,8 +246,8 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
   const std::size_t slot = it->second;
   if (wave.filled[slot]) return;  // e.g. a retry of an OOM-killed attempt
   wave.filled[slot] = true;
-  wave.costs[slot] = task_cost(
-      report, is_map ? js.max_map_secs : js.max_reduce_secs);
+  wave.costs[slot] = scored_task_cost(
+      js, report, is_map ? js.max_map_secs : js.max_reduce_secs);
   wave.reports.push_back(report);
   if (--wave.remaining > 0) return;
 

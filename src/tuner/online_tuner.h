@@ -26,6 +26,7 @@
 #include "obs/recorder.h"
 #include "tuner/cost.h"
 #include "tuner/dynamic_configurator.h"
+#include "tuner/eval_cache.h"
 #include "tuner/hill_climber.h"
 #include "tuner/knowledge_base.h"
 #include "tuner/rules.h"
@@ -102,11 +103,20 @@ class OnlineTuner {
   /// Record a decision in the job's audit log (no-op without a recorder);
   /// stamps the sim-time and job id.
   void audit(JobState& js, obs::AuditEvent ev);
+  /// task_cost via the memo cache (keyed on everything Eq. 1 reads), with
+  /// hit/miss totals exported through the job's MetricsRegistry.
+  double scored_task_cost(JobState& js, const mapreduce::TaskReport& report,
+                          double max_task_seconds);
 
   TunerOptions options_;
   Rng rng_;
   DynamicConfigurator configurator_;
   TuningKnowledgeBase kb_;
+  /// Memoized Eq.-1 scores: tasks of one wave that produced identical
+  /// reports (common once a wave repeats the incumbent configuration)
+  /// re-use the computed cost. Pure arithmetic either way, so the cache
+  /// only trades work for a lookup — never changes a score.
+  EvalCache<double> cost_cache_{/*capacity=*/1024, /*shards=*/4};
   std::map<mapreduce::JobId, JobState> jobs_;
 };
 

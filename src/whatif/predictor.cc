@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <utility>
 
 #include "common/check.h"
@@ -9,6 +10,7 @@
 #include "mapreduce/reduce_task.h"  // kFetchLatency
 #include "mapreduce/spill_model.h"
 #include "sim/parallel_runner.h"
+#include "tuner/eval_cache.h"
 
 namespace mron::whatif {
 
@@ -103,6 +105,15 @@ Prediction predict(const PredictionInputs& inputs) {
   const Bytes total_shuffle = map_out * p.combiner_ratio * codec *
                               static_cast<double>(num_maps);
   out.shuffle_bytes = total_shuffle;
+  if (inputs.num_reduces > 0 && out.reduce_slots_per_node == 0) {
+    // An oversized reduce container fits nowhere. Skipping the phase (the
+    // old behavior) scored such configs as free; make them infinitely
+    // expensive so no search can ever pick one.
+    out.reduce_task_secs = std::numeric_limits<double>::infinity();
+    out.reduce_phase_secs = std::numeric_limits<double>::infinity();
+    out.total_secs = std::numeric_limits<double>::infinity();
+    return out;
+  }
   if (inputs.num_reduces > 0 && out.reduce_slots_per_node > 0) {
     const int reduce_concurrency =
         out.reduce_slots_per_node * cl.num_slaves;
@@ -121,14 +132,13 @@ Prediction predict(const PredictionInputs& inputs) {
             std::max(1.0, cfg.shuffle_parallelcopies) *
             mapreduce::kFetchLatency;
 
-    // Buffer mechanics via the shared model, fed with equal segments.
+    // Buffer mechanics via the shared model, fed with equal segments. The
+    // closed-form kernel makes this O(1) in num_maps (bit-exact against
+    // the incremental add_segment loop).
     mapreduce::ShuffleBufferModel buffer(cfg,
                                          p.map_record_bytes * codec);
     const Bytes segment = partition * (1.0 / num_maps);
-    Bytes disk_in_shuffle{0};
-    for (int i = 0; i < num_maps; ++i) {
-      disk_in_shuffle += buffer.add_segment(segment);
-    }
+    Bytes disk_in_shuffle = buffer.add_segments(num_maps, segment);
     disk_in_shuffle += buffer.finalize();
     const auto merge = mapreduce::plan_disk_merge(
         buffer.disk_files(), static_cast<int>(cfg.io_sort_factor));
@@ -168,21 +178,37 @@ Prediction predict(const PredictionInputs& inputs) {
 
 namespace {
 
+using ScoreCache = tuner::EvalCache<double>;
+
 /// One search chain: random restarts + coordinate refinement. Cheap model
 /// calls make a simple search sufficient (Starfish uses recursive random
-/// search).
+/// search). `cache` (optional, shared across chains) memoizes total_secs
+/// per canonical config — a hit returns exactly what the predict() call
+/// would, so the trajectory and winner are cache-invariant.
 std::pair<JobConfig, double> search_chain(const PredictionInputs& base,
-                                          int evaluations,
-                                          std::uint64_t seed) {
+                                          int evaluations, std::uint64_t seed,
+                                          ScoreCache* cache) {
   const auto& reg = mapreduce::ParamRegistry::standard();
   Rng rng(seed);
 
   JobConfig best = base.config;
   mapreduce::clamp_constraints(best);
   auto score = [&](const JobConfig& cfg) {
-    PredictionInputs probe = base;
-    probe.config = cfg;
-    return predict(probe).total_secs;
+    auto evaluate = [&] {
+      PredictionInputs probe = base;
+      probe.config = cfg;
+      return predict(probe).total_secs;
+    };
+    if (cache == nullptr) return evaluate();
+    // The cache lives for one optimize_with_model call, so everything else
+    // predict() reads (cluster, profile, job geometry) is constant across
+    // its lifetime — the canonical config digest alone is the key. The
+    // per-thread scratch key recycles its storage: after the first eval the
+    // key build allocates nothing.
+    thread_local tuner::CacheKey key;
+    key.clear();
+    key.add_config(mapreduce::ParamRegistry::extended(), cfg);
+    return cache->get_or_compute(key, evaluate);
   };
   double best_secs = score(best);
 
@@ -219,7 +245,17 @@ JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
                               std::uint64_t seed, int restarts, int jobs) {
   MRON_CHECK(evaluations >= 1);
   MRON_CHECK(restarts >= 1);
-  if (restarts == 1) return search_chain(base, evaluations, seed).first;
+
+  // One sharded cache shared by every chain: duplicate probes (quantization
+  // and clamping collapse nearby samples) cost a lookup instead of a model
+  // call. Concurrent chains may race to compute one key, which is benign —
+  // predict() is pure, so both racers produce the identical value.
+  ScoreCache cache;
+  ScoreCache* cache_ptr = tuner::eval_cache_enabled() ? &cache : nullptr;
+
+  if (restarts == 1) {
+    return search_chain(base, evaluations, seed, cache_ptr).first;
+  }
 
   // Independent chains with forked seeds, fanned across the pool. Chain
   // results (and therefore the winner) are a pure function of
@@ -229,8 +265,7 @@ JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
   const auto chains = pool.map<std::pair<JobConfig, double>>(
       static_cast<std::size_t>(restarts), [&](std::size_t k) {
         Rng salter(seed);
-        return search_chain(base, per_chain,
-                            salter.fork(k + 1)());
+        return search_chain(base, per_chain, salter.fork(k + 1)(), cache_ptr);
       });
   std::size_t winner = 0;
   for (std::size_t k = 1; k < chains.size(); ++k) {

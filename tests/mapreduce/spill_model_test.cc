@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <numeric>
+
+#include "common/rng.h"
 
 namespace mron::mapreduce {
 namespace {
@@ -242,6 +245,122 @@ TEST(ShuffleBuffer, SpilledRecordsMatchFlushedBytes) {
   buf.finalize();
   EXPECT_EQ(buf.spilled_records(),
             static_cast<std::int64_t>(big.as_double() / 128.0));
+}
+
+// --- add_segments closed-form kernel -----------------------------------------
+
+// The kernel's contract is bit-exactness: add_segments(n, s) must leave the
+// model in the same state as n incremental add_segment(s) calls — same
+// flushed bytes, same disk-file list, same spilled-record / merge counts —
+// for any configuration, including threshold changes mid-stream.
+
+JobConfig random_shuffle_cfg(Rng& rng) {
+  JobConfig cfg;
+  cfg.reduce_memory_mb = rng.uniform(512, 3072);
+  cfg.shuffle_input_buffer_percent = rng.uniform(0.2, 0.9);
+  cfg.shuffle_merge_percent = rng.uniform(0.2, 0.95);
+  cfg.shuffle_memory_limit_percent = rng.uniform(0.02, 0.5);
+  cfg.merge_inmem_threshold =
+      rng.uniform01() < 0.3 ? 0.0
+                            : static_cast<double>(rng.uniform_int(2, 60));
+  cfg.reduce_input_buffer_percent = rng.uniform(0.0, 0.9);
+  clamp_constraints(cfg);
+  return cfg;
+}
+
+/// Everything observable about a ShuffleBufferModel, for exact comparison.
+void expect_same_state(const ShuffleBufferModel& a,
+                       const ShuffleBufferModel& b, std::uint64_t trial,
+                       int run) {
+  EXPECT_EQ(a.disk_write_bytes(), b.disk_write_bytes())
+      << "trial " << trial << " run " << run;
+  EXPECT_EQ(a.spilled_records(), b.spilled_records())
+      << "trial " << trial << " run " << run;
+  EXPECT_EQ(a.inmem_merges(), b.inmem_merges())
+      << "trial " << trial << " run " << run;
+  ASSERT_EQ(a.disk_files().size(), b.disk_files().size())
+      << "trial " << trial << " run " << run;
+  for (std::size_t i = 0; i < a.disk_files().size(); ++i) {
+    ASSERT_EQ(a.disk_files()[i], b.disk_files()[i])
+        << "trial " << trial << " run " << run << " file " << i;
+  }
+}
+
+TEST(ShuffleBufferProperty, AddSegmentsMatchesIncrementalExactly) {
+  for (std::uint64_t trial = 0; trial < 200; ++trial) {
+    Rng rng(1000 + trial);
+    JobConfig cfg = random_shuffle_cfg(rng);
+    const double record_bytes = rng.uniform(20.0, 400.0);
+    ShuffleBufferModel batched(cfg, record_bytes);
+    ShuffleBufferModel incremental(cfg, record_bytes);
+
+    const int runs = static_cast<int>(rng.uniform_int(1, 8));
+    for (int run = 0; run < runs; ++run) {
+      // Occasionally re-tune category-III thresholds mid-stream, exactly
+      // as the dynamic configurator does to running reduce tasks.
+      if (run > 0 && rng.uniform01() < 0.4) {
+        cfg = random_shuffle_cfg(rng);
+        batched.update_live_params(cfg);
+        incremental.update_live_params(cfg);
+      }
+      const int count = static_cast<int>(rng.uniform_int(0, 600));
+      // Mix absorbable, flush-triggering, and oversized segments: up to
+      // ~60 MiB against buffers as small as a few hundred MiB.
+      const Bytes segment{rng.uniform_int(1, 60 * 1024 * 1024)};
+
+      const Bytes closed_form = batched.add_segments(count, segment);
+      Bytes looped{0};
+      for (int i = 0; i < count; ++i) {
+        looped += incremental.add_segment(segment);
+      }
+      ASSERT_EQ(closed_form, looped) << "trial " << trial << " run " << run;
+      expect_same_state(batched, incremental, trial, run);
+    }
+    ASSERT_EQ(batched.finalize(), incremental.finalize()) << "trial "
+                                                          << trial;
+    EXPECT_EQ(batched.bytes_kept_in_memory(),
+              incremental.bytes_kept_in_memory())
+        << "trial " << trial;
+    expect_same_state(batched, incremental, trial, -1);
+  }
+}
+
+TEST(ShuffleBufferProperty, WouldAbsorbPredictsZeroReturnRuns) {
+  // Whenever would_absorb approves a pending run, replaying it through
+  // add_segment must produce no flush and no disk file — the predicate
+  // that makes the reduce task's deferred fetch runs observationally
+  // invisible.
+  for (std::uint64_t trial = 0; trial < 100; ++trial) {
+    Rng rng(7000 + trial);
+    const JobConfig cfg = random_shuffle_cfg(rng);
+    ShuffleBufferModel probe(cfg, 100.0);
+    const Bytes segment{rng.uniform_int(1, 32 * 1024 * 1024)};
+    std::int64_t pending = 0;
+    while (probe.would_absorb(pending, segment) && pending < 2000) {
+      ++pending;
+    }
+    ShuffleBufferModel replay(cfg, 100.0);
+    Bytes flushed{0};
+    for (std::int64_t i = 0; i < pending; ++i) {
+      flushed += replay.add_segment(segment);
+    }
+    EXPECT_EQ(flushed, Bytes(0)) << "trial " << trial;
+    EXPECT_TRUE(replay.disk_files().empty()) << "trial " << trial;
+    // ...and the first non-approved add is exactly where behavior starts.
+    if (pending < 2000 && segment <= probe.segment_memory_limit()) {
+      EXPECT_GT(replay.add_segment(segment), Bytes(0)) << "trial " << trial;
+    }
+  }
+}
+
+TEST(ShuffleBuffer, AddSegmentsZeroCountOrEmptySegmentIsNoOp) {
+  JobConfig cfg;
+  ShuffleBufferModel buf(cfg, 100.0);
+  EXPECT_EQ(buf.add_segments(0, mebibytes(4)), Bytes(0));
+  EXPECT_EQ(buf.add_segments(100, Bytes(0)), Bytes(0));
+  buf.finalize();
+  EXPECT_EQ(buf.disk_write_bytes(), Bytes(0));
+  EXPECT_EQ(buf.spilled_records(), 0);
 }
 
 }  // namespace

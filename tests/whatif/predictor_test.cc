@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "common/check.h"
 #include "mapreduce/simulation.h"
+#include "tuner/eval_cache.h"
 #include "workloads/benchmarks.h"
 
 namespace mron::whatif {
@@ -85,6 +88,31 @@ TEST(Predictor, RejectsImpossibleContainers) {
   EXPECT_THROW((void)predict(in), CheckError);
 }
 
+TEST(Predictor, OversizedReduceContainerIsInfinitelyExpensive) {
+  // Regression: reduce_slots_per_node == 0 used to silently skip the
+  // reduce phase, scoring an impossible reduce container as free.
+  auto in = terasort_inputs(10);
+  in.config.reduce_memory_mb = 3072;
+  in.cluster.container_memory = gibibytes(2);
+  in.config.map_memory_mb = 1024;  // map side still fits
+  const auto pred = predict(in);
+  EXPECT_EQ(pred.reduce_slots_per_node, 0);
+  EXPECT_TRUE(std::isinf(pred.total_secs));
+  EXPECT_TRUE(std::isinf(pred.reduce_phase_secs));
+}
+
+TEST(Predictor, ZeroReducesStillPredictsMapOnlyJobs) {
+  // Map-only jobs keep a finite prediction regardless of reduce geometry.
+  auto in = terasort_inputs(10);
+  in.num_reduces = 0;
+  in.config.reduce_memory_mb = 3072;
+  in.cluster.container_memory = gibibytes(2);
+  in.config.map_memory_mb = 1024;
+  const auto pred = predict(in);
+  EXPECT_TRUE(std::isfinite(pred.total_secs));
+  EXPECT_GT(pred.total_secs, 0.0);
+}
+
 TEST(CostBasedOptimizer, BeatsDefaultOnItsOwnModel) {
   const auto in = terasort_inputs(20);
   const JobConfig best = optimize_with_model(in, 1500, 4);
@@ -108,6 +136,35 @@ TEST(CostBasedOptimizer, ModelChosenConfigHelpsOnSimulatorToo) {
     return sim.run_job(std::move(spec)).exec_time();
   };
   EXPECT_LT(run(best), run(JobConfig{}));
+}
+
+TEST(CostBasedOptimizer, WinnerIdenticalWithCacheOnOffAndAcrossJobs) {
+  // The fast-path contract: caching and fan-out change wall-clock only.
+  // The winner must be byte-identical (JobConfig operator==) with the
+  // eval cache on or off, serial or parallel.
+  const auto in = terasort_inputs(20);
+  const bool saved = tuner::eval_cache_enabled();
+  tuner::set_eval_cache_enabled(true);
+  const JobConfig cached_serial = optimize_with_model(in, 1200, 7, 3, 1);
+  const JobConfig cached_wide = optimize_with_model(in, 1200, 7, 3, 4);
+  tuner::set_eval_cache_enabled(false);
+  const JobConfig uncached_serial = optimize_with_model(in, 1200, 7, 3, 1);
+  const JobConfig uncached_wide = optimize_with_model(in, 1200, 7, 3, 4);
+  tuner::set_eval_cache_enabled(saved);
+  EXPECT_EQ(cached_serial, cached_wide);
+  EXPECT_EQ(cached_serial, uncached_serial);
+  EXPECT_EQ(cached_serial, uncached_wide);
+}
+
+TEST(CostBasedOptimizer, SingleChainWinnerAlsoCacheInvariant) {
+  const auto in = terasort_inputs(20);
+  const bool saved = tuner::eval_cache_enabled();
+  tuner::set_eval_cache_enabled(true);
+  const JobConfig cached = optimize_with_model(in, 800, 11);
+  tuner::set_eval_cache_enabled(false);
+  const JobConfig uncached = optimize_with_model(in, 800, 11);
+  tuner::set_eval_cache_enabled(saved);
+  EXPECT_EQ(cached, uncached);
 }
 
 }  // namespace

@@ -6,9 +6,14 @@ Usage: check_perf.py BASELINE CURRENT [--tolerance PCT]
 Fails (exit 1) when any directed metric regresses by more than the
 tolerance (default 20%): wall-time metrics may not rise above
 baseline * (1 + tol), throughput metrics may not fall below
-baseline * (1 - tol). Machine-dependent metrics (speedup, efficiency)
-are reported but never gate, since CI and dev machines differ in core
-count.
+baseline * (1 - tol).
+
+Parallel-scaling metrics (sweep_parallel_wall_ms, sweep_speedup,
+sweep_efficiency_per_core) gate only when the baseline and current files
+were recorded on machines with the same multi-core shape: equal
+hardware_concurrency > 1 and equal sweep_jobs. A single-core recording
+(or a core-count mismatch between CI and the committed baseline) says
+nothing about scaling, so those metrics drop to informational.
 """
 import argparse
 import json
@@ -21,7 +26,31 @@ GATED = {
     "terasort_2gb_wall_ms": "lower",
     "terasort_32gb_wall_ms": "lower",
     "sweep_serial_wall_ms": "lower",
+    "whatif_evals_per_sec": "higher",
+    "whatif_search_uncached_wall_ms": "lower",
+    "whatif_search_cached_wall_ms": "lower",
 }
+
+# Gated only when core counts allow a meaningful comparison (see below).
+PARALLEL_GATED = {
+    "sweep_parallel_wall_ms": "lower",
+    "sweep_speedup": "higher",
+    "sweep_efficiency_per_core": "higher",
+}
+
+
+def parallel_gating_reason(base: dict, cur: dict) -> str | None:
+    """None if parallel-scaling metrics may gate, else the skip reason."""
+    b_cores = int(base.get("hardware_concurrency", 0))
+    c_cores = int(cur.get("hardware_concurrency", 0))
+    if b_cores != c_cores:
+        return f"core count differs (baseline={b_cores}, current={c_cores})"
+    if b_cores <= 1:
+        return f"single-core machine (hardware_concurrency={b_cores})"
+    if int(base.get("sweep_jobs", 0)) != int(cur.get("sweep_jobs", 0)):
+        return (f"sweep_jobs differs (baseline={base.get('sweep_jobs')}, "
+                f"current={cur.get('sweep_jobs')})")
+    return None
 
 
 def main() -> int:
@@ -38,9 +67,17 @@ def main() -> int:
         cur = json.load(f)
     tol = args.tolerance / 100.0
 
+    gated = dict(GATED)
+    skip_reason = parallel_gating_reason(base, cur)
+    if skip_reason is None:
+        gated.update(PARALLEL_GATED)
+    else:
+        for name in PARALLEL_GATED:
+            print(f"SKIP  {name}: {skip_reason}")
+
     base_m, cur_m = base["metrics"], cur["metrics"]
     failures = []
-    for name, direction in GATED.items():
+    for name, direction in gated.items():
         if name not in base_m or name not in cur_m:
             print(f"SKIP  {name}: missing from one side")
             continue
@@ -59,7 +96,7 @@ def main() -> int:
         if bad:
             failures.append(name)
 
-    for name in sorted(set(cur_m) - set(GATED)):
+    for name in sorted(set(cur_m) - set(gated)):
         print(f"info  {name}: {cur_m[name]}")
 
     if failures:
