@@ -10,6 +10,8 @@
 #include <utility>
 
 #include "common/check.h"
+#include "mapreduce/report_rollup.h"
+#include "obs/report.h"
 #include "tuner/eval_cache.h"
 
 namespace mron::bench {
@@ -30,6 +32,10 @@ int g_jobs = 1;
 // Serializes artifact export when runs finish on several workers at once;
 // the files still describe one whole run (the last to finish).
 std::mutex g_obs_mu;
+// --report-out destination: unlike the last-writer-wins artifacts above,
+// the collector keeps the lexicographically greatest key so the exported
+// report is the same run at any --jobs value.
+obs::ReportCollector g_reports;
 
 /// Turn observation on for a simulation when any export path is configured.
 void apply_obs(SimulationOptions& opt) {
@@ -58,6 +64,33 @@ void export_obs(Simulation& sim) {
     MRON_CHECK_MSG(out.good(), "cannot open " << g_obs.audit_out);
     rec->audit().write_jsonl(out);
   }
+}
+
+/// Zero-padded so seeds order the same lexicographically and numerically
+/// inside a report key.
+std::string padded_seed(std::uint64_t seed) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%020llu",
+                static_cast<unsigned long long>(seed));
+  return buf;
+}
+
+/// Offer one finished run to the report collector. `phase` ranks runs that
+/// share a benchmark (e.g. a tuned run above its baseline); the winner is a
+/// pure function of the keys, never of worker completion order.
+void record_report(Simulation& sim, Benchmark b, Corpus c,
+                   const std::string& phase, std::uint64_t seed,
+                   std::vector<std::pair<const JobResult*, const JobConfig*>>
+                       report_jobs) {
+  if (g_obs.report_out.empty() || report_jobs.empty()) return;
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"benchmark", workloads::benchmark_name(b)},
+      {"corpus", workloads::corpus_name(c)},
+      {"run_seed", padded_seed(seed)},
+  };
+  g_reports.offer(
+      mapreduce::run_report_key(phase, meta, *report_jobs.front().second),
+      mapreduce::run_report_json(sim, report_jobs, meta), g_obs.report_out);
 }
 
 JobSpec make_spec(Simulation& sim, Benchmark b, Corpus c,
@@ -148,6 +181,8 @@ void init_obs_from_flags(int argc, char** argv) {
       out.metrics_out = v;
     } else if (!(v = value_of("--trace-out", i)).empty()) {
       out.trace_out = v;
+    } else if (!(v = value_of("--report-out", i)).empty()) {
+      out.report_out = v;
     } else if (!(v = value_of("--jobs", i)).empty()) {
       const int n = std::atoi(v.c_str());
       if (n < 1) {
@@ -161,8 +196,8 @@ void init_obs_from_flags(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--jobs=N] [--metrics-out=F] "
-                   "[--trace-out=F] [--audit-out=F] [--trace-detail] "
-                   "[--no-eval-cache]\n",
+                   "[--trace-out=F] [--audit-out=F] [--report-out=F] "
+                   "[--trace-detail] [--no-eval-cache]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }
@@ -179,9 +214,10 @@ RunStats run_plain(Benchmark b, Corpus c, const JobConfig& cfg,
   Simulation sim(opt);
   JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
   spec.config = cfg;
-  RunStats stats = stats_from(sim.run_job(std::move(spec)));
+  const JobResult result = sim.run_job(std::move(spec));
   export_obs(sim);
-  return stats;
+  record_report(sim, b, c, "plain", seed, {{&result, &cfg}});
+  return stats_from(result);
 }
 
 RunStats run_averaged(Benchmark b, Corpus c, const JobConfig& cfg,
@@ -205,15 +241,17 @@ TuneResult tune_aggressive(Benchmark b, Corpus c, std::uint64_t seed,
   JobSpec spec = make_spec(sim, b, c, terasort_bytes, terasort_reduces);
   options.strategy = tuner::TuningStrategy::Aggressive;
   tuner::OnlineTuner online_tuner(options);
-  double secs = 0.0;
+  JobResult result;
   auto& am = sim.submit_job(std::move(spec), [&](const JobResult& r) {
-    secs = r.exec_time();
+    result = r;
   });
   online_tuner.attach(am);
   sim.run();
   export_obs(sim);
   const auto& out = online_tuner.outcome(am.id());
-  return TuneResult{out.best_config, secs, out.waves, out.configs_tried};
+  record_report(sim, b, c, "tuned", seed, {{&result, &out.best_config}});
+  return TuneResult{out.best_config, result.exec_time(), out.waves,
+                    out.configs_tried};
 }
 
 RunStats run_conservative(Benchmark b, Corpus c, std::uint64_t seed,
@@ -226,14 +264,16 @@ RunStats run_conservative(Benchmark b, Corpus c, std::uint64_t seed,
   tuner::TunerOptions topt;
   topt.strategy = tuner::TuningStrategy::Conservative;
   tuner::OnlineTuner online_tuner(topt);
-  RunStats stats;
+  JobResult result;
   auto& am = sim.submit_job(std::move(spec), [&](const JobResult& r) {
-    stats = stats_from(r);
+    result = r;
   });
   online_tuner.attach(am);
   sim.run();
   export_obs(sim);
-  return stats;
+  record_report(sim, b, c, "conservative", seed,
+                {{&result, &online_tuner.outcome(am.id()).best_config}});
+  return stats_from(result);
 }
 
 RunStats run_conservative_averaged(Benchmark b, Corpus c,
@@ -360,6 +400,7 @@ TenantRun run_tenants(const JobConfig& terasort_cfg, const JobConfig& bbp_cfg,
   SimulationOptions opt;
   opt.seed = seed;
   opt.fair_scheduler = true;
+  apply_obs(opt);
   Simulation sim(opt);
   JobSpec terasort =
       workloads::make_terasort(sim, gibibytes(60), /*num_reduces=*/200);
@@ -367,12 +408,18 @@ TenantRun run_tenants(const JobConfig& terasort_cfg, const JobConfig& bbp_cfg,
   JobSpec bbp = workloads::make_bbp(100);
   bbp.config = bbp_cfg;
   TenantRun out;
+  JobResult terasort_result, bbp_result;
   sim.submit_job(std::move(terasort), [&](const JobResult& r) {
-    out.terasort = stats_from(r);
+    terasort_result = r;
   });
   sim.submit_job(std::move(bbp),
-                 [&](const JobResult& r) { out.bbp = stats_from(r); });
+                 [&](const JobResult& r) { bbp_result = r; });
   sim.run();
+  export_obs(sim);
+  record_report(sim, Benchmark::Terasort, Corpus::Synthetic, "tenants", seed,
+                {{&terasort_result, &terasort_cfg}, {&bbp_result, &bbp_cfg}});
+  out.terasort = stats_from(terasort_result);
+  out.bbp = stats_from(bbp_result);
   return out;
 }
 

@@ -31,9 +31,11 @@ struct ObsOutputs {
   std::string metrics_out;  ///< MetricsRegistry JSON
   std::string trace_out;    ///< Chrome trace_event JSON (chrome://tracing)
   std::string audit_out;    ///< tuner decision log, JSONL
+  std::string report_out;   ///< versioned run_report.json (obs/report.h)
   bool trace_detail = false;  ///< per-phase spans + shuffle fetch spans
   [[nodiscard]] bool any() const {
-    return !metrics_out.empty() || !trace_out.empty() || !audit_out.empty();
+    return !metrics_out.empty() || !trace_out.empty() ||
+           !audit_out.empty() || !report_out.empty();
   }
 };
 void set_obs_outputs(ObsOutputs outputs);

@@ -17,6 +17,12 @@
 // --audit-out[=F] turns observation on and writes the artifact after the
 // last simulation (defaults mron_metrics.json / mron_trace.json /
 // mron_audit.jsonl). --trace-detail adds per-phase and shuffle-fetch spans.
+//
+// --report-out[=F] (default mron_report.json) writes the versioned run
+// report (obs/report.h): counter rollups + metric scalars + whole-run time
+// series. The exported run is picked by key, not by completion order, so
+// the file is byte-identical at any --jobs; under --strategy=aggressive it
+// describes the last production run, not the test run.
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -28,7 +34,9 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/log.h"
+#include "mapreduce/report_rollup.h"
 #include "mapreduce/simulation.h"
+#include "obs/report.h"
 #include "sim/parallel_runner.h"
 #include "tuner/online_tuner.h"
 #include "workloads/benchmarks.h"
@@ -41,15 +49,19 @@ namespace {
 /// set, every simulation runs observed; each finished run rewrites the
 /// files, so they describe the last simulation of the invocation.
 struct ObsConfig {
-  std::string metrics_out, trace_out, audit_out;
+  std::string metrics_out, trace_out, audit_out, report_out;
   bool trace_detail = false;
   [[nodiscard]] bool any() const {
-    return !metrics_out.empty() || !trace_out.empty() || !audit_out.empty();
+    return !metrics_out.empty() || !trace_out.empty() ||
+           !audit_out.empty() || !report_out.empty();
   }
 };
 ObsConfig g_obs;
 // Runs may finish on several pool workers at once; exports stay whole-file.
 std::mutex g_obs_mu;
+// --report-out destination; keeps the greatest-keyed run, so the exported
+// report is a pure function of the flags, never of worker timing.
+obs::ReportCollector g_reports;
 
 void apply_obs(mapreduce::SimulationOptions& opt) {
   if (!g_obs.any()) return;
@@ -131,9 +143,40 @@ void print_config(const mapreduce::JobConfig& cfg) {
   }
 }
 
+/// Offer one finished run to the report collector. `phase` ranks runs of
+/// one invocation ("0" = aggressive test run, "1" = production), so the
+/// exported file describes the production run with the greatest seed.
+void record_report(
+    mapreduce::Simulation& sim, const std::string& phase,
+    const AppChoice& app, const std::string& strategy, std::uint64_t seed,
+    std::vector<std::pair<const mapreduce::JobResult*,
+                          const mapreduce::JobConfig*>> report_jobs) {
+  if (g_obs.report_out.empty() || report_jobs.empty()) return;
+  char seed_buf[32];
+  std::snprintf(seed_buf, sizeof(seed_buf), "%020llu",
+                static_cast<unsigned long long>(seed));
+  const std::vector<std::pair<std::string, std::string>> meta = {
+      {"app", workloads::benchmark_name(app.benchmark)},
+      {"corpus", workloads::corpus_name(app.corpus)},
+      {"strategy", strategy},
+      {"run_seed", seed_buf},
+  };
+  g_reports.offer(
+      mapreduce::run_report_key(phase, meta, *report_jobs.front().second),
+      mapreduce::run_report_json(sim, report_jobs, meta), g_obs.report_out);
+}
+
+/// One "wrote F" note once the collector has exported something.
+void note_report_written() {
+  if (!g_obs.report_out.empty() && !g_reports.empty()) {
+    std::fprintf(stderr, "wrote %s\n", g_obs.report_out.c_str());
+  }
+}
+
 mapreduce::JobResult run_once(const AppChoice& app, double size_gb,
                               const mapreduce::JobConfig& cfg,
-                              std::uint64_t seed, bool fair) {
+                              std::uint64_t seed, bool fair,
+                              const std::string& strategy) {
   mapreduce::SimulationOptions opt;
   opt.seed = seed;
   opt.fair_scheduler = fair;
@@ -143,6 +186,7 @@ mapreduce::JobResult run_once(const AppChoice& app, double size_gb,
   spec.config = cfg;
   mapreduce::JobResult result = sim.run_job(std::move(spec));
   export_obs(sim);
+  record_report(sim, /*phase=*/"1", app, strategy, seed, {{&result, &cfg}});
   return result;
 }
 
@@ -158,7 +202,7 @@ int run_cli(int argc, char** argv) {
                 " [--show-config]"
                 " [--log-level=trace|debug|info|warn|error]"
                 " [--metrics-out[=F]] [--trace-out[=F]] [--audit-out[=F]]"
-                " [--trace-detail] [--no-eval-cache]\n");
+                " [--report-out[=F]] [--trace-detail] [--no-eval-cache]\n");
     return 0;
   }
   if (flags.get("list", false)) {
@@ -208,6 +252,10 @@ int run_cli(int argc, char** argv) {
     g_obs.audit_out =
         flags.get("audit-out", std::string("mron_audit.jsonl"));
   }
+  if (flags.has("report-out")) {
+    g_obs.report_out =
+        flags.get("report-out", std::string("mron_report.json"));
+  }
   g_obs.trace_detail = flags.get("trace-detail", false);
   if (flags.get("no-eval-cache", false)) {
     tuner::set_eval_cache_enabled(false);
@@ -235,9 +283,11 @@ int run_cli(int argc, char** argv) {
     const auto results = pool.map<mapreduce::JobResult>(
         static_cast<std::size_t>(runs), [&](std::size_t i) {
           return run_once(app, size_gb, cfg,
-                          seed + static_cast<std::uint64_t>(i), fair);
+                          seed + static_cast<std::uint64_t>(i), fair,
+                          strategy);
         });
     for (const auto& r : results) print_result(strategy.c_str(), r);
+    note_report_written();
     return 0;
   }
 
@@ -265,12 +315,15 @@ int run_cli(int argc, char** argv) {
           sim.run();
           export_obs(sim);
           out.best_config = online_tuner.outcome(am.id()).best_config;
+          record_report(sim, /*phase=*/"1", app, "conservative", opt.seed,
+                        {{&out.result, &out.best_config}});
           return out;
         });
     for (const auto& run : results) {
       print_result("conservative", run.result);
       if (show_config) print_config(run.best_config);
     }
+    note_report_written();
     return 0;
   }
 
@@ -280,26 +333,35 @@ int run_cli(int argc, char** argv) {
     apply_obs(opt);
     mapreduce::Simulation sim(opt);
     tuner::OnlineTuner online_tuner{tuner::TunerOptions{}};
-    double test_secs = 0.0;
+    mapreduce::JobResult test_result;
     auto& am = sim.submit_job(
         make_spec(sim, app, size_gb),
-        [&](const mapreduce::JobResult& r) { test_secs = r.exec_time(); });
+        [&](const mapreduce::JobResult& r) { test_result = r; });
     online_tuner.attach(am);
     sim.run();
     export_obs(sim);
-    // The tuner's test run is the one worth inspecting — keep its artifacts
-    // instead of letting the production runs below overwrite them.
-    g_obs = ObsConfig{};
     const auto& out = online_tuner.outcome(am.id());
-    std::printf("test run: %.1f s, %d waves, %d configurations\n", test_secs,
-                out.waves, out.configs_tried);
+    record_report(sim, /*phase=*/"0", app, "aggressive", seed,
+                  {{&test_result, &out.best_config}});
+    // The tuner's test run is the one worth inspecting — keep its artifacts
+    // instead of letting the production runs below overwrite them. The run
+    // report keeps flowing: phase "1" offers outrank the test run's, so it
+    // ends up describing a production run (the Figure-7 comparison wants
+    // tuned production vs default, not the gated test run).
+    const std::string report_out = g_obs.report_out;
+    g_obs = ObsConfig{};
+    g_obs.report_out = report_out;
+    std::printf("test run: %.1f s, %d waves, %d configurations\n",
+                test_result.exec_time(), out.waves, out.configs_tried);
     if (show_config) print_config(out.best_config);
     const auto results = pool.map<mapreduce::JobResult>(
         static_cast<std::size_t>(runs), [&](std::size_t i) {
           return run_once(app, size_gb, out.best_config,
-                          seed + 1 + static_cast<std::uint64_t>(i), fair);
+                          seed + 1 + static_cast<std::uint64_t>(i), fair,
+                          "aggressive");
         });
     for (const auto& r : results) print_result("aggressive", r);
+    note_report_written();
     return 0;
   }
 

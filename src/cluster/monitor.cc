@@ -69,6 +69,10 @@ void ClusterMonitor::sample() {
         node_gauges_[i].net = &reg.gauge(prefix + "net_util");
         node_gauges_[i].mem_alloc = &reg.gauge(prefix + "mem_alloc_frac");
         node_gauges_[i].mem_used = &reg.gauge(prefix + "mem_used_frac");
+        auto& store = rec->series();
+        node_gauges_[i].cpu_series = &store.series(prefix + "cpu_util");
+        node_gauges_[i].disk_series = &store.series(prefix + "disk_util");
+        node_gauges_[i].net_series = &store.series(prefix + "net_util");
       }
       samples_counter_ = &reg.counter("monitor.samples");
     }
@@ -79,6 +83,11 @@ void ClusterMonitor::sample() {
       node_gauges_[i].net->set(s.net_util);
       node_gauges_[i].mem_alloc->set(s.mem_alloc_frac);
       node_gauges_[i].mem_used->set(s.mem_used_frac);
+      // Whole-run occupancy timelines: pushed every tick (not change-only)
+      // so the downsampling stride stays uniform across nodes.
+      node_gauges_[i].cpu_series->push(now, s.cpu_util);
+      node_gauges_[i].disk_series->push(now, s.disk_util);
+      node_gauges_[i].net_series->push(now, s.net_util);
     }
     samples_counter_->add(1.0);
     rec->flush();  // pull-model publishers (SharedServer gauges)

@@ -15,6 +15,7 @@
 namespace mron::obs {
 class Counter;
 class Gauge;
+class Series;
 }  // namespace mron::obs
 
 namespace mron::cluster {
@@ -62,6 +63,11 @@ class ClusterMonitor {
     obs::Gauge* net = nullptr;
     obs::Gauge* mem_alloc = nullptr;
     obs::Gauge* mem_used = nullptr;
+    /// Whole-run occupancy timelines (the Figure 14-16 shapes), in the
+    /// recorder's SeriesStore; downsampled, never wrapping.
+    obs::Series* cpu_series = nullptr;
+    obs::Series* disk_series = nullptr;
+    obs::Series* net_series = nullptr;
   };
   std::vector<NodeGauges> node_gauges_;
   obs::Counter* samples_counter_ = nullptr;

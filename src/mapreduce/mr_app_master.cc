@@ -40,6 +40,47 @@ void MrAppMaster::submit() {
   result_.name = spec_.name;
   result_.submit_time = engine_.now();
 
+  // Wave progress is pull-model (recorder.h's contract): the sampling clock
+  // reads the completion counters once per tick and stamps the whole-run
+  // wave timelines, instead of the per-task paths writing gauges.
+  if (auto* rec = engine_.recorder()) {
+    map_secs_hist_ = &rec->metrics().histogram(
+        "mr.map.task_secs",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+    reduce_secs_hist_ = &rec->metrics().histogram(
+        "mr.reduce.task_secs",
+        {1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000, 5000});
+    const std::string prefix = "job" + std::to_string(id_.value()) + ".";
+    auto& store = rec->series();
+    auto* maps_running = &store.series(prefix + "maps_running");
+    auto* maps_frac = &store.series(prefix + "maps_completed_frac");
+    auto* reduces_running = &store.series(prefix + "reduces_running");
+    auto* reduces_frac = &store.series(prefix + "reduces_completed_frac");
+    rec->add_flush_hook([this, maps_running, maps_frac, reduces_running,
+                         reduces_frac] {
+      int live_maps = 0;
+      for (const auto& m : maps_) {
+        if (m.running || m.spec_running) ++live_maps;
+      }
+      int live_reduces = 0;
+      for (const auto& r : reduces_) {
+        if (r.running) ++live_reduces;
+      }
+      const SimTime now = engine_.now();
+      maps_running->push(now, static_cast<double>(live_maps));
+      maps_frac->push(now, num_maps_ == 0
+                               ? 1.0
+                               : static_cast<double>(completed_maps_) /
+                                     static_cast<double>(num_maps_));
+      reduces_running->push(now, static_cast<double>(live_reduces));
+      reduces_frac->push(
+          now, spec_.num_reduces == 0
+                   ? 1.0
+                   : static_cast<double>(completed_reduces_) /
+                         static_cast<double>(spec_.num_reduces));
+    });
+  }
+
   // Build map tasks: one per input block, or synthetic compute-only maps.
   if (spec_.input.valid()) {
     const auto& ds = dfs_.dataset(spec_.input);
@@ -397,6 +438,7 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
                                   : m.run->combined_output_bytes();
   m.ran_on = report.node;
   result_.counters.map += report.counters;
+  if (map_secs_hist_ != nullptr) map_secs_hist_->observe(report.duration());
   ++completed_maps_;
   map_duration_sum_ += report.duration();
   ++map_duration_count_;
@@ -564,6 +606,9 @@ void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
 
   r.done = true;
   result_.counters.reduce += report.counters;
+  if (reduce_secs_hist_ != nullptr) {
+    reduce_secs_hist_->observe(report.duration());
+  }
   ++completed_reduces_;
   schedule_pump();
   maybe_finish();

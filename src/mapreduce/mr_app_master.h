@@ -36,6 +36,10 @@
 #include "sim/engine.h"
 #include "yarn/resource_manager.h"
 
+namespace mron::obs {
+class Histogram;
+}  // namespace mron::obs
+
 namespace mron::mapreduce {
 
 class MrAppMaster {
@@ -192,6 +196,10 @@ class MrAppMaster {
   double map_duration_sum_ = 0.0;
   int map_duration_count_ = 0;
   int active_speculations_ = 0;
+  /// Task-duration distributions, shared across jobs (find-or-create by
+  /// name); resolved once in submit().
+  obs::Histogram* map_secs_hist_ = nullptr;
+  obs::Histogram* reduce_secs_hist_ = nullptr;
   bool submitted_ = false;
   bool finished_ = false;
   bool pump_scheduled_ = false;

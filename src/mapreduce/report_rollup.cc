@@ -1,0 +1,105 @@
+#include "mapreduce/report_rollup.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "mapreduce/params.h"
+#include "mapreduce/simulation.h"
+
+namespace mron::mapreduce {
+
+namespace {
+
+std::map<std::string, double> counters_map(const TaskCounters& c) {
+  return {
+      {"map_output_records", static_cast<double>(c.map_output_records)},
+      {"combine_output_records",
+       static_cast<double>(c.combine_output_records)},
+      {"spilled_records", static_cast<double>(c.spilled_records)},
+      {"map_output_bytes", c.map_output_bytes.as_double()},
+      {"shuffle_bytes", c.shuffle_bytes.as_double()},
+      {"local_disk_write_bytes", c.local_disk_write_bytes.as_double()},
+      {"local_disk_read_bytes", c.local_disk_read_bytes.as_double()},
+      {"cpu_seconds", c.cpu_seconds},
+  };
+}
+
+void duration_stats(const std::vector<TaskReport>& reports,
+                    const std::string& prefix,
+                    std::map<std::string, double>& stats) {
+  double sum = 0.0, max = 0.0;
+  for (const TaskReport& r : reports) {
+    sum += r.duration();
+    max = std::max(max, r.duration());
+  }
+  stats[prefix + "_tasks"] = static_cast<double>(reports.size());
+  stats[prefix + "_task_secs_avg"] =
+      reports.empty() ? 0.0 : sum / static_cast<double>(reports.size());
+  stats[prefix + "_task_secs_max"] = max;
+}
+
+}  // namespace
+
+obs::ReportJob report_job_from(const JobResult& result,
+                               const JobConfig& config) {
+  obs::ReportJob job;
+  job.id = result.id.value();
+  job.name = result.name;
+  job.submit_time = result.submit_time;
+  job.finish_time = result.finish_time;
+  job.phases["map"] = counters_map(result.counters.map);
+  job.phases["reduce"] = counters_map(result.counters.reduce);
+  job.stats["exec_secs"] = result.exec_time();
+  job.stats["failed_attempts"] =
+      static_cast<double>(result.counters.failed_task_attempts);
+  job.stats["spilled_records"] =
+      static_cast<double>(result.counters.total_spilled_records());
+  job.stats["speculative_launches"] =
+      static_cast<double>(result.speculative_launches);
+  job.stats["speculative_wins"] =
+      static_cast<double>(result.speculative_wins);
+  duration_stats(result.map_reports, "map", job.stats);
+  duration_stats(result.reduce_reports, "reduce", job.stats);
+
+  const auto& reg = ParamRegistry::extended();
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    job.config[reg.at(i).name] = reg.get(config, i);
+  }
+  return job;
+}
+
+std::string run_report_json(
+    const Simulation& sim,
+    const std::vector<std::pair<const JobResult*, const JobConfig*>>& jobs,
+    const std::vector<std::pair<std::string, std::string>>& meta) {
+  obs::RunReport report;
+  report.set_meta("schema_tool", "mron");
+  for (const auto& [k, v] : meta) report.set_meta(k, v);
+  report.set_meta("cluster_nodes",
+                  std::to_string(sim.topology().num_nodes()));
+  report.set_meta("seed", std::to_string(sim.options().seed));
+  for (const auto& [result, config] : jobs) {
+    report.add_job(report_job_from(*result, *config));
+  }
+  return report.to_json(sim.recorder());
+}
+
+std::string run_report_key(
+    const std::string& phase,
+    const std::vector<std::pair<std::string, std::string>>& meta,
+    const JobConfig& config) {
+  std::string key = phase;
+  for (const auto& [k, v] : meta) {
+    key += "|" + k + "=" + v;
+  }
+  key += "|cfg:";
+  const auto& reg = ParamRegistry::extended();
+  char buf[32];
+  for (std::size_t i = 0; i < reg.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%.17g,", reg.get(config, i));
+    key += buf;
+  }
+  return key;
+}
+
+}  // namespace mron::mapreduce

@@ -101,6 +101,17 @@ std::vector<JobResult> Simulation::run_jobs(std::vector<JobSpec> specs) {
   return results;
 }
 
-void Simulation::run() { engine_.run(); }
+void Simulation::run() {
+  engine_.run();
+#if MRON_OBS_ENABLED
+  // One final sampling tick: the monitor's clock stops when the engine
+  // drains, so pull-model gauges and series would otherwise miss the state
+  // at completion (e.g. live_containers back at 0, wave fractions at 1).
+  if (recorder_ != nullptr) {
+    recorder_->flush();
+    recorder_->metrics().sample(engine_.now());
+  }
+#endif
+}
 
 }  // namespace mron::mapreduce

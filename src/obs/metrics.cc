@@ -52,6 +52,29 @@ std::int64_t Histogram::bucket(std::size_t i) const {
   return counts_[i];
 }
 
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  // Rank of the quantile in 1..count (ceil), then walk the buckets.
+  const double rank = std::max(1.0, q * static_cast<double>(count_));
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double in_bucket = static_cast<double>(counts_[i]);
+    if (cum + in_bucket < rank) {
+      cum += in_bucket;
+      continue;
+    }
+    if (i >= bounds_.size()) {
+      // Overflow bucket: unbounded above, so report the last finite edge.
+      return bounds_.empty() ? 0.0 : bounds_.back();
+    }
+    const double lo = i == 0 ? std::min(0.0, bounds_[0]) : bounds_[i - 1];
+    const double hi = bounds_[i];
+    return lo + (hi - lo) * ((rank - cum) / in_bucket);
+  }
+  return bounds_.empty() ? 0.0 : bounds_.back();
+}
+
 void Histogram::merge(const Histogram& other) {
   MRON_CHECK_MSG(bounds_ == other.bounds_,
                  "histogram merge requires identical bounds");
@@ -128,6 +151,20 @@ double MetricsRegistry::value(const std::string& name) const {
   return it == metrics_.end() ? 0.0 : it->second.scalar();
 }
 
+double MetricsRegistry::quantile(const std::string& name, double q) const {
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::Histogram ||
+      it->second.histogram == nullptr) {
+    return 0.0;
+  }
+  return it->second.histogram->quantile(q);
+}
+
+bool MetricsRegistry::is_histogram(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  return it != metrics_.end() && it->second.kind == Kind::Histogram;
+}
+
 const TimeSeries* MetricsRegistry::series(const std::string& name) const {
   const auto it = metrics_.find(name);
   return it == metrics_.end() ? nullptr : &it->second.series;
@@ -187,6 +224,12 @@ void MetricsRegistry::write_json(std::ostream& os) const {
       const Histogram& h = *entry.histogram;
       os << ",\"sum\":";
       write_json_number(os, h.sum());
+      os << ",\"p50\":";
+      write_json_number(os, h.quantile(0.50));
+      os << ",\"p95\":";
+      write_json_number(os, h.quantile(0.95));
+      os << ",\"p99\":";
+      write_json_number(os, h.quantile(0.99));
       os << ",\"buckets\":[";
       for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
         if (i > 0) os << ",";

@@ -93,6 +93,11 @@ class Histogram {
   /// Bucket i covers (bounds[i-1], bounds[i]]; index bounds().size() is the
   /// overflow bucket.
   [[nodiscard]] std::int64_t bucket(std::size_t i) const;
+  /// Interpolated quantile (Prometheus-style): linear within the bucket the
+  /// rank falls into, assuming uniform spread. A rank landing in the
+  /// overflow bucket returns the last finite bound (nothing to interpolate
+  /// against); an empty histogram returns 0. `q` is clamped to [0, 1].
+  [[nodiscard]] double quantile(double q) const;
 
   void merge(const Histogram& other);
 
@@ -126,6 +131,10 @@ class MetricsRegistry {
   /// Scalar view of any metric (counter/gauge value, histogram count), or
   /// 0 for unknown names.
   [[nodiscard]] double value(const std::string& name) const;
+  /// Interpolated quantile of a histogram metric; 0 for unknown names or
+  /// non-histogram kinds. Part of the scalar view alongside value().
+  [[nodiscard]] double quantile(const std::string& name, double q) const;
+  [[nodiscard]] bool is_histogram(const std::string& name) const;
   [[nodiscard]] const TimeSeries* series(const std::string& name) const;
 
   /// Snapshot the metrics written since the previous call into their

@@ -1,4 +1,7 @@
-// The flight recorder: one bundle of the three observability pillars.
+// The flight recorder: one bundle of the four observability pillars —
+// metrics (scalars + change-only rings), sim-time trace spans, the tuner
+// decision audit log, and run-long time series (bounded, 2x-downsampled
+// whole-run timelines — the paper-figure shapes).
 //
 // A Simulation constructed with observe=true owns a Recorder and hands a
 // pointer to its Engine; every instrumentation site reaches it through
@@ -14,6 +17,7 @@
 #include "obs/audit.h"
 #include "obs/enabled.h"
 #include "obs/metrics.h"
+#include "obs/series.h"
 #include "obs/trace.h"
 
 namespace mron::obs {
@@ -26,6 +30,8 @@ class Recorder {
   [[nodiscard]] const TraceRecorder& trace() const { return trace_; }
   [[nodiscard]] AuditLog& audit() { return audit_; }
   [[nodiscard]] const AuditLog& audit() const { return audit_; }
+  [[nodiscard]] SeriesStore& series() { return series_; }
+  [[nodiscard]] const SeriesStore& series() const { return series_; }
 
   /// Pull-model publishing for hot components: instead of writing gauges on
   /// every state change, register a hook that refreshes them, and the
@@ -42,6 +48,7 @@ class Recorder {
   MetricsRegistry metrics_;
   TraceRecorder trace_;
   AuditLog audit_;
+  SeriesStore series_;
   std::vector<std::function<void()>> flush_hooks_;
 };
 

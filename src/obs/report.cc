@@ -1,0 +1,159 @@
+#include "obs/report.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "obs/json.h"
+#include "obs/recorder.h"
+
+namespace mron::obs {
+
+namespace {
+
+void write_number_map(std::ostream& os,
+                      const std::map<std::string, double>& m) {
+  os << "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) os << ",";
+    first = false;
+    write_json_string(os, k);
+    os << ":";
+    write_json_number(os, v);
+  }
+  os << "}";
+}
+
+}  // namespace
+
+void RunReport::set_meta(const std::string& key, const std::string& value) {
+  for (auto& [k, v] : meta_) {
+    if (k == key) {
+      v = value;
+      return;
+    }
+  }
+  meta_.emplace_back(key, value);
+}
+
+void RunReport::add_job(ReportJob job) { jobs_.push_back(std::move(job)); }
+
+std::map<std::string, double> RunReport::run_totals() const {
+  std::map<std::string, double> totals;
+  totals["jobs"] = static_cast<double>(jobs_.size());
+  double first_submit = 0.0, last_finish = 0.0;
+  bool any = false;
+  for (const ReportJob& j : jobs_) {
+    if (!any || j.submit_time < first_submit) first_submit = j.submit_time;
+    if (!any || j.finish_time > last_finish) last_finish = j.finish_time;
+    any = true;
+    for (const auto& [phase, counters] : j.phases) {
+      for (const auto& [name, value] : counters) {
+        totals[phase + "." + name] += value;
+      }
+    }
+    for (const char* summed : {"failed_attempts", "spilled_records",
+                               "speculative_launches", "speculative_wins"}) {
+      const auto it = j.stats.find(summed);
+      if (it != j.stats.end()) totals[summed] += it->second;
+    }
+  }
+  totals["exec_secs"] = any ? last_finish - first_submit : 0.0;
+  return totals;
+}
+
+void RunReport::write_json(std::ostream& os, const Recorder* rec) const {
+  os << "{\"schema\":";
+  write_json_string(os, kRunReportSchema);
+  os << ",\"meta\":{";
+  bool first = true;
+  for (const auto& [k, v] : meta_) {
+    if (!first) os << ",";
+    first = false;
+    write_json_string(os, k);
+    os << ":";
+    write_json_string(os, v);
+  }
+  os << "},\"jobs\":[";
+  first = true;
+  for (const ReportJob& j : jobs_) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"id\":" << j.id << ",\"name\":";
+    write_json_string(os, j.name);
+    os << ",\"submit_time\":";
+    write_json_number(os, j.submit_time);
+    os << ",\"finish_time\":";
+    write_json_number(os, j.finish_time);
+    os << ",\"counters\":{";
+    bool pfirst = true;
+    for (const auto& [phase, counters] : j.phases) {
+      if (!pfirst) os << ",";
+      pfirst = false;
+      write_json_string(os, phase);
+      os << ":";
+      write_number_map(os, counters);
+    }
+    os << "},\"stats\":";
+    write_number_map(os, j.stats);
+    os << ",\"config\":";
+    write_number_map(os, j.config);
+    os << "}";
+  }
+  os << "],\"totals\":";
+  write_number_map(os, run_totals());
+
+  // Flight-recorder sections: scalars (histograms contribute interpolated
+  // quantiles under <name>.p50/.p95/.p99), whole-run series, audit volume.
+  os << ",\"metrics\":";
+  std::map<std::string, double> scalars;
+  if (rec != nullptr) {
+    const MetricsRegistry& m = rec->metrics();
+    for (const std::string& name : m.names()) {
+      scalars[name] = m.value(name);
+      if (m.is_histogram(name)) {
+        scalars[name + ".p50"] = m.quantile(name, 0.50);
+        scalars[name + ".p95"] = m.quantile(name, 0.95);
+        scalars[name + ".p99"] = m.quantile(name, 0.99);
+      }
+    }
+  }
+  write_number_map(os, scalars);
+  os << ",\"series\":";
+  if (rec != nullptr) {
+    rec->series().write_json(os);
+  } else {
+    os << "{\"series\":[]}";
+  }
+  os << ",\"audit\":{\"events\":"
+     << (rec != nullptr ? rec->audit().size() : std::size_t{0}) << "}}\n";
+}
+
+std::string RunReport::to_json(const Recorder* rec) const {
+  std::ostringstream os;
+  write_json(os, rec);
+  return os.str();
+}
+
+bool ReportCollector::offer(const std::string& key, const std::string& json,
+                            const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Weak comparison: an equal key re-offers an identical run (identical
+  // bytes by the determinism contract), so rewriting is a no-op in content
+  // and keeps "the last write is the winner" trivially true.
+  if (!best_json_.empty() && key < best_key_) return false;
+  best_key_ = key;
+  best_json_ = json;
+  std::ofstream out(path);
+  MRON_CHECK_MSG(out.good(), "cannot open " << path);
+  out << best_json_;
+  return true;
+}
+
+bool ReportCollector::empty() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return best_json_.empty();
+}
+
+}  // namespace mron::obs

@@ -71,6 +71,18 @@ void OnlineTuner::attach(MrAppMaster& am) {
   js.am = &am;
   js.rec = am.engine().recorder();
   js.outcome.decisions = js.rec != nullptr ? &js.rec->audit() : nullptr;
+  // Eval-cache totals move on every scored task — publish them from the
+  // sampling clock instead (once per recorder; the hook deliberately does
+  // not capture `this`, so it stays valid if the tuner dies first).
+  if (js.rec != nullptr && hooked_recorders_.insert(js.rec).second) {
+    auto* rec = js.rec;
+    auto* eng = &am.engine();
+    auto* hit_rate_series = &rec->series().series("tuner.eval_cache.hit_rate");
+    rec->add_flush_hook([rec, eng, hit_rate_series] {
+      export_eval_cache_metrics(rec->metrics());
+      hit_rate_series->push(eng->now(), eval_cache_global_stats().hit_rate());
+    });
+  }
   {
     obs::AuditEvent ev;
     ev.kind = "attach";
@@ -207,6 +219,13 @@ void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
       configurator_.push_live_params(js.am->id(), cfg);
       js.outcome.best_config = cfg;
       js.outcome.conservative_adjustments = js.conservative->adjustments();
+      if (js.rec != nullptr) {
+        js.rec->series()
+            .series("tuner.job" + std::to_string(js.am->id().value()) +
+                    ".conservative_adjustments")
+            .push(js.am->engine().now(),
+                  static_cast<double>(js.outcome.conservative_adjustments));
+      }
     }
     if (js.am->finished()) maybe_store_outcome(js);
     return;
@@ -218,7 +237,7 @@ void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
   }
 }
 
-double OnlineTuner::scored_task_cost(JobState& js, const TaskReport& report,
+double OnlineTuner::scored_task_cost(const TaskReport& report,
                                      double max_task_seconds) {
   if (!eval_cache_enabled()) return task_cost(report, max_task_seconds);
   CacheKey key;
@@ -233,10 +252,10 @@ double OnlineTuner::scored_task_cost(JobState& js, const TaskReport& report,
   key.add(report.counters.shuffle_bytes);
   key.add(report.counters.local_disk_write_bytes);
   key.add(max_task_seconds);
-  const double cost = cost_cache_.get_or_compute(
+  // Hit/miss gauges are published by the flush hook attach() registered
+  // (pull model) — no per-task metrics writes here.
+  return cost_cache_.get_or_compute(
       key, [&] { return task_cost(report, max_task_seconds); });
-  if (js.rec != nullptr) export_eval_cache_metrics(js.rec->metrics());
-  return cost;
 }
 
 void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
@@ -247,7 +266,7 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
   if (wave.filled[slot]) return;  // e.g. a retry of an OOM-killed attempt
   wave.filled[slot] = true;
   wave.costs[slot] = scored_task_cost(
-      js, report, is_map ? js.max_map_secs : js.max_reduce_secs);
+      report, is_map ? js.max_map_secs : js.max_reduce_secs);
   wave.reports.push_back(report);
   if (--wave.remaining > 0) return;
 
@@ -305,6 +324,28 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
       ev.sample.emplace_back("neighborhood", climber.neighborhood_size());
     }
     audit(js, std::move(ev));
+  }
+  // Convergence timelines (the Figure-9 curves): one point per climber
+  // iteration — best predicted cost, configs tried so far, and the
+  // incumbent parameter vector. Climber steps are rare (one per wave), so
+  // name lookups here are off the hot path.
+  if (js.rec != nullptr) {
+    auto& store = js.rec->series();
+    const std::string prefix =
+        "tuner.job" + std::to_string(js.am->id().value()) + ".";
+    const std::string side = is_map ? "map." : "reduce.";
+    const SimTime now = js.am->engine().now();
+    store.series(prefix + "configs_tried")
+        .push(now, static_cast<double>(js.outcome.configs_tried));
+    if (climber.has_best()) {
+      store.series(prefix + side + "best_cost").push(now, climber.best_cost());
+      const SearchSpace& space = is_map ? *js.map_space : *js.reduce_space;
+      const JobConfig best = climber.best_config();
+      for (std::size_t d = 0; d < space.dims(); ++d) {
+        const mapreduce::ParamDescriptor& p = space.param(d);
+        store.series(prefix + side + "param." + p.name).push(now, best.*p.field);
+      }
+    }
   }
   start_wave(js, is_map);
 }

@@ -18,6 +18,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -103,9 +104,9 @@ class OnlineTuner {
   /// Record a decision in the job's audit log (no-op without a recorder);
   /// stamps the sim-time and job id.
   void audit(JobState& js, obs::AuditEvent ev);
-  /// task_cost via the memo cache (keyed on everything Eq. 1 reads), with
-  /// hit/miss totals exported through the job's MetricsRegistry.
-  double scored_task_cost(JobState& js, const mapreduce::TaskReport& report,
+  /// task_cost via the memo cache (keyed on everything Eq. 1 reads);
+  /// hit/miss totals reach the registry via the attach() flush hook.
+  double scored_task_cost(const mapreduce::TaskReport& report,
                           double max_task_seconds);
 
   TunerOptions options_;
@@ -117,6 +118,9 @@ class OnlineTuner {
   /// re-use the computed cost. Pure arithmetic either way, so the cache
   /// only trades work for a lookup — never changes a score.
   EvalCache<double> cost_cache_{/*capacity=*/1024, /*shards=*/4};
+  /// Recorders that already carry this tuner's eval-cache flush hook (one
+  /// hook per engine, however many jobs attach).
+  std::set<obs::Recorder*> hooked_recorders_;
   std::map<mapreduce::JobId, JobState> jobs_;
 };
 

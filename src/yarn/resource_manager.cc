@@ -9,21 +9,6 @@
 
 namespace mron::yarn {
 
-namespace {
-
-// Mirror the RM's queue/allocation state into the flight recorder; sampled
-// onto the time axis by the cluster monitor.
-void publish_rm_gauges(sim::Engine& engine, std::size_t pending,
-                       std::size_t live) {
-  if (auto* rec = engine.recorder()) {
-    rec->metrics().gauge("yarn.pending_requests")
-        .set(static_cast<double>(pending));
-    rec->metrics().gauge("yarn.live_containers").set(static_cast<double>(live));
-  }
-}
-
-}  // namespace
-
 ResourceManager::ResourceManager(sim::Engine& engine,
                                  const cluster::Topology& topo,
                                  std::vector<cluster::Node*> nodes,
@@ -35,6 +20,25 @@ ResourceManager::ResourceManager(sim::Engine& engine,
   MRON_CHECK(policy_ != nullptr);
   MRON_CHECK(static_cast<int>(nodes_.size()) == topo_.num_nodes());
   alive_.assign(nodes_.size(), true);
+  // Pull-model publishing (recorder.h's contract for hot components): the
+  // request/allocate/release paths fire per container, so instead of
+  // writing gauges there, the sampling clock reads the queue/allocation
+  // state once per tick — and stamps the whole-run container timeline.
+  if (auto* rec = engine_.recorder()) {
+    auto* pending_gauge = &rec->metrics().gauge("yarn.pending_requests");
+    auto* live_gauge = &rec->metrics().gauge("yarn.live_containers");
+    auto* pending_series = &rec->series().series("yarn.pending_requests");
+    auto* live_series = &rec->series().series("yarn.live_containers");
+    rec->add_flush_hook(
+        [this, pending_gauge, live_gauge, pending_series, live_series] {
+          const auto pending = static_cast<double>(pending_requests());
+          const auto live = static_cast<double>(live_containers_);
+          pending_gauge->set(pending);
+          live_gauge->set(live);
+          pending_series->push(engine_.now(), pending);
+          live_series->push(engine_.now(), live);
+        });
+  }
 }
 
 void ResourceManager::fail_node(cluster::NodeId node) {
@@ -94,7 +98,6 @@ RequestId ResourceManager::request_container(
   const RequestId id = request_ids_.next();
   it->second.queue.push_back(PendingRequest{
       id, resource, std::move(preferred), std::move(on_allocated)});
-  publish_rm_gauges(engine_, pending_requests(), live_containers_);
   trigger_schedule();
   return id;
 }
@@ -119,7 +122,6 @@ void ResourceManager::release_container(const Container& container) {
   MRON_CHECK(it->second.allocated_memory >= Bytes(0));
   MRON_CHECK(live_containers_ > 0);
   --live_containers_;
-  publish_rm_gauges(engine_, pending_requests(), live_containers_);
   trigger_schedule();
 }
 
@@ -250,10 +252,6 @@ bool ResourceManager::try_place(AppId app_id, AppState& app,
   if (auto* rec = engine_.recorder()) {
     rec->metrics().counter("yarn.containers_allocated").add(1.0);
   }
-  // pending_requests() still counts this request (the caller erases it after
-  // we return true), so subtract it from the published gauge.
-  publish_rm_gauges(engine_, pending_requests() - 1, live_containers_);
-
   Container container;
   container.id = container_ids_.next();
   container.app = app_id;

@@ -1,0 +1,68 @@
+# The --report-out acceptance checks: the exported run_report.json must be
+# byte-identical at any --jobs value, pass the Python schema validator,
+# render to HTML, and diff against itself with zero gated deltas.
+execute_process(
+  COMMAND ${CLI} --app=terasort --size-gb=2 --strategy=aggressive --seed=77
+          --runs=2 --jobs=1 --report-out=check_report_j1.json
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc1 OUTPUT_QUIET)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "mron_cli --jobs=1 failed with ${rc1}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} --app=terasort --size-gb=2 --strategy=aggressive --seed=77
+          --runs=2 --jobs=2 --report-out=check_report_j2.json
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE rc2 OUTPUT_QUIET)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "mron_cli --jobs=2 failed with ${rc2}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          check_report_j1.json check_report_j2.json
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE cmp_rc)
+if(NOT cmp_rc EQUAL 0)
+  message(FATAL_ERROR
+          "run_report.json differs between --jobs=1 and --jobs=2")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${TOOLS}/mron_report.py check_report_j1.json --check
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE check_rc)
+if(NOT check_rc EQUAL 0)
+  message(FATAL_ERROR "mron_report.py --check failed with ${check_rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${TOOLS}/mron_report.py check_report_j1.json
+          -o check_report.html
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE html_rc)
+if(NOT html_rc EQUAL 0)
+  message(FATAL_ERROR "mron_report.py HTML render failed with ${html_rc}")
+endif()
+
+# Identical reports: the diff gate must pass at threshold 0 and the
+# self-improvement check must fail (nothing is strictly lower).
+execute_process(
+  COMMAND ${PYTHON} ${TOOLS}/mron_diff.py check_report_j1.json
+          check_report_j2.json --threshold 0
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE diff_rc OUTPUT_QUIET)
+if(NOT diff_rc EQUAL 0)
+  message(FATAL_ERROR "mron_diff.py on identical reports exited ${diff_rc}")
+endif()
+
+execute_process(
+  COMMAND ${PYTHON} ${TOOLS}/mron_diff.py check_report_j1.json
+          check_report_j2.json --check-improves exec_secs
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE improve_rc OUTPUT_QUIET ERROR_QUIET)
+if(improve_rc EQUAL 0)
+  message(FATAL_ERROR
+          "--check-improves passed on identical reports; the gate is broken")
+endif()

@@ -153,5 +153,62 @@ TEST(MetricsRegistry, WriteJsonIsWellFormed) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(Histogram, QuantileInterpolatesWithinTheBucket) {
+  Histogram h({10.0, 20.0});
+  for (int i = 0; i < 10; ++i) h.observe(5.0);  // all in (-inf, 10]
+  // Rank 5 of 10 uniform in [0, 10] -> 5.0; rank 9.5 -> 9.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.95), 9.5);
+}
+
+TEST(Histogram, QuantileWalksAcrossBuckets) {
+  Histogram h({1.0, 3.0});
+  h.observe(0.5);  // bucket 0
+  h.observe(2.0);  // bucket 1
+  h.observe(3.0);  // bucket 1
+  // Rank 1.5 of 3: past bucket 0 (count 1), half a unit into bucket 1's
+  // two observations across [1, 3] -> 1.5.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.5);
+}
+
+TEST(Histogram, QuantileOverflowReportsTheLastFiniteBound) {
+  Histogram h({1.0, 10.0});
+  h.observe(1e9);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 10.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsZero) {
+  Histogram h({1.0});
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(MetricsRegistry, QuantileByNameOnlyAnswersForHistograms) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 10; ++i) {
+    reg.histogram("lat", {10.0, 20.0}).observe(5.0);
+  }
+  reg.counter("n").add(7.0);
+  EXPECT_TRUE(reg.is_histogram("lat"));
+  EXPECT_FALSE(reg.is_histogram("n"));
+  EXPECT_FALSE(reg.is_histogram("absent"));
+  EXPECT_DOUBLE_EQ(reg.quantile("lat", 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(reg.quantile("n", 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(reg.quantile("absent", 0.5), 0.0);
+}
+
+TEST(MetricsRegistry, WriteJsonCarriesInterpolatedQuantiles) {
+  MetricsRegistry reg;
+  for (int i = 0; i < 10; ++i) {
+    reg.histogram("lat", {10.0, 20.0}).observe(5.0);
+  }
+  std::ostringstream os;
+  reg.write_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\"p50\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p95\":9.5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace mron::obs

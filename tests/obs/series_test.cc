@@ -1,0 +1,142 @@
+// The SeriesStore determinism contract (series.h): surviving points are a
+// pure function of the push sequence, so identical sequences serialize to
+// identical bytes — the property the byte-identical-across---jobs report
+// acceptance test leans on.
+#include "obs/series.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mron::obs {
+namespace {
+
+// Push i as both time and value so a surviving point names its push index.
+void push_indices(Series& s, int n) {
+  for (int i = 0; i < n; ++i) {
+    s.push(static_cast<double>(i), static_cast<double>(i));
+  }
+}
+
+TEST(Series, RecordsEveryPushUntilCapacity) {
+  Series s(8);
+  push_indices(s, 8);
+  EXPECT_EQ(s.size(), 8u);
+  EXPECT_EQ(s.stride(), 1u);
+  EXPECT_EQ(s.offered(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(s.at(i).value, static_cast<double>(i));
+  }
+}
+
+TEST(Series, CompactionKeepsEvenPushIndicesAndDoublesStride) {
+  Series s(8);
+  push_indices(s, 9);  // the 9th push triggers the first compaction
+  EXPECT_EQ(s.stride(), 2u);
+  ASSERT_EQ(s.size(), 5u);
+  const double want[] = {0, 2, 4, 6, 8};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(s.at(i).value, want[i]);
+  }
+}
+
+TEST(Series, SecondCompactionQuadruplesStride) {
+  Series s(8);
+  push_indices(s, 17);  // push 16 triggers the second compaction
+  EXPECT_EQ(s.stride(), 4u);
+  ASSERT_EQ(s.size(), 5u);
+  const double want[] = {0, 4, 8, 12, 16};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_DOUBLE_EQ(s.at(i).value, want[i]);
+  }
+}
+
+TEST(Series, OddCapacityDropsTheOffStrideTrigger) {
+  Series s(5);
+  push_indices(s, 6);  // push 5 compacts to {0,2,4} but 5 % 2 != 0
+  EXPECT_EQ(s.stride(), 2u);
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.at(2).value, 4.0);
+  EXPECT_EQ(s.offered(), 6u);
+}
+
+TEST(Series, SurvivorsAreMultiplesOfTheFinalStride) {
+  Series s(8);
+  push_indices(s, 1000);
+  EXPECT_LE(s.size(), 8u);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto index = static_cast<std::uint64_t>(s.at(i).value);
+    EXPECT_EQ(index % s.stride(), 0u);
+    if (i > 0) {
+      EXPECT_LT(s.at(i - 1).time, s.at(i).time);
+    }
+  }
+  // Full-run coverage: the first push always survives.
+  EXPECT_DOUBLE_EQ(s.at(0).value, 0.0);
+}
+
+TEST(Series, CapacityBelowTwoIsAnError) {
+  EXPECT_THROW(Series s(1), CheckError);
+}
+
+TEST(SeriesStore, FindOrCreateReturnsStableHandles) {
+  SeriesStore store;
+  Series& a = store.series("x");
+  Series& b = store.series("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_TRUE(store.has("x"));
+  EXPECT_FALSE(store.has("y"));
+  EXPECT_EQ(store.find("y"), nullptr);
+  EXPECT_EQ(store.size(), 1u);
+}
+
+TEST(SeriesStore, NamesAreSortedForDeterministicExport) {
+  SeriesStore store;
+  store.series("b");
+  store.series("a");
+  store.series("c");
+  const auto names = store.names();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "a");
+  EXPECT_EQ(names[1], "b");
+  EXPECT_EQ(names[2], "c");
+}
+
+std::string store_json(const SeriesStore& store) {
+  std::ostringstream os;
+  store.write_json(os);
+  return os.str();
+}
+
+TEST(SeriesStore, IdenticalPushSequencesSerializeIdentically) {
+  SeriesStore lhs;
+  SeriesStore rhs;
+  // Same pushes, different creation interleaving: byte-identical output.
+  Series& la = lhs.series("alpha", 8);
+  Series& lb = lhs.series("beta", 8);
+  Series& rb = rhs.series("beta", 8);
+  Series& ra = rhs.series("alpha", 8);
+  for (int i = 0; i < 100; ++i) {
+    la.push(i, i * 0.5);
+    lb.push(i, 100.0 - i);
+    ra.push(i, i * 0.5);
+    rb.push(i, 100.0 - i);
+  }
+  EXPECT_EQ(store_json(lhs), store_json(rhs));
+}
+
+TEST(SeriesStore, JsonShapeCarriesStrideAndOffered) {
+  SeriesStore store;
+  Series& s = store.series("s", 4);
+  for (int i = 0; i < 5; ++i) s.push(i, i);
+  const std::string json = store_json(store);
+  EXPECT_NE(json.find("{\"series\":[{\"name\":\"s\",\"stride\":2,"
+                      "\"offered\":5,\"points\":["),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace mron::obs

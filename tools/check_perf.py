@@ -14,9 +14,13 @@ were recorded on machines with the same multi-core shape: equal
 hardware_concurrency > 1 and equal sweep_jobs. A single-core recording
 (or a core-count mismatch between CI and the committed baseline) says
 nothing about scaling, so those metrics drop to informational.
+
+When $GITHUB_STEP_SUMMARY is set (or --summary FILE is given), the same
+comparison is appended there as a markdown table for the job summary page.
 """
 import argparse
 import json
+import os
 import sys
 
 # metric name -> direction ("higher" / "lower" is better). Metrics not
@@ -53,12 +57,37 @@ def parallel_gating_reason(base: dict, cur: dict) -> str | None:
     return None
 
 
+def write_markdown_summary(path: str, rows: list, tolerance: float,
+                           failures: list) -> None:
+    """Append the comparison as a markdown table (GitHub job summary)."""
+    with open(path, "a") as f:
+        f.write("## Perf comparison vs committed baseline\n\n")
+        f.write("| status | metric | baseline | current | delta | better |\n")
+        f.write("|---|---|---:|---:|---:|---|\n")
+        for status, name, b, c, delta_pct, direction in rows:
+            icon = {"FAIL": "❌", "ok": "✅"}.get(status, "➖")
+            b_s = "-" if b is None else f"{b:g}"
+            c_s = "-" if c is None else f"{c:g}"
+            d_s = "-" if delta_pct is None else f"{delta_pct:+.1f}%"
+            f.write(f"| {icon} {status} | `{name}` | {b_s} | {c_s} | "
+                    f"{d_s} | {direction} |\n")
+        if failures:
+            f.write(f"\n**Regression beyond {tolerance:g}% tolerance in: "
+                    f"{', '.join(f'`{n}`' for n in failures)}**\n")
+        else:
+            f.write(f"\nNo regressions beyond the {tolerance:g}% "
+                    f"tolerance.\n")
+
+
 def main() -> int:
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
     ap.add_argument("current")
     ap.add_argument("--tolerance", type=float, default=20.0,
                     help="allowed regression in percent (default 20)")
+    ap.add_argument("--summary", metavar="FILE",
+                    help="also append a markdown table here "
+                    "(default: $GITHUB_STEP_SUMMARY when set)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -68,22 +97,27 @@ def main() -> int:
     tol = args.tolerance / 100.0
 
     gated = dict(GATED)
+    rows = []
     skip_reason = parallel_gating_reason(base, cur)
     if skip_reason is None:
         gated.update(PARALLEL_GATED)
     else:
         for name in PARALLEL_GATED:
             print(f"SKIP  {name}: {skip_reason}")
+            rows.append(("SKIP", name, None, None, None, skip_reason))
 
     base_m, cur_m = base["metrics"], cur["metrics"]
     failures = []
     for name, direction in gated.items():
         if name not in base_m or name not in cur_m:
             print(f"SKIP  {name}: missing from one side")
+            rows.append(("SKIP", name, None, None, None,
+                         "missing from one side"))
             continue
         b, c = float(base_m[name]), float(cur_m[name])
         if b == 0:
             print(f"SKIP  {name}: baseline is zero")
+            rows.append(("SKIP", name, b, c, None, "baseline is zero"))
             continue
         delta_pct = 100.0 * (c - b) / b
         if direction == "lower":
@@ -93,11 +127,16 @@ def main() -> int:
         status = "FAIL" if bad else "ok"
         print(f"{status:5} {name}: baseline={b:g} current={c:g} "
               f"({delta_pct:+.1f}%, {direction} is better)")
+        rows.append((status, name, b, c, delta_pct, direction))
         if bad:
             failures.append(name)
 
     for name in sorted(set(cur_m) - set(gated)):
         print(f"info  {name}: {cur_m[name]}")
+
+    summary = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        write_markdown_summary(summary, rows, args.tolerance, failures)
 
     if failures:
         print(f"\nperf regression >{args.tolerance:g}% in: "

@@ -1,0 +1,140 @@
+#!/usr/bin/env python3
+"""Diff two mron run reports (mron.run_report/1) counter-by-counter.
+
+    mron_diff.py base.json candidate.json
+    mron_diff.py base.json candidate.json --threshold 5
+    mron_diff.py default.json tuned.json --check-improves exec_secs,spilled_records
+
+Prints a per-counter delta table over `totals` (add --metrics for the full
+metric namespace). Two gate modes for CI, combinable:
+
+  --threshold PCT     exit 2 if any lower-is-better counter (exec_secs,
+                      spilled_records, failed_attempts, or --gate-keys)
+                      regressed in the candidate by more than PCT percent.
+  --check-improves K  comma-separated totals keys; exit 3 unless the
+                      candidate is strictly lower than the base on every
+                      one (the tuned-beats-default assertion).
+
+Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+SCHEMA = "mron.run_report/1"
+DEFAULT_GATE_KEYS = ("exec_secs", "spilled_records", "failed_attempts")
+
+
+def load(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != SCHEMA:
+        raise ValueError(f"{path}: schema {report.get('schema')!r}, "
+                         f"expected {SCHEMA!r}")
+    return report
+
+
+def pct(base, cand):
+    if base == 0:
+        return None if cand == 0 else float("inf")
+    return (cand - base) / abs(base) * 100.0
+
+
+def fmt_pct(p):
+    if p is None:
+        return "-"
+    if p == float("inf"):
+        return "+inf%"
+    return f"{p:+.2f}%"
+
+
+def diff_table(base, cand, title):
+    keys = sorted(base.keys() | cand.keys())
+    widths = (max((len(k) for k in keys), default=3),)
+    rows = []
+    for k in keys:
+        a, b = base.get(k), cand.get(k)
+        if a is None or b is None:
+            rows.append((k, a, b, None, "only in one report"))
+        elif a == b:
+            rows.append((k, a, b, 0.0, ""))
+        else:
+            rows.append((k, a, b, pct(a, b), ""))
+    print(f"== {title} ==")
+    name_w = max(widths[0], 7)
+    print(f"{'counter':<{name_w}}  {'base':>16}  {'candidate':>16}  "
+          f"{'delta':>9}")
+    for k, a, b, p, note in rows:
+        av = "-" if a is None else f"{a:g}"
+        bv = "-" if b is None else f"{b:g}"
+        print(f"{k:<{name_w}}  {av:>16}  {bv:>16}  {fmt_pct(p):>9}"
+              f"{'  ' + note if note else ''}")
+    print()
+    return {k: (a, b, p) for k, a, b, p, _ in rows}
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("base", help="baseline run_report.json")
+    ap.add_argument("candidate", help="candidate run_report.json")
+    ap.add_argument("--metrics", action="store_true",
+                    help="also diff the flat metrics namespace")
+    ap.add_argument("--threshold", type=float, metavar="PCT",
+                    help="fail (exit 2) if a gated lower-is-better counter "
+                    "regresses by more than PCT percent")
+    ap.add_argument("--gate-keys", default=",".join(DEFAULT_GATE_KEYS),
+                    metavar="K1,K2",
+                    help="totals keys gated by --threshold "
+                    f"(default: {','.join(DEFAULT_GATE_KEYS)})")
+    ap.add_argument("--check-improves", metavar="K1,K2",
+                    help="fail (exit 3) unless the candidate is strictly "
+                    "lower than the base on every listed totals key")
+    args = ap.parse_args(argv)
+
+    try:
+        base, cand = load(args.base), load(args.candidate)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 1
+
+    deltas = diff_table(base["totals"], cand["totals"], "totals")
+    if args.metrics:
+        diff_table(base.get("metrics", {}), cand.get("metrics", {}),
+                   "metrics")
+
+    status = 0
+    if args.threshold is not None:
+        for key in filter(None, args.gate_keys.split(",")):
+            a, b, p = deltas.get(key, (None, None, None))
+            if a is None or b is None:
+                print(f"GATE {key}: missing from a report", file=sys.stderr)
+                status = 2
+            elif p is not None and p > args.threshold:
+                print(f"GATE {key}: regressed {fmt_pct(p)} "
+                      f"(> {args.threshold:g}% allowed)", file=sys.stderr)
+                status = 2
+        if status == 0:
+            print(f"gate ok: no gated counter regressed more than "
+                  f"{args.threshold:g}%")
+
+    if args.check_improves:
+        for key in filter(None, args.check_improves.split(",")):
+            a, b, _ = deltas.get(key, (None, None, None))
+            if a is None or b is None:
+                print(f"IMPROVES {key}: missing from a report",
+                      file=sys.stderr)
+                status = 3
+            elif not b < a:
+                print(f"IMPROVES {key}: candidate {b:g} is not below "
+                      f"base {a:g}", file=sys.stderr)
+                status = 3
+            else:
+                print(f"improves {key}: {a:g} -> {b:g} "
+                      f"({fmt_pct(pct(a, b))})")
+
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

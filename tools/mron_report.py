@@ -1,0 +1,529 @@
+#!/usr/bin/env python3
+"""Validate and render an mron run report (obs/report.h, mron.run_report/1).
+
+    mron_report.py run_report.json                # write run_report.html
+    mron_report.py run_report.json -o out.html
+    mron_report.py run_report.json --check        # schema validation only
+
+--check walks the schema (key sets, types, counter-rollup consistency,
+series monotonicity) and exits non-zero with a list of violations; CI runs
+it against every exported report. Rendering produces one self-contained
+HTML file: run metadata, totals, per-node utilization timelines, the
+map/reduce wave chart, the tuner convergence curve, and the full metric
+and counter tables. Stdlib only.
+"""
+
+import argparse
+import html
+import json
+import math
+import sys
+
+SCHEMA = "mron.run_report/1"
+TOP_KEYS = {"schema", "meta", "jobs", "totals", "metrics", "series", "audit"}
+JOB_KEYS = {"id", "name", "submit_time", "finish_time", "counters", "stats",
+            "config"}
+
+
+def is_num(v):
+    return isinstance(v, (int, float)) and not isinstance(v, bool)
+
+
+def check_number_map(errors, where, m):
+    if not isinstance(m, dict):
+        errors.append(f"{where}: expected an object")
+        return
+    for k, v in m.items():
+        if not is_num(v):
+            errors.append(f"{where}.{k}: expected a number, got {v!r}")
+
+
+def validate(report):
+    """Return a list of schema violations (empty = valid)."""
+    errors = []
+    if not isinstance(report, dict):
+        return ["top level: expected an object"]
+    if report.get("schema") != SCHEMA:
+        errors.append(f"schema: expected {SCHEMA!r}, got "
+                      f"{report.get('schema')!r}")
+    missing = TOP_KEYS - report.keys()
+    extra = report.keys() - TOP_KEYS
+    if missing:
+        errors.append(f"missing top-level keys: {sorted(missing)}")
+    if extra:
+        errors.append(f"unknown top-level keys: {sorted(extra)}")
+
+    meta = report.get("meta", {})
+    if not isinstance(meta, dict) or any(
+            not isinstance(v, str) for v in meta.values()):
+        errors.append("meta: expected an object of strings")
+
+    jobs = report.get("jobs", [])
+    if not isinstance(jobs, list):
+        errors.append("jobs: expected an array")
+        jobs = []
+    rolled = {}
+    for i, job in enumerate(jobs):
+        where = f"jobs[{i}]"
+        if not isinstance(job, dict):
+            errors.append(f"{where}: expected an object")
+            continue
+        if job.keys() != JOB_KEYS:
+            errors.append(f"{where}: key set {sorted(job.keys())} != "
+                          f"{sorted(JOB_KEYS)}")
+            continue
+        if not isinstance(job["id"], int) or isinstance(job["id"], bool):
+            errors.append(f"{where}.id: expected an integer")
+        if not isinstance(job["name"], str):
+            errors.append(f"{where}.name: expected a string")
+        for k in ("submit_time", "finish_time"):
+            if not is_num(job[k]):
+                errors.append(f"{where}.{k}: expected a number")
+        if not isinstance(job["counters"], dict):
+            errors.append(f"{where}.counters: expected an object")
+        else:
+            for phase, counters in job["counters"].items():
+                check_number_map(errors, f"{where}.counters.{phase}", counters)
+                if isinstance(counters, dict):
+                    for k, v in counters.items():
+                        if is_num(v):
+                            rolled[f"{phase}.{k}"] = \
+                                rolled.get(f"{phase}.{k}", 0.0) + v
+        check_number_map(errors, f"{where}.stats", job["stats"])
+        check_number_map(errors, f"{where}.config", job["config"])
+
+    totals = report.get("totals", {})
+    check_number_map(errors, "totals", totals)
+    if isinstance(totals, dict):
+        if totals.get("jobs") != len(jobs):
+            errors.append(f"totals.jobs: {totals.get('jobs')} != "
+                          f"{len(jobs)} jobs present")
+        # The job->run rollup must be the sum of the per-job rollups.
+        for key, want in rolled.items():
+            got = totals.get(key)
+            if got is None:
+                errors.append(f"totals.{key}: missing")
+            elif not math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-6):
+                errors.append(f"totals.{key}: {got} != job sum {want}")
+
+    check_number_map(errors, "metrics", report.get("metrics", {}))
+
+    series = report.get("series", {})
+    if not isinstance(series, dict) or \
+            not isinstance(series.get("series"), list):
+        errors.append('series: expected {"series": [...]}')
+    else:
+        for i, s in enumerate(series["series"]):
+            where = f"series[{i}]"
+            if not isinstance(s, dict) or \
+                    s.keys() != {"name", "stride", "offered", "points"}:
+                errors.append(f"{where}: bad key set")
+                continue
+            if not isinstance(s["name"], str):
+                errors.append(f"{where}.name: expected a string")
+            if not isinstance(s["stride"], int) or s["stride"] < 1:
+                errors.append(f"{where}.stride: expected a positive integer")
+            if not isinstance(s["offered"], int) or s["offered"] < 0:
+                errors.append(f"{where}.offered: expected an integer >= 0")
+            pts = s["points"]
+            if not isinstance(pts, list):
+                errors.append(f"{where}.points: expected an array")
+                continue
+            if len(pts) > s["offered"]:
+                errors.append(f"{where}: {len(pts)} points from only "
+                              f"{s['offered']} offers")
+            last_t = -math.inf
+            for j, p in enumerate(pts):
+                if (not isinstance(p, list) or len(p) != 2 or
+                        not is_num(p[0]) or not is_num(p[1])):
+                    errors.append(f"{where}.points[{j}]: expected [t, v]")
+                    break
+                if p[0] < last_t:
+                    errors.append(f"{where}.points[{j}]: time went backwards")
+                    break
+                last_t = p[0]
+
+    audit = report.get("audit", {})
+    if (not isinstance(audit, dict) or audit.keys() != {"events"} or
+            not isinstance(audit.get("events"), int) or
+            audit["events"] < 0):
+        errors.append('audit: expected {"events": <non-negative integer>}')
+    return errors
+
+
+# --- HTML rendering ---------------------------------------------------------
+# Colors, chrome, and mark specs follow the dataviz reference palette; the
+# three categorical slots used here validate all-pairs in both modes. The
+# light-mode aqua slot sits below 3:1 on the surface, so every chart ships a
+# legend + direct labels and the tables below are the relief view.
+
+CSS = """
+:root { color-scheme: light dark; }
+body {
+  margin: 0; padding: 24px;
+  font-family: system-ui, -apple-system, "Segoe UI", sans-serif;
+  background: #f9f9f7; color: #0b0b0b;
+}
+.viz-root {
+  --surface-1: #fcfcfb; --text-primary: #0b0b0b; --text-secondary: #52514e;
+  --muted: #898781; --grid: #e1e0d9; --axis: #c3c2b7;
+  --border: rgba(11,11,11,0.10);
+  --series-1: #2a78d6; --series-2: #eb6834; --series-3: #1baf7a;
+}
+@media (prefers-color-scheme: dark) {
+  body { background: #0d0d0d; color: #ffffff; }
+  .viz-root {
+    --surface-1: #1a1a19; --text-primary: #ffffff;
+    --text-secondary: #c3c2b7; --muted: #898781; --grid: #2c2c2a;
+    --axis: #383835; --border: rgba(255,255,255,0.10);
+    --series-1: #3987e5; --series-2: #d95926; --series-3: #199e70;
+  }
+}
+h1 { font-size: 20px; margin: 0 0 4px; }
+h2 { font-size: 15px; margin: 28px 0 8px; }
+.sub { color: var(--muted, #898781); font-size: 13px; margin-bottom: 16px; }
+.tiles { display: flex; flex-wrap: wrap; gap: 12px; margin: 16px 0; }
+.tile {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 10px 14px; min-width: 120px;
+}
+.tile .v { font-size: 22px; }
+.tile .k { color: var(--text-secondary); font-size: 12px; margin-top: 2px; }
+.chart {
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 8px; padding: 12px; margin: 12px 0; position: relative;
+}
+.chart svg { display: block; width: 100%; height: auto; }
+.legend { display: flex; gap: 16px; font-size: 12px;
+          color: var(--text-secondary); margin: 0 0 6px 8px; }
+.legend .chip { display: inline-block; width: 10px; height: 10px;
+                border-radius: 3px; margin-right: 5px; vertical-align: -1px; }
+.axis-label { fill: var(--muted); font-size: 11px;
+              font-variant-numeric: tabular-nums; }
+.series-label { fill: var(--text-secondary); font-size: 11px; }
+.gridline { stroke: var(--grid); stroke-width: 1; }
+.baseline { stroke: var(--axis); stroke-width: 1; }
+.line { fill: none; stroke-width: 2; stroke-linejoin: round; }
+.crosshair { stroke: var(--axis); stroke-width: 1; visibility: hidden; }
+.tooltip {
+  position: absolute; pointer-events: none; visibility: hidden;
+  background: var(--surface-1); border: 1px solid var(--border);
+  border-radius: 6px; padding: 6px 9px; font-size: 12px;
+  color: var(--text-primary); box-shadow: 0 2px 8px rgba(0,0,0,0.12);
+  white-space: nowrap; z-index: 10;
+}
+.tooltip .t { color: var(--text-secondary); margin-bottom: 2px; }
+table { border-collapse: collapse; font-size: 13px;
+        background: var(--surface-1); border: 1px solid var(--border);
+        border-radius: 8px; }
+th, td { text-align: left; padding: 4px 12px;
+         border-bottom: 1px solid var(--grid); }
+td.n { text-align: right; font-variant-numeric: tabular-nums; }
+th { color: var(--text-secondary); font-weight: 600; }
+details summary { cursor: pointer; color: var(--text-secondary);
+                  font-size: 14px; margin: 20px 0 8px; }
+"""
+
+JS = """
+document.querySelectorAll('.chart[data-chart]').forEach(function (box) {
+  var data = JSON.parse(box.querySelector('script').textContent);
+  var svg = box.querySelector('svg');
+  var cross = box.querySelector('.crosshair');
+  var tip = box.querySelector('.tooltip');
+  var g = data.geom;
+  box.addEventListener('mousemove', function (ev) {
+    var pt = svg.createSVGPoint();
+    pt.x = ev.clientX; pt.y = ev.clientY;
+    var p = pt.matrixTransform(svg.getScreenCTM().inverse());
+    if (p.x < g.x0 || p.x > g.x1) { leave(); return; }
+    var t = g.tmin + (p.x - g.x0) / (g.x1 - g.x0) * (g.tmax - g.tmin);
+    var rows = ['<div class="t">t = ' + t.toFixed(1) + ' s</div>'];
+    data.series.forEach(function (s) {
+      var v = null;  // value at the greatest sample time <= t
+      for (var i = 0; i < s.points.length; i++) {
+        if (s.points[i][0] > t) break;
+        v = s.points[i][1];
+      }
+      if (v !== null) {
+        rows.push('<span class="chip" style="background:var(' + s.color +
+                  ')"></span>' + s.label + ': ' + v.toPrecision(4) + '<br>');
+      }
+    });
+    var x = g.x0 + (t - g.tmin) / (g.tmax - g.tmin || 1) * (g.x1 - g.x0);
+    cross.setAttribute('x1', x); cross.setAttribute('x2', x);
+    cross.style.visibility = 'visible';
+    tip.innerHTML = rows.join('');
+    tip.style.visibility = 'visible';
+    var bx = box.getBoundingClientRect();
+    var left = ev.clientX - bx.left + 14;
+    if (left + tip.offsetWidth > bx.width - 8)
+      left = ev.clientX - bx.left - tip.offsetWidth - 14;
+    tip.style.left = left + 'px';
+    tip.style.top = (ev.clientY - bx.top + 12) + 'px';
+  });
+  function leave() {
+    cross.style.visibility = 'hidden';
+    tip.style.visibility = 'hidden';
+  }
+  box.addEventListener('mouseleave', leave);
+});
+"""
+
+COLORS = ["--series-1", "--series-2", "--series-3"]
+
+
+def nice_ticks(lo, hi, n=5):
+    if hi <= lo:
+        hi = lo + 1.0
+    raw = (hi - lo) / n
+    mag = 10 ** math.floor(math.log10(raw))
+    step = next(s * mag for s in (1, 2, 2.5, 5, 10) if s * mag >= raw)
+    start = math.ceil(lo / step) * step
+    ticks = []
+    t = start
+    while t <= hi + step * 1e-9:
+        ticks.append(round(t, 10))
+        t += step
+    return ticks
+
+
+def fmt(v):
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e15 or 0 < abs(v) < 1e-3:
+        return f"{v:.2e}"
+    if abs(v) >= 1000 or v == int(v):
+        return f"{v:,.0f}"
+    return f"{v:.3g}"
+
+
+def line_chart(chart_id, series, y_label, y_max=None):
+    """Render one hoverable SVG line chart.
+
+    `series` is a list of (label, color_var, [(t, v), ...]); at most three
+    series per chart (the validated all-pairs palette cap).
+    """
+    series = [s for s in series if s[2]]
+    if not series:
+        return ""
+    width, height = 860, 240
+    x0, x1, y0, y1 = 52, width - 96, height - 26, 12
+    tmax = max(p[0] for _, _, pts in series for p in pts) or 1.0
+    vmax = y_max if y_max is not None else \
+        max(p[1] for _, _, pts in series for p in pts)
+    vmax = vmax * 1.05 if vmax > 0 else 1.0
+
+    def sx(t):
+        return x0 + t / tmax * (x1 - x0)
+
+    def sy(v):
+        return y0 - v / vmax * (y0 - y1)
+
+    parts = [f'<svg viewBox="0 0 {width} {height}" '
+             f'preserveAspectRatio="xMidYMid meet" role="img" '
+             f'aria-label="{html.escape(y_label)}">']
+    for v in nice_ticks(0, vmax):
+        y = sy(v)
+        parts.append(f'<line class="gridline" x1="{x0}" y1="{y:.1f}" '
+                     f'x2="{x1}" y2="{y:.1f}"/>')
+        parts.append(f'<text class="axis-label" x="{x0 - 6}" y="{y + 3:.1f}" '
+                     f'text-anchor="end">{fmt(v)}</text>')
+    for t in nice_ticks(0, tmax):
+        parts.append(f'<text class="axis-label" x="{sx(t):.1f}" '
+                     f'y="{y0 + 15}" text-anchor="middle">{fmt(t)}</text>')
+    parts.append(f'<line class="baseline" x1="{x0}" y1="{y0}" '
+                 f'x2="{x1}" y2="{y0}"/>')
+    for label, color, pts in series:
+        d = " ".join(f"{'M' if i == 0 else 'L'}{sx(t):.1f},{sy(v):.1f}"
+                     for i, (t, v) in enumerate(pts))
+        parts.append(f'<path class="line" style="stroke:var({color})" '
+                     f'd="{d}"/>')
+        lt, lv = pts[-1]
+        parts.append(f'<text class="series-label" x="{sx(lt) + 5:.1f}" '
+                     f'y="{sy(lv) + 3:.1f}">{html.escape(label)}</text>')
+    parts.append(f'<line class="crosshair" x1="0" x2="0" '
+                 f'y1="{y1}" y2="{y0}"/>')
+    parts.append("</svg>")
+
+    legend = "".join(
+        f'<span><span class="chip" style="background:var({color})"></span>'
+        f'{html.escape(label)}</span>' for label, color, _ in series)
+    payload = json.dumps({
+        "geom": {"x0": x0, "x1": x1, "tmin": 0, "tmax": tmax},
+        "series": [{"label": l, "color": c, "points": p}
+                   for l, c, p in series],
+    })
+    return (f'<div class="chart" data-chart="{chart_id}">'
+            f'<div class="legend">{legend}</div>{"".join(parts)}'
+            f'<div class="tooltip"></div>'
+            f'<script type="application/json">{payload}</script></div>')
+
+
+def series_map(report):
+    return {s["name"]: s["points"] for s in report["series"]["series"]}
+
+
+def mean_series(named, names):
+    """Pointwise mean of same-clock series (per-node utilization)."""
+    rows = [named[n] for n in names if n in named and named[n]]
+    if not rows:
+        return []
+    length = min(len(r) for r in rows)
+    return [[rows[0][i][0],
+             sum(r[i][1] for r in rows) / len(rows)] for i in range(length)]
+
+
+def utilization_chart(named):
+    nodes = sorted({n.split(".")[1] for n in named
+                    if n.startswith("cluster.node")})
+    series = []
+    for label, color, kind in (("cpu", "--series-1", "cpu_util"),
+                               ("disk", "--series-2", "disk_util"),
+                               ("network", "--series-3", "net_util")):
+        pts = mean_series(named,
+                          [f"cluster.{n}.{kind}" for n in nodes])
+        series.append((label, color, pts))
+    return line_chart("util", series, "cluster mean utilization", y_max=1.0)
+
+
+def wave_chart(named, jobs):
+    charts = []
+    for job in jobs:
+        prefix = f"job{job['id']}."
+        series = [
+            ("maps running", "--series-1",
+             named.get(prefix + "maps_running", [])),
+            ("reduces running", "--series-2",
+             named.get(prefix + "reduces_running", [])),
+        ]
+        c = line_chart(f"wave{job['id']}", series,
+                       f"{job['name']} running tasks")
+        if c:
+            charts.append(f"<h2>Waves — {html.escape(job['name'])} "
+                          f"(job {job['id']})</h2>" + c)
+    return "".join(charts)
+
+
+def convergence_chart(named):
+    charts = []
+    for name in sorted(named):
+        if not (name.startswith("tuner.job") and
+                name.endswith(".best_cost")):
+            continue
+        side = "map" if ".map." in name else "reduce"
+        jobpart = name.split(".")[1]
+        charts.append((jobpart, side, named[name]))
+    if not charts:
+        return ""
+    out = ["<h2>Tuner convergence</h2>"]
+    by_job = {}
+    for jobpart, side, pts in charts:
+        by_job.setdefault(jobpart, []).append((side, pts))
+    for jobpart, sides in sorted(by_job.items()):
+        series = [(side, COLORS[i % len(COLORS)], pts)
+                  for i, (side, pts) in enumerate(sides)]
+        out.append(line_chart(f"conv{jobpart}", series,
+                              f"{jobpart} best predicted cost"))
+    return "".join(out)
+
+
+def number_table(m, headers):
+    rows = "".join(f"<tr><td>{html.escape(k)}</td>"
+                   f'<td class="n">{fmt(v)}</td></tr>'
+                   for k, v in sorted(m.items()))
+    head = "".join(f"<th>{h}</th>" for h in headers)
+    return f"<table><tr>{head}</tr>{rows}</table>"
+
+
+def render(report):
+    meta = report["meta"]
+    named = series_map(report)
+    totals = report["totals"]
+    title = " · ".join(filter(None, [meta.get("app") or meta.get("benchmark"),
+                                     meta.get("strategy"),
+                                     f"seed {meta.get('seed', '?')}"]))
+    tiles = []
+    for key, label in (("exec_secs", "exec (s)"), ("jobs", "jobs"),
+                       ("spilled_records", "spilled records"),
+                       ("map.map_output_records", "map output records"),
+                       ("failed_attempts", "failed attempts")):
+        if key in totals:
+            tiles.append(f'<div class="tile"><div class="v">'
+                         f'{fmt(totals[key])}</div>'
+                         f'<div class="k">{label}</div></div>')
+    meta_line = " · ".join(f"{html.escape(k)}={html.escape(v)}"
+                           for k, v in meta.items())
+
+    body = [
+        f"<h1>mron run report — {html.escape(title)}</h1>",
+        f'<div class="sub">{meta_line} · audit events: '
+        f'{report["audit"]["events"]}</div>',
+        f'<div class="tiles">{"".join(tiles)}</div>',
+        "<h2>Cluster utilization (mean across nodes)</h2>",
+        utilization_chart(named),
+        wave_chart(named, report["jobs"]),
+        convergence_chart(named),
+        "<details open><summary>Run totals</summary>",
+        number_table(totals, ("counter", "value")), "</details>",
+    ]
+    for job in report["jobs"]:
+        flat = {f"{phase}.{k}": v
+                for phase, counters in job["counters"].items()
+                for k, v in counters.items()}
+        flat.update(job["stats"])
+        body.append(f'<details><summary>Job {job["id"]} — '
+                    f'{html.escape(job["name"])} counters</summary>')
+        body.append(number_table(flat, ("counter", "value")))
+        body.append("</details>")
+        body.append(f'<details><summary>Job {job["id"]} configuration'
+                    f"</summary>")
+        body.append(number_table(job["config"], ("parameter", "value")))
+        body.append("</details>")
+    if report["metrics"]:
+        body.append("<details><summary>All metrics</summary>")
+        body.append(number_table(report["metrics"], ("metric", "value")))
+        body.append("</details>")
+
+    return ("<!DOCTYPE html><html><head><meta charset='utf-8'>"
+            f"<title>mron run report</title><style>{CSS}</style></head>"
+            f"<body><div class='viz-root'>{''.join(body)}</div>"
+            f"<script>{JS}</script></body></html>")
+
+
+def main(argv):
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("report", help="run_report.json to read")
+    ap.add_argument("-o", "--out", help="HTML output path "
+                    "(default: report path with .html)")
+    ap.add_argument("--check", action="store_true",
+                    help="validate the schema and exit (no HTML)")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.report) as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: {args.report}: {e}", file=sys.stderr)
+        return 1
+
+    errors = validate(report)
+    if errors:
+        for e in errors:
+            print(f"schema violation: {e}", file=sys.stderr)
+        return 1
+    if args.check:
+        n = len(report["series"]["series"])
+        print(f"{args.report}: valid {SCHEMA} "
+              f"({len(report['jobs'])} jobs, {n} series, "
+              f"{len(report['metrics'])} metrics)")
+        return 0
+
+    out = args.out or (args.report.rsplit(".", 1)[0] + ".html")
+    with open(out, "w") as f:
+        f.write(render(report))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
