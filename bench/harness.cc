@@ -28,6 +28,7 @@ using workloads::Corpus;
 namespace {
 
 ObsOutputs g_obs;
+faults::FaultPlan g_fault_plan;
 int g_jobs = 1;
 // Serializes artifact export when runs finish on several workers at once;
 // the files still describe one whole run (the last to finish).
@@ -37,8 +38,10 @@ std::mutex g_obs_mu;
 // report is the same run at any --jobs value.
 obs::ReportCollector g_reports;
 
-/// Turn observation on for a simulation when any export path is configured.
+/// Turn observation on for a simulation when any export path is configured,
+/// and thread the harness-wide fault plan through.
 void apply_obs(SimulationOptions& opt) {
+  opt.fault_plan = g_fault_plan;
   if (!g_obs.any()) return;
   opt.observe = true;
   opt.trace_detail = g_obs.trace_detail;
@@ -147,6 +150,12 @@ void set_obs_outputs(ObsOutputs outputs) { g_obs = std::move(outputs); }
 
 const ObsOutputs& obs_outputs() { return g_obs; }
 
+void set_fault_plan(faults::FaultPlan plan) {
+  g_fault_plan = std::move(plan);
+}
+
+const faults::FaultPlan& fault_plan() { return g_fault_plan; }
+
 void set_jobs(int jobs) { g_jobs = jobs > 0 ? jobs : 1; }
 
 int jobs() { return g_jobs; }
@@ -193,11 +202,16 @@ void init_obs_from_flags(int argc, char** argv) {
       set_jobs(n);
     } else if (!(v = value_of("--audit-out", i)).empty()) {
       out.audit_out = v;
+    } else if (!(v = value_of("--fault-plan", i)).empty()) {
+      set_fault_plan(faults::FaultPlan::load(v));
+    } else if (!(v = value_of("--fault-spec", i)).empty()) {
+      set_fault_plan(faults::FaultPlan::parse(v));
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--jobs=N] [--metrics-out=F] "
                    "[--trace-out=F] [--audit-out=F] [--report-out=F] "
-                   "[--trace-detail] [--no-eval-cache]\n",
+                   "[--trace-detail] [--no-eval-cache] [--fault-plan=F] "
+                   "[--fault-spec='directives']\n",
                    argv[i], argv[0]);
       std::exit(2);
     }

@@ -13,6 +13,7 @@
 
 #include "baselines/offline_guide.h"
 #include "common/table.h"
+#include "faults/fault_plan.h"
 #include "mapreduce/simulation.h"
 #include "sim/parallel_runner.h"
 #include "tuner/online_tuner.h"
@@ -41,6 +42,12 @@ struct ObsOutputs {
 void set_obs_outputs(ObsOutputs outputs);
 [[nodiscard]] const ObsOutputs& obs_outputs();
 
+/// Fault plan applied to every simulation the harness builds (benchmarks
+/// under failures, FAULTS.md). Empty (the default) keeps the cluster
+/// reliable. Set from --fault-plan=FILE / --fault-spec="directives".
+void set_fault_plan(faults::FaultPlan plan);
+[[nodiscard]] const faults::FaultPlan& fault_plan();
+
 /// Worker-thread count for the experiment fan-out (repeat seeds, per-app
 /// figure rows, sweep points). 1 = fully serial on the calling thread.
 void set_jobs(int jobs);
@@ -51,9 +58,9 @@ void set_jobs(int jobs);
 [[nodiscard]] sim::ParallelRunner& runner();
 
 /// Parse the shared bench flags (--jobs=N --metrics-out=F --trace-out=F
-/// --audit-out=F --trace-detail) and install them via set_obs_outputs() /
-/// set_jobs(). Every bench main calls this first. Unknown flags print usage
-/// and exit(2).
+/// --audit-out=F --trace-detail --fault-plan=F --fault-spec=S) and install
+/// them via set_obs_outputs() / set_jobs() / set_fault_plan(). Every bench
+/// main calls this first. Unknown flags print usage and exit(2).
 void init_obs_from_flags(int argc, char** argv);
 
 struct RunStats {

@@ -34,6 +34,7 @@
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/log.h"
+#include "faults/fault_plan.h"
 #include "mapreduce/report_rollup.h"
 #include "mapreduce/simulation.h"
 #include "obs/report.h"
@@ -57,6 +58,12 @@ struct ObsConfig {
   }
 };
 ObsConfig g_obs;
+// --fault-plan / --fault-spec: applied to every simulation of the
+// invocation (test run and production runs alike). Empty = reliable
+// cluster.
+faults::FaultPlan g_fault_plan;
+// --speculative: LATE-style speculative execution on every job.
+bool g_speculative = false;
 // Runs may finish on several pool workers at once; exports stay whole-file.
 std::mutex g_obs_mu;
 // --report-out destination; keeps the greatest-keyed run, so the exported
@@ -64,6 +71,7 @@ std::mutex g_obs_mu;
 obs::ReportCollector g_reports;
 
 void apply_obs(mapreduce::SimulationOptions& opt) {
+  opt.fault_plan = g_fault_plan;
   if (!g_obs.any()) return;
   opt.observe = true;
   opt.trace_detail = g_obs.trace_detail;
@@ -114,10 +122,12 @@ AppChoice parse_app(const std::string& app, const std::string& corpus) {
 
 mapreduce::JobSpec make_spec(mapreduce::Simulation& sim, const AppChoice& app,
                              double size_gb) {
-  if (app.benchmark == workloads::Benchmark::Terasort && size_gb > 0) {
-    return workloads::make_terasort(sim, gibibytes(size_gb));
-  }
-  return workloads::make_job(sim, app.benchmark, app.corpus);
+  mapreduce::JobSpec spec =
+      app.benchmark == workloads::Benchmark::Terasort && size_gb > 0
+          ? workloads::make_terasort(sim, gibibytes(size_gb))
+          : workloads::make_job(sim, app.benchmark, app.corpus);
+  spec.speculative_execution = g_speculative;
+  return spec;
 }
 
 void print_result(const char* label, const mapreduce::JobResult& r) {
@@ -202,7 +212,9 @@ int run_cli(int argc, char** argv) {
                 " [--show-config]"
                 " [--log-level=trace|debug|info|warn|error]"
                 " [--metrics-out[=F]] [--trace-out[=F]] [--audit-out[=F]]"
-                " [--report-out[=F]] [--trace-detail] [--no-eval-cache]\n");
+                " [--report-out[=F]] [--trace-detail] [--no-eval-cache]"
+                " [--fault-plan=F] [--fault-spec='directives']"
+                " [--speculative]\n");
     return 0;
   }
   if (flags.get("list", false)) {
@@ -260,6 +272,19 @@ int run_cli(int argc, char** argv) {
   if (flags.get("no-eval-cache", false)) {
     tuner::set_eval_cache_enabled(false);
   }
+  const std::string fault_plan_path =
+      flags.get("fault-plan", std::string(""));
+  const std::string fault_spec = flags.get("fault-spec", std::string(""));
+  if (!fault_plan_path.empty() && !fault_spec.empty()) {
+    std::fprintf(stderr, "--fault-plan and --fault-spec are exclusive\n");
+    return 2;
+  }
+  if (!fault_plan_path.empty()) {
+    g_fault_plan = faults::FaultPlan::load(fault_plan_path);
+  } else if (!fault_spec.empty()) {
+    g_fault_plan = faults::FaultPlan::parse(fault_spec);
+  }
+  g_speculative = flags.get("speculative", false);
   for (const auto& u : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", u.c_str());
   }

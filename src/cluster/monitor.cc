@@ -24,7 +24,7 @@ void ClusterMonitor::start() {
                          nodes_[i]->disk().busy_integral(),
                          nodes_[i]->nic_in().busy_integral(), engine_.now()};
   }
-  pending_ = engine_.schedule_after(period_, [this] { sample(); });
+  pending_ = engine_.schedule_daemon_after(period_, [this] { sample(); });
 }
 
 void ClusterMonitor::stop() {
@@ -93,11 +93,13 @@ void ClusterMonitor::sample() {
     rec->flush();  // pull-model publishers (SharedServer gauges)
     reg.sample(now);
   }
-  // Re-arm only while the simulation has other live events: a quiescent
+  // Re-arm only while the simulation has real work pending: a quiescent
   // engine means every job finished, and a self-perpetuating sampler would
-  // keep Engine::run() from ever draining.
-  if (running_ && !engine_.empty()) {
-    pending_ = engine_.schedule_after(period_, [this] { sample(); });
+  // keep Engine::run() from ever draining. Daemon scheduling keeps this
+  // ticker and the other periodic services (heartbeat watchdog,
+  // speculation scan) from counting each other as work.
+  if (running_ && !engine_.quiescent()) {
+    pending_ = engine_.schedule_daemon_after(period_, [this] { sample(); });
   }
 }
 

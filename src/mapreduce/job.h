@@ -45,6 +45,10 @@ struct JobSpec {
   /// Multiplicative noise CV applied to task service demands.
   double noise_cv = 0.08;
   int max_task_attempts = 4;
+  /// Base delay before re-running a failed (injected-fault) attempt; the
+  /// actual delay doubles per prior attempt (exponential backoff, capped at
+  /// 60 s), matching Hadoop's task-retry pacing.
+  double retry_backoff_secs = 2.0;
   /// Speculative execution (mapreduce.map.speculative): once half the maps
   /// finished and none remain queued, a running map slower than
   /// `speculative_slowdown` x the mean completed duration gets a backup
@@ -72,6 +76,13 @@ struct TaskReport {
   double mem_commit = 0.0;
   TaskCounters counters;
   bool failed_oom = false;
+  /// The attempt was killed by an injected fault (FaultPlan task_fail_prob
+  /// or its node dying). Such reports carry no useful cost signal.
+  bool failed_injected = false;
+  /// The attempt ran (even partly) on a node that was degraded or crashed
+  /// during its lifetime — its duration is hardware-noise, not a config
+  /// signal, and the tuner may discard it (TunerOptions::discard_faulted).
+  bool faulted = false;
 
   [[nodiscard]] double duration() const { return end_time - start_time; }
 };
@@ -84,6 +95,10 @@ struct JobResult {
   JobCounters counters;
   int speculative_launches = 0;
   int speculative_wins = 0;
+  // Failure-recovery tallies (fault injection).
+  int injected_failures = 0;      ///< attempts killed by the fault injector
+  int fetch_failures = 0;         ///< shuffle fetches failed over by the AM
+  int lost_maps_reexecuted = 0;   ///< completed maps re-run after node loss
   std::vector<TaskReport> map_reports;
   std::vector<TaskReport> reduce_reports;
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "faults/injector.h"
 #include "obs/recorder.h"
 
 namespace mron::mapreduce {
@@ -221,10 +222,11 @@ bool MrAppMaster::consume_budget(TaskKind kind) {
 }
 
 void MrAppMaster::begin_task_span(obs::SpanId& slot, const char* name,
-                                  const yarn::Container& c) {
+                                  const yarn::Container& c, int attempt) {
   if (auto* rec = engine_.recorder()) {
     const int pid = static_cast<int>(c.node.value());
-    slot = rec->trace().begin(name, "task", pid, c.id.value(), engine_.now());
+    slot = rec->trace().begin(name, "task", pid, c.id.value(), engine_.now(),
+                              "attempt", attempt);
   }
 }
 
@@ -310,11 +312,19 @@ void MrAppMaster::request_reduce(int index) {
 void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
   --outstanding_requests_;
   auto& m = maps_[static_cast<std::size_t>(index)];
+  if (!rm_.container_live(c.id)) {
+    // The grant was dispatched just before its node died; ask again.
+    if (auto* rec = engine_.recorder()) {
+      rec->metrics().counter("yarn.stale_grants").add(1.0);
+    }
+    if (!m.done) request_map(index);
+    return;
+  }
   m.container = c;
   m.running = true;
   m.run_started = engine_.now();
   ++m.attempts;
-  begin_task_span(m.span, "map_attempt", c);
+  begin_task_span(m.span, "map_attempt", c, m.attempts);
 
   MapTask::Inputs inputs;
   inputs.task = TaskRef{TaskKind::Map, index};
@@ -344,16 +354,26 @@ void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
                 static_cast<std::uint64_t>(m.attempts) * 131071),
       [this, index](const TaskReport& r) { on_map_done(index, r); });
   m.run->start();
+  arm_injected_failure(TaskKind::Map, index, m.attempts);
   schedule_pump();
 }
 
 void MrAppMaster::on_reduce_container(int index, const yarn::Container& c) {
   --outstanding_requests_;
   auto& r = reduces_[static_cast<std::size_t>(index)];
+  if (!rm_.container_live(c.id)) {
+    --running_reduces_or_requested_;
+    if (auto* rec = engine_.recorder()) {
+      rec->metrics().counter("yarn.stale_grants").add(1.0);
+    }
+    if (!r.done) request_reduce(index);
+    return;
+  }
   r.container = c;
   r.running = true;
+  r.run_started = engine_.now();
   ++r.attempts;
-  begin_task_span(r.span, "reduce_attempt", c);
+  begin_task_span(r.span, "reduce_attempt", c, r.attempts);
 
   ReduceTask::Inputs inputs;
   inputs.task = TaskRef{TaskKind::Reduce, index};
@@ -373,12 +393,21 @@ void MrAppMaster::on_reduce_container(int index, const yarn::Container& c) {
       rng_.fork(1000003 + static_cast<std::uint64_t>(index) * 4 +
                 static_cast<std::uint64_t>(r.attempts)),
       [this, index](const TaskReport& rep) { on_reduce_done(index, rep); });
+  // Shuffle sources are never trusted directly: every fetch goes through
+  // the AM's availability query, and abandoned fetches come back here.
+  r.run->set_output_query([this](int mi, cluster::NodeId src) {
+    return map_output_available(mi, src);
+  });
+  r.run->set_fetch_failure([this, index](int mi, cluster::NodeId src) {
+    on_shuffle_fetch_failure(index, mi, src);
+  });
   // Feed map outputs that completed before this reducer existed.
   for (const auto& [mi, src, bytes] : r.stashed) {
     r.run->add_map_output(mi, src, bytes);
   }
   r.stashed.clear();
   r.run->start();
+  arm_injected_failure(TaskKind::Reduce, index, r.attempts);
   schedule_pump();
 }
 
@@ -391,21 +420,30 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
     end_task_span(m.spec_span);
   } else {
     m.running = false;
+    disarm_fault_kill(m.fault_kill, m.fault_kill_pending);
     rm_.release_container(m.container);
     end_task_span(m.span);
   }
-  if (report.failed_oom) {
+  // Stamp the report with the fault record of the node it ran on: a
+  // duration measured on degraded/crashed hardware is noise, not signal.
+  TaskReport rep = report;
+  if (injector_ != nullptr) {
+    rep.faulted = injector_->node_faulted_during(
+        static_cast<int>(rep.node.value()), rep.start_time, rep.end_time);
+  }
+  if (rep.failed_oom) {
     if (auto* rec = engine_.recorder()) {
       rec->metrics().counter("mr.task.oom_kills").add(1.0);
+      rec->metrics().counter("mr.map.failed_attempts.oom").add(1.0);
     }
   }
   // A late duplicate (e.g. an OOM-retried original finishing after the
   // speculative copy already won) only needs its container back.
   if (m.done) return;
-  result_.map_reports.push_back(report);
-  if (task_listener_) task_listener_(report);
+  result_.map_reports.push_back(rep);
+  if (task_listener_) task_listener_(rep);
 
-  if (report.failed_oom && speculative) {
+  if (rep.failed_oom && speculative) {
     // A dead backup is simply dropped; the original keeps running.
     ++result_.counters.failed_task_attempts;
     --active_speculations_;
@@ -413,7 +451,7 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
     return;
   }
 
-  if (report.failed_oom) {
+  if (rep.failed_oom) {
     ++result_.counters.failed_task_attempts;
     MRON_CHECK_MSG(m.attempts < spec_.max_task_attempts,
                    "map " << index << " exceeded max attempts");
@@ -423,7 +461,7 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
     JobConfig retry = spec_.config;
     retry.map_memory_mb = std::min(
         3072.0, std::max(retry.map_memory_mb,
-                         report.config.map_memory_mb * 1.5));
+                         rep.config.map_memory_mb * 1.5));
     clamp_constraints(retry);
     m.override_config = retry;
     // Retries are re-executions, not new launches: they bypass the wave
@@ -436,11 +474,11 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
   m.done = true;
   m.combined_output = speculative ? m.spec_run->combined_output_bytes()
                                   : m.run->combined_output_bytes();
-  m.ran_on = report.node;
-  result_.counters.map += report.counters;
-  if (map_secs_hist_ != nullptr) map_secs_hist_->observe(report.duration());
+  m.ran_on = rep.node;
+  result_.counters.map += rep.counters;
+  if (map_secs_hist_ != nullptr) map_secs_hist_->observe(rep.duration());
   ++completed_maps_;
-  map_duration_sum_ += report.duration();
+  map_duration_sum_ += rep.duration();
   ++map_duration_count_;
   if (speculative) {
     ++result_.speculative_wins;
@@ -449,7 +487,10 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
   }
   settle_speculation(index, speculative);
   deliver_map_output(index);
-  if (spec_.speculative_execution) check_stragglers();
+  if (spec_.speculative_execution) {
+    check_stragglers();
+    schedule_speculation_scan();
+  }
   schedule_pump();
   maybe_finish();
 }
@@ -461,6 +502,7 @@ void MrAppMaster::settle_speculation(int index, bool speculative_won) {
     if (m.running && m.run != nullptr) {
       m.run->abort();
       m.running = false;
+      disarm_fault_kill(m.fault_kill, m.fault_kill_pending);
       rm_.release_container(m.container);
       end_task_span(m.span);
     }
@@ -498,12 +540,38 @@ void MrAppMaster::check_stragglers() {
     const JobConfig cfg = config_for(TaskRef{TaskKind::Map, i});
     yarn::Resource res{mebibytes(cfg.map_memory_mb),
                        static_cast<int>(cfg.map_cpu_vcores)};
+    // LATE: never prefer the original's own node for the backup — a
+    // straggler usually straggles because its host is slow (hot disk,
+    // degraded NIC), and a backup beside it inherits the very slowness it
+    // hedges against.
+    std::vector<cluster::NodeId> preferred;
+    for (auto replica : m.replicas) {
+      if (replica != m.container.node) preferred.push_back(replica);
+    }
     m.spec_request = rm_.request_container(
-        app_, res, m.replicas,
+        app_, res, std::move(preferred),
         [this, i](const yarn::Container& c) {
           on_speculative_container(i, c);
         });
   }
+}
+
+void MrAppMaster::schedule_speculation_scan() {
+  if (spec_scan_scheduled_ || finished_ || completed_maps_ >= num_maps_) {
+    return;
+  }
+  spec_scan_scheduled_ = true;
+  engine_.schedule_daemon_after(1.0, [this] {
+    spec_scan_scheduled_ = false;
+    if (finished_ || completed_maps_ >= num_maps_) return;
+    check_stragglers();
+    // Re-arm only while the engine holds real work: a straggler that is
+    // actually running keeps a completion event live, so this never stops
+    // early — but it must not keep a stuck job spinning forever either
+    // (daemon scheduling keeps the scan, the heartbeat watchdog, and the
+    // cluster monitor from counting each other as work).
+    if (!engine_.quiescent()) schedule_speculation_scan();
+  });
 }
 
 void MrAppMaster::on_speculative_container(int index,
@@ -516,9 +584,19 @@ void MrAppMaster::on_speculative_container(int index,
     m.spec_requested = false;
     return;
   }
+  if (!rm_.container_live(c.id)) {
+    // The grant raced its node's death; just drop this speculation (the
+    // next scan may re-issue it).
+    if (auto* rec = engine_.recorder()) {
+      rec->metrics().counter("yarn.stale_grants").add(1.0);
+    }
+    --active_speculations_;
+    m.spec_requested = false;
+    return;
+  }
   m.spec_container = c;
   m.spec_running = true;
-  begin_task_span(m.spec_span, "map_attempt", c);
+  begin_task_span(m.spec_span, "map_attempt", c, m.attempts + 1);
 
   MapTask::Inputs inputs;
   inputs.task = TaskRef{TaskKind::Map, index};
@@ -567,15 +645,22 @@ void MrAppMaster::deliver_map_output(int map_index) {
 void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
   auto& r = reduces_[static_cast<std::size_t>(index)];
   r.running = false;
+  disarm_fault_kill(r.fault_kill, r.fault_kill_pending);
   --running_reduces_or_requested_;
   rm_.release_container(r.container);
   end_task_span(r.span);
-  result_.reduce_reports.push_back(report);
-  if (task_listener_) task_listener_(report);
+  TaskReport rep = report;
+  if (injector_ != nullptr) {
+    rep.faulted = injector_->node_faulted_during(
+        static_cast<int>(rep.node.value()), rep.start_time, rep.end_time);
+  }
+  result_.reduce_reports.push_back(rep);
+  if (task_listener_) task_listener_(rep);
 
-  if (report.failed_oom) {
+  if (rep.failed_oom) {
     if (auto* rec = engine_.recorder()) {
       rec->metrics().counter("mr.task.oom_kills").add(1.0);
+      rec->metrics().counter("mr.reduce.failed_attempts.oom").add(1.0);
     }
     ++result_.counters.failed_task_attempts;
     MRON_CHECK_MSG(r.attempts < spec_.max_task_attempts,
@@ -583,7 +668,7 @@ void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
     JobConfig retry = spec_.config;
     retry.reduce_memory_mb = std::min(
         3072.0, std::max(retry.reduce_memory_mb,
-                         report.config.reduce_memory_mb * 1.5));
+                         rep.config.reduce_memory_mb * 1.5));
     clamp_constraints(retry);
     r.override_config = retry;
     r.run.reset();
@@ -605,9 +690,9 @@ void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
   }
 
   r.done = true;
-  result_.counters.reduce += report.counters;
+  result_.counters.reduce += rep.counters;
   if (reduce_secs_hist_ != nullptr) {
-    reduce_secs_hist_->observe(report.duration());
+    reduce_secs_hist_->observe(rep.duration());
   }
   ++completed_reduces_;
   schedule_pump();
@@ -643,6 +728,7 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
     if (m.running && m.container.node == node) {
       m.run->abort();
       m.running = false;
+      disarm_fault_kill(m.fault_kill, m.fault_kill_pending);
       rm_.release_container(m.container);
       end_task_span(m.span);
       request_map(i);
@@ -661,6 +747,7 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
     if (r.running && r.container.node == node) {
       r.run->abort();
       r.running = false;
+      disarm_fault_kill(r.fault_kill, r.fault_kill_pending);
       --running_reduces_or_requested_;
       rm_.release_container(r.container);
       end_task_span(r.span);
@@ -676,6 +763,10 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
         }
       }
       request_reduce(i);
+    } else if (r.running && r.run != nullptr) {
+      // Survivors must forget segments sourced from the dead node so the
+      // re-executed maps' re-deliveries are accepted.
+      r.run->invalidate_source(node);
     }
   }
   // 2. Completed maps whose outputs lived on the node must re-execute —
@@ -683,21 +774,198 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
   //    keep it; the re-delivered duplicate is deduped by map index).
   for (int i = 0; i < num_maps_; ++i) {
     auto& m = maps_[static_cast<std::size_t>(i)];
-    if (m.done && m.ran_on == node) {
-      m.done = false;
-      m.combined_output = Bytes(0);
-      --completed_maps_;
-      // Drop stale stash entries pointing at the dead node; the fresh
-      // completion will re-stash.
-      for (auto& r : reduces_) {
-        std::erase_if(r.stashed, [i](const auto& entry) {
-          return std::get<0>(entry) == i;
-        });
-      }
-      request_map(i);
-    }
+    if (m.done && m.ran_on == node) reexecute_lost_map(i);
   }
   schedule_pump();
+}
+
+void MrAppMaster::reexecute_lost_map(int map_index) {
+  auto& m = maps_[static_cast<std::size_t>(map_index)];
+  m.done = false;
+  m.combined_output = Bytes(0);
+  --completed_maps_;
+  ++result_.lost_maps_reexecuted;
+  if (injector_ != nullptr) {
+    injector_->record_lost_map_reexecution(
+        id_.value(), map_index, static_cast<int>(m.ran_on.value()));
+  }
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("mr.map.lost_output_reexecutions").add(1.0);
+  }
+  // Drop stale stash entries pointing at the lost copy; the fresh
+  // completion will re-stash.
+  for (auto& r : reduces_) {
+    std::erase_if(r.stashed, [map_index](const auto& entry) {
+      return std::get<0>(entry) == map_index;
+    });
+  }
+  request_map(map_index);
+}
+
+bool MrAppMaster::map_output_available(int map_index,
+                                       cluster::NodeId source) const {
+  const auto& m = maps_[static_cast<std::size_t>(map_index)];
+  return m.done && m.ran_on == source && rm_.node_alive(source);
+}
+
+void MrAppMaster::on_shuffle_fetch_failure(int reduce_index, int map_index,
+                                           cluster::NodeId source) {
+  if (finished_) return;
+  ++result_.fetch_failures;
+  if (injector_ != nullptr) {
+    injector_->record_fetch_failure(id_.value(), reduce_index,
+                                    static_cast<int>(source.value()));
+  }
+  auto& m = maps_[static_cast<std::size_t>(map_index)];
+  if (!m.done) {
+    // Re-execution is already under way (node-failure or fault retry); the
+    // fresh completion will re-deliver to every reducer.
+    return;
+  }
+  if (rm_.node_alive(m.ran_on) && m.ran_on != source) {
+    // The map already re-ran elsewhere; only this reducer missed the news.
+    auto& r = reduces_[static_cast<std::size_t>(reduce_index)];
+    if (r.running && r.run != nullptr) {
+      r.run->add_map_output(
+          map_index, m.ran_on,
+          m.combined_output *
+              partition_weights_[static_cast<std::size_t>(reduce_index)]);
+    }
+    return;
+  }
+  // The reducer's fetch noticed the loss before the RM's failure
+  // notification landed: invalidate the only copy and re-run the map.
+  reexecute_lost_map(map_index);
+  schedule_pump();
+}
+
+void MrAppMaster::arm_injected_failure(TaskKind kind, int index, int attempt) {
+  if (injector_ == nullptr || !injector_->active()) return;
+  // The final allowed attempt always runs clean: the simulator has no
+  // job-failure path (MRONLINE tunes running jobs), so injection must not
+  // exhaust max_task_attempts.
+  if (attempt >= spec_.max_task_attempts) return;
+  double frac = 0.0;
+  if (!injector_->should_fail_attempt(
+          id_.value(), kind == TaskKind::Map ? 0 : 1, index, attempt, &frac)) {
+    return;
+  }
+  // A rough profile-based runtime estimate is plenty here: it shapes only
+  // *when* the fault strikes, never whether.
+  double est = spec_.profile.task_startup_secs;
+  if (kind == TaskKind::Map) {
+    est += maps_[static_cast<std::size_t>(index)].input.mib() *
+           spec_.profile.map_cpu_secs_per_mib;
+  } else if (map_duration_count_ > 0) {
+    est += 2.0 * map_duration_sum_ / static_cast<double>(map_duration_count_);
+  } else {
+    est += 10.0;
+  }
+  const double delay = std::max(0.1, frac * est);
+  if (kind == TaskKind::Map) {
+    auto& m = maps_[static_cast<std::size_t>(index)];
+    m.fault_kill_pending = true;
+    m.fault_kill = engine_.schedule_after(
+        delay, [this, index, attempt] { fail_map_attempt(index, attempt); });
+  } else {
+    auto& r = reduces_[static_cast<std::size_t>(index)];
+    r.fault_kill_pending = true;
+    r.fault_kill = engine_.schedule_after(
+        delay, [this, index, attempt] { fail_reduce_attempt(index, attempt); });
+  }
+}
+
+void MrAppMaster::fail_map_attempt(int index, int attempt) {
+  auto& m = maps_[static_cast<std::size_t>(index)];
+  m.fault_kill_pending = false;
+  if (finished_ || m.done || !m.running || m.attempts != attempt) return;
+  m.run->abort();
+  m.running = false;
+  rm_.release_container(m.container);
+  end_task_span(m.span);
+
+  TaskReport rep;
+  rep.task = TaskRef{TaskKind::Map, index};
+  rep.attempt = attempt;
+  rep.start_time = m.run_started;
+  rep.end_time = engine_.now();
+  rep.config = config_for(rep.task);
+  rep.node = m.container.node;
+  rep.failed_injected = true;
+  rep.faulted = true;
+  result_.map_reports.push_back(rep);
+  if (task_listener_) task_listener_(rep);
+  ++result_.counters.failed_task_attempts;
+  ++result_.injected_failures;
+  injector_->record_injected_failure(id_.value(), 0, index, attempt);
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("mr.map.failed_attempts.injected").add(1.0);
+  }
+  // Exponential backoff, then re-request — bypassing the wave budget, like
+  // OOM retries. A speculative attempt may win during the backoff.
+  engine_.schedule_after(retry_backoff(attempt), [this, index] {
+    auto& m2 = maps_[static_cast<std::size_t>(index)];
+    if (finished_ || m2.done || m2.running) return;
+    request_map(index);
+  });
+}
+
+void MrAppMaster::fail_reduce_attempt(int index, int attempt) {
+  auto& r = reduces_[static_cast<std::size_t>(index)];
+  r.fault_kill_pending = false;
+  if (finished_ || r.done || !r.running || r.attempts != attempt) return;
+  r.run->abort();
+  r.running = false;
+  --running_reduces_or_requested_;
+  rm_.release_container(r.container);
+  end_task_span(r.span);
+  dead_reduce_runs_.push_back(std::move(r.run));
+
+  TaskReport rep;
+  rep.task = TaskRef{TaskKind::Reduce, index};
+  rep.attempt = attempt;
+  rep.start_time = r.run_started;
+  rep.end_time = engine_.now();
+  rep.config = config_for(rep.task);
+  rep.node = r.container.node;
+  rep.failed_injected = true;
+  rep.faulted = true;
+  result_.reduce_reports.push_back(rep);
+  if (task_listener_) task_listener_(rep);
+  ++result_.counters.failed_task_attempts;
+  ++result_.injected_failures;
+  injector_->record_injected_failure(id_.value(), 1, index, attempt);
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("mr.reduce.failed_attempts.injected").add(1.0);
+  }
+  // The stash is rebuilt at retry time — the set of completed maps may
+  // change during the backoff.
+  engine_.schedule_after(retry_backoff(attempt), [this, index] {
+    auto& r2 = reduces_[static_cast<std::size_t>(index)];
+    if (finished_ || r2.done || r2.running) return;
+    r2.stashed.clear();
+    for (int mi = 0; mi < num_maps_; ++mi) {
+      const auto& m = maps_[static_cast<std::size_t>(mi)];
+      if (m.done) {
+        r2.stashed.emplace_back(
+            mi, m.ran_on,
+            m.combined_output *
+                partition_weights_[static_cast<std::size_t>(index)]);
+      }
+    }
+    request_reduce(index);
+  });
+}
+
+double MrAppMaster::retry_backoff(int attempts) const {
+  const double base = std::max(0.1, spec_.retry_backoff_secs);
+  return std::min(60.0, base * std::pow(2.0, std::max(0, attempts - 1)));
+}
+
+void MrAppMaster::disarm_fault_kill(sim::EventId& ev, bool& pending) {
+  if (!pending) return;
+  engine_.cancel(ev);
+  pending = false;
 }
 
 void MrAppMaster::maybe_finish() {

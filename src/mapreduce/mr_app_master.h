@@ -36,6 +36,10 @@
 #include "sim/engine.h"
 #include "yarn/resource_manager.h"
 
+namespace mron::faults {
+class FaultInjector;
+}  // namespace mron::faults
+
 namespace mron::obs {
 class Histogram;
 }  // namespace mron::obs
@@ -95,6 +99,20 @@ class MrAppMaster {
     task_listener_ = std::move(listener);
   }
 
+  /// Attach the simulation's fault injector (nullptr = reliable cluster).
+  /// Must be called before submit(); enables injected attempt failures
+  /// with exponential-backoff retries and fault-stamped task reports.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// AM-mediated shuffle availability — the single choke point reducers
+  /// consult instead of assuming map hosts stay reachable: true while map
+  /// `map_index`'s output exists at `source` (the map completed there and
+  /// the node is alive).
+  [[nodiscard]] bool map_output_available(int map_index,
+                                          cluster::NodeId source) const;
+
   /// The engine this job runs on — the tuner and configurator reach the
   /// flight recorder through it.
   [[nodiscard]] sim::Engine& engine() { return engine_; }
@@ -115,6 +133,9 @@ class MrAppMaster {
     cluster::NodeId ran_on;
     SimTime run_started = 0.0;
     obs::SpanId span = obs::kInvalidSpan;  ///< open attempt trace span
+    // Injected-fault kill scheduled against the current attempt.
+    sim::EventId fault_kill;
+    bool fault_kill_pending = false;
     // Speculative backup attempt.
     std::unique_ptr<MapTask> spec_run;
     yarn::Container spec_container;
@@ -131,7 +152,11 @@ class MrAppMaster {
     bool requested = false;
     bool running = false;
     bool done = false;
+    SimTime run_started = 0.0;
     obs::SpanId span = obs::kInvalidSpan;  ///< open attempt trace span
+    // Injected-fault kill scheduled against the current attempt.
+    sim::EventId fault_kill;
+    bool fault_kill_pending = false;
     /// Map outputs (index, location, bytes) that completed before this
     /// reducer started.
     std::vector<std::tuple<int, cluster::NodeId, Bytes>> stashed;
@@ -149,11 +174,32 @@ class MrAppMaster {
   /// Launch backup attempts for straggling maps (Hadoop's speculative
   /// execution, enabled via JobSpec::speculative_execution).
   void check_stragglers();
+  /// LATE-style periodic straggler scan: map completions alone cannot
+  /// catch the last running stragglers (nothing completes behind them), so
+  /// once maps start finishing the AM re-checks on a fixed cadence.
+  void schedule_speculation_scan();
   void on_speculative_container(int index, const yarn::Container& c);
   /// Kill whichever attempt of map `index` lost the race.
   void settle_speculation(int index, bool speculative_won);
   void deliver_map_output(int map_index);
   void maybe_finish();
+  // --- fault recovery -------------------------------------------------------
+  /// Consult the injector and, when this attempt is fated to fail, schedule
+  /// the kill partway into its nominal runtime. The final allowed attempt
+  /// is never injected — the simulated job must not fail outright.
+  void arm_injected_failure(TaskKind kind, int index, int attempt);
+  void fail_map_attempt(int index, int attempt);
+  void fail_reduce_attempt(int index, int attempt);
+  /// A reducer's fetch found its source gone: re-deliver from the live
+  /// copy, or invalidate and re-execute the lost map.
+  void on_shuffle_fetch_failure(int reduce_index, int map_index,
+                                cluster::NodeId source);
+  /// Invalidate completed map `map_index` (its output host died) and
+  /// relaunch it; purges stale reducer stashes.
+  void reexecute_lost_map(int map_index);
+  /// Exponential backoff before re-running a failed attempt.
+  [[nodiscard]] double retry_backoff(int attempts) const;
+  void disarm_fault_kill(sim::EventId& ev, bool& pending);
   /// Node fail-stop recovery: abort tasks running on the node, re-execute
   /// completed maps whose (node-local) outputs died with it.
   void handle_node_failure(cluster::NodeId node);
@@ -164,9 +210,10 @@ class MrAppMaster {
   [[nodiscard]] int cluster_slots_estimate(const JobConfig& cfg,
                                            bool map) const;
   [[nodiscard]] bool consume_budget(TaskKind kind);
-  /// Open/close the per-attempt trace span (no-op without a recorder).
+  /// Open/close the per-attempt trace span (no-op without a recorder);
+  /// `attempt` lands in the span's args, so retries are tellable apart.
   void begin_task_span(obs::SpanId& slot, const char* name,
-                       const yarn::Container& c);
+                       const yarn::Container& c, int attempt);
   void end_task_span(obs::SpanId& slot);
 
   sim::Engine& engine_;
@@ -196,6 +243,8 @@ class MrAppMaster {
   double map_duration_sum_ = 0.0;
   int map_duration_count_ = 0;
   int active_speculations_ = 0;
+  faults::FaultInjector* injector_ = nullptr;
+  bool spec_scan_scheduled_ = false;
   /// Task-duration distributions, shared across jobs (find-or-create by
   /// name); resolved once in submit().
   obs::Histogram* map_secs_hist_ = nullptr;

@@ -40,9 +40,31 @@ ReduceTask::ReduceTask(sim::Engine& engine, cluster::Node& node,
 
 void ReduceTask::add_map_output(int map_index, cluster::NodeId source,
                                 Bytes bytes) {
-  if (!seen_maps_.insert(map_index).second) return;  // re-executed map
-  queue_.push_back(PendingFetch{source, bytes});
+  // Duplicate delivery (a map re-executed after a node failure) while the
+  // first copy is still accepted: ignore it. A lost copy's entry was erased
+  // by invalidate_source()/on_fetch_failed(), so re-delivery lands here
+  // with a clean slate.
+  if (!segments_.emplace(map_index, SegmentInfo{source}).second) return;
+  queue_.push_back(PendingFetch{map_index, source, bytes});
   if (startup_done_ && !oom_ && !aborted_) pump_fetches();
+}
+
+void ReduceTask::invalidate_source(cluster::NodeId node) {
+  if (aborted_ || finished_) return;
+  // Queued fetches sourced on the dead node will never connect; drop them
+  // and un-accept their maps so the AM's re-delivery is taken. Segments in
+  // state Fetching are doomed by the availability re-check when their
+  // transfer lands; Fetched segments are local data and survive the source.
+  std::erase_if(queue_, [node](const PendingFetch& f) {
+    return f.source == node;
+  });
+  for (auto it = segments_.begin(); it != segments_.end();) {
+    if (it->second.source == node && it->second.state == SegmentState::Queued) {
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void ReduceTask::switch_phase_span(const char* name) {
@@ -124,6 +146,9 @@ void ReduceTask::pump_fetches() {
 }
 
 void ReduceTask::begin_fetch(PendingFetch fetch) {
+  auto seg = segments_.find(fetch.map_index);
+  MRON_CHECK(seg != segments_.end());
+  seg->second.state = SegmentState::Fetching;
   // Fetches overlap on the reducer's lane, so they trace as async b/e
   // pairs keyed by a per-attempt sequence (B/E spans must nest).
   const std::int64_t fetch_id =
@@ -140,18 +165,60 @@ void ReduceTask::begin_fetch(PendingFetch fetch) {
   // service reads them back through the page cache, so shuffle fan-in
   // contends on the fabric, not on source spindles (see DESIGN.md).
   engine_.schedule_after(kFetchLatency, [this, fetch, fetch_id] {
-    if (fetch.bytes <= Bytes(0)) {
-      on_fetch_done(fetch.bytes, fetch_id);
+    if (aborted_) return;
+    // The AM-mediated choke point: never open a connection to an output
+    // the AM no longer vouches for.
+    if (output_query_ && !output_query_(fetch.map_index, fetch.source)) {
+      on_fetch_failed(fetch, fetch_id);
       return;
     }
-    fabric_.transfer(
-        fetch.source, node_.id(), fetch.bytes,
-        [this, bytes = fetch.bytes, fetch_id] { on_fetch_done(bytes, fetch_id); });
+    if (fetch.bytes <= Bytes(0)) {
+      on_fetch_done(fetch, fetch_id);
+      return;
+    }
+    fabric_.transfer(fetch.source, node_.id(), fetch.bytes,
+                     [this, fetch, fetch_id] { on_fetch_done(fetch, fetch_id); });
   });
 }
 
-void ReduceTask::on_fetch_done(Bytes bytes, std::int64_t fetch_id) {
+void ReduceTask::on_fetch_failed(const PendingFetch& fetch,
+                                 std::int64_t fetch_id) {
+  --active_fetches_;
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("mr.shuffle.fetch_failures").add(1.0);
+    if (rec->trace().detail()) {
+      rec->trace().async_end("shuffle_fetch", "fetch",
+                             static_cast<int>(node_.id().value()), fetch_id,
+                             engine_.now());
+    }
+  }
+  // Un-accept the map only if this fetch still owns its entry: a fresher
+  // copy (already re-delivered from another node) must not be forgotten.
+  auto seg = segments_.find(fetch.map_index);
+  const bool owns = seg != segments_.end() &&
+                    seg->second.source == fetch.source &&
+                    seg->second.state != SegmentState::Fetched;
+  if (owns) {
+    segments_.erase(seg);
+    if (fetch_failure_) fetch_failure_(fetch.map_index, fetch.source);
+  }
+  pump_fetches();
+}
+
+void ReduceTask::on_fetch_done(const PendingFetch& fetch,
+                               std::int64_t fetch_id) {
   if (aborted_) return;
+  // Re-check availability at completion: a source that died mid-transfer
+  // delivered garbage, and the fetch must fail over exactly as if it had
+  // never connected.
+  if (output_query_ && !output_query_(fetch.map_index, fetch.source)) {
+    on_fetch_failed(fetch, fetch_id);
+    return;
+  }
+  const Bytes bytes = fetch.bytes;
+  auto seg = segments_.find(fetch.map_index);
+  MRON_CHECK(seg != segments_.end());
+  seg->second.state = SegmentState::Fetched;
   --active_fetches_;
   ++fetched_maps_;
   total_input_ += bytes;

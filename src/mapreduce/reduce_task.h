@@ -14,7 +14,7 @@
 
 #include <deque>
 #include <functional>
-#include <set>
+#include <map>
 #include <vector>
 
 #include "cluster/fabric.h"
@@ -44,6 +44,15 @@ class ReduceTask {
   using Done = std::function<void(const TaskReport&)>;
   /// Resolves a NodeId to the node (for charging source-disk reads).
   using NodeResolver = std::function<cluster::Node&(cluster::NodeId)>;
+  /// AM-mediated "is map `map_index`'s output still available at `source`?"
+  /// query — the single choke point every fetch passes through (at fetch
+  /// start and again at completion, since the source may die mid-transfer).
+  /// The task itself never assumes a map host stays reachable.
+  using OutputQuery = std::function<bool(int, cluster::NodeId)>;
+  /// Fired when a fetch is abandoned because its source disappeared; the AM
+  /// re-executes the lost map (or re-delivers from the live copy) and this
+  /// reducer accepts the re-delivery.
+  using FetchFailure = std::function<void(int, cluster::NodeId)>;
 
   ReduceTask(sim::Engine& engine, cluster::Node& node, cluster::Fabric& fabric,
              NodeResolver resolver, const AppProfile& profile,
@@ -53,11 +62,22 @@ class ReduceTask {
   ReduceTask(const ReduceTask&) = delete;
   ReduceTask& operator=(const ReduceTask&) = delete;
 
+  /// Install the AM's availability query / failure hooks. Must be called
+  /// before start(); without them the task falls back to trusting every
+  /// source (unit-test mode only).
+  void set_output_query(OutputQuery query) { output_query_ = std::move(query); }
+  void set_fetch_failure(FetchFailure cb) { fetch_failure_ = std::move(cb); }
+
   void start();
   /// Feed map `map_index`'s partition for this reducer. Safe to call both
   /// before and after start(); duplicate indices (a map re-executed after a
-  /// node failure) are ignored — the first copy was already fetched.
+  /// node failure) are ignored — the first copy was already accepted.
   void add_map_output(int map_index, cluster::NodeId source, Bytes bytes);
+  /// Node fail-stop on `node`: drop queued fetches sourced there and forget
+  /// their map indices so the AM's re-delivery is accepted. Segments already
+  /// fetched are local data and are kept; in-flight transfers are doomed by
+  /// the completion-time availability re-check.
+  void invalidate_source(cluster::NodeId node);
   /// Push updated category-III parameters into the running attempt.
   void update_config(const JobConfig& config);
   /// Kill the attempt (node failure); `done` never fires. See
@@ -67,13 +87,25 @@ class ReduceTask {
 
  private:
   struct PendingFetch {
+    int map_index = -1;
     cluster::NodeId source;
     Bytes bytes;
+  };
+  enum class SegmentState { Queued, Fetching, Fetched };
+  /// Where an accepted map output is in its fetch lifecycle; keyed by map
+  /// index (replaces the old seen-set, which could not tell a fetched
+  /// segment from one lost with its source).
+  struct SegmentInfo {
+    cluster::NodeId source;
+    SegmentState state = SegmentState::Queued;
   };
 
   void pump_fetches();
   void begin_fetch(PendingFetch fetch);
-  void on_fetch_done(Bytes bytes, std::int64_t fetch_id);
+  void on_fetch_done(const PendingFetch& fetch, std::int64_t fetch_id);
+  /// The fetch's source disappeared: un-accept the map (so re-delivery is
+  /// taken), tell the AM, and keep the fetch pipeline moving.
+  void on_fetch_failed(const PendingFetch& fetch, std::int64_t fetch_id);
   /// Apply the deferred uniform fetch run (see on_fetch_done) through the
   /// closed-form kernel. Must run before any other buffer interaction.
   void drain_fetch_run();
@@ -94,6 +126,8 @@ class ReduceTask {
   Inputs inputs_;
   Rng rng_;
   Done done_;
+  OutputQuery output_query_;
+  FetchFailure fetch_failure_;
 
   ShuffleBufferModel buffer_;
   /// Deferred run of equal-sized absorbable segments, not yet applied to
@@ -111,7 +145,7 @@ class ReduceTask {
   bool oom_ = false;
   bool aborted_ = false;
   bool finished_ = false;
-  std::set<int> seen_maps_;
+  std::map<int, SegmentInfo> segments_;
 
   Bytes total_input_{0};
   Bytes resident_memory_{0};

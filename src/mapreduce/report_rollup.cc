@@ -58,6 +58,11 @@ obs::ReportJob report_job_from(const JobResult& result,
       static_cast<double>(result.speculative_launches);
   job.stats["speculative_wins"] =
       static_cast<double>(result.speculative_wins);
+  job.stats["injected_failures"] =
+      static_cast<double>(result.injected_failures);
+  job.stats["fetch_failures"] = static_cast<double>(result.fetch_failures);
+  job.stats["lost_maps_reexecuted"] =
+      static_cast<double>(result.lost_maps_reexecuted);
   duration_stats(result.map_reports, "map", job.stats);
   duration_stats(result.reduce_reports, "reduce", job.stats);
 
@@ -80,6 +85,26 @@ std::string run_report_json(
   report.set_meta("seed", std::to_string(sim.options().seed));
   for (const auto& [result, config] : jobs) {
     report.add_job(report_job_from(*result, *config));
+  }
+  if (const faults::FaultInjector* inj = sim.fault_injector()) {
+    const faults::FaultPlan& plan = inj->plan();
+    const faults::FaultStats& fs = inj->stats();
+    report.set_faults({
+        {"plan.seed", static_cast<double>(plan.seed)},
+        {"plan.task_fail_prob", plan.task_fail_prob},
+        {"plan.crashes", static_cast<double>(plan.crashes.size())},
+        {"plan.degradations", static_cast<double>(plan.degradations.size())},
+        {"plan.heartbeat_period", plan.heartbeat_period},
+        {"plan.heartbeat_timeout", plan.heartbeat_timeout},
+        {"crashes", static_cast<double>(fs.crashes)},
+        {"restarts", static_cast<double>(fs.restarts)},
+        {"degrade_windows", static_cast<double>(fs.degrade_windows)},
+        {"injected_task_failures",
+         static_cast<double>(fs.injected_task_failures)},
+        {"fetch_failures", static_cast<double>(fs.fetch_failures)},
+        {"lost_map_reexecutions",
+         static_cast<double>(fs.lost_map_reexecutions)},
+    });
   }
   return report.to_json(sim.recorder());
 }

@@ -43,6 +43,11 @@ Simulation::Simulation(SimulationOptions options)
   if (options_.locality_delay_passes > 0) {
     rm_->set_locality_delay(options_.locality_delay_passes);
   }
+  if (!options_.fault_plan.empty()) {
+    injector_ =
+        std::make_unique<faults::FaultInjector>(engine_, options_.fault_plan);
+    injector_->arm(*rm_, ptrs);
+  }
   if (recorder_ != nullptr) {
     // The monitor is the metrics registry's sampling clock.
     monitor_->start();
@@ -68,6 +73,7 @@ MrAppMaster& Simulation::submit_job(
       engine_, *rm_, *fabric_, *dfs_, id, std::move(spec),
       rng_.fork(0x10b + static_cast<std::uint64_t>(id.value())),
       std::move(done)));
+  if (injector_ != nullptr) apps_.back()->set_fault_injector(injector_.get());
   apps_.back()->submit();
   return *apps_.back();
 }

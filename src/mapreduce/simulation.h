@@ -17,6 +17,7 @@
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "dfs/dfs.h"
+#include "faults/injector.h"
 #include "mapreduce/job.h"
 #include "mapreduce/mr_app_master.h"
 #include "obs/recorder.h"
@@ -49,6 +50,10 @@ struct SimulationOptions {
   /// off the trace holds exactly one span per task attempt plus one per
   /// tuner wave.
   bool trace_detail = false;
+  /// Fault-injection plan (node crashes, degradation windows, per-attempt
+  /// task failures). Empty = reliable cluster, zero overhead. The plan is
+  /// seed-deterministic: identical plan + seed give byte-identical runs.
+  faults::FaultPlan fault_plan;
 };
 
 class Simulation {
@@ -70,6 +75,13 @@ class Simulation {
   [[nodiscard]] obs::Recorder* recorder() { return recorder_.get(); }
   [[nodiscard]] const obs::Recorder* recorder() const {
     return recorder_.get();
+  }
+  /// The fault injector, or nullptr when options.fault_plan is empty.
+  [[nodiscard]] faults::FaultInjector* fault_injector() {
+    return injector_.get();
+  }
+  [[nodiscard]] const faults::FaultInjector* fault_injector() const {
+    return injector_.get();
   }
 
   /// Create + place a dataset in the simulated DFS.
@@ -102,6 +114,7 @@ class Simulation {
   std::unique_ptr<cluster::ClusterMonitor> monitor_;
   std::unique_ptr<dfs::Dfs> dfs_;
   std::unique_ptr<yarn::ResourceManager> rm_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::vector<std::unique_ptr<MrAppMaster>> apps_;
   IdAllocator<JobId> job_ids_;
 };

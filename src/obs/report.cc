@@ -39,6 +39,10 @@ void RunReport::set_meta(const std::string& key, const std::string& value) {
 
 void RunReport::add_job(ReportJob job) { jobs_.push_back(std::move(job)); }
 
+void RunReport::set_faults(std::map<std::string, double> faults) {
+  faults_ = std::move(faults);
+}
+
 std::map<std::string, double> RunReport::run_totals() const {
   std::map<std::string, double> totals;
   totals["jobs"] = static_cast<double>(jobs_.size());
@@ -53,8 +57,10 @@ std::map<std::string, double> RunReport::run_totals() const {
         totals[phase + "." + name] += value;
       }
     }
-    for (const char* summed : {"failed_attempts", "spilled_records",
-                               "speculative_launches", "speculative_wins"}) {
+    for (const char* summed :
+         {"failed_attempts", "spilled_records", "speculative_launches",
+          "speculative_wins", "injected_failures", "fetch_failures",
+          "lost_maps_reexecuted"}) {
       const auto it = j.stats.find(summed);
       if (it != j.stats.end()) totals[summed] += it->second;
     }
@@ -103,6 +109,8 @@ void RunReport::write_json(std::ostream& os, const Recorder* rec) const {
   }
   os << "],\"totals\":";
   write_number_map(os, run_totals());
+  os << ",\"faults\":";
+  write_number_map(os, faults_);
 
   // Flight-recorder sections: scalars (histograms contribute interpolated
   // quantiles under <name>.p50/.p95/.p99), whole-run series, audit volume.

@@ -31,7 +31,9 @@ namespace mron::obs {
 class Recorder;
 
 /// Bump when the JSON layout changes shape (tools check this).
-inline constexpr const char* kRunReportSchema = "mron.run_report/1";
+/// /2: added the top-level `faults` block (fault-injection plan parameters
+/// and recovery tallies; empty object on fault-free runs).
+inline constexpr const char* kRunReportSchema = "mron.run_report/2";
 
 /// One job's rollup inside a report. `phases` maps a phase name ("map",
 /// "reduce") to its counter rollup; `stats` holds job-level scalars
@@ -53,6 +55,10 @@ class RunReport {
   /// order is preserved in the output; re-setting a key overwrites.
   void set_meta(const std::string& key, const std::string& value);
   void add_job(ReportJob job);
+  /// Fault-injection block (plan parameters + recovery tallies), written
+  /// under the top-level `faults` key. Empty (the default) serializes as an
+  /// empty object — the self-describing "this run was fault-free" marker.
+  void set_faults(std::map<std::string, double> faults);
 
   [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& meta()
       const {
@@ -72,6 +78,7 @@ class RunReport {
  private:
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<ReportJob> jobs_;
+  std::map<std::string, double> faults_;
 };
 
 /// Picks which run's report a multi-run invocation exports. Runs race on

@@ -10,7 +10,7 @@ namespace {
 constexpr std::size_t kMinHeapForCompaction = 64;
 }  // namespace
 
-EventId Engine::schedule_at(SimTime t, Callback cb) {
+EventId Engine::schedule_impl(SimTime t, Callback cb, bool daemon) {
   MRON_CHECK_MSG(t >= now_, "schedule_at(" << t << ") before now=" << now_);
   MRON_CHECK(static_cast<bool>(cb));
   std::uint32_t slot;
@@ -23,14 +23,29 @@ EventId Engine::schedule_at(SimTime t, Callback cb) {
   }
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
+  s.daemon = daemon;
   heap_push(HeapEntry{t, next_seq_++, slot, s.gen});
   ++live_events_;
+  if (daemon) ++daemon_events_;
   return pack(slot, s.gen);
+}
+
+EventId Engine::schedule_at(SimTime t, Callback cb) {
+  return schedule_impl(t, std::move(cb), /*daemon=*/false);
 }
 
 EventId Engine::schedule_after(SimTime delay, Callback cb) {
   MRON_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
-  return schedule_at(now_ + delay, std::move(cb));
+  return schedule_impl(now_ + delay, std::move(cb), /*daemon=*/false);
+}
+
+EventId Engine::schedule_daemon_at(SimTime t, Callback cb) {
+  return schedule_impl(t, std::move(cb), /*daemon=*/true);
+}
+
+EventId Engine::schedule_daemon_after(SimTime delay, Callback cb) {
+  MRON_CHECK_MSG(delay >= 0.0, "negative delay " << delay);
+  return schedule_impl(now_ + delay, std::move(cb), /*daemon=*/true);
 }
 
 void Engine::cancel(EventId id) {
@@ -41,6 +56,7 @@ void Engine::cancel(EventId id) {
   if (slot >= slots_.size() || slots_[slot].gen != gen || !slots_[slot].cb) {
     return;  // already fired, already cancelled, or never issued
   }
+  if (slots_[slot].daemon) --daemon_events_;
   release_slot(slot);
   --live_events_;
   // The heap entry stays behind as a tombstone: dropped at pop time, or
@@ -52,6 +68,7 @@ void Engine::cancel(EventId id) {
 void Engine::release_slot(std::uint32_t slot) {
   Slot& s = slots_[slot];
   s.cb.reset();
+  s.daemon = false;
   // Wrapping at 2^31 keeps EventId::value() non-negative; a stale handle
   // would have to survive two billion reuses of one slot to collide.
   s.gen = (s.gen + 1) & 0x7fffffffu;
@@ -87,6 +104,7 @@ bool Engine::dispatch_next() {
       continue;
     }
     Callback cb = std::move(slots_[entry.slot].cb);
+    if (slots_[entry.slot].daemon) --daemon_events_;
     release_slot(entry.slot);
     --live_events_;
     now_ = entry.time;

@@ -51,6 +51,14 @@ class Engine {
   EventId schedule_at(SimTime t, Callback cb);
   /// Schedule `cb` after a non-negative delay.
   EventId schedule_after(SimTime delay, Callback cb);
+  /// Schedule a *daemon* event: periodic housekeeping (monitor sampling,
+  /// heartbeat watchdogs, speculation scans) that should not count as
+  /// pending work. Daemon events still fire normally; they only change what
+  /// quiescent() reports. Every self-re-arming service must schedule itself
+  /// as a daemon and guard its re-arm on !quiescent(), otherwise two such
+  /// services keep each other alive forever and run() never drains.
+  EventId schedule_daemon_at(SimTime t, Callback cb);
+  EventId schedule_daemon_after(SimTime delay, Callback cb);
   /// Cancel a pending event. Cancelling an already-fired or already-cancelled
   /// event is a no-op (the common pattern when a completion races a cancel).
   void cancel(EventId id);
@@ -64,6 +72,11 @@ class Engine {
 
   [[nodiscard]] bool empty() const { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_events_; }
+  /// True when only daemon housekeeping remains pending — the simulation
+  /// has no real work left. The re-arm guard for periodic services.
+  [[nodiscard]] bool quiescent() const {
+    return live_events_ == daemon_events_;
+  }
 
   /// Diagnostics for the tombstone-growth regression test: heap entries
   /// (live + not-yet-collected stale) and slot-map capacity. Both stay
@@ -96,6 +109,7 @@ class Engine {
   struct Slot {
     Callback cb;
     std::uint32_t gen = 0;
+    bool daemon = false;
   };
 
   struct HeapEntry {
@@ -132,12 +146,15 @@ class Engine {
   /// Pops the next live event; returns false when drained.
   bool dispatch_next();
 
+  EventId schedule_impl(SimTime t, Callback cb, bool daemon);
+
   SimTime now_ = 0.0;
   std::int64_t next_seq_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  // binary min-heap on (time, seq)
   std::size_t live_events_ = 0;
+  std::size_t daemon_events_ = 0;
   std::size_t stale_in_heap_ = 0;
 #if MRON_OBS_ENABLED
   obs::Recorder* recorder_ = nullptr;

@@ -23,6 +23,7 @@ SharedServer::SharedServer(Engine& engine, double capacity, std::string name,
                            double concurrency_penalty)
     : engine_(engine),
       capacity_(capacity),
+      base_capacity_(capacity),
       concurrency_penalty_(concurrency_penalty),
       name_(std::move(name)) {
   MRON_CHECK_MSG(capacity_ > 0.0, "server " << name_ << " capacity must be >0");
@@ -76,6 +77,17 @@ void SharedServer::set_cap(StreamId id, double cap) {
   if (i < 0) return;
   advance();
   streams_[static_cast<std::size_t>(i)].cap = cap;
+  alloc_dirty_ = true;
+  reallocate();
+}
+
+void SharedServer::set_capacity_scale(double scale) {
+  MRON_CHECK_MSG(scale > 0.0,
+                 "server " << name_ << " capacity scale must be >0");
+  const double scaled = base_capacity_ * scale;
+  if (scaled == capacity_) return;
+  advance();
+  capacity_ = scaled;
   alloc_dirty_ = true;
   reallocate();
 }

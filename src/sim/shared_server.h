@@ -71,6 +71,15 @@ class SharedServer {
 
   [[nodiscard]] std::size_t active() const { return streams_.size(); }
   [[nodiscard]] double capacity() const { return capacity_; }
+
+  /// Rescale the capacity relative to its construction-time value (fault
+  /// injection: a degraded disk/NIC, or a crashed node's hardware going
+  /// dark). Live streams keep their progress; rates and the completion
+  /// event are recomputed under the new capacity. `scale` must be > 0.
+  void set_capacity_scale(double scale);
+  [[nodiscard]] double capacity_scale() const {
+    return capacity_ / base_capacity_;
+  }
   [[nodiscard]] const std::string& name() const { return name_; }
 
   /// Integral of (allocated rate) dt since construction, i.e. total work
@@ -104,6 +113,7 @@ class SharedServer {
 
   Engine& engine_;
   double capacity_;
+  double base_capacity_;  ///< construction-time capacity, scale reference
   double concurrency_penalty_;
   std::string name_;
   IdAllocator<StreamId> ids_;

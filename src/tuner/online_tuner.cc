@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "common/stats.h"
 
 namespace mron::tuner {
 
@@ -156,6 +157,7 @@ void OnlineTuner::start_wave(JobState& js, bool is_map) {
   Wave wave;
   wave.costs.assign(batch.size(), 0.0);
   wave.filled.assign(batch.size(), false);
+  wave.faulted.assign(batch.size(), false);
   wave.remaining = batch.size();
   {
     obs::AuditEvent ev;
@@ -190,12 +192,27 @@ void OnlineTuner::start_wave(JobState& js, bool is_map) {
 
 void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
   const bool is_map = report.task.kind == TaskKind::Map;
-  if (!report.failed_oom) {
+  // Injected-fault kills carry no cost signal at all — the attempt died at
+  // an arbitrary point and its retry reports later. Drop them outright.
+  if (report.failed_injected) return;
+  // Samples off faulted hardware measure the fault, not the config; keep
+  // them out of the normalization ceiling and the conservative rules.
+  const bool poisoned = options_.discard_faulted && report.faulted;
+  if (!report.failed_oom && !poisoned) {
     double& max_secs = is_map ? js.max_map_secs : js.max_reduce_secs;
     max_secs = std::max(max_secs, report.duration());
   }
 
   if (js.conservative.has_value()) {
+    if (poisoned) {
+      obs::AuditEvent ev;
+      ev.kind = "sample_discarded";
+      ev.detail = (is_map ? "map " : "reduce ") +
+                  std::to_string(report.task.index) + " faulted";
+      audit(js, std::move(ev));
+      if (js.am->finished()) maybe_store_outcome(js);
+      return;
+    }
     js.conservative->observe(report);
     if (js.conservative->ready()) {
       const JobConfig old = js.conservative->current();
@@ -265,6 +282,14 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
   const std::size_t slot = it->second;
   if (wave.filled[slot]) return;  // e.g. a retry of an OOM-killed attempt
   wave.filled[slot] = true;
+  wave.faulted[slot] = options_.discard_faulted && report.faulted;
+  if (wave.faulted[slot]) {
+    obs::AuditEvent ev;
+    ev.kind = "sample_discarded";
+    ev.detail = (is_map ? "map " : "reduce ") +
+                std::to_string(report.task.index) + " faulted";
+    audit(js, std::move(ev));
+  }
   wave.costs[slot] = scored_task_cost(
       report, is_map ? js.max_map_secs : js.max_reduce_secs);
   wave.reports.push_back(report);
@@ -284,8 +309,29 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
   }
   GrayBoxHillClimber& climber =
       is_map ? *js.map_climber : *js.reduce_climber;
+  // Median-of-slots aggregate: a slot whose sample ran on faulted hardware
+  // reports the wave's clean median instead of its own (hardware-noise)
+  // cost, so the climber neither rewards nor punishes that configuration.
+  // With every slot faulted there is nothing to anchor on — keep raw costs.
+  std::vector<TaskReport> clean_reports;
+  for (const auto& r : wave.reports) {
+    if (!(options_.discard_faulted && r.faulted)) clean_reports.push_back(r);
+  }
+  {
+    std::vector<double> clean_costs;
+    for (std::size_t i = 0; i < wave.costs.size(); ++i) {
+      if (!wave.faulted[i]) clean_costs.push_back(wave.costs[i]);
+    }
+    if (!clean_costs.empty() && clean_costs.size() < wave.costs.size()) {
+      const double median = percentile(clean_costs, 0.5);
+      for (std::size_t i = 0; i < wave.costs.size(); ++i) {
+        if (wave.faulted[i]) wave.costs[i] = median;
+      }
+    }
+  }
   if (options_.use_tuning_rules) {
-    const WaveStats stats = WaveStats::from_reports(wave.reports);
+    const WaveStats stats = WaveStats::from_reports(
+        clean_reports.empty() ? wave.reports : clean_reports);
     SearchSpace& space = is_map ? *js.map_space : *js.reduce_space;
     std::vector<std::pair<double, double>> old_bounds;
     for (std::size_t d = 0; d < space.dims(); ++d) {

@@ -43,6 +43,14 @@ struct TunerOptions {
   std::uint64_t seed = 99;
   /// Apply the gray-box Section-6 rules between waves (ablation knob).
   bool use_tuning_rules = true;
+  /// Failure awareness (fault injection): attempts killed by an injected
+  /// fault are always dropped (their retry reports instead); when this is
+  /// set, samples that completed on faulted hardware (TaskReport::faulted)
+  /// are additionally excluded from the rules/normalization inputs and
+  /// their wave cost is replaced by the median of the wave's clean slots —
+  /// the median-of-slots aggregate — so one straggler cannot steer the
+  /// climber toward whatever config it happened to run.
+  bool discard_faulted = true;
 };
 
 class OnlineTuner {
@@ -77,6 +85,7 @@ class OnlineTuner {
     std::map<mapreduce::TaskRef, std::size_t> slots;
     std::vector<double> costs;
     std::vector<bool> filled;
+    std::vector<bool> faulted;  ///< slot sample poisoned by a fault
     std::vector<mapreduce::TaskReport> reports;
     std::size_t remaining = 0;
     obs::SpanId span = obs::kInvalidSpan;  ///< open wave trace span

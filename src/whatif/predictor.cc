@@ -47,6 +47,31 @@ double cpu_rate(const cluster::ClusterSpec& cluster, double quota,
   return std::min({quota, demand, std::max(share, 1e-9)});
 }
 
+/// Heterogeneous-cluster phase stretch: steady-state waves run at the
+/// harmonic-mean slowdown (a node with slowdown s contributes 1/s of its
+/// slot throughput); the final wave is pessimistically charged the slowest
+/// node's factor. Returns {harmonic_mean, worst}; {1, 1} when the vector
+/// is empty or all ones, which keeps the homogeneous path byte-identical.
+std::pair<double, double> slowdown_stretch(
+    const std::vector<double>& slowdown) {
+  if (slowdown.empty()) return {1.0, 1.0};
+  double inv_sum = 0.0;
+  double worst = 0.0;
+  for (double s : slowdown) {
+    MRON_CHECK_MSG(s > 0.0, "node slowdown factors must be > 0");
+    inv_sum += 1.0 / s;
+    worst = std::max(worst, s);
+  }
+  return {static_cast<double>(slowdown.size()) / inv_sum, worst};
+}
+
+/// Phase time for `waves` waves of `task_secs` tasks under the stretch.
+double phase_secs(int waves, double task_secs,
+                  const std::pair<double, double>& stretch) {
+  if (waves <= 0) return 0.0;
+  return task_secs * ((waves - 1) * stretch.first + stretch.second);
+}
+
 }  // namespace
 
 Prediction predict(const PredictionInputs& inputs) {
@@ -54,6 +79,13 @@ Prediction predict(const PredictionInputs& inputs) {
   const mapreduce::AppProfile& p = inputs.profile;
   JobConfig cfg = inputs.config;
   mapreduce::clamp_constraints(cfg);
+
+  MRON_CHECK_MSG(inputs.node_slowdown.empty() ||
+                     static_cast<int>(inputs.node_slowdown.size()) ==
+                         cl.num_slaves,
+                 "node_slowdown must be empty or one factor per slave");
+  const std::pair<double, double> stretch =
+      slowdown_stretch(inputs.node_slowdown);
 
   Prediction out;
   const Bytes block = mebibytes(128);
@@ -99,7 +131,7 @@ Prediction predict(const PredictionInputs& inputs) {
       disk_rate(cl, streams);
   out.map_task_secs =
       p.task_startup_secs + std::max(read_secs, cpu) + spill_secs;
-  out.map_phase_secs = out.map_waves * out.map_task_secs;
+  out.map_phase_secs = phase_secs(out.map_waves, out.map_task_secs, stretch);
 
   // --- reduce task ------------------------------------------------------------
   const Bytes total_shuffle = map_out * p.combiner_ratio * codec *
@@ -166,7 +198,8 @@ Prediction predict(const PredictionInputs& inputs) {
                            shuffle_disk_secs + merge_secs +
                            std::max(reduce_cpu_secs, final_read_secs) +
                            write_secs;
-    out.reduce_phase_secs = out.reduce_waves * out.reduce_task_secs;
+    out.reduce_phase_secs =
+        phase_secs(out.reduce_waves, out.reduce_task_secs, stretch);
   }
 
   // Shuffle overlaps the map phase (slowstart); the reduce compute tail
@@ -208,6 +241,11 @@ std::pair<JobConfig, double> search_chain(const PredictionInputs& base,
     thread_local tuner::CacheKey key;
     key.clear();
     key.add_config(mapreduce::ParamRegistry::extended(), cfg);
+    // The per-node slowdown vector is constant within one optimize call,
+    // but it is an input predict() reads — keep it in the key so a cache
+    // ever shared across calls (heterogeneous what-if scenarios) stays
+    // correct.
+    for (double s : base.node_slowdown) key.add(s);
     return cache->get_or_compute(key, evaluate);
   };
   double best_secs = score(best);

@@ -12,6 +12,8 @@
 // quantifies that accuracy gap against the discrete-event simulator.
 #pragma once
 
+#include <vector>
+
 #include "cluster/topology.h"
 #include "mapreduce/app_profile.h"
 #include "mapreduce/params.h"
@@ -25,6 +27,11 @@ struct PredictionInputs {
   int num_maps = 0;       ///< 0 = derive from input / 128 MiB blocks
   int num_reduces = 1;
   mapreduce::JobConfig config;
+  /// Optional per-slave slowdown factors (>= 1 = that node runs X times
+  /// slower: a degraded disk/NIC or recovering host). Empty = homogeneous
+  /// cluster; otherwise size must equal cluster.num_slaves. An all-1.0
+  /// vector predicts byte-identically to the empty one.
+  std::vector<double> node_slowdown;
 };
 
 struct Prediction {

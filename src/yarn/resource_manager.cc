@@ -47,10 +47,114 @@ void ResourceManager::fail_node(cluster::NodeId node) {
   auto flag = alive_.begin() + node.value();
   if (!*flag) return;
   *flag = false;
+  if (!responsive_.empty()) {
+    responsive_[static_cast<std::size_t>(node.value())] = false;
+  }
+  // Reclaim every container granted on the dead node *before* telling the
+  // AMs: their recovery paths re-request capacity immediately, and the
+  // node's memory/vcores must already be accounted free (on other nodes)
+  // by then. The AM's own release_container for these ids becomes a no-op.
+  std::size_t reclaimed = 0;
+  for (auto it = containers_.begin(); it != containers_.end();) {
+    if (it->second.node != node) {
+      ++it;
+      continue;
+    }
+    const LiveContainer& c = it->second;
+    this->node(c.node).release(c.resource.memory, c.resource.vcores);
+    auto app_it = apps_.find(c.app);
+    MRON_CHECK(app_it != apps_.end());
+    app_it->second.allocated_memory -= c.resource.memory;
+    MRON_CHECK(app_it->second.allocated_memory >= Bytes(0));
+    MRON_CHECK(live_containers_ > 0);
+    --live_containers_;
+    ++reclaimed;
+    it = containers_.erase(it);
+  }
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("yarn.nodes_lost").add(1.0);
+    if (reclaimed > 0) {
+      rec->metrics()
+          .counter("yarn.containers_reclaimed")
+          .add(static_cast<double>(reclaimed));
+    }
+  }
   // Subscribers may release containers and issue fresh requests
   // re-entrantly; copy the list to stay iterator-safe.
   const auto subscribers = failure_subscribers_;
   for (const auto& cb : subscribers) cb(node);
+  trigger_schedule();
+}
+
+void ResourceManager::enable_heartbeats(SimTime period, SimTime timeout) {
+  MRON_CHECK(period > 0.0 && timeout > 0.0);
+  heartbeat_period_ = period;
+  heartbeat_timeout_ = timeout;
+  responsive_.assign(nodes_.size(), true);
+  last_heartbeat_.assign(nodes_.size(), engine_.now());
+  if (!heartbeats_enabled_) {
+    heartbeats_enabled_ = true;
+    engine_.schedule_daemon_after(heartbeat_period_,
+                                  [this] { heartbeat_tick(); });
+  }
+}
+
+void ResourceManager::heartbeat_tick() {
+  const SimTime now = engine_.now();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (responsive_[i]) {
+      last_heartbeat_[i] = now;
+      continue;
+    }
+    if (!alive_[i]) continue;  // already declared lost
+    if (auto* rec = engine_.recorder()) {
+      rec->metrics().counter("yarn.heartbeats_missed").add(1.0);
+    }
+    if (now - last_heartbeat_[i] >= heartbeat_timeout_) {
+      fail_node(cluster::NodeId(static_cast<std::int64_t>(i)));
+    }
+  }
+  // Same guard as the cluster monitor — a self-perpetuating watchdog would
+  // keep Engine::run() from ever draining — except that a silent node
+  // awaiting its death declaration *is* pending work: the declaration is
+  // what unblocks the AMs, so the watchdog must outlive an otherwise-idle
+  // engine until it fires. Daemon scheduling keeps the watchdog and the
+  // other periodic services from counting each other as work.
+  bool declaration_pending = false;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    if (!responsive_[i] && alive_[i]) declaration_pending = true;
+  }
+  if (!engine_.quiescent() || declaration_pending) {
+    engine_.schedule_daemon_after(heartbeat_period_,
+                                  [this] { heartbeat_tick(); });
+  }
+}
+
+void ResourceManager::mark_node_unresponsive(cluster::NodeId node) {
+  MRON_CHECK(node.valid() &&
+             node.value() < static_cast<std::int64_t>(alive_.size()));
+  if (!heartbeats_enabled_) {
+    // No watchdog to notice the silence — fail-stop right away (the
+    // legacy direct-injection path used by tests).
+    fail_node(node);
+    return;
+  }
+  responsive_[static_cast<std::size_t>(node.value())] = false;
+}
+
+void ResourceManager::recover_node(cluster::NodeId node) {
+  MRON_CHECK(node.valid() &&
+             node.value() < static_cast<std::int64_t>(alive_.size()));
+  const auto i = static_cast<std::size_t>(node.value());
+  if (!responsive_.empty()) {
+    responsive_[i] = true;
+    last_heartbeat_[i] = engine_.now();
+  }
+  if (alive_[i]) return;  // transient blip, never declared lost
+  alive_[i] = true;
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("yarn.nodes_recovered").add(1.0);
+  }
   trigger_schedule();
 }
 
@@ -114,6 +218,9 @@ void ResourceManager::cancel_request(RequestId id) {
 }
 
 void ResourceManager::release_container(const Container& container) {
+  // A container the RM reclaimed when its node died is already fully
+  // unaccounted; the AM's release is late cleanup, not an error.
+  if (containers_.erase(container.id) == 0) return;
   auto it = apps_.find(container.app);
   MRON_CHECK(it != apps_.end());
   node(container.node).release(container.resource.memory,
@@ -123,6 +230,10 @@ void ResourceManager::release_container(const Container& container) {
   MRON_CHECK(live_containers_ > 0);
   --live_containers_;
   trigger_schedule();
+}
+
+bool ResourceManager::container_live(ContainerId id) const {
+  return containers_.find(id) != containers_.end();
 }
 
 Bytes ResourceManager::app_allocated_memory(AppId app) const {
@@ -257,6 +368,8 @@ bool ResourceManager::try_place(AppId app_id, AppState& app,
   container.app = app_id;
   container.node = target->id();
   container.resource = req.resource;
+  containers_.emplace(container.id,
+                      LiveContainer{app_id, target->id(), req.resource});
 
   // Defer the callback so the AM cannot re-enter the placement loop.
   engine_.schedule_after(

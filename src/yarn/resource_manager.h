@@ -58,16 +58,40 @@ class ResourceManager {
                               AllocationCb on_allocated);
   /// Cancel a not-yet-satisfied request (no-op once allocated).
   void cancel_request(RequestId id);
+  /// Release a container. A container the RM already reclaimed (its node
+  /// died) is a no-op: the bookkeeping was undone at reclaim time, and the
+  /// AM's release is just its own cleanup racing the RM's.
   void release_container(const Container& container);
+  /// True while `id` is granted and its node has not been reclaimed. AMs
+  /// check this on allocation callbacks: a grant dispatched just before
+  /// its node died arrives stale.
+  [[nodiscard]] bool container_live(ContainerId id) const;
 
   // --- node liveness (failure injection) -------------------------------------
-  /// Fail-stop a node: it receives no further containers and every
-  /// subscriber (application master) is told so it can re-execute lost
-  /// work. Idempotent.
+  /// Fail-stop a node: every container on it is reclaimed (released from
+  /// the node and its app's bookkeeping), it receives no further
+  /// containers, and every subscriber (application master) is told so it
+  /// can re-execute lost work. Idempotent.
   void fail_node(cluster::NodeId node);
   [[nodiscard]] bool node_alive(cluster::NodeId node) const;
   using NodeFailureCb = std::function<void(cluster::NodeId)>;
   void subscribe_node_failures(NodeFailureCb cb);
+
+  // --- heartbeat tracking (fault injection) ---------------------------------
+  /// Start the NodeManager heartbeat watchdog: nodes are assumed to
+  /// heartbeat every `period` seconds; one that stays silent for `timeout`
+  /// is declared lost via the fail_node() path. Without this, failures
+  /// only happen through direct fail_node() calls (the legacy test path).
+  void enable_heartbeats(SimTime period, SimTime timeout);
+  /// The node stops heartbeating (crash or partition). With heartbeats
+  /// enabled the watchdog declares it lost one timeout later; without,
+  /// the node is failed immediately. A node that resumes (recover_node)
+  /// before the timeout elapses was just a transient blip — no subscriber
+  /// ever hears about it and its work is undisturbed.
+  void mark_node_unresponsive(cluster::NodeId node);
+  /// Bring a failed (or unresponsive) node back: it heartbeats again and
+  /// may receive containers. Idempotent; lost work is not resurrected.
+  void recover_node(cluster::NodeId node);
 
   /// Enable hot-spot-aware placement (one of MRONLINE's runtime levers):
   /// nodes whose disk or NIC utilization exceeded `threshold` in the
@@ -113,8 +137,18 @@ class ResourceManager {
     bool live = false;
   };
 
+  /// Granted-container ledger entry; erased on release or node reclaim.
+  struct LiveContainer {
+    AppId app;
+    cluster::NodeId node;
+    Resource resource;
+  };
+
   void trigger_schedule();
   void schedule_pass();
+  /// Watchdog tick: declare nodes lost whose last heartbeat is older than
+  /// the timeout, then re-arm while the engine has other live events.
+  void heartbeat_tick();
   /// Try to place request `req`; returns true and fires its callback on
   /// success.
   bool try_place(AppId app_id, AppState& app, PendingRequest& req);
@@ -140,6 +174,15 @@ class ResourceManager {
   std::vector<bool> alive_;
   std::vector<NodeFailureCb> failure_subscribers_;
   int locality_delay_passes_ = 0;
+  /// Every granted container, keyed by id (ordered: reclaim scans must
+  /// visit containers in grant order for determinism).
+  std::map<ContainerId, LiveContainer> containers_;
+  // Heartbeat watchdog state (enable_heartbeats).
+  bool heartbeats_enabled_ = false;
+  SimTime heartbeat_period_ = 0.5;
+  SimTime heartbeat_timeout_ = 3.0;
+  std::vector<bool> responsive_;
+  std::vector<SimTime> last_heartbeat_;
 };
 
 }  // namespace mron::yarn

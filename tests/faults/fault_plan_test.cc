@@ -1,0 +1,91 @@
+// FaultPlan text format: parsing, round-tripping, and validation. Plans are
+// the declarative half of fault injection (FAULTS.md); everything here is
+// pure description — no engine involved.
+#include "faults/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/check.h"
+
+namespace mron::faults {
+namespace {
+
+const char* kFullPlan =
+    "# canned plan\n"
+    "seed 42\n"
+    "heartbeat period=0.5 timeout=3\n"
+    "taskfail prob=0.02\n"
+    "crash node=4 at=120 restart=300\n"
+    "crash node=9 at=200\n"
+    "degrade node=7 from=60 until=180 disk=0.25 nic=0.5\n"
+    "degrade node=3 from=10 until=40 cpu=0.8\n";
+
+TEST(FaultPlan, ParsesEveryDirective) {
+  const FaultPlan p = FaultPlan::parse(kFullPlan);
+  EXPECT_EQ(p.seed, 42u);
+  EXPECT_DOUBLE_EQ(p.task_fail_prob, 0.02);
+  EXPECT_DOUBLE_EQ(p.heartbeat_period, 0.5);
+  EXPECT_DOUBLE_EQ(p.heartbeat_timeout, 3.0);
+  ASSERT_EQ(p.crashes.size(), 2u);
+  EXPECT_EQ(p.crashes[0].node, 4);
+  EXPECT_DOUBLE_EQ(p.crashes[0].at, 120.0);
+  EXPECT_DOUBLE_EQ(p.crashes[0].restart_at, 300.0);
+  // No restart= means the node never comes back.
+  EXPECT_EQ(p.crashes[1].node, 9);
+  EXPECT_LT(p.crashes[1].restart_at, 0.0);
+  ASSERT_EQ(p.degradations.size(), 2u);
+  EXPECT_EQ(p.degradations[0].node, 7);
+  EXPECT_DOUBLE_EQ(p.degradations[0].disk_factor, 0.25);
+  EXPECT_DOUBLE_EQ(p.degradations[0].nic_factor, 0.5);
+  EXPECT_DOUBLE_EQ(p.degradations[0].cpu_factor, 1.0);  // untouched resource
+  EXPECT_DOUBLE_EQ(p.degradations[1].cpu_factor, 0.8);
+  EXPECT_FALSE(p.empty());
+}
+
+TEST(FaultPlan, SemicolonsAndCommentsSeparateDirectives) {
+  const FaultPlan p = FaultPlan::parse(
+      "seed 7; taskfail prob=0.1  # trailing comment\n"
+      "crash node=1 at=5; crash node=2 at=6\n");
+  EXPECT_EQ(p.seed, 7u);
+  EXPECT_DOUBLE_EQ(p.task_fail_prob, 0.1);
+  EXPECT_EQ(p.crashes.size(), 2u);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString) {
+  const FaultPlan p = FaultPlan::parse(kFullPlan);
+  const FaultPlan q = FaultPlan::parse(p.to_string());
+  EXPECT_EQ(p.to_string(), q.to_string());
+  EXPECT_EQ(q.crashes.size(), p.crashes.size());
+  EXPECT_EQ(q.degradations.size(), p.degradations.size());
+  EXPECT_DOUBLE_EQ(q.task_fail_prob, p.task_fail_prob);
+}
+
+TEST(FaultPlan, DefaultPlanIsEmptyAndValid) {
+  const FaultPlan p;
+  EXPECT_TRUE(p.empty());
+  p.validate(4);  // injecting nothing is always well-formed
+  // Heartbeat parameters alone do not make a plan non-empty.
+  const FaultPlan q = FaultPlan::parse("seed 1\nheartbeat period=1 timeout=4");
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(FaultPlan, ValidateRejectsMalformedPlans) {
+  FaultPlan p = FaultPlan::parse("crash node=6 at=10");
+  EXPECT_THROW(p.validate(6), CheckError);  // node out of [0, num_nodes)
+  p = FaultPlan::parse("degrade node=0 from=20 until=20 disk=0.5");
+  EXPECT_THROW(p.validate(4), CheckError);  // empty window
+  p = FaultPlan::parse("degrade node=0 from=0 until=10 disk=0");
+  EXPECT_THROW(p.validate(4), CheckError);  // factor must stay positive
+  p = FaultPlan::parse("taskfail prob=1.5");
+  EXPECT_THROW(p.validate(4), CheckError);  // probability outside [0, 1]
+}
+
+TEST(FaultPlan, ParseRejectsUnknownDirectives) {
+  EXPECT_THROW(FaultPlan::parse("explode node=1 at=10"), CheckError);
+  EXPECT_THROW(FaultPlan::parse("crash node=1 at=abc"), CheckError);
+}
+
+}  // namespace
+}  // namespace mron::faults

@@ -1,0 +1,187 @@
+// Failure recovery under a declarative FaultPlan: injected attempt kills
+// retry to completion, a mid-job crash re-executes the completed maps that
+// died with the node, and the kill-every-node-once smoke — each node in the
+// cluster crashes once, staggered so the cluster never empties, and the job
+// still finishes with every map accounted for.
+#include <gtest/gtest.h>
+
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "mapreduce/simulation.h"
+
+namespace mron::mapreduce {
+namespace {
+
+SimulationOptions small_cluster(std::uint64_t seed, const char* plan) {
+  SimulationOptions opt;
+  opt.cluster.num_slaves = 6;
+  opt.cluster.rack_sizes = {3, 3};
+  opt.seed = seed;
+  opt.fault_plan = faults::FaultPlan::parse(plan);
+  return opt;
+}
+
+JobSpec job(Simulation& sim, int blocks, int reduces) {
+  JobSpec spec;
+  spec.name = "victim";
+  spec.input = sim.load_dataset("in", mebibytes(128.0 * blocks));
+  spec.num_reduces = reduces;
+  spec.profile.map_cpu_secs_per_mib = 0.3;
+  spec.profile.map_output_ratio = 1.0;
+  return spec;
+}
+
+TEST(FaultRecovery, InjectedFailuresAreRetriedToCompletion) {
+  Simulation sim(small_cluster(11, "seed 11\ntaskfail prob=0.3"));
+  JobResult result;
+  bool done = false;
+  sim.submit_job(job(sim, 16, 4), [&](const JobResult& r) {
+    result = r;
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  // prob=0.3 over 20 tasks: some attempts certainly died, yet every task
+  // eventually succeeded within max_task_attempts.
+  EXPECT_GT(result.injected_failures, 0);
+  EXPECT_EQ(result.injected_failures,
+            sim.fault_injector()->stats().injected_task_failures);
+  int map_successes = 0, injected_reports = 0;
+  for (const auto& r : result.map_reports) {
+    if (r.failed_injected) {
+      ++injected_reports;
+    } else if (!r.failed_oom) {
+      ++map_successes;
+    }
+  }
+  EXPECT_EQ(map_successes, 16);
+  EXPECT_GT(injected_reports, 0);
+  int reduce_successes = 0;
+  for (const auto& r : result.reduce_reports) {
+    if (!r.failed_oom && !r.failed_injected) ++reduce_successes;
+  }
+  EXPECT_EQ(reduce_successes, 4);
+}
+
+TEST(FaultRecovery, RetriesNeverExceedMaxAttemptsEvenAtProbOne) {
+  // prob=1.0 would kill every attempt forever; the injector guarantee that
+  // the final allowed attempt is never injected is what lets the job finish.
+  Simulation sim(small_cluster(12, "seed 12\ntaskfail prob=1.0"));
+  JobResult result;
+  bool done = false;
+  JobSpec spec = job(sim, 8, 2);
+  sim.submit_job(std::move(spec), [&](const JobResult& r) {
+    result = r;
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  int max_attempt = 0;
+  for (const auto& r : result.map_reports) {
+    max_attempt = std::max(max_attempt, r.attempt);
+  }
+  EXPECT_LE(max_attempt, JobSpec{}.max_task_attempts);
+  // Every non-final map attempt was killed. Reduces can escape: the strike
+  // lands at a fraction of the *estimated* runtime, and an attempt that
+  // finishes first out-runs its kill — so the tally is bounded, not exact.
+  EXPECT_GE(result.injected_failures, (JobSpec{}.max_task_attempts - 1) * 8);
+  EXPECT_LE(result.injected_failures,
+            (JobSpec{}.max_task_attempts - 1) * (8 + 2));
+}
+
+TEST(FaultRecovery, PlannedCrashReexecutesLostMapOutputs) {
+  // slowstart=1.0 parks the reducers until every map is done, so the crash
+  // at t=60 — between the first and second map waves — strictly loses
+  // *completed* map outputs that no reducer has fetched yet.
+  Simulation sim(small_cluster(13,
+                               "seed 13\n"
+                               "heartbeat period=0.5 timeout=3\n"
+                               "crash node=0 at=60"));
+  JobSpec spec = job(sim, 48, 4);
+  spec.slowstart = 1.0;
+  JobResult result;
+  bool done = false;
+  auto& am = sim.submit_job(std::move(spec), [&](const JobResult& r) {
+    result = r;
+    done = true;
+  });
+  int completed_when_crashed = -1;
+  sim.engine().schedule_at(60.0, [&] {
+    completed_when_crashed = am.completed_maps();
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  ASSERT_GT(completed_when_crashed, 0);
+  ASSERT_LT(completed_when_crashed, 48);
+  EXPECT_GT(result.lost_maps_reexecuted, 0);
+  EXPECT_EQ(result.lost_maps_reexecuted,
+            sim.fault_injector()->stats().lost_map_reexecutions);
+  // The re-executed maps still produce exactly one surviving success each.
+  int successes = 0;
+  for (const auto& r : result.map_reports) {
+    if (!r.failed_oom && !r.failed_injected) ++successes;
+  }
+  EXPECT_GE(successes, 48);
+}
+
+TEST(FaultRecovery, KillEveryNodeOnceSmoke) {
+  // Each of the six nodes crashes once, staggered 12 s apart with an 8 s
+  // outage, so at most one node is ever down and the cluster never empties.
+  // A background 2% attempt-kill probability runs throughout.
+  Simulation sim(small_cluster(14,
+                               "seed 14\n"
+                               "heartbeat period=0.5 timeout=3\n"
+                               "taskfail prob=0.02\n"
+                               "crash node=0 at=20 restart=28\n"
+                               "crash node=1 at=32 restart=40\n"
+                               "crash node=2 at=44 restart=52\n"
+                               "crash node=3 at=56 restart=64\n"
+                               "crash node=4 at=68 restart=76\n"
+                               "crash node=5 at=80 restart=88"));
+  JobResult result;
+  bool done = false;
+  sim.submit_job(job(sim, 24, 6), [&](const JobResult& r) {
+    result = r;
+    done = true;
+  });
+  sim.run();
+  ASSERT_TRUE(done);
+  const faults::FaultStats& stats = sim.fault_injector()->stats();
+  EXPECT_EQ(stats.crashes, 6);
+  EXPECT_EQ(stats.restarts, 6);
+  int map_successes = 0;
+  for (const auto& r : result.map_reports) {
+    if (!r.failed_oom && !r.failed_injected) ++map_successes;
+  }
+  EXPECT_GE(map_successes, 24);
+  int reduce_successes = 0;
+  for (const auto& r : result.reduce_reports) {
+    if (!r.failed_oom && !r.failed_injected) ++reduce_successes;
+  }
+  EXPECT_GE(reduce_successes, 6);
+}
+
+TEST(FaultRecovery, FaultedReportsAreStamped) {
+  // Attempts overlapping the degradation window carry TaskReport::faulted —
+  // the tuner's signal to discard them as cost samples.
+  Simulation sim(small_cluster(15,
+                               "seed 15\n"
+                               "degrade node=1 from=0 until=100000 disk=0.2"));
+  JobResult result;
+  sim.submit_job(job(sim, 12, 4), [&](const JobResult& r) { result = r; });
+  sim.run();
+  int faulted = 0, clean = 0;
+  for (const auto& r : result.map_reports) {
+    if (r.faulted) {
+      ++faulted;
+      EXPECT_EQ(r.node.value(), 1);
+    } else {
+      ++clean;
+    }
+  }
+  EXPECT_GT(faulted, 0);
+  EXPECT_GT(clean, 0);
+}
+
+}  // namespace
+}  // namespace mron::mapreduce

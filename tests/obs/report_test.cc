@@ -68,7 +68,7 @@ TEST(RunReport, SerializationIsDeterministic) {
   const std::string once = report.to_json(nullptr);
   const std::string twice = report.to_json(nullptr);
   EXPECT_EQ(once, twice);
-  EXPECT_NE(once.find("\"schema\":\"mron.run_report/1\""), std::string::npos);
+  EXPECT_NE(once.find("\"schema\":\"mron.run_report/2\""), std::string::npos);
 }
 
 TEST(RunReport, NullRecorderLeavesObsSectionsEmpty) {
@@ -122,7 +122,7 @@ TEST(RunReport, SimulationRollupProducesFullSchema) {
 
   const std::string json = mapreduce::run_report_json(
       sim, {{&result, &config}}, {{"app", "terasort"}});
-  EXPECT_NE(json.find("\"schema\":\"mron.run_report/1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mron.run_report/2\""), std::string::npos);
   EXPECT_NE(json.find("\"app\":\"terasort\""), std::string::npos);
   EXPECT_NE(json.find("\"cluster.node0.cpu_util\""), std::string::npos);
   EXPECT_NE(json.find("\"spilled_records\""), std::string::npos);

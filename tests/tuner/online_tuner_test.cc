@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "faults/fault_plan.h"
 #include "workloads/benchmarks.h"
 
 namespace mron::tuner {
@@ -158,6 +159,45 @@ TEST(OnlineTunerConservative, MakesAdjustmentsDuringRun) {
   EXPECT_GT(out.conservative_adjustments, 0);
   // Conservative tuning should at minimum have fixed the spill trigger.
   EXPECT_DOUBLE_EQ(out.best_config.sort_spill_percent, 0.99);
+}
+
+// Fault awareness: the tuner still converges to a usable config when the
+// run is poisoned by injected kills and a degraded straggler node, and the
+// discard_faulted knob (drop samples from faulted hardware, replace their
+// wave cost with the clean-slot median) is what keeps the two runs from
+// being steered apart by hardware noise.
+TEST(OnlineTunerFaulted, ConvergesUnderInjectedFaults) {
+  auto run = [](bool discard_faulted) {
+    SimulationOptions sopt;
+    sopt.seed = 24;
+    sopt.fault_plan = faults::FaultPlan::parse(
+        "seed 6\n"
+        "taskfail prob=0.05\n"
+        "degrade node=2 from=0 until=100000 disk=0.3 nic=0.5");
+    Simulation sim(sopt);
+    JobSpec spec = small_terasort(sim, 120);
+    TunerOptions topt = small_options(TuningStrategy::Aggressive);
+    topt.discard_faulted = discard_faulted;
+    OnlineTuner tuner(topt);
+    bool finished = false;
+    auto& am = sim.submit_job(spec, [&](const JobResult&) {
+      finished = true;
+    });
+    tuner.attach(am);
+    sim.run();
+    EXPECT_TRUE(finished);
+    return tuner.outcome(am.id());
+  };
+  const auto with_discard = run(true);
+  const auto without_discard = run(false);
+  // Both modes finish and produce a constraint-satisfying config; the
+  // injected kills must not leak into the cost model as samples.
+  for (const auto* out : {&with_discard, &without_discard}) {
+    EXPECT_GT(out->waves, 1);
+    EXPECT_GT(out->configs_tried, 0);
+    JobConfig best = out->best_config;
+    EXPECT_EQ(mapreduce::clamp_constraints(best), 0);
+  }
 }
 
 TEST(OnlineTuner, MultipleJobsTunedIndependently) {

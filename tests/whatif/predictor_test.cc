@@ -156,6 +156,44 @@ TEST(CostBasedOptimizer, WinnerIdenticalWithCacheOnOffAndAcrossJobs) {
   EXPECT_EQ(cached_serial, uncached_wide);
 }
 
+TEST(Predictor, AllOnesNodeSlowdownMatchesEmptyExactly) {
+  auto in = terasort_inputs(20);
+  const auto base = predict(in);
+  in.node_slowdown.assign(static_cast<std::size_t>(in.cluster.num_slaves),
+                          1.0);
+  const auto same = predict(in);
+  // The documented contract: an all-1.0 vector is byte-identical to the
+  // homogeneous (empty) case.
+  EXPECT_DOUBLE_EQ(same.map_task_secs, base.map_task_secs);
+  EXPECT_DOUBLE_EQ(same.reduce_task_secs, base.reduce_task_secs);
+  EXPECT_DOUBLE_EQ(same.map_phase_secs, base.map_phase_secs);
+  EXPECT_DOUBLE_EQ(same.reduce_phase_secs, base.reduce_phase_secs);
+  EXPECT_DOUBLE_EQ(same.total_secs, base.total_secs);
+  EXPECT_EQ(same.map_waves, base.map_waves);
+  EXPECT_EQ(same.map_spill_records, base.map_spill_records);
+}
+
+TEST(Predictor, SlowNodesLengthenTheJob) {
+  auto in = terasort_inputs(20);
+  const auto base = predict(in);
+  in.node_slowdown.assign(static_cast<std::size_t>(in.cluster.num_slaves),
+                          1.0);
+  in.node_slowdown[0] = 3.0;  // one recovering host, three times slower
+  const auto one_slow = predict(in);
+  EXPECT_GT(one_slow.total_secs, base.total_secs);
+  // Degrading more of the cluster can only make things worse.
+  in.node_slowdown[1] = 3.0;
+  in.node_slowdown[2] = 3.0;
+  const auto three_slow = predict(in);
+  EXPECT_GE(three_slow.total_secs, one_slow.total_secs);
+}
+
+TEST(Predictor, NodeSlowdownVectorMustMatchClusterSize) {
+  auto in = terasort_inputs(20);
+  in.node_slowdown = {1.0, 2.0};  // cluster has more slaves than this
+  EXPECT_THROW((void)predict(in), CheckError);
+}
+
 TEST(CostBasedOptimizer, SingleChainWinnerAlsoCacheInvariant) {
   const auto in = terasort_inputs(20);
   const bool saved = tuner::eval_cache_enabled();

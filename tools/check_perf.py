@@ -96,6 +96,16 @@ def main() -> int:
         cur = json.load(f)
     tol = args.tolerance / 100.0
 
+    # Runs recorded under fault injection (a non-empty `faults` block, see
+    # FAULTS.md) measure recovery behavior, not steady-state performance —
+    # wall times include crashes, stragglers, and retries. Never gate on
+    # them.
+    for label, doc in (("baseline", base), ("current", cur)):
+        if doc.get("faults"):
+            print(f"SKIP all gates: {label} file was recorded under fault "
+                  f"injection (non-empty 'faults' block)")
+            return 0
+
     gated = dict(GATED)
     rows = []
     skip_reason = parallel_gating_reason(base, cur)

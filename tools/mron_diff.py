@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff two mron run reports (mron.run_report/1) counter-by-counter.
+"""Diff two mron run reports (mron.run_report/2) counter-by-counter.
 
     mron_diff.py base.json candidate.json
     mron_diff.py base.json candidate.json --threshold 5
@@ -22,7 +22,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "mron.run_report/1"
+SCHEMA = "mron.run_report/2"
 DEFAULT_GATE_KEYS = ("exec_secs", "spilled_records", "failed_attempts")
 
 
@@ -99,6 +99,8 @@ def main(argv):
         return 1
 
     deltas = diff_table(base["totals"], cand["totals"], "totals")
+    if base.get("faults") or cand.get("faults"):
+        diff_table(base.get("faults", {}), cand.get("faults", {}), "faults")
     if args.metrics:
         diff_table(base.get("metrics", {}), cand.get("metrics", {}),
                    "metrics")

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate and render an mron run report (obs/report.h, mron.run_report/1).
+"""Validate and render an mron run report (obs/report.h, mron.run_report/2).
 
     mron_report.py run_report.json                # write run_report.html
     mron_report.py run_report.json -o out.html
@@ -19,8 +19,9 @@ import json
 import math
 import sys
 
-SCHEMA = "mron.run_report/1"
-TOP_KEYS = {"schema", "meta", "jobs", "totals", "metrics", "series", "audit"}
+SCHEMA = "mron.run_report/2"
+TOP_KEYS = {"schema", "meta", "jobs", "totals", "faults", "metrics", "series",
+            "audit"}
 JOB_KEYS = {"id", "name", "submit_time", "finish_time", "counters", "stats",
             "config"}
 
@@ -105,6 +106,24 @@ def validate(report):
                 errors.append(f"totals.{key}: missing")
             elif not math.isclose(got, want, rel_tol=1e-9, abs_tol=1e-6):
                 errors.append(f"totals.{key}: {got} != job sum {want}")
+
+    # The faults block is empty on fault-free runs; on faulted runs the
+    # recovery tallies must agree with the per-job stats rollup.
+    faults = report.get("faults", {})
+    check_number_map(errors, "faults", faults)
+    if isinstance(faults, dict) and faults:
+        for fkey, jkey in (("injected_task_failures", "injected_failures"),
+                           ("fetch_failures", "fetch_failures"),
+                           ("lost_map_reexecutions", "lost_maps_reexecuted")):
+            if fkey not in faults:
+                errors.append(f"faults.{fkey}: missing")
+                continue
+            want = sum(j.get("stats", {}).get(jkey, 0.0) for j in jobs
+                       if isinstance(j, dict))
+            if not math.isclose(faults[fkey], want,
+                                rel_tol=1e-9, abs_tol=1e-6):
+                errors.append(f"faults.{fkey}: {faults[fkey]} != "
+                              f"job-stats sum {want}")
 
     check_number_map(errors, "metrics", report.get("metrics", {}))
 
