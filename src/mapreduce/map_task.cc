@@ -165,6 +165,19 @@ void MapTask::phase_spill() {
     reg.counter("mr.map.spill_bytes").add(plan.disk_write_bytes.as_double());
     reg.counter("mr.map.merge_rounds")
         .add(static_cast<double>(plan.merge_rounds));
+    // Critical path: read+map ends here; the rest of the attempt is
+    // sort/spill/merge. Speculative backups blame their whole compute on
+    // the speculation decision that launched them.
+    if (inputs_.cp_job >= 0) {
+      obs::CriticalPathBuilder& cp = rec->critical_path();
+      const obs::CpNode spill = cp.stamped(
+          inputs_.cp_job, "map_spill", engine_.now(), inputs_.task.index,
+          inputs_.attempt, static_cast<int>(node_.id().value()),
+          static_cast<int>(inputs_.trace_tid));
+      cp.edge(inputs_.cp_start, spill,
+              inputs_.cp_speculative ? obs::Blame::Speculation
+                                     : obs::Blame::MapCompute);
+    }
   }
   // The codec shrinks every on-disk byte; record counts are unchanged.
   const bool compress = config_.map_output_compress >= 0.5;
@@ -213,6 +226,20 @@ void MapTask::finish(bool oom) {
   if (aborted_) return;
   finished_ = true;
   switch_phase_span(nullptr);
+  if (!oom && inputs_.cp_job >= 0) {
+    if (auto* rec = engine_.recorder()) {
+      obs::CriticalPathBuilder& cp = rec->critical_path();
+      const obs::CpNode done = cp.stamped(
+          inputs_.cp_job, "map_done", engine_.now(), inputs_.task.index,
+          inputs_.attempt, static_cast<int>(node_.id().value()),
+          static_cast<int>(inputs_.trace_tid));
+      cp.edge(cp.node(inputs_.cp_job, "map_spill", inputs_.task.index,
+                      inputs_.attempt),
+              done,
+              inputs_.cp_speculative ? obs::Blame::Speculation
+                                     : obs::Blame::SpillMerge);
+    }
+  }
   node_.sub_used_memory(working_set_);
   report_.end_time = engine_.now();
   report_.failed_oom = oom;

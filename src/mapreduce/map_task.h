@@ -41,6 +41,13 @@ class MapTask {
     double noise_cv = 0.08;
     /// Trace lane (container id) for the attempt's phase spans.
     std::int64_t trace_tid = 0;
+    /// Critical path (obs/critical_path.h): owning job id, the attempt's
+    /// "map_start" node, and whether this is a speculative backup (its
+    /// compute segments are then blamed on speculation). cp_job < 0
+    /// disables emission (unobserved runs, unit tests).
+    std::int64_t cp_job = -1;
+    std::int64_t cp_start = -1;
+    bool cp_speculative = false;
   };
   /// Fired once, with the attempt's report (failed_oom set on OOM).
   using Done = std::function<void(const TaskReport&)>;

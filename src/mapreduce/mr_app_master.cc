@@ -40,6 +40,11 @@ void MrAppMaster::submit() {
   result_.id = id_;
   result_.name = spec_.name;
   result_.submit_time = engine_.now();
+  if (auto* cpb = cp()) {
+    // Root of the job's causal DAG; every first-attempt container wait
+    // draws its sched_wait edge from here.
+    cp_submit_ = cpb->stamped(id_.value(), "job_submit", engine_.now());
+  }
 
   // Wave progress is pull-model (recorder.h's contract): the sampling clock
   // reads the completion counters once per tick and stamps the whole-run
@@ -237,6 +242,21 @@ void MrAppMaster::end_task_span(obs::SpanId& slot) {
   slot = obs::kInvalidSpan;
 }
 
+obs::CriticalPathBuilder* MrAppMaster::cp() {
+  auto* rec = engine_.recorder();
+  return rec == nullptr ? nullptr : &rec->critical_path();
+}
+
+obs::CpNode MrAppMaster::cp_fail_node(const char* kind, int index, int attempt,
+                                      obs::CpNode attempt_start) {
+  auto* cpb = cp();
+  if (cpb == nullptr) return obs::kInvalidCpNode;
+  const obs::CpNode fail = cpb->stamped(id_.value(), kind, engine_.now(),
+                                        index, attempt);
+  cpb->edge(attempt_start, fail, obs::Blame::RetryRecovery);
+  return fail;
+}
+
 void MrAppMaster::schedule_pump() {
   if (pump_scheduled_ || finished_ || !submitted_) return;
   pump_scheduled_ = true;
@@ -289,10 +309,16 @@ void MrAppMaster::request_map(int index) {
   const JobConfig cfg = config_for(TaskRef{TaskKind::Map, index});
   yarn::Resource res{mebibytes(cfg.map_memory_mb),
                      static_cast<int>(cfg.map_cpu_vcores)};
+  // First attempts wait on the scheduler (submit → grant); retries wait on
+  // recovery (fail/lost → grant spans the backoff as well).
+  const bool retry = m.cp_fail != obs::kInvalidCpNode;
   rm_.request_container(app_, res, m.replicas,
                         [this, index](const yarn::Container& c) {
                           on_map_container(index, c);
-                        });
+                        },
+                        retry ? m.cp_fail : cp_submit_,
+                        retry ? obs::Blame::RetryRecovery
+                              : obs::Blame::SchedWait);
 }
 
 void MrAppMaster::request_reduce(int index) {
@@ -303,10 +329,14 @@ void MrAppMaster::request_reduce(int index) {
   const JobConfig cfg = config_for(TaskRef{TaskKind::Reduce, index});
   yarn::Resource res{mebibytes(cfg.reduce_memory_mb),
                      static_cast<int>(cfg.reduce_cpu_vcores)};
+  const bool retry = r.cp_fail != obs::kInvalidCpNode;
   rm_.request_container(app_, res, {},
                         [this, index](const yarn::Container& c) {
                           on_reduce_container(index, c);
-                        });
+                        },
+                        retry ? r.cp_fail : cp_submit_,
+                        retry ? obs::Blame::RetryRecovery
+                              : obs::Blame::SchedWait);
 }
 
 void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
@@ -333,6 +363,14 @@ void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
   inputs.ws_factor = ws_factor_;
   inputs.noise_cv = spec_.noise_cv;
   inputs.trace_tid = c.id.value();
+  if (auto* cpb = cp()) {
+    m.cp_start = cpb->stamped(id_.value(), "map_start", engine_.now(), index,
+                              m.attempts, static_cast<int>(c.node.value()),
+                              static_cast<int>(c.id.value()));
+    cpb->edge(c.cp_grant, m.cp_start, obs::Blame::SchedWait);
+    inputs.cp_job = id_.value();
+    inputs.cp_start = m.cp_start;
+  }
   if (spec_.input.valid()) {
     inputs.source = pick_live_replica(m, c.node);
     inputs.locality = inputs.source == c.node
@@ -383,6 +421,15 @@ void MrAppMaster::on_reduce_container(int index, const yarn::Container& c) {
   inputs.ws_factor = ws_factor_;
   inputs.noise_cv = spec_.noise_cv;
   inputs.trace_tid = c.id.value();
+  if (auto* cpb = cp()) {
+    r.cp_start = cpb->stamped(id_.value(), "reduce_start", engine_.now(),
+                              index, r.attempts,
+                              static_cast<int>(c.node.value()),
+                              static_cast<int>(c.id.value()));
+    cpb->edge(c.cp_grant, r.cp_start, obs::Blame::SchedWait);
+    inputs.cp_job = id_.value();
+    inputs.cp_start = r.cp_start;
+  }
 
   const JobConfig cfg = config_for(inputs.task);
   if (r.run != nullptr) dead_reduce_runs_.push_back(std::move(r.run));
@@ -401,9 +448,18 @@ void MrAppMaster::on_reduce_container(int index, const yarn::Container& c) {
   r.run->set_fetch_failure([this, index](int mi, cluster::NodeId src) {
     on_shuffle_fetch_failure(index, mi, src);
   });
-  // Feed map outputs that completed before this reducer existed.
+  // Feed map outputs that completed before this reducer existed. Their
+  // shuffle edges target the attempt's not-yet-stamped "reduce_shuffle_done"
+  // node — the reduce task stamps it when the last segment lands, and
+  // extraction then follows whichever arrival was latest.
   for (const auto& [mi, src, bytes] : r.stashed) {
     r.run->add_map_output(mi, src, bytes);
+    if (auto* cpb = cp()) {
+      cpb->edge(maps_[static_cast<std::size_t>(mi)].cp_done,
+                cpb->node(id_.value(), "reduce_shuffle_done", index,
+                          r.attempts),
+                obs::Blame::ShuffleNet);
+    }
   }
   r.stashed.clear();
   r.run->start();
@@ -464,6 +520,8 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
                          rep.config.map_memory_mb * 1.5));
     clamp_constraints(retry);
     m.override_config = retry;
+    // The whole dead attempt (start → kill) is recovery time on the path.
+    m.cp_fail = cp_fail_node("map_fail", index, m.attempts, m.cp_start);
     // Retries are re-executions, not new launches: they bypass the wave
     // budget and go straight back to the RM (otherwise a retry would eat a
     // budget unit granted for a tuner wave and stall the wave).
@@ -472,6 +530,11 @@ void MrAppMaster::on_map_done(int index, const TaskReport& report,
   }
 
   m.done = true;
+  if (auto* cpb = cp()) {
+    // The winning attempt's completion node (the task stamped it); keyed by
+    // rep.attempt so a speculative win binds the backup's chain.
+    m.cp_done = cpb->node(id_.value(), "map_done", index, rep.attempt);
+  }
   m.combined_output = speculative ? m.spec_run->combined_output_bytes()
                                   : m.run->combined_output_bytes();
   m.ran_on = rep.node;
@@ -548,11 +611,14 @@ void MrAppMaster::check_stragglers() {
     for (auto replica : m.replicas) {
       if (replica != m.container.node) preferred.push_back(replica);
     }
+    // The backup's whole chain — grant wait included — is charged to the
+    // speculation decision made here, rooted at the original's start.
     m.spec_request = rm_.request_container(
         app_, res, std::move(preferred),
         [this, i](const yarn::Container& c) {
           on_speculative_container(i, c);
-        });
+        },
+        m.cp_start, obs::Blame::Speculation);
   }
 }
 
@@ -605,6 +671,15 @@ void MrAppMaster::on_speculative_container(int index,
   inputs.ws_factor = ws_factor_;
   inputs.noise_cv = spec_.noise_cv;
   inputs.trace_tid = c.id.value();
+  if (auto* cpb = cp()) {
+    m.spec_cp_start = cpb->stamped(
+        id_.value(), "map_start", engine_.now(), index, m.attempts + 1,
+        static_cast<int>(c.node.value()), static_cast<int>(c.id.value()));
+    cpb->edge(c.cp_grant, m.spec_cp_start, obs::Blame::Speculation);
+    inputs.cp_job = id_.value();
+    inputs.cp_start = m.spec_cp_start;
+    inputs.cp_speculative = true;
+  }
   if (spec_.input.valid()) {
     inputs.source = pick_live_replica(m, c.node);
     inputs.locality = inputs.source == c.node
@@ -636,6 +711,14 @@ void MrAppMaster::deliver_map_output(int map_index) {
     auto& r = reduces_[static_cast<std::size_t>(rix)];
     if (r.running && r.run != nullptr) {
       r.run->add_map_output(map_index, m.ran_on, part);
+      // This delivery may be what the reducer's shuffle ends on; extraction
+      // keeps whichever arrival into "reduce_shuffle_done" was last.
+      if (auto* cpb = cp()) {
+        cpb->edge(m.cp_done,
+                  cpb->node(id_.value(), "reduce_shuffle_done", rix,
+                            r.attempts),
+                  obs::Blame::ShuffleNet);
+      }
     } else if (!r.done) {
       r.stashed.emplace_back(map_index, m.ran_on, part);
     }
@@ -671,6 +754,7 @@ void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
                          rep.config.reduce_memory_mb * 1.5));
     clamp_constraints(retry);
     r.override_config = retry;
+    r.cp_fail = cp_fail_node("reduce_fail", index, r.attempts, r.cp_start);
     r.run.reset();
     r.stashed.clear();
     // Re-stash every completed map's partition for the fresh attempt.
@@ -690,6 +774,9 @@ void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
   }
 
   r.done = true;
+  if (auto* cpb = cp()) {
+    r.cp_done = cpb->node(id_.value(), "reduce_done", index, rep.attempt);
+  }
   result_.counters.reduce += rep.counters;
   if (reduce_secs_hist_ != nullptr) {
     reduce_secs_hist_->observe(rep.duration());
@@ -731,6 +818,7 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
       disarm_fault_kill(m.fault_kill, m.fault_kill_pending);
       rm_.release_container(m.container);
       end_task_span(m.span);
+      m.cp_fail = cp_fail_node("map_fail", i, m.attempts, m.cp_start);
       request_map(i);
     }
     if (m.spec_running && m.spec_container.node == node) {
@@ -751,6 +839,7 @@ void MrAppMaster::handle_node_failure(cluster::NodeId node) {
       --running_reduces_or_requested_;
       rm_.release_container(r.container);
       end_task_span(r.span);
+      r.cp_fail = cp_fail_node("reduce_fail", i, r.attempts, r.cp_start);
       // The aborted run is parked by the next on_reduce_container().
       r.stashed.clear();
       for (int mi = 0; mi < num_maps_; ++mi) {
@@ -791,6 +880,15 @@ void MrAppMaster::reexecute_lost_map(int map_index) {
   }
   if (auto* rec = engine_.recorder()) {
     rec->metrics().counter("mr.map.lost_output_reexecutions").add(1.0);
+    // The lost output invalidates the old completion: re-root the task's
+    // chain at a "map_lost" event so the re-execution (wait + rerun) is
+    // charged to recovery, not to a second map_compute pass.
+    obs::CriticalPathBuilder& cpb = rec->critical_path();
+    const obs::CpNode lost = cpb.stamped(id_.value(), "map_lost",
+                                         engine_.now(), map_index, m.attempts);
+    cpb.edge(m.cp_done, lost, obs::Blame::RetryRecovery);
+    m.cp_fail = lost;
+    m.cp_done = obs::kInvalidCpNode;
   }
   // Drop stale stash entries pointing at the lost copy; the fresh
   // completion will re-stash.
@@ -901,6 +999,9 @@ void MrAppMaster::fail_map_attempt(int index, int attempt) {
   if (auto* rec = engine_.recorder()) {
     rec->metrics().counter("mr.map.failed_attempts.injected").add(1.0);
   }
+  // Recovery chain: the re-request after the backoff draws its wait edge
+  // from this fail node, so the backoff itself lands in retry_recovery.
+  m.cp_fail = cp_fail_node("map_fail", index, attempt, m.cp_start);
   // Exponential backoff, then re-request — bypassing the wave budget, like
   // OOM retries. A speculative attempt may win during the backoff.
   engine_.schedule_after(retry_backoff(attempt), [this, index] {
@@ -938,6 +1039,7 @@ void MrAppMaster::fail_reduce_attempt(int index, int attempt) {
   if (auto* rec = engine_.recorder()) {
     rec->metrics().counter("mr.reduce.failed_attempts.injected").add(1.0);
   }
+  r.cp_fail = cp_fail_node("reduce_fail", index, attempt, r.cp_start);
   // The stash is rebuilt at retry time — the set of completed maps may
   // change during the backoff.
   engine_.schedule_after(retry_backoff(attempt), [this, index] {
@@ -976,6 +1078,20 @@ void MrAppMaster::maybe_finish() {
   }
   finished_ = true;
   result_.finish_time = engine_.now();
+  if (auto* cpb = cp()) {
+    // Close the DAG: the finish waits on every task's completion. Only the
+    // last arrival binds (a zero-width segment); the blame tag on the
+    // closing edge is therefore never charged meaningful time.
+    const obs::CpNode fin =
+        cpb->stamped(id_.value(), "job_finish", result_.finish_time);
+    for (const auto& m : maps_) {
+      cpb->edge(m.cp_done, fin, obs::Blame::MapCompute);
+    }
+    for (const auto& r : reduces_) {
+      cpb->edge(r.cp_done, fin, obs::Blame::ReduceCompute);
+    }
+    cpb->mark_job_finish(id_.value(), fin);
+  }
   rm_.unregister_app(app_);
   on_done_(result_);
 }

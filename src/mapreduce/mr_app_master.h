@@ -133,6 +133,14 @@ class MrAppMaster {
     cluster::NodeId ran_on;
     SimTime run_started = 0.0;
     obs::SpanId span = obs::kInvalidSpan;  ///< open attempt trace span
+    // Critical-path nodes (obs/critical_path.h): current attempt's start,
+    // the winning "map_done", and the most recent failure event — the next
+    // container request draws its wait edge from cp_fail (retry_recovery)
+    // instead of the job submit node.
+    obs::CpNode cp_start = obs::kInvalidCpNode;
+    obs::CpNode cp_done = obs::kInvalidCpNode;
+    obs::CpNode cp_fail = obs::kInvalidCpNode;
+    obs::CpNode spec_cp_start = obs::kInvalidCpNode;
     // Injected-fault kill scheduled against the current attempt.
     sim::EventId fault_kill;
     bool fault_kill_pending = false;
@@ -154,6 +162,10 @@ class MrAppMaster {
     bool done = false;
     SimTime run_started = 0.0;
     obs::SpanId span = obs::kInvalidSpan;  ///< open attempt trace span
+    // Critical-path nodes; see MapState.
+    obs::CpNode cp_start = obs::kInvalidCpNode;
+    obs::CpNode cp_done = obs::kInvalidCpNode;
+    obs::CpNode cp_fail = obs::kInvalidCpNode;
     // Injected-fault kill scheduled against the current attempt.
     sim::EventId fault_kill;
     bool fault_kill_pending = false;
@@ -215,6 +227,14 @@ class MrAppMaster {
   void begin_task_span(obs::SpanId& slot, const char* name,
                        const yarn::Container& c, int attempt);
   void end_task_span(obs::SpanId& slot);
+  /// The recorder's critical-path builder, or nullptr when unobserved.
+  [[nodiscard]] obs::CriticalPathBuilder* cp();
+  /// Stamp a "<kind>_fail" node for the attempt that just died and charge
+  /// the attempt's span to retry_recovery; the returned node becomes the
+  /// causal origin of the re-request (cp_fail), so backoff + re-queueing
+  /// land in the recovery bucket too.
+  obs::CpNode cp_fail_node(const char* kind, int index, int attempt,
+                           obs::CpNode attempt_start);
 
   sim::Engine& engine_;
   yarn::ResourceManager& rm_;
@@ -252,6 +272,9 @@ class MrAppMaster {
   bool submitted_ = false;
   bool finished_ = false;
   bool pump_scheduled_ = false;
+  /// The job's "job_submit" critical-path node — the causal origin of
+  /// every first-attempt container wait.
+  obs::CpNode cp_submit_ = obs::kInvalidCpNode;
   JobResult result_;
   /// Aborted attempts are parked here instead of destroyed: the engine may
   /// still hold events/stream completions that reference them.

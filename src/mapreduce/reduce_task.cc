@@ -290,6 +290,20 @@ void ReduceTask::maybe_finish_shuffle() {
 void ReduceTask::phase_merge() {
   if (aborted_) return;
   switch_phase_span("merge");
+  // Critical path: the shuffle (all fetches + final flush) ends here. The
+  // AM also draws map_done → reduce_shuffle_done edges at delivery time;
+  // extraction follows whichever arrival was last.
+  if (inputs_.cp_job >= 0) {
+    if (auto* rec = engine_.recorder()) {
+      obs::CriticalPathBuilder& cp = rec->critical_path();
+      const obs::CpNode shuffled = cp.stamped(
+          inputs_.cp_job, "reduce_shuffle_done", engine_.now(),
+          inputs_.task.index, inputs_.attempt,
+          static_cast<int>(node_.id().value()),
+          static_cast<int>(inputs_.trace_tid));
+      cp.edge(inputs_.cp_start, shuffled, obs::Blame::ShuffleNet);
+    }
+  }
   report_.counters.spilled_records += buffer_.spilled_records();
   report_.counters.local_disk_write_bytes += buffer_.disk_write_bytes();
 
@@ -317,6 +331,19 @@ void ReduceTask::phase_merge() {
 void ReduceTask::phase_reduce() {
   if (aborted_) return;
   switch_phase_span("reduce");
+  if (inputs_.cp_job >= 0) {
+    if (auto* rec = engine_.recorder()) {
+      obs::CriticalPathBuilder& cp = rec->critical_path();
+      const obs::CpNode merged = cp.stamped(
+          inputs_.cp_job, "reduce_merge_done", engine_.now(),
+          inputs_.task.index, inputs_.attempt,
+          static_cast<int>(node_.id().value()),
+          static_cast<int>(inputs_.trace_tid));
+      cp.edge(cp.node(inputs_.cp_job, "reduce_shuffle_done",
+                      inputs_.task.index, inputs_.attempt),
+              merged, obs::Blame::SpillMerge);
+    }
+  }
   // Final merge streams on-disk bytes into reduce(), pipelined with the
   // user CPU work over the full input.
   const Bytes on_disk = buffer_.disk_write_bytes();
@@ -388,6 +415,19 @@ void ReduceTask::finish(bool oom) {
   if (aborted_) return;
   finished_ = true;
   switch_phase_span(nullptr);
+  // reduce() + output write folded into one compute segment.
+  if (!oom && inputs_.cp_job >= 0) {
+    if (auto* rec = engine_.recorder()) {
+      obs::CriticalPathBuilder& cp = rec->critical_path();
+      const obs::CpNode done = cp.stamped(
+          inputs_.cp_job, "reduce_done", engine_.now(), inputs_.task.index,
+          inputs_.attempt, static_cast<int>(node_.id().value()),
+          static_cast<int>(inputs_.trace_tid));
+      cp.edge(cp.node(inputs_.cp_job, "reduce_merge_done",
+                      inputs_.task.index, inputs_.attempt),
+              done, obs::Blame::ReduceCompute);
+    }
+  }
   node_.sub_used_memory(resident_memory_);
   report_.end_time = engine_.now();
   report_.failed_oom = oom;

@@ -40,6 +40,11 @@ class ReduceTask {
     double noise_cv = 0.08;
     /// Trace lane (container id) for the attempt's phase spans.
     std::int64_t trace_tid = 0;
+    /// Critical path (obs/critical_path.h): owning job id; < 0 disables
+    /// emission. The attempt's phase-boundary nodes are keyed by
+    /// (task.index, attempt), so the AM can address them without handles.
+    std::int64_t cp_job = -1;
+    std::int64_t cp_start = -1;
   };
   using Done = std::function<void(const TaskReport&)>;
   /// Resolves a NodeId to the node (for charging source-disk reads).

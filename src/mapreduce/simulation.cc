@@ -116,8 +116,32 @@ void Simulation::run() {
   if (recorder_ != nullptr) {
     recorder_->flush();
     recorder_->metrics().sample(engine_.now());
+    emit_critical_path_flows();
   }
 #endif
 }
+
+#if MRON_OBS_ENABLED
+void Simulation::emit_critical_path_flows() {
+  // Chrome-trace flow arrows along each finished job's critical path, so
+  // the trace viewer visually connects producers to consumers across
+  // process lanes. Emitted once per job (repeated run() calls only cover
+  // jobs that finished since the last drain); segments whose endpoints
+  // carry no trace location (pid < 0, e.g. job_submit) are skipped.
+  obs::CriticalPathBuilder& cp = recorder_->critical_path();
+  auto& trace = recorder_->trace();
+  for (const auto& [job, end] : cp.finished_jobs()) {
+    if (!cp_flows_emitted_.insert(job).second) continue;
+    for (const obs::CpSegment& s : cp.extract(end)) {
+      if (cp.pid(s.from) < 0 || cp.pid(s.to) < 0) continue;
+      const std::int64_t id = next_cp_flow_id_++;
+      trace.flow_begin("critical_path", "cp", cp.pid(s.from), cp.tid(s.from),
+                       s.t0, id);
+      trace.flow_end("critical_path", "cp", cp.pid(s.to), cp.tid(s.to), s.t1,
+                     id);
+    }
+  }
+}
+#endif
 
 }  // namespace mron::mapreduce

@@ -8,6 +8,7 @@
 
 #include <functional>
 #include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -102,6 +103,12 @@ class Simulation {
   void run();
 
  private:
+#if MRON_OBS_ENABLED
+  /// After a drain: emit Chrome-trace flow arrows along the critical path
+  /// of every newly finished job (see obs/critical_path.h).
+  void emit_critical_path_flows();
+#endif
+
   SimulationOptions options_;
   sim::Engine engine_;
   /// Declared before the substrate objects: nodes and servers cache metric
@@ -117,6 +124,10 @@ class Simulation {
   std::unique_ptr<faults::FaultInjector> injector_;
   std::vector<std::unique_ptr<MrAppMaster>> apps_;
   IdAllocator<JobId> job_ids_;
+  /// Jobs whose critical-path flow events were already emitted (repeated
+  /// run() calls must not duplicate them), plus the flow-id source.
+  std::set<std::int64_t> cp_flows_emitted_;
+  std::int64_t next_cp_flow_id_ = 0;
 };
 
 }  // namespace mron::mapreduce

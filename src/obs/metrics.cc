@@ -75,6 +75,15 @@ double Histogram::quantile(double q) const {
   return bounds_.empty() ? 0.0 : bounds_.back();
 }
 
+bool Histogram::quantile_clamped(double q) const {
+  if (count_ == 0 || overflow_count() == 0) return false;
+  q = std::min(1.0, std::max(0.0, q));
+  // Same rank rule as quantile(): the rank is clamped exactly when it
+  // falls past the samples in the finite buckets.
+  const double rank = std::max(1.0, q * static_cast<double>(count_));
+  return rank > static_cast<double>(count_ - overflow_count());
+}
+
 void Histogram::merge(const Histogram& other) {
   MRON_CHECK_MSG(bounds_ == other.bounds_,
                  "histogram merge requires identical bounds");
@@ -160,6 +169,25 @@ double MetricsRegistry::quantile(const std::string& name, double q) const {
   return it->second.histogram->quantile(q);
 }
 
+std::int64_t MetricsRegistry::overflow_count(const std::string& name) const {
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::Histogram ||
+      it->second.histogram == nullptr) {
+    return 0;
+  }
+  return it->second.histogram->overflow_count();
+}
+
+bool MetricsRegistry::quantile_clamped(const std::string& name,
+                                       double q) const {
+  const auto it = metrics_.find(name);
+  if (it == metrics_.end() || it->second.kind != Kind::Histogram ||
+      it->second.histogram == nullptr) {
+    return false;
+  }
+  return it->second.histogram->quantile_clamped(q);
+}
+
 bool MetricsRegistry::is_histogram(const std::string& name) const {
   const auto it = metrics_.find(name);
   return it != metrics_.end() && it->second.kind == Kind::Histogram;
@@ -230,6 +258,7 @@ void MetricsRegistry::write_json(std::ostream& os) const {
       write_json_number(os, h.quantile(0.95));
       os << ",\"p99\":";
       write_json_number(os, h.quantile(0.99));
+      os << ",\"overflow_count\":" << h.overflow_count();
       os << ",\"buckets\":[";
       for (std::size_t i = 0; i <= h.bounds().size(); ++i) {
         if (i > 0) os << ",";

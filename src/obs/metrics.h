@@ -98,6 +98,14 @@ class Histogram {
   /// overflow bucket returns the last finite bound (nothing to interpolate
   /// against); an empty histogram returns 0. `q` is clamped to [0, 1].
   [[nodiscard]] double quantile(double q) const;
+  /// Samples above the last finite bound (the implicit overflow bucket).
+  [[nodiscard]] std::int64_t overflow_count() const {
+    return counts_.empty() ? 0 : counts_.back();
+  }
+  /// True when quantile(q)'s rank lands in the overflow bucket — the
+  /// returned value is the clamp, not an interpolation, and should be
+  /// flagged wherever it is reported.
+  [[nodiscard]] bool quantile_clamped(double q) const;
 
   void merge(const Histogram& other);
 
@@ -134,6 +142,11 @@ class MetricsRegistry {
   /// Interpolated quantile of a histogram metric; 0 for unknown names or
   /// non-histogram kinds. Part of the scalar view alongside value().
   [[nodiscard]] double quantile(const std::string& name, double q) const;
+  /// Histogram::overflow_count by name; 0 for unknown/non-histogram names.
+  [[nodiscard]] std::int64_t overflow_count(const std::string& name) const;
+  /// Histogram::quantile_clamped by name; false for unknown names.
+  [[nodiscard]] bool quantile_clamped(const std::string& name,
+                                      double q) const;
   [[nodiscard]] bool is_histogram(const std::string& name) const;
   [[nodiscard]] const TimeSeries* series(const std::string& name) const;
 

@@ -1,7 +1,8 @@
-// The flight recorder: one bundle of the four observability pillars —
+// The flight recorder: one bundle of the five observability pillars —
 // metrics (scalars + change-only rings), sim-time trace spans, the tuner
-// decision audit log, and run-long time series (bounded, 2x-downsampled
-// whole-run timelines — the paper-figure shapes).
+// decision audit log, run-long time series (bounded, 2x-downsampled
+// whole-run timelines — the paper-figure shapes), and the causal
+// critical-path DAG (blame attribution for end-to-end latency).
 //
 // A Simulation constructed with observe=true owns a Recorder and hands a
 // pointer to its Engine; every instrumentation site reaches it through
@@ -15,6 +16,7 @@
 #include <vector>
 
 #include "obs/audit.h"
+#include "obs/critical_path.h"
 #include "obs/enabled.h"
 #include "obs/metrics.h"
 #include "obs/series.h"
@@ -32,6 +34,12 @@ class Recorder {
   [[nodiscard]] const AuditLog& audit() const { return audit_; }
   [[nodiscard]] SeriesStore& series() { return series_; }
   [[nodiscard]] const SeriesStore& series() const { return series_; }
+  [[nodiscard]] CriticalPathBuilder& critical_path() {
+    return critical_path_;
+  }
+  [[nodiscard]] const CriticalPathBuilder& critical_path() const {
+    return critical_path_;
+  }
 
   /// Pull-model publishing for hot components: instead of writing gauges on
   /// every state change, register a hook that refreshes them, and the
@@ -49,6 +57,7 @@ class Recorder {
   TraceRecorder trace_;
   AuditLog audit_;
   SeriesStore series_;
+  CriticalPathBuilder critical_path_;
   std::vector<std::function<void()>> flush_hooks_;
 };
 

@@ -112,8 +112,20 @@ void RunReport::write_json(std::ostream& os, const Recorder* rec) const {
   os << ",\"faults\":";
   write_number_map(os, faults_);
 
+  // Causal critical path: per-job longest-path segments and run-level
+  // blame totals (obs/critical_path.h). Empty jobs array without a
+  // recorder or when nothing emitted edges.
+  os << ",\"critical_path\":";
+  if (rec != nullptr) {
+    rec->critical_path().write_json(os);
+  } else {
+    CriticalPathBuilder{}.write_json(os);  // full taxonomy, all zeros
+  }
+
   // Flight-recorder sections: scalars (histograms contribute interpolated
-  // quantiles under <name>.p50/.p95/.p99), whole-run series, audit volume.
+  // quantiles under <name>.p50/.p95/.p99 plus the overflow-clamp marker
+  // pair <name>.overflow_count / <name>.p99_clamped), whole-run series,
+  // audit volume.
   os << ",\"metrics\":";
   std::map<std::string, double> scalars;
   if (rec != nullptr) {
@@ -124,6 +136,10 @@ void RunReport::write_json(std::ostream& os, const Recorder* rec) const {
         scalars[name + ".p50"] = m.quantile(name, 0.50);
         scalars[name + ".p95"] = m.quantile(name, 0.95);
         scalars[name + ".p99"] = m.quantile(name, 0.99);
+        scalars[name + ".overflow_count"] =
+            static_cast<double>(m.overflow_count(name));
+        scalars[name + ".p99_clamped"] =
+            m.quantile_clamped(name, 0.99) ? 1.0 : 0.0;
       }
     }
   }

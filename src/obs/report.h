@@ -33,7 +33,10 @@ class Recorder;
 /// Bump when the JSON layout changes shape (tools check this).
 /// /2: added the top-level `faults` block (fault-injection plan parameters
 /// and recovery tallies; empty object on fault-free runs).
-inline constexpr const char* kRunReportSchema = "mron.run_report/2";
+/// /3: added the top-level `critical_path` block (per-job longest-path
+/// segments + run-level blame totals) and, per histogram metric,
+/// `<name>.overflow_count` / `<name>.p99_clamped` scalars.
+inline constexpr const char* kRunReportSchema = "mron.run_report/3";
 
 /// One job's rollup inside a report. `phases` maps a phase name ("map",
 /// "reduce") to its counter rollup; `stats` holds job-level scalars

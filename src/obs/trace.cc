@@ -67,6 +67,32 @@ void TraceRecorder::async_end(const char* name, const char* cat, int pid,
   events_.push_back(e);
 }
 
+void TraceRecorder::flow_begin(const char* name, const char* cat, int pid,
+                               std::int64_t tid, SimTime t, std::int64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 's';
+  e.time = t;
+  e.pid = pid;
+  e.tid = tid;
+  e.id = id;
+  events_.push_back(e);
+}
+
+void TraceRecorder::flow_end(const char* name, const char* cat, int pid,
+                             std::int64_t tid, SimTime t, std::int64_t id) {
+  Event e;
+  e.name = name;
+  e.cat = cat;
+  e.ph = 'f';
+  e.time = t;
+  e.pid = pid;
+  e.tid = tid;
+  e.id = id;
+  events_.push_back(e);
+}
+
 void TraceRecorder::instant(const char* name, const char* cat, int pid,
                             std::int64_t tid, SimTime t) {
   Event e;
@@ -138,8 +164,11 @@ void TraceRecorder::write_chrome_json(std::ostream& os) const {
   for (const Event& e : events_) {
     sep();
     write_event_common(os, e.name, e.cat, e.ph, e.time, e.pid, e.tid);
-    if (e.ph == 'b' || e.ph == 'e') {
+    if (e.ph == 'b' || e.ph == 'e' || e.ph == 's' || e.ph == 'f') {
       os << ",\"id\":" << e.id;
+    }
+    if (e.ph == 'f') {
+      os << ",\"bp\":\"e\"";
     }
     if (e.ph == 'i') {
       os << ",\"s\":\"t\"";

@@ -60,6 +60,15 @@ class TraceRecorder {
   void instant(const char* name, const char* cat, int pid, std::int64_t tid,
                SimTime t);
 
+  /// Flow-event pair (ph 's'/'f'): a visual arrow from the producer lane
+  /// to the consumer lane, correlated by `id`. Used to draw the extracted
+  /// critical path over the span timeline; the 'f' event binds to the
+  /// enclosing slice's end ("bp":"e") so arrows land on the producing span.
+  void flow_begin(const char* name, const char* cat, int pid,
+                  std::int64_t tid, SimTime t, std::int64_t id);
+  void flow_end(const char* name, const char* cat, int pid, std::int64_t tid,
+                SimTime t, std::int64_t id);
+
   void set_process_name(int pid, std::string name);
   void set_thread_name(int pid, std::int64_t tid, std::string name);
 
@@ -85,7 +94,7 @@ class TraceRecorder {
     SimTime time = 0.0;
     int pid = 0;
     std::int64_t tid = 0;
-    std::int64_t id = -1;           ///< async correlation id (ph b/e)
+    std::int64_t id = -1;           ///< async/flow correlation id (b/e/s/f)
     const char* arg_key = nullptr;  ///< optional single numeric arg
     double arg_val = 0.0;
   };

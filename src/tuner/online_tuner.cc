@@ -54,6 +54,25 @@ void diff_configs(const JobConfig& a, const JobConfig& b,
   }
 }
 
+/// Attach the job's provisional critical-path blame to a decision event:
+/// "cp.<category>" seconds for each non-zero bucket, extracted up to the
+/// job's most recent causal node. Every recorded decision thereby says
+/// what was dominating the run at the moment it was made.
+void append_cp_context(obs::Recorder* rec, std::int64_t job,
+                       obs::AuditEvent& ev) {
+  if (rec == nullptr) return;
+  const obs::CriticalPathBuilder& cp = rec->critical_path();
+  const std::vector<double> per = obs::CriticalPathBuilder::blame_breakdown(
+      cp.extract(cp.latest_node(job)));
+  for (int b = 0; b < obs::kNumBlames; ++b) {
+    if (per[static_cast<std::size_t>(b)] > 0.0) {
+      ev.sample.emplace_back(
+          std::string("cp.") + obs::blame_name(static_cast<obs::Blame>(b)),
+          per[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
 }  // namespace
 
 OnlineTuner::OnlineTuner(TunerOptions options)
@@ -230,6 +249,7 @@ void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
         obs::AuditEvent ev;
         ev.kind = "conservative_adjust";
         diff_configs(old, cfg, ev.before, ev.after);
+        append_cp_context(js.rec, js.am->id().value(), ev);
         audit(js, std::move(ev));
       }
       configurator_.set_job_config(js.am->id(), cfg);
@@ -305,6 +325,7 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
         std::minmax_element(wave.costs.begin(), wave.costs.end());
     ev.sample.emplace_back("min_cost", *min_it);
     ev.sample.emplace_back("max_cost", *max_it);
+    append_cp_context(js.rec, js.am->id().value(), ev);
     audit(js, std::move(ev));
   }
   GrayBoxHillClimber& climber =
@@ -369,6 +390,7 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
       ev.sample.emplace_back("best_cost", climber.best_cost());
       ev.sample.emplace_back("neighborhood", climber.neighborhood_size());
     }
+    append_cp_context(js.rec, js.am->id().value(), ev);
     audit(js, std::move(ev));
   }
   // Convergence timelines (the Figure-9 curves): one point per climber

@@ -6,6 +6,7 @@
 // extension of the resource scheduler.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 
 #include "cluster/topology.h"
@@ -42,6 +43,10 @@ struct Container {
   AppId app;
   cluster::NodeId node;
   Resource resource;
+  /// Critical-path handle of the RM's "container_grant" node (obs::CpNode),
+  /// or -1 when observation is off / the request carried no causal origin.
+  /// Raw int64 so this header stays obs-free.
+  std::int64_t cp_grant = -1;
 };
 
 }  // namespace mron::yarn

@@ -194,14 +194,17 @@ void ResourceManager::unregister_app(AppId app) {
 
 RequestId ResourceManager::request_container(
     AppId app, Resource resource, std::vector<cluster::NodeId> preferred,
-    AllocationCb on_allocated) {
+    AllocationCb on_allocated, obs::CpNode cp_from, obs::Blame cp_blame) {
   auto it = apps_.find(app);
   MRON_CHECK_MSG(it != apps_.end(), "request from unknown app " << app);
   MRON_CHECK(resource.memory > Bytes(0) && resource.vcores >= 1);
   MRON_CHECK(on_allocated != nullptr);
   const RequestId id = request_ids_.next();
-  it->second.queue.push_back(PendingRequest{
-      id, resource, std::move(preferred), std::move(on_allocated)});
+  PendingRequest req{id, resource, std::move(preferred),
+                     std::move(on_allocated)};
+  req.cp_from = cp_from;
+  req.cp_blame = cp_blame;
+  it->second.queue.push_back(std::move(req));
   trigger_schedule();
   return id;
 }
@@ -370,6 +373,22 @@ bool ResourceManager::try_place(AppId app_id, AppState& app,
   container.resource = req.resource;
   containers_.emplace(container.id,
                       LiveContainer{app_id, target->id(), req.resource});
+
+  // Critical path: the grant ends the wait that began at the request's
+  // causal origin (attempt request, retry backoff). The node is keyed by
+  // container id — unique per grant — and stamped with the trace location
+  // so flow events can point at the container's swimlane.
+  if (auto* rec = engine_.recorder()) {
+    if (req.cp_from != obs::kInvalidCpNode) {
+      obs::CriticalPathBuilder& cp = rec->critical_path();
+      const obs::CpNode grant = cp.stamped(
+          cp.job_of(req.cp_from), "container_grant", engine_.now(),
+          container.id.value(), 0, static_cast<int>(target->id().value()),
+          static_cast<int>(container.id.value()));
+      cp.edge(req.cp_from, grant, req.cp_blame);
+      container.cp_grant = grant;
+    }
+  }
 
   // Defer the callback so the AM cannot re-enter the placement loop.
   engine_.schedule_after(

@@ -26,6 +26,7 @@
 #include "cluster/monitor.h"
 #include "cluster/node.h"
 #include "cluster/topology.h"
+#include "obs/critical_path.h"
 #include "sim/engine.h"
 #include "yarn/resource.h"
 #include "yarn/scheduling_policy.h"
@@ -53,9 +54,16 @@ class ResourceManager {
   // --- container requests --------------------------------------------------
   /// Ask for one container; `preferred` are the nodes holding the input
   /// split's replicas (may be empty for don't-care, e.g. reducers).
+  /// `cp_from`/`cp_blame` give the request a causal origin: when observed,
+  /// the grant stamps a "container_grant" critical-path node and draws an
+  /// edge from `cp_from` charged to `cp_blame` (the wait is scheduler
+  /// queueing by default; AM retry paths charge it to recovery). The grant
+  /// handle comes back to the AM via Container::cp_grant.
   RequestId request_container(AppId app, Resource resource,
                               std::vector<cluster::NodeId> preferred,
-                              AllocationCb on_allocated);
+                              AllocationCb on_allocated,
+                              obs::CpNode cp_from = obs::kInvalidCpNode,
+                              obs::Blame cp_blame = obs::Blame::SchedWait);
   /// Cancel a not-yet-satisfied request (no-op once allocated).
   void cancel_request(RequestId id);
   /// Release a container. A container the RM already reclaimed (its node
@@ -126,6 +134,8 @@ class ResourceManager {
     std::vector<cluster::NodeId> preferred;
     AllocationCb on_allocated;
     int locality_misses = 0;  ///< passes spent waiting for a local slot
+    obs::CpNode cp_from = obs::kInvalidCpNode;  ///< causal origin of the wait
+    obs::Blame cp_blame = obs::Blame::SchedWait;
   };
   struct AppState {
     std::string name;

@@ -1,0 +1,224 @@
+// CriticalPathBuilder invariants (obs/critical_path.h): find-or-create
+// node identity, the backward last-arrival extraction walk (with its
+// tie and causality rules), telescoping segment sums, blame attribution,
+// and the exact run-report JSON shape — the properties the byte-identical
+// `critical_path` block in mron.run_report/3 leans on.
+#include "obs/critical_path.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace mron::obs {
+namespace {
+
+std::string to_json(const CriticalPathBuilder& cp) {
+  std::ostringstream os;
+  cp.write_json(os);
+  return os.str();
+}
+
+double total_secs(const std::vector<CpSegment>& path) {
+  double sum = 0.0;
+  for (const CpSegment& s : path) sum += s.secs();
+  return sum;
+}
+
+TEST(CriticalPath, NodeIsFindOrCreate) {
+  CriticalPathBuilder cp;
+  const CpNode a = cp.node(0, "map_done", 3, 1);
+  EXPECT_EQ(cp.node(0, "map_done", 3, 1), a);
+  // Any coordinate change names a different event.
+  EXPECT_NE(cp.node(0, "map_done", 3, 2), a);
+  EXPECT_NE(cp.node(0, "map_done", 4, 1), a);
+  EXPECT_NE(cp.node(0, "map_start", 3, 1), a);
+  EXPECT_NE(cp.node(1, "map_done", 3, 1), a);
+  EXPECT_EQ(cp.node_count(), 5u);
+}
+
+TEST(CriticalPath, StampRecordsTimeAndLocationLastWriterWins) {
+  CriticalPathBuilder cp;
+  const CpNode n = cp.node(0, "map_start");
+  EXPECT_FALSE(cp.is_stamped(n));
+  cp.stamp(n, 2.5, 3, 7);
+  EXPECT_TRUE(cp.is_stamped(n));
+  EXPECT_DOUBLE_EQ(cp.time(n), 2.5);
+  EXPECT_EQ(cp.pid(n), 3);
+  EXPECT_EQ(cp.tid(n), 7);
+  EXPECT_STREQ(cp.kind(n), "map_start");
+  cp.stamp(n, 4.0);
+  EXPECT_DOUBLE_EQ(cp.time(n), 4.0);
+  EXPECT_EQ(cp.pid(n), -1);
+}
+
+TEST(CriticalPath, LatestNodeTracksTheMostRecentStampPerJob) {
+  CriticalPathBuilder cp;
+  EXPECT_EQ(cp.latest_node(0), kInvalidCpNode);
+  const CpNode a = cp.stamped(0, "job_submit", 0.0);
+  EXPECT_EQ(cp.latest_node(0), a);
+  const CpNode b = cp.stamped(0, "map_start", 1.0, 0, 0);
+  const CpNode other = cp.stamped(7, "job_submit", 0.5);
+  EXPECT_EQ(cp.latest_node(0), b);
+  EXPECT_EQ(cp.latest_node(7), other);
+  EXPECT_EQ(cp.job_of(b), 0);
+  EXPECT_EQ(cp.job_of(other), 7);
+  EXPECT_EQ(cp.job_of(kInvalidCpNode), -1);
+}
+
+TEST(CriticalPath, InvalidAndSelfEdgesAreRejected) {
+  CriticalPathBuilder cp;
+  const CpNode n = cp.stamped(0, "map_start", 1.0);
+  cp.edge(kInvalidCpNode, n, Blame::SchedWait);
+  cp.edge(n, kInvalidCpNode, Blame::SchedWait);
+  cp.edge(n, n, Blame::SchedWait);
+  cp.edge(999, n, Blame::SchedWait);
+  EXPECT_EQ(cp.edge_count(), 0u);
+  EXPECT_TRUE(cp.extract(n).empty());
+}
+
+TEST(CriticalPath, LinearChainTelescopesExactly) {
+  CriticalPathBuilder cp;
+  const CpNode submit = cp.stamped(0, "job_submit", 10.0);
+  const CpNode grant = cp.stamped(0, "container_grant", 12.0, 1);
+  const CpNode start = cp.stamped(0, "map_start", 12.5, 0, 0);
+  const CpNode done = cp.stamped(0, "map_done", 20.0, 0, 0);
+  const CpNode fin = cp.stamped(0, "job_finish", 21.0);
+  cp.edge(submit, grant, Blame::SchedWait);
+  cp.edge(grant, start, Blame::SchedWait);
+  cp.edge(start, done, Blame::MapCompute);
+  cp.edge(done, fin, Blame::ReduceCompute);
+
+  const std::vector<CpSegment> path = cp.extract(fin);
+  ASSERT_EQ(path.size(), 4u);
+  // Oldest first, rooted at the submit node.
+  EXPECT_EQ(path.front().from, submit);
+  EXPECT_STREQ(path.front().from_kind, "job_submit");
+  EXPECT_EQ(path.back().to, fin);
+  EXPECT_STREQ(path.back().to_kind, "job_finish");
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(path[i].from, path[i - 1].to);
+    EXPECT_DOUBLE_EQ(path[i].t0, path[i - 1].t1);
+  }
+  // Telescoping: segment times sum exactly to finish - start.
+  EXPECT_DOUBLE_EQ(total_secs(path), 21.0 - 10.0);
+  EXPECT_EQ(path[2].blame, Blame::MapCompute);
+  EXPECT_DOUBLE_EQ(path[2].secs(), 7.5);
+}
+
+TEST(CriticalPath, WalkFollowsTheLastArrivingInEdge) {
+  CriticalPathBuilder cp;
+  const CpNode fast = cp.stamped(0, "map_done", 5.0, 0, 0);
+  const CpNode slow = cp.stamped(0, "map_done", 9.0, 1, 0);
+  const CpNode fin = cp.stamped(0, "job_finish", 10.0);
+  cp.edge(fast, fin, Blame::MapCompute);
+  cp.edge(slow, fin, Blame::MapCompute);
+  const std::vector<CpSegment> path = cp.extract(fin);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].from, slow);  // 9.0 > 5.0: the straggler is to blame
+  EXPECT_DOUBLE_EQ(path[0].secs(), 1.0);
+}
+
+TEST(CriticalPath, TiesKeepTheEarliestInsertedEdge) {
+  CriticalPathBuilder cp;
+  const CpNode first = cp.stamped(0, "map_done", 5.0, 0, 0);
+  const CpNode second = cp.stamped(0, "map_done", 5.0, 1, 0);
+  const CpNode fin = cp.stamped(0, "job_finish", 6.0);
+  cp.edge(first, fin, Blame::MapCompute);
+  cp.edge(second, fin, Blame::ShuffleNet);
+  const std::vector<CpSegment> path = cp.extract(fin);
+  ASSERT_EQ(path.size(), 1u);
+  // Equal stamps: the edge inserted first wins, deterministically.
+  EXPECT_EQ(path[0].from, first);
+  EXPECT_EQ(path[0].blame, Blame::MapCompute);
+}
+
+TEST(CriticalPath, WalkSkipsUnstampedAndFutureSources) {
+  CriticalPathBuilder cp;
+  const CpNode ghost = cp.node(0, "map_done", 0, 0);  // never stamped
+  const CpNode future = cp.stamped(0, "map_done", 99.0, 1, 0);
+  const CpNode real = cp.stamped(0, "map_done", 4.0, 2, 0);
+  const CpNode fin = cp.stamped(0, "job_finish", 6.0);
+  cp.edge(ghost, fin, Blame::MapCompute);
+  cp.edge(future, fin, Blame::MapCompute);  // stamp after fin: acausal
+  cp.edge(real, fin, Blame::MapCompute);
+  const std::vector<CpSegment> path = cp.extract(fin);
+  ASSERT_EQ(path.size(), 1u);
+  EXPECT_EQ(path[0].from, real);
+}
+
+TEST(CriticalPath, RetryChainChargesRetryRecovery) {
+  CriticalPathBuilder cp;
+  const CpNode submit = cp.stamped(0, "job_submit", 0.0);
+  const CpNode grant1 = cp.stamped(0, "container_grant", 1.0, 1);
+  const CpNode start1 = cp.stamped(0, "map_start", 1.0, 0, 0);
+  const CpNode fail = cp.stamped(0, "map_fail", 5.0, 0, 0);
+  const CpNode grant2 = cp.stamped(0, "container_grant", 6.0, 2);
+  const CpNode start2 = cp.stamped(0, "map_start", 6.0, 0, 1);
+  const CpNode done = cp.stamped(0, "map_done", 10.0, 0, 1);
+  const CpNode fin = cp.stamped(0, "job_finish", 10.5);
+  cp.edge(submit, grant1, Blame::SchedWait);
+  cp.edge(grant1, start1, Blame::SchedWait);
+  cp.edge(start1, fail, Blame::RetryRecovery);
+  cp.edge(fail, grant2, Blame::RetryRecovery);  // backoff + re-request
+  cp.edge(grant2, start2, Blame::SchedWait);
+  cp.edge(start2, done, Blame::MapCompute);
+  cp.edge(done, fin, Blame::MapCompute);
+  const std::vector<CpSegment> path = cp.extract(fin);
+  EXPECT_DOUBLE_EQ(total_secs(path), 10.5);
+  const std::vector<double> blame = CriticalPathBuilder::blame_breakdown(path);
+  ASSERT_EQ(blame.size(), static_cast<std::size_t>(kNumBlames));
+  // Attempt 0's failed run plus the backoff window: [1, 5] + [5, 6].
+  EXPECT_DOUBLE_EQ(blame[static_cast<int>(Blame::RetryRecovery)], 5.0);
+  EXPECT_DOUBLE_EQ(blame[static_cast<int>(Blame::MapCompute)], 4.5);
+  EXPECT_DOUBLE_EQ(blame[static_cast<int>(Blame::SchedWait)], 1.0);
+  EXPECT_DOUBLE_EQ(blame[static_cast<int>(Blame::Speculation)], 0.0);
+}
+
+TEST(CriticalPath, BlameNamesMatchTheExportTaxonomy) {
+  EXPECT_STREQ(blame_name(Blame::SchedWait), "sched_wait");
+  EXPECT_STREQ(blame_name(Blame::MapCompute), "map_compute");
+  EXPECT_STREQ(blame_name(Blame::SpillMerge), "spill_merge");
+  EXPECT_STREQ(blame_name(Blame::ShuffleNet), "shuffle_net");
+  EXPECT_STREQ(blame_name(Blame::ReduceCompute), "reduce_compute");
+  EXPECT_STREQ(blame_name(Blame::RetryRecovery), "retry_recovery");
+  EXPECT_STREQ(blame_name(Blame::Speculation), "speculation");
+}
+
+TEST(CriticalPath, EmptyBuilderWritesTheFullZeroTaxonomy) {
+  CriticalPathBuilder cp;
+  EXPECT_TRUE(cp.empty());
+  EXPECT_EQ(to_json(cp),
+            "{\"jobs\":[],\"blame_totals\":{\"sched_wait\":0,"
+            "\"map_compute\":0,\"spill_merge\":0,\"shuffle_net\":0,"
+            "\"reduce_compute\":0,\"retry_recovery\":0,\"speculation\":0}}");
+}
+
+TEST(CriticalPath, WriteJsonCarriesFinishedJobsInIdOrder) {
+  CriticalPathBuilder cp;
+  for (std::int64_t job : {1, 0}) {
+    const double base = job == 0 ? 0.0 : 100.0;
+    const CpNode submit = cp.stamped(job, "job_submit", base);
+    const CpNode fin = cp.stamped(job, "job_finish", base + 2.0);
+    cp.edge(submit, fin, Blame::MapCompute);
+    cp.mark_job_finish(job, fin);
+  }
+  ASSERT_EQ(cp.finished_jobs().size(), 2u);
+  const std::string json = to_json(cp);
+  // finished_jobs() is keyed by job id, so job 0 exports before job 1
+  // even though it was marked second.
+  EXPECT_LT(json.find("\"id\":0"), json.find("\"id\":1"));
+  EXPECT_NE(json.find("\"from\":\"job_submit\",\"to\":\"job_finish\","
+                      "\"t0\":0,\"t1\":2,\"secs\":2,"
+                      "\"blame\":\"map_compute\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"blame_totals\":{\"sched_wait\":0,"
+                      "\"map_compute\":4,"),
+            std::string::npos)
+      << json;
+}
+
+}  // namespace
+}  // namespace mron::obs

@@ -197,6 +197,51 @@ TEST(MetricsRegistry, QuantileByNameOnlyAnswersForHistograms) {
   EXPECT_DOUBLE_EQ(reg.quantile("absent", 0.5), 0.0);
 }
 
+TEST(Histogram, OverflowCountTracksOnlyTheImplicitBucket) {
+  Histogram h({1.0, 10.0});
+  EXPECT_EQ(h.overflow_count(), 0);
+  h.observe(0.5);
+  h.observe(10.0);  // inclusive upper bound: still a finite bucket
+  EXPECT_EQ(h.overflow_count(), 0);
+  h.observe(10.001);
+  h.observe(1e9);
+  EXPECT_EQ(h.overflow_count(), 2);
+}
+
+TEST(Histogram, QuantileClampedFlagsRanksInTheOverflowBucket) {
+  Histogram h({1.0, 10.0});
+  EXPECT_FALSE(h.quantile_clamped(0.99));  // empty: nothing clamps
+  for (int i = 0; i < 99; ++i) h.observe(0.5);
+  EXPECT_FALSE(h.quantile_clamped(0.99));
+  h.observe(1e9);  // 1 of 100 overflows: p99 holds, p999 clamps
+  EXPECT_FALSE(h.quantile_clamped(0.5));
+  EXPECT_TRUE(h.quantile_clamped(0.999));
+  Histogram all_over({1.0});
+  all_over.observe(5.0);
+  EXPECT_TRUE(all_over.quantile_clamped(0.5));
+}
+
+TEST(MetricsRegistry, OverflowByNameOnlyAnswersForHistograms) {
+  MetricsRegistry reg;
+  reg.histogram("lat", {1.0}).observe(50.0);
+  reg.counter("n").add(7.0);
+  EXPECT_EQ(reg.overflow_count("lat"), 1);
+  EXPECT_TRUE(reg.quantile_clamped("lat", 0.99));
+  EXPECT_EQ(reg.overflow_count("n"), 0);
+  EXPECT_FALSE(reg.quantile_clamped("n", 0.99));
+  EXPECT_EQ(reg.overflow_count("absent"), 0);
+  EXPECT_FALSE(reg.quantile_clamped("absent", 0.99));
+}
+
+TEST(MetricsRegistry, WriteJsonCarriesOverflowCount) {
+  MetricsRegistry reg;
+  reg.histogram("lat", {1.0, 10.0}).observe(1e9);
+  std::ostringstream os;
+  reg.write_json(os);
+  EXPECT_NE(os.str().find("\"overflow_count\":1"), std::string::npos)
+      << os.str();
+}
+
 TEST(MetricsRegistry, WriteJsonCarriesInterpolatedQuantiles) {
   MetricsRegistry reg;
   for (int i = 0; i < 10; ++i) {

@@ -68,12 +68,17 @@ TEST(RunReport, SerializationIsDeterministic) {
   const std::string once = report.to_json(nullptr);
   const std::string twice = report.to_json(nullptr);
   EXPECT_EQ(once, twice);
-  EXPECT_NE(once.find("\"schema\":\"mron.run_report/2\""), std::string::npos);
+  EXPECT_NE(once.find("\"schema\":\"mron.run_report/3\""), std::string::npos);
 }
 
 TEST(RunReport, NullRecorderLeavesObsSectionsEmpty) {
   RunReport report;
   const std::string json = report.to_json(nullptr);
+  // Even without a recorder the critical_path block carries the full
+  // blame taxonomy (all zeros), so downstream validators see one shape.
+  EXPECT_NE(json.find("\"critical_path\":{\"jobs\":[],"
+                      "\"blame_totals\":{\"sched_wait\":0,"),
+            std::string::npos);
   // The golden top-level key set, in order, present even with no recorder.
   const char* keys[] = {"\"schema\":", "\"meta\":",   "\"jobs\":",
                         "\"totals\":", "\"metrics\":", "\"series\":",
@@ -122,12 +127,20 @@ TEST(RunReport, SimulationRollupProducesFullSchema) {
 
   const std::string json = mapreduce::run_report_json(
       sim, {{&result, &config}}, {{"app", "terasort"}});
-  EXPECT_NE(json.find("\"schema\":\"mron.run_report/2\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mron.run_report/3\""), std::string::npos);
   EXPECT_NE(json.find("\"app\":\"terasort\""), std::string::npos);
   EXPECT_NE(json.find("\"cluster.node0.cpu_util\""), std::string::npos);
   EXPECT_NE(json.find("\"spilled_records\""), std::string::npos);
   // Task-duration histograms export interpolated quantiles.
   EXPECT_NE(json.find("\"mr.map.task_secs.p95\""), std::string::npos);
+
+  // The /3 critical_path block: job 0 carries a non-empty segment path
+  // rooted at job_submit and ending in job_finish, plus blame totals.
+  EXPECT_NE(json.find("\"critical_path\":{\"jobs\":[{\"id\":0,\"segments\":["),
+            std::string::npos);
+  EXPECT_NE(json.find("\"from\":\"job_submit\""), std::string::npos);
+  EXPECT_NE(json.find("\"to\":\"job_finish\""), std::string::npos);
+  EXPECT_NE(json.find("\"blame_totals\":{\"sched_wait\":"), std::string::npos);
 
   // Satellite: Simulation::run flushes the recorder and takes one final
   // registry sample after the engine drains, so the last published series

@@ -77,6 +77,52 @@ TEST(Series, SurvivorsAreMultiplesOfTheFinalStride) {
   EXPECT_DOUBLE_EQ(s.at(0).value, 0.0);
 }
 
+// The default 512-point budget at its exact boundary: push 511 and 512
+// record everything at stride 1; push 513 is the first compaction.
+TEST(Series, DefaultBudgetBoundaryAt512Points) {
+  Series s;
+  ASSERT_EQ(s.capacity(), kDefaultSeriesPointBudget);
+  ASSERT_EQ(kDefaultSeriesPointBudget, 512u);
+  push_indices(s, 511);
+  EXPECT_EQ(s.size(), 511u);
+  EXPECT_EQ(s.stride(), 1u);
+  s.push(511.0, 511.0);  // hits capacity exactly: still lossless
+  EXPECT_EQ(s.size(), 512u);
+  EXPECT_EQ(s.stride(), 1u);
+  EXPECT_DOUBLE_EQ(s.at(511).value, 511.0);
+  // The 513th offer compacts to the 256 even indices, doubles the
+  // stride, then records index 512 (a stride multiple): 257 points.
+  s.push(512.0, 512.0);
+  EXPECT_EQ(s.stride(), 2u);
+  ASSERT_EQ(s.size(), 257u);
+  EXPECT_DOUBLE_EQ(s.at(0).value, 0.0);
+  EXPECT_DOUBLE_EQ(s.at(1).value, 2.0);
+  EXPECT_DOUBLE_EQ(s.at(255).value, 510.0);
+  EXPECT_DOUBLE_EQ(s.at(256).value, 512.0);
+  EXPECT_EQ(s.offered(), 513u);
+}
+
+// Repeated stride doublings on the default budget: after many pushes the
+// stride is a power of two, survivors are exactly the stride multiples,
+// and the series still spans the whole run within budget.
+TEST(Series, DefaultBudgetRepeatedStrideDoublings) {
+  Series s;
+  const int n = 10000;  // forces ceil(log2(10000/512)) = 5 doublings
+  push_indices(s, n);
+  EXPECT_EQ(s.stride(), 32u);
+  EXPECT_LE(s.size(), 512u);
+  ASSERT_GT(s.size(), 0u);
+  EXPECT_DOUBLE_EQ(s.at(0).value, 0.0);  // first push always survives
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const auto index = static_cast<std::uint64_t>(s.at(i).value);
+    EXPECT_EQ(index, i * s.stride());
+  }
+  // Last survivor is the greatest stride multiple below n.
+  EXPECT_DOUBLE_EQ(s.at(s.size() - 1).value,
+                   static_cast<double>((n - 1) / 32 * 32));
+  EXPECT_EQ(s.offered(), static_cast<std::uint64_t>(n));
+}
+
 TEST(Series, CapacityBelowTwoIsAnError) {
   EXPECT_THROW(Series s(1), CheckError);
 }

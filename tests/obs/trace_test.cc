@@ -87,6 +87,32 @@ TEST(TraceRecorder, BeginArgumentsLandInArgsObject) {
   EXPECT_NE(os.str().find("\"args\":{\"batch\":8}"), std::string::npos);
 }
 
+// Critical-path flow arrows: 's' starts at the producer's lane, 'f' ends
+// at the consumer's and binds to the enclosing slice ("bp":"e") so the
+// arrow lands on the producing span rather than floating.
+TEST(TraceRecorder, FlowEventsCorrelateProducerAndConsumer) {
+  TraceRecorder tr;
+  tr.flow_begin("critical_path", "cp", 0, 3, 1.0, 17);
+  tr.flow_end("critical_path", "cp", 2, 5, 4.0, 17);
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("{\"name\":\"critical_path\",\"cat\":\"cp\","
+                      "\"ph\":\"s\",\"ts\":1000000,\"pid\":0,\"tid\":3,"
+                      "\"id\":17}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("{\"name\":\"critical_path\",\"cat\":\"cp\","
+                      "\"ph\":\"f\",\"ts\":4000000,\"pid\":2,\"tid\":5,"
+                      "\"id\":17,\"bp\":\"e\"}"),
+            std::string::npos)
+      << json;
+  // Flow events are not duration spans.
+  EXPECT_EQ(tr.span_count(), 0u);
+  EXPECT_EQ(tr.open_spans(), 0u);
+  EXPECT_EQ(tr.event_count(), 2u);
+}
+
 TEST(TraceRecorder, InstantEventsAreThreadScoped) {
   TraceRecorder tr;
   tr.instant("oom", "task", 2, 9, 3.0);

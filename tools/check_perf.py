@@ -15,6 +15,13 @@ hardware_concurrency > 1 and equal sweep_jobs. A single-core recording
 (or a core-count mismatch between CI and the committed baseline) says
 nothing about scaling, so those metrics drop to informational.
 
+--efficiency-floor FRAC adds an absolute gate that needs no comparable
+baseline: whenever the *current* machine is multi-core, its
+sweep_efficiency_per_core must be at least FRAC (e.g. 0.5 = each worker
+delivers at least half a core's worth of throughput). This closes the gap
+where CI's core count never matches the committed baseline and the
+relative gate always skips.
+
 When $GITHUB_STEP_SUMMARY is set (or --summary FILE is given), the same
 comparison is appended there as a markdown table for the job summary page.
 """
@@ -88,6 +95,10 @@ def main() -> int:
     ap.add_argument("--summary", metavar="FILE",
                     help="also append a markdown table here "
                     "(default: $GITHUB_STEP_SUMMARY when set)")
+    ap.add_argument("--efficiency-floor", type=float, metavar="FRAC",
+                    help="absolute gate: on a multi-core machine, "
+                    "sweep_efficiency_per_core of the current run must be "
+                    ">= FRAC (independent of the baseline's core count)")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -140,6 +151,35 @@ def main() -> int:
         rows.append((status, name, b, c, delta_pct, direction))
         if bad:
             failures.append(name)
+
+    # Absolute parallel-efficiency floor: gates on the current machine
+    # alone, so it still bites when the relative parallel gates skip.
+    if args.efficiency_floor is not None:
+        cur_cores = int(cur.get("hardware_concurrency", 0))
+        eff = cur_m.get("sweep_efficiency_per_core")
+        if cur_cores <= 1:
+            print(f"SKIP  efficiency floor: single-core machine "
+                  f"(hardware_concurrency={cur_cores})")
+            rows.append(("SKIP", "sweep_efficiency_per_core(floor)", None,
+                         None, None, "single-core machine"))
+        elif eff is None:
+            print("FAIL  efficiency floor: sweep_efficiency_per_core "
+                  "missing from current file")
+            rows.append(("FAIL", "sweep_efficiency_per_core(floor)", None,
+                         None, None, "metric missing"))
+            failures.append("sweep_efficiency_per_core(floor)")
+        else:
+            eff = float(eff)
+            bad = eff < args.efficiency_floor
+            status = "FAIL" if bad else "ok"
+            print(f"{status:5} sweep_efficiency_per_core: {eff:g} "
+                  f"(floor {args.efficiency_floor:g}, "
+                  f"{cur_cores} cores, {int(cur.get('sweep_jobs', 0))} "
+                  f"sweep jobs)")
+            rows.append((status, "sweep_efficiency_per_core(floor)",
+                         args.efficiency_floor, eff, None, "higher"))
+            if bad:
+                failures.append("sweep_efficiency_per_core(floor)")
 
     for name in sorted(set(cur_m) - set(gated)):
         print(f"info  {name}: {cur_m[name]}")

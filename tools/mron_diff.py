@@ -1,12 +1,15 @@
 #!/usr/bin/env python3
-"""Diff two mron run reports (mron.run_report/2) counter-by-counter.
+"""Diff two mron run reports (mron.run_report/3) counter-by-counter.
 
     mron_diff.py base.json candidate.json
     mron_diff.py base.json candidate.json --threshold 5
+    mron_diff.py base.json candidate.json --blame
     mron_diff.py default.json tuned.json --check-improves exec_secs,spilled_records
 
 Prints a per-counter delta table over `totals` (add --metrics for the full
-metric namespace). Two gate modes for CI, combinable:
+metric namespace, --blame for the critical-path blame totals — where did
+the candidate's time go relative to the base). Two gate modes for CI,
+combinable:
 
   --threshold PCT     exit 2 if any lower-is-better counter (exec_secs,
                       spilled_records, failed_attempts, or --gate-keys)
@@ -22,7 +25,7 @@ import argparse
 import json
 import sys
 
-SCHEMA = "mron.run_report/2"
+SCHEMA = "mron.run_report/3"
 DEFAULT_GATE_KEYS = ("exec_secs", "spilled_records", "failed_attempts")
 
 
@@ -80,6 +83,9 @@ def main(argv):
     ap.add_argument("candidate", help="candidate run_report.json")
     ap.add_argument("--metrics", action="store_true",
                     help="also diff the flat metrics namespace")
+    ap.add_argument("--blame", action="store_true",
+                    help="also diff the critical-path blame totals "
+                    "(seconds per category)")
     ap.add_argument("--threshold", type=float, metavar="PCT",
                     help="fail (exit 2) if a gated lower-is-better counter "
                     "regresses by more than PCT percent")
@@ -101,6 +107,10 @@ def main(argv):
     deltas = diff_table(base["totals"], cand["totals"], "totals")
     if base.get("faults") or cand.get("faults"):
         diff_table(base.get("faults", {}), cand.get("faults", {}), "faults")
+    if args.blame:
+        diff_table(base["critical_path"]["blame_totals"],
+                   cand["critical_path"]["blame_totals"],
+                   "critical-path blame (seconds)")
     if args.metrics:
         diff_table(base.get("metrics", {}), cand.get("metrics", {}),
                    "metrics")

@@ -1,16 +1,19 @@
 #!/usr/bin/env python3
-"""Validate and render an mron run report (obs/report.h, mron.run_report/2).
+"""Validate and render an mron run report (obs/report.h, mron.run_report/3).
 
     mron_report.py run_report.json                # write run_report.html
     mron_report.py run_report.json -o out.html
     mron_report.py run_report.json --check        # schema validation only
 
 --check walks the schema (key sets, types, counter-rollup consistency,
-series monotonicity) and exits non-zero with a list of violations; CI runs
-it against every exported report. Rendering produces one self-contained
-HTML file: run metadata, totals, per-node utilization timelines, the
-map/reduce wave chart, the tuner convergence curve, and the full metric
-and counter tables. Stdlib only.
+series monotonicity, critical-path telescoping and blame rollups) and exits
+non-zero with a list of violations; CI runs it against every exported
+report. Histogram quantiles that hit the overflow bucket are flagged as
+warnings (the p99 is a clamp, not a measurement). Rendering produces one
+self-contained HTML file: run metadata, totals, per-node utilization
+timelines, the map/reduce wave chart, the critical-path blame breakdown,
+the tuner convergence curve, and the full metric and counter tables.
+Stdlib only.
 """
 
 import argparse
@@ -19,11 +22,15 @@ import json
 import math
 import sys
 
-SCHEMA = "mron.run_report/2"
-TOP_KEYS = {"schema", "meta", "jobs", "totals", "faults", "metrics", "series",
-            "audit"}
+SCHEMA = "mron.run_report/3"
+TOP_KEYS = {"schema", "meta", "jobs", "totals", "faults", "critical_path",
+            "metrics", "series", "audit"}
 JOB_KEYS = {"id", "name", "submit_time", "finish_time", "counters", "stats",
             "config"}
+# The fixed blame taxonomy (obs/critical_path.h, enum order).
+BLAME_KEYS = ["sched_wait", "map_compute", "spill_merge", "shuffle_net",
+              "reduce_compute", "retry_recovery", "speculation"]
+SEGMENT_KEYS = {"from", "to", "t0", "t1", "secs", "blame"}
 
 
 def is_num(v):
@@ -37,6 +44,104 @@ def check_number_map(errors, where, m):
     for k, v in m.items():
         if not is_num(v):
             errors.append(f"{where}.{k}: expected a number, got {v!r}")
+
+
+def check_blame_map(errors, where, m):
+    """A blame map always carries the full taxonomy, zeros included."""
+    if not isinstance(m, dict) or sorted(m.keys()) != sorted(BLAME_KEYS):
+        errors.append(f"{where}: expected exactly the {len(BLAME_KEYS)} "
+                      f"blame categories {BLAME_KEYS}")
+        return
+    for k, v in m.items():
+        if not is_num(v) or v < -1e-9:
+            errors.append(f"{where}.{k}: expected a non-negative number")
+
+
+def check_critical_path(errors, cp, jobs):
+    """Validate the critical_path block against the run's jobs.
+
+    Each per-job path must be contiguous (segments telescope), its segment
+    times must sum to the job's submit->finish span, its blame map must be
+    the per-category segment rollup, and blame_totals must be the sum of
+    the per-job maps.
+    """
+    if not isinstance(cp, dict) or cp.keys() != {"jobs", "blame_totals"}:
+        errors.append('critical_path: expected {"jobs", "blame_totals"}')
+        return
+    job_span = {j["id"]: j["finish_time"] - j["submit_time"]
+                for j in jobs
+                if isinstance(j, dict) and isinstance(j.get("id"), int) and
+                is_num(j.get("submit_time")) and is_num(j.get("finish_time"))}
+    want_totals = {k: 0.0 for k in BLAME_KEYS}
+    cp_jobs = cp["jobs"]
+    if not isinstance(cp_jobs, list):
+        errors.append("critical_path.jobs: expected an array")
+        cp_jobs = []
+    for i, cj in enumerate(cp_jobs):
+        where = f"critical_path.jobs[{i}]"
+        if not isinstance(cj, dict) or cj.keys() != {"id", "segments",
+                                                     "blame"}:
+            errors.append(f"{where}: bad key set")
+            continue
+        check_blame_map(errors, f"{where}.blame", cj["blame"])
+        segs = cj["segments"]
+        if not isinstance(segs, list):
+            errors.append(f"{where}.segments: expected an array")
+            continue
+        seg_blame = {k: 0.0 for k in BLAME_KEYS}
+        last_t1 = None
+        total = 0.0
+        ok = True
+        for j, s in enumerate(segs):
+            sw = f"{where}.segments[{j}]"
+            if not isinstance(s, dict) or s.keys() != SEGMENT_KEYS:
+                errors.append(f"{sw}: bad key set")
+                ok = False
+                break
+            if not (is_num(s["t0"]) and is_num(s["t1"]) and
+                    is_num(s["secs"])):
+                errors.append(f"{sw}: t0/t1/secs must be numbers")
+                ok = False
+                break
+            if s["blame"] not in BLAME_KEYS:
+                errors.append(f"{sw}.blame: unknown category {s['blame']!r}")
+                ok = False
+                continue
+            if s["t1"] < s["t0"]:
+                errors.append(f"{sw}: t1 < t0 (segment runs backwards)")
+            if not math.isclose(s["secs"], s["t1"] - s["t0"],
+                                rel_tol=1e-9, abs_tol=1e-6):
+                errors.append(f"{sw}.secs: {s['secs']} != t1 - t0")
+            if last_t1 is not None and not math.isclose(
+                    s["t0"], last_t1, rel_tol=1e-9, abs_tol=1e-6):
+                errors.append(f"{sw}: path not contiguous "
+                              f"(t0 {s['t0']} != previous t1 {last_t1})")
+            last_t1 = s["t1"]
+            seg_blame[s["blame"]] += s["secs"]
+            total += s["secs"]
+        if ok and isinstance(cj["blame"], dict):
+            for k in BLAME_KEYS:
+                got = cj["blame"].get(k)
+                if is_num(got):
+                    if not math.isclose(got, seg_blame[k],
+                                        rel_tol=1e-9, abs_tol=1e-6):
+                        errors.append(f"{where}.blame.{k}: {got} != "
+                                      f"segment sum {seg_blame[k]}")
+                    want_totals[k] += got
+        span = job_span.get(cj.get("id"))
+        if ok and segs and span is not None and not math.isclose(
+                total, span, rel_tol=1e-9, abs_tol=1e-6):
+            errors.append(f"{where}: segment secs sum {total} != "
+                          f"job submit->finish span {span}")
+    bt = cp.get("blame_totals")
+    check_blame_map(errors, "critical_path.blame_totals", bt)
+    if isinstance(bt, dict):
+        for k in BLAME_KEYS:
+            got = bt.get(k)
+            if is_num(got) and not math.isclose(
+                    got, want_totals[k], rel_tol=1e-9, abs_tol=1e-6):
+                errors.append(f"critical_path.blame_totals.{k}: {got} != "
+                              f"per-job sum {want_totals[k]}")
 
 
 def validate(report):
@@ -125,7 +230,18 @@ def validate(report):
                 errors.append(f"faults.{fkey}: {faults[fkey]} != "
                               f"job-stats sum {want}")
 
-    check_number_map(errors, "metrics", report.get("metrics", {}))
+    check_critical_path(errors, report.get("critical_path", {}), jobs)
+
+    metrics = report.get("metrics", {})
+    check_number_map(errors, "metrics", metrics)
+    if isinstance(metrics, dict):
+        # A clamped p99 must come with the overflow samples that caused it.
+        for name, v in metrics.items():
+            if name.endswith(".p99_clamped") and v:
+                base = name[:-len(".p99_clamped")]
+                if not metrics.get(base + ".overflow_count", 0):
+                    errors.append(f"metrics.{name}: set without "
+                                  f"{base}.overflow_count > 0")
 
     series = report.get("series", {})
     if not isinstance(series, dict) or \
@@ -446,6 +562,55 @@ def convergence_chart(named):
     return "".join(out)
 
 
+def blame_chart(cp):
+    """Horizontal bar chart of run-level critical-path blame totals."""
+    totals = cp.get("blame_totals", {})
+    items = [(k, totals.get(k, 0.0)) for k in BLAME_KEYS]
+    vmax = max((v for _, v in items), default=0.0)
+    if vmax <= 0:
+        return ""
+    width, bar_h, gap, x0 = 860, 22, 8, 150
+    height = len(items) * (bar_h + gap) + 16
+    parts = [f'<svg viewBox="0 0 {width} {height}" '
+             f'preserveAspectRatio="xMidYMid meet" role="img" '
+             f'aria-label="critical-path blame breakdown">']
+    for i, (k, v) in enumerate(items):
+        y = 8 + i * (bar_h + gap)
+        w = (width - x0 - 130) * (v / vmax)
+        color = COLORS[i % len(COLORS)]
+        parts.append(f'<text class="axis-label" x="{x0 - 8}" '
+                     f'y="{y + bar_h / 2 + 4:.1f}" text-anchor="end">'
+                     f'{html.escape(k)}</text>')
+        parts.append(f'<rect x="{x0}" y="{y}" width="{max(w, 1):.1f}" '
+                     f'height="{bar_h}" rx="3" '
+                     f'style="fill:var({color})"/>')
+        parts.append(f'<text class="series-label" '
+                     f'x="{x0 + max(w, 1) + 6:.1f}" '
+                     f'y="{y + bar_h / 2 + 4:.1f}">{fmt(v)} s</text>')
+    parts.append("</svg>")
+    return f'<div class="chart">{"".join(parts)}</div>'
+
+
+def segment_tables(cp):
+    """Per-job critical-path segment listings (collapsed by default)."""
+    out = []
+    for cj in cp.get("jobs", []):
+        rows = "".join(
+            f'<tr><td>{html.escape(s["from"])}</td>'
+            f'<td>{html.escape(s["to"])}</td>'
+            f'<td class="n">{s["t0"]:.3f}</td>'
+            f'<td class="n">{s["t1"]:.3f}</td>'
+            f'<td class="n">{s["secs"]:.3f}</td>'
+            f'<td>{html.escape(s["blame"])}</td></tr>'
+            for s in cj["segments"])
+        head = "".join(f"<th>{h}</th>"
+                       for h in ("from", "to", "t0", "t1", "secs", "blame"))
+        out.append(f'<details><summary>Job {cj["id"]} critical path '
+                   f'({len(cj["segments"])} segments)</summary>'
+                   f"<table><tr>{head}</tr>{rows}</table></details>")
+    return "".join(out)
+
+
 def number_table(m, headers):
     rows = "".join(f"<tr><td>{html.escape(k)}</td>"
                    f'<td class="n">{fmt(v)}</td></tr>'
@@ -481,6 +646,14 @@ def render(report):
         "<h2>Cluster utilization (mean across nodes)</h2>",
         utilization_chart(named),
         wave_chart(named, report["jobs"]),
+    ]
+    cp = report.get("critical_path", {})
+    blame = blame_chart(cp)
+    if blame:
+        body.append("<h2>Critical path — where the time went</h2>")
+        body.append(blame)
+        body.append(segment_tables(cp))
+    body += [
         convergence_chart(named),
         "<details open><summary>Run totals</summary>",
         number_table(totals, ("counter", "value")), "</details>",
@@ -531,10 +704,21 @@ def main(argv):
             print(f"schema violation: {e}", file=sys.stderr)
         return 1
     if args.check:
+        # Clamped quantiles are valid but untrustworthy — flag them.
+        for name in sorted(report["metrics"]):
+            if name.endswith(".p99_clamped") and report["metrics"][name]:
+                base = name[: -len(".p99_clamped")]
+                overflow = report["metrics"].get(base + ".overflow_count", 0)
+                print(f"warning: {base}: p99 clamped to the last finite "
+                      f"bucket bound ({fmt(overflow)} overflow samples)",
+                      file=sys.stderr)
         n = len(report["series"]["series"])
+        nseg = sum(len(j["segments"])
+                   for j in report["critical_path"]["jobs"])
         print(f"{args.report}: valid {SCHEMA} "
               f"({len(report['jobs'])} jobs, {n} series, "
-              f"{len(report['metrics'])} metrics)")
+              f"{len(report['metrics'])} metrics, "
+              f"{nseg} critical-path segments)")
         return 0
 
     out = args.out or (args.report.rsplit(".", 1)[0] + ".html")
