@@ -9,6 +9,7 @@
 #include <mutex>
 #include <utility>
 
+#include "cluster/cluster_spec.h"
 #include "common/check.h"
 #include "mapreduce/report_rollup.h"
 #include "obs/report.h"
@@ -29,6 +30,7 @@ namespace {
 
 ObsOutputs g_obs;
 faults::FaultPlan g_fault_plan;
+cluster::ClusterSpec g_cluster;  // the 19-node testbed by default
 int g_jobs = 1;
 // Serializes artifact export when runs finish on several workers at once;
 // the files still describe one whole run (the last to finish).
@@ -41,6 +43,7 @@ obs::ReportCollector g_reports;
 /// Turn observation on for a simulation when any export path is configured,
 /// and thread the harness-wide fault plan through.
 void apply_obs(SimulationOptions& opt) {
+  opt.cluster = g_cluster;
   opt.fault_plan = g_fault_plan;
   if (!g_obs.any()) return;
   opt.observe = true;
@@ -156,6 +159,12 @@ void set_fault_plan(faults::FaultPlan plan) {
 
 const faults::FaultPlan& fault_plan() { return g_fault_plan; }
 
+void set_cluster_spec(cluster::ClusterSpec spec) {
+  g_cluster = std::move(spec);
+}
+
+const cluster::ClusterSpec& cluster_spec() { return g_cluster; }
+
 void set_jobs(int jobs) { g_jobs = jobs > 0 ? jobs : 1; }
 
 int jobs() { return g_jobs; }
@@ -206,12 +215,14 @@ void init_obs_from_flags(int argc, char** argv) {
       set_fault_plan(faults::FaultPlan::load(v));
     } else if (!(v = value_of("--fault-spec", i)).empty()) {
       set_fault_plan(faults::FaultPlan::parse(v));
+    } else if (!(v = value_of("--cluster", i)).empty()) {
+      set_cluster_spec(cluster::load_cluster_spec(v));
     } else {
       std::fprintf(stderr,
                    "unknown flag %s\nusage: %s [--jobs=N] [--metrics-out=F] "
                    "[--trace-out=F] [--audit-out=F] [--report-out=F] "
                    "[--trace-detail] [--no-eval-cache] [--fault-plan=F] "
-                   "[--fault-spec='directives']\n",
+                   "[--fault-spec='directives'] [--cluster=SPEC]\n",
                    argv[i], argv[0]);
       std::exit(2);
     }
@@ -305,6 +316,7 @@ RunStats run_conservative_averaged(Benchmark b, Corpus c,
 JobConfig offline_config(Benchmark b, Corpus c, Bytes terasort_bytes,
                          int terasort_reduces) {
   SimulationOptions opt;
+  opt.cluster = g_cluster;
   Simulation sim(opt);
   const JobSpec spec =
       make_spec(sim, b, c, terasort_bytes, terasort_reduces);
@@ -489,8 +501,9 @@ MultiTenantOutcome multi_tenant_experiment() {
 void print_preamble(const std::string& figure, const std::string& caption) {
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", figure.c_str(), caption.c_str());
-  std::printf("(4 repetitions per point, means reported; simulated 19-node "
-              "cluster)\n");
+  std::printf("(4 repetitions per point, means reported; simulated %d-node "
+              "cluster)\n",
+              g_cluster.total_slaves() + 1);  // slaves + master
   std::printf("==============================================================\n");
 }
 

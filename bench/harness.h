@@ -48,6 +48,13 @@ void set_obs_outputs(ObsOutputs outputs);
 void set_fault_plan(faults::FaultPlan plan);
 [[nodiscard]] const faults::FaultPlan& fault_plan();
 
+/// Cluster every simulation the harness builds runs on. Defaults to the
+/// paper's 19-node testbed; set from --cluster=SPEC (a preset like
+/// "nodes:1024", an inline group spec, or a spec file — see
+/// cluster/cluster_spec.h for the grammar).
+void set_cluster_spec(cluster::ClusterSpec spec);
+[[nodiscard]] const cluster::ClusterSpec& cluster_spec();
+
 /// Worker-thread count for the experiment fan-out (repeat seeds, per-app
 /// figure rows, sweep points). 1 = fully serial on the calling thread.
 void set_jobs(int jobs);

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "baselines/offline_guide.h"
+#include "cluster/cluster_spec.h"
 #include "common/check.h"
 #include "common/flags.h"
 #include "common/log.h"
@@ -64,6 +65,9 @@ ObsConfig g_obs;
 faults::FaultPlan g_fault_plan;
 // --speculative: LATE-style speculative execution on every job.
 bool g_speculative = false;
+// --cluster=SPEC: the simulated cluster for every run of the invocation.
+// Defaults to the paper's 19-node testbed (cluster/cluster_spec.h grammar).
+cluster::ClusterSpec g_cluster;
 // Runs may finish on several pool workers at once; exports stay whole-file.
 std::mutex g_obs_mu;
 // --report-out destination; keeps the greatest-keyed run, so the exported
@@ -71,6 +75,7 @@ std::mutex g_obs_mu;
 obs::ReportCollector g_reports;
 
 void apply_obs(mapreduce::SimulationOptions& opt) {
+  opt.cluster = g_cluster;
   opt.fault_plan = g_fault_plan;
   if (!g_obs.any()) return;
   opt.observe = true;
@@ -214,7 +219,7 @@ int run_cli(int argc, char** argv) {
                 " [--metrics-out[=F]] [--trace-out[=F]] [--audit-out[=F]]"
                 " [--report-out[=F]] [--trace-detail] [--no-eval-cache]"
                 " [--fault-plan=F] [--fault-spec='directives']"
-                " [--speculative]\n");
+                " [--speculative] [--cluster=SPEC]\n");
     return 0;
   }
   if (flags.get("list", false)) {
@@ -285,6 +290,10 @@ int run_cli(int argc, char** argv) {
     g_fault_plan = faults::FaultPlan::parse(fault_spec);
   }
   g_speculative = flags.get("speculative", false);
+  const std::string cluster_spec = flags.get("cluster", std::string(""));
+  if (!cluster_spec.empty()) {
+    g_cluster = cluster::load_cluster_spec(cluster_spec);
+  }
   for (const auto& u : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", u.c_str());
   }
@@ -293,6 +302,7 @@ int run_cli(int argc, char** argv) {
     mapreduce::JobConfig cfg;
     if (strategy == "offline") {
       mapreduce::SimulationOptions opt;
+      opt.cluster = g_cluster;
       mapreduce::Simulation sim(opt);
       const mapreduce::JobSpec spec = make_spec(sim, app, size_gb);
       const int maps = spec.input.valid()

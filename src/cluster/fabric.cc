@@ -18,9 +18,12 @@ Fabric::Fabric(sim::Engine& engine, const ClusterSpec& spec,
   for (int r = 0; r < topo_.num_racks(); ++r) {
     // Uplink capacity: NIC rate scaled by the oversubscription factor times
     // the rack size — i.e. the ToR switch can sustain a fraction of the
-    // rack's aggregate demand.
-    const double cap = spec.nic_bandwidth.rate() * inter_rack_factor_ *
-                       static_cast<double>(spec.rack_sizes[r]);
+    // rack's aggregate demand. Racks are homogeneous (topology.h), so the
+    // rack's hardware gives the one NIC rate that applies.
+    const RackId rack(r);
+    const double cap = topo_.rack_hardware(rack).nic_bandwidth.rate() *
+                       inter_rack_factor_ *
+                       static_cast<double>(topo_.rack_size(rack));
     rack_uplinks_.push_back(std::make_unique<sim::SharedServer>(
         engine_, cap, "rack" + std::to_string(r) + "/uplink"));
   }

@@ -9,9 +9,18 @@
 namespace mron::cluster {
 
 ClusterMonitor::ClusterMonitor(sim::Engine& engine, std::vector<Node*> nodes,
-                               SimTime period)
-    : engine_(engine), nodes_(std::move(nodes)), period_(period) {
+                               SimTime period, const Topology* topo,
+                               int node_series_limit)
+    : engine_(engine),
+      nodes_(std::move(nodes)),
+      period_(period),
+      topo_(topo),
+      node_series_limit_(node_series_limit) {
   MRON_CHECK(period_ > 0.0);
+  MRON_CHECK(node_series_limit_ >= 1);
+  if (topo_ != nullptr) {
+    MRON_CHECK(static_cast<int>(nodes_.size()) == topo_->num_nodes());
+  }
   latest_.resize(nodes_.size());
   prev_.resize(nodes_.size());
 }
@@ -37,62 +46,35 @@ void ClusterMonitor::sample() {
   const SimTime now = engine_.now();
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     Node& n = *nodes_[i];
+    const double cpu = n.cpu().busy_integral();
+    const double disk = n.disk().busy_integral();
+    const double net = n.nic_in().busy_integral();
+    // Lazy path: a node whose busy integrals did not move and that holds no
+    // memory produced an all-zero window — exactly what the full
+    // computation below would yield — so skip the divisions and store the
+    // zeros directly. This keeps the per-tick cost proportional to the
+    // number of *active* nodes on big clusters.
+    if (cpu == prev_[i].cpu && disk == prev_[i].disk && net == prev_[i].net &&
+        n.memory_allocated() == Bytes(0) && n.memory_used() == Bytes(0)) {
+      latest_[i] = NodeSample{};
+      latest_[i].time = now;
+      prev_[i].at = now;
+      continue;
+    }
     const double dt = now - prev_[i].at;
     NodeSample s;
     s.time = now;
     if (dt > 0.0) {
-      s.cpu_util =
-          (n.cpu().busy_integral() - prev_[i].cpu) / (n.cpu().capacity() * dt);
-      s.disk_util = (n.disk().busy_integral() - prev_[i].disk) /
-                    (n.disk().capacity() * dt);
-      s.net_util = (n.nic_in().busy_integral() - prev_[i].net) /
-                   (n.nic_in().capacity() * dt);
+      s.cpu_util = (cpu - prev_[i].cpu) / (n.cpu().capacity() * dt);
+      s.disk_util = (disk - prev_[i].disk) / (n.disk().capacity() * dt);
+      s.net_util = (net - prev_[i].net) / (n.nic_in().capacity() * dt);
     }
     s.mem_alloc_frac = n.memory_allocated() / n.memory_capacity();
     s.mem_used_frac = n.memory_used() / n.memory_capacity();
     latest_[i] = s;
-    prev_[i] = Integrals{n.cpu().busy_integral(), n.disk().busy_integral(),
-                         n.nic_in().busy_integral(), now};
+    prev_[i] = Integrals{cpu, disk, net, now};
   }
-  // Publish the window into the flight recorder and snapshot every metric's
-  // scalar onto the sim-time axis. The monitor is the registry's sampling
-  // clock: all time series advance at its period.
-  if (auto* rec = engine_.recorder()) {
-    auto& reg = rec->metrics();
-    if (node_gauges_.empty()) {
-      node_gauges_.resize(nodes_.size());
-      for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        const std::string prefix =
-            "cluster.node" + std::to_string(nodes_[i]->id().value()) + ".";
-        node_gauges_[i].cpu = &reg.gauge(prefix + "cpu_util");
-        node_gauges_[i].disk = &reg.gauge(prefix + "disk_util");
-        node_gauges_[i].net = &reg.gauge(prefix + "net_util");
-        node_gauges_[i].mem_alloc = &reg.gauge(prefix + "mem_alloc_frac");
-        node_gauges_[i].mem_used = &reg.gauge(prefix + "mem_used_frac");
-        auto& store = rec->series();
-        node_gauges_[i].cpu_series = &store.series(prefix + "cpu_util");
-        node_gauges_[i].disk_series = &store.series(prefix + "disk_util");
-        node_gauges_[i].net_series = &store.series(prefix + "net_util");
-      }
-      samples_counter_ = &reg.counter("monitor.samples");
-    }
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-      const NodeSample& s = latest_[i];
-      node_gauges_[i].cpu->set(s.cpu_util);
-      node_gauges_[i].disk->set(s.disk_util);
-      node_gauges_[i].net->set(s.net_util);
-      node_gauges_[i].mem_alloc->set(s.mem_alloc_frac);
-      node_gauges_[i].mem_used->set(s.mem_used_frac);
-      // Whole-run occupancy timelines: pushed every tick (not change-only)
-      // so the downsampling stride stays uniform across nodes.
-      node_gauges_[i].cpu_series->push(now, s.cpu_util);
-      node_gauges_[i].disk_series->push(now, s.disk_util);
-      node_gauges_[i].net_series->push(now, s.net_util);
-    }
-    samples_counter_->add(1.0);
-    rec->flush();  // pull-model publishers (SharedServer gauges)
-    reg.sample(now);
-  }
+  publish(now);
   // Re-arm only while the simulation has real work pending: a quiescent
   // engine means every job finished, and a self-perpetuating sampler would
   // keep Engine::run() from ever draining. Daemon scheduling keeps this
@@ -101,6 +83,76 @@ void ClusterMonitor::sample() {
   if (running_ && !engine_.quiescent()) {
     pending_ = engine_.schedule_daemon_after(period_, [this] { sample(); });
   }
+}
+
+void ClusterMonitor::publish(SimTime now) {
+  // Publish the window into the flight recorder and snapshot every metric's
+  // scalar onto the sim-time axis. The monitor is the registry's sampling
+  // clock: all time series advance at its period. Beyond the node-series
+  // limit the per-entity handles are per *rack* (means over the rack's
+  // nodes), bounding recorder footprint on 1,000+-node clusters.
+  auto* rec = engine_.recorder();
+  if (rec == nullptr) return;
+  auto& reg = rec->metrics();
+  const bool by_rack = rack_aggregated();
+  const std::size_t entities =
+      by_rack ? static_cast<std::size_t>(topo_->num_racks()) : nodes_.size();
+  if (node_gauges_.empty()) {
+    node_gauges_.resize(entities);
+    for (std::size_t i = 0; i < entities; ++i) {
+      const std::string prefix =
+          by_rack ? "cluster.rack" + std::to_string(i) + "."
+                  : "cluster.node" +
+                        std::to_string(nodes_[i]->id().value()) + ".";
+      node_gauges_[i].cpu = &reg.gauge(prefix + "cpu_util");
+      node_gauges_[i].disk = &reg.gauge(prefix + "disk_util");
+      node_gauges_[i].net = &reg.gauge(prefix + "net_util");
+      node_gauges_[i].mem_alloc = &reg.gauge(prefix + "mem_alloc_frac");
+      node_gauges_[i].mem_used = &reg.gauge(prefix + "mem_used_frac");
+      auto& store = rec->series();
+      node_gauges_[i].cpu_series = &store.series(prefix + "cpu_util");
+      node_gauges_[i].disk_series = &store.series(prefix + "disk_util");
+      node_gauges_[i].net_series = &store.series(prefix + "net_util");
+    }
+    samples_counter_ = &reg.counter("monitor.samples");
+  }
+  for (std::size_t i = 0; i < entities; ++i) {
+    NodeSample s;
+    if (by_rack) {
+      const RackId rack(static_cast<std::int64_t>(i));
+      const int first = topo_->rack_first_node(rack);
+      const int size = topo_->rack_size(rack);
+      for (int n = first; n < first + size; ++n) {
+        const NodeSample& ns = latest_[static_cast<std::size_t>(n)];
+        s.cpu_util += ns.cpu_util;
+        s.disk_util += ns.disk_util;
+        s.net_util += ns.net_util;
+        s.mem_alloc_frac += ns.mem_alloc_frac;
+        s.mem_used_frac += ns.mem_used_frac;
+      }
+      const double denom = static_cast<double>(size);
+      s.cpu_util /= denom;
+      s.disk_util /= denom;
+      s.net_util /= denom;
+      s.mem_alloc_frac /= denom;
+      s.mem_used_frac /= denom;
+    } else {
+      s = latest_[i];
+    }
+    node_gauges_[i].cpu->set(s.cpu_util);
+    node_gauges_[i].disk->set(s.disk_util);
+    node_gauges_[i].net->set(s.net_util);
+    node_gauges_[i].mem_alloc->set(s.mem_alloc_frac);
+    node_gauges_[i].mem_used->set(s.mem_used_frac);
+    // Whole-run occupancy timelines: pushed every tick (not change-only)
+    // so the downsampling stride stays uniform across entities.
+    node_gauges_[i].cpu_series->push(now, s.cpu_util);
+    node_gauges_[i].disk_series->push(now, s.disk_util);
+    node_gauges_[i].net_series->push(now, s.net_util);
+  }
+  samples_counter_->add(1.0);
+  rec->flush();  // pull-model publishers (SharedServer gauges)
+  reg.sample(now);
 }
 
 const NodeSample& ClusterMonitor::latest(NodeId node) const {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "cluster/node.h"
+#include "cluster/topology.h"
 #include "sim/engine.h"
 
 namespace mron::obs {
@@ -31,8 +32,17 @@ struct NodeSample {
 
 class ClusterMonitor {
  public:
+  /// `topo` + `node_series_limit` bound the flight-recorder footprint: with
+  /// more than `node_series_limit` nodes the monitor publishes per-*rack*
+  /// aggregate gauges/series (cluster.rackR.*) instead of per-node ones,
+  /// so report and trace size stay O(racks) at 1,000+ nodes. Passing
+  /// topo == nullptr keeps the legacy per-node publishing at any size.
+  /// Sampling itself is lazy either way: nodes whose busy integrals did
+  /// not move since the last tick skip the window recomputation, so the
+  /// per-tick cost is O(active nodes) + O(idle nodes) cheap compares.
   ClusterMonitor(sim::Engine& engine, std::vector<Node*> nodes,
-                 SimTime period = 1.0);
+                 SimTime period = 1.0, const Topology* topo = nullptr,
+                 int node_series_limit = 64);
 
   void start();
   void stop();
@@ -46,12 +56,21 @@ class ClusterMonitor {
 
   [[nodiscard]] SimTime period() const { return period_; }
 
+  /// True when publishing per-rack aggregates instead of per-node values.
+  [[nodiscard]] bool rack_aggregated() const {
+    return topo_ != nullptr &&
+           static_cast<int>(nodes_.size()) > node_series_limit_;
+  }
+
  private:
   void sample();
+  void publish(SimTime now);
 
   sim::Engine& engine_;
   std::vector<Node*> nodes_;
   SimTime period_;
+  const Topology* topo_ = nullptr;
+  int node_series_limit_ = 64;
   bool running_ = false;
   sim::EventId pending_;
   std::vector<NodeSample> latest_;
@@ -69,7 +88,8 @@ class ClusterMonitor {
     obs::Series* disk_series = nullptr;
     obs::Series* net_series = nullptr;
   };
-  std::vector<NodeGauges> node_gauges_;
+  std::vector<NodeGauges> node_gauges_;  ///< per node, or per rack when
+                                         ///< rack_aggregated()
   obs::Counter* samples_counter_ = nullptr;
   struct Integrals {
     double cpu = 0.0;

@@ -10,15 +10,18 @@ std::string server_name(NodeId id, const char* what) {
 }
 }  // namespace
 
-Node::Node(sim::Engine& engine, NodeId id, const ClusterSpec& spec)
+Node::Node(sim::Engine& engine, NodeId id, const NodeHardware& hw)
     : id_(id),
-      cpu_(engine, spec.container_core_units(), server_name(id, "cpu")),
-      disk_(engine, spec.disk_bandwidth.rate(), server_name(id, "disk"),
-            spec.disk_seek_penalty),
-      nic_in_(engine, spec.nic_bandwidth.rate(), server_name(id, "nic_in")),
-      memory_capacity_(spec.container_memory),
-      vcores_capacity_(spec.container_vcores),
-      cpu_quota_per_vcore_(spec.cpu_quota_per_vcore) {}
+      cpu_(engine, hw.container_core_units(), server_name(id, "cpu")),
+      disk_(engine, hw.disk_bandwidth.rate(), server_name(id, "disk"),
+            hw.disk_seek_penalty),
+      nic_in_(engine, hw.nic_bandwidth.rate(), server_name(id, "nic_in")),
+      memory_capacity_(hw.container_memory),
+      vcores_capacity_(hw.container_vcores),
+      cpu_quota_per_vcore_(hw.cpu_quota_per_vcore) {}
+
+Node::Node(sim::Engine& engine, NodeId id, const ClusterSpec& spec)
+    : Node(engine, id, spec.default_hardware()) {}
 
 void Node::allocate(Bytes memory, int vcores) {
   MRON_CHECK_MSG(memory <= memory_available(),
@@ -27,6 +30,7 @@ void Node::allocate(Bytes memory, int vcores) {
                  "node " << id_ << " vcore over-allocation");
   memory_allocated_ += memory;
   vcores_allocated_ += vcores;
+  if (resource_observer_) resource_observer_(*this);
 }
 
 void Node::release(Bytes memory, int vcores) {
@@ -34,6 +38,7 @@ void Node::release(Bytes memory, int vcores) {
   vcores_allocated_ -= vcores;
   MRON_CHECK(memory_allocated_ >= Bytes(0));
   MRON_CHECK(vcores_allocated_ >= 0);
+  if (resource_observer_) resource_observer_(*this);
 }
 
 }  // namespace mron::cluster

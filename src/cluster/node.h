@@ -8,7 +8,9 @@
 // task models for utilization monitoring).
 #pragma once
 
+#include <functional>
 #include <string>
+#include <utility>
 
 #include "cluster/topology.h"
 #include "common/check.h"
@@ -19,6 +21,8 @@ namespace mron::cluster {
 
 class Node {
  public:
+  Node(sim::Engine& engine, NodeId id, const NodeHardware& hw);
+  /// Convenience for homogeneous clusters: the spec's top-level hardware.
   Node(sim::Engine& engine, NodeId id, const ClusterSpec& spec);
 
   Node(const Node&) = delete;
@@ -50,6 +54,14 @@ class Node {
   void allocate(Bytes memory, int vcores);
   void release(Bytes memory, int vcores);
 
+  /// Observer fired after every allocate/release — the ResourceManager's
+  /// free-resource index re-keys the node here, so the index stays exact
+  /// even when test code mutates a node directly. At most one observer.
+  using ResourceObserver = std::function<void(Node&)>;
+  void set_resource_observer(ResourceObserver cb) {
+    resource_observer_ = std::move(cb);
+  }
+
   // --- used-memory reporting (monitoring only) -----------------------------
   void add_used_memory(Bytes delta) { memory_used_ += delta; }
   void sub_used_memory(Bytes delta) {
@@ -74,6 +86,7 @@ class Node {
   int vcores_capacity_;
   int vcores_allocated_ = 0;
   double cpu_quota_per_vcore_;
+  ResourceObserver resource_observer_;
 };
 
 }  // namespace mron::cluster

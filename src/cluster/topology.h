@@ -5,9 +5,16 @@
 // cores), 8 GB RAM, one SATA disk, and a 1 Gbps NIC. YARN exposes 28 vcores
 // and 6 GB per node for containers (4 vcores / 2 GB reserved for the HDFS
 // datanode and node-manager daemons).
+//
+// Beyond the testbed, a spec may carry heterogeneous `groups`: each group
+// contributes whole racks of identical nodes, so every rack stays
+// homogeneous (the ToR uplink model needs one NIC rate per rack) while the
+// cluster as a whole can mix hardware classes (cluster_spec.h parses the
+// `--cluster=SPEC` grammar into this form).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/strong_id.h"
@@ -20,10 +27,10 @@ using NodeId = StrongId<NodeTag>;
 struct RackTag {};
 using RackId = StrongId<RackTag>;
 
-struct ClusterSpec {
-  int num_slaves = 18;
-  std::vector<int> rack_sizes = {9, 9};  // slaves per rack
-
+/// Hardware of one node class. The fields mirror ClusterSpec's top-level
+/// homogeneous knobs; a heterogeneous cluster carries one NodeHardware per
+/// group.
+struct NodeHardware {
   // CPU. `total_vcores` is yarn.nodemanager total; `container_vcores` is
   // what the scheduler may hand to containers. Physical core throughput is
   // normalized to 1.0 "core-units"; a vcore is worth
@@ -50,10 +57,8 @@ struct ClusterSpec {
   BytesPerSec disk_bandwidth = mib_per_sec(90);
   double disk_seek_penalty = 0.06;
 
-  // Network: per-node NIC and the factor applied to cross-rack streams
-  // (top-of-rack uplink oversubscription).
+  // Per-node NIC.
   BytesPerSec nic_bandwidth = gbit_per_sec(1);
-  double inter_rack_factor = 0.5;
 
   // CPU actually consumed by the co-located HDFS datanode, node manager,
   // and shuffle service, subtracted from what containers can burn.
@@ -73,7 +78,71 @@ struct ClusterSpec {
   }
 };
 
-/// Static placement info: which rack each node lives in.
+/// One hardware class contributing `racks` whole racks of `nodes_per_rack`
+/// identical nodes. Node ids are assigned group by group, rack by rack, so
+/// every rack is a contiguous, homogeneous id range.
+struct NodeGroup {
+  std::string name;  ///< label for spec rendering ("std", "bigmem", ...)
+  int racks = 1;
+  int nodes_per_rack = 0;
+  NodeHardware hardware;
+};
+
+struct ClusterSpec {
+  int num_slaves = 18;
+  std::vector<int> rack_sizes = {9, 9};  // slaves per rack
+
+  // Homogeneous hardware knobs (the 19-node testbed defaults). These stay
+  // authoritative when `groups` is empty; with groups they describe the
+  // *representative* node class (the first group) for consumers that model
+  // a single hardware point (the what-if predictor, static planner).
+  int physical_cores = 8;
+  int total_vcores = 32;
+  int container_vcores = 28;
+  Bytes node_memory = gibibytes(8);
+  Bytes container_memory = gibibytes(6);
+  double cpu_quota_per_vcore = 1.0;
+  BytesPerSec disk_bandwidth = mib_per_sec(90);
+  double disk_seek_penalty = 0.06;
+  BytesPerSec nic_bandwidth = gbit_per_sec(1);
+  double daemon_core_reserve = 1.0;
+
+  // Factor applied to cross-rack streams (top-of-rack uplink
+  // oversubscription). Cluster-wide, not per group.
+  double inter_rack_factor = 0.5;
+
+  /// Heterogeneous node classes; empty = homogeneous cluster described by
+  /// the top-level fields + rack_sizes. Non-empty groups are authoritative
+  /// for the topology; callers building groups by hand should finish with
+  /// sync_totals().
+  std::vector<NodeGroup> groups;
+
+  /// The top-level homogeneous knobs bundled as a NodeHardware.
+  [[nodiscard]] NodeHardware default_hardware() const;
+
+  /// Recompute num_slaves/rack_sizes from `groups` and copy the first
+  /// group's hardware into the representative top-level fields. No-op when
+  /// groups is empty.
+  void sync_totals();
+
+  /// Total slave count — groups when present, else num_slaves.
+  [[nodiscard]] int total_slaves() const;
+
+  /// Core-units available to containers on one (representative) node.
+  [[nodiscard]] double container_core_units() const {
+    return default_hardware().container_core_units();
+  }
+  /// Core-units represented by one vcore.
+  [[nodiscard]] double core_units_per_vcore() const {
+    return default_hardware().core_units_per_vcore();
+  }
+};
+
+/// Static placement info: which rack each node lives in, which hardware
+/// class it runs, and where each rack's contiguous id range starts. Racks
+/// are contiguous by construction (both the legacy rack_sizes path and the
+/// grouped path assign ids rack by rack), which is what makes O(1)
+/// rack-range arithmetic — DFS placement, rack-local scheduling — valid.
 class Topology {
  public:
   explicit Topology(const ClusterSpec& spec);
@@ -82,16 +151,31 @@ class Topology {
     return static_cast<int>(rack_of_.size());
   }
   [[nodiscard]] RackId rack_of(NodeId node) const;
-  [[nodiscard]] int num_racks() const { return num_racks_; }
+  [[nodiscard]] int num_racks() const {
+    return static_cast<int>(racks_.size());
+  }
   [[nodiscard]] bool same_rack(NodeId a, NodeId b) const {
     return rack_of(a) == rack_of(b);
   }
+  /// First node id in `rack` (racks are contiguous id ranges).
+  [[nodiscard]] int rack_first_node(RackId rack) const;
+  [[nodiscard]] int rack_size(RackId rack) const;
+  /// Hardware of `node` / of every node in `rack` (racks are homogeneous).
+  [[nodiscard]] const NodeHardware& hardware(NodeId node) const;
+  [[nodiscard]] const NodeHardware& rack_hardware(RackId rack) const;
   [[nodiscard]] std::vector<NodeId> nodes_in_rack(RackId rack) const;
   [[nodiscard]] std::vector<NodeId> all_nodes() const;
 
  private:
+  struct RackInfo {
+    int first_node = 0;
+    int size = 0;
+    int hardware = 0;  ///< index into hardware_
+  };
+
   std::vector<RackId> rack_of_;  // indexed by node id
-  int num_racks_ = 0;
+  std::vector<RackInfo> racks_;
+  std::vector<NodeHardware> hardware_;
 };
 
 }  // namespace mron::cluster

@@ -26,15 +26,19 @@ std::vector<cluster::NodeId> Dfs::place_replicas() {
   replicas.push_back(first);
   if (want == 1) return replicas;
 
-  // Second replica: a node on a different rack when one exists.
-  std::vector<cluster::NodeId> off_rack;
-  for (auto node : topo_.all_nodes()) {
-    if (!topo_.same_rack(node, first)) off_rack.push_back(node);
-  }
+  // Second replica: a node on a different rack when one exists. Racks are
+  // contiguous id ranges, so the k-th off-rack node (ascending — the order
+  // the old materialized list had) is an index shift: same draw bounds,
+  // same winner, no O(n) list per block.
+  const auto first_rack = topo_.rack_of(first);
+  const std::int64_t first_lo = topo_.rack_first_node(first_rack);
+  const std::int64_t first_sz = topo_.rack_size(first_rack);
+  const std::int64_t off_rack_count = n - first_sz;
   cluster::NodeId second = first;
-  if (!off_rack.empty()) {
-    second = off_rack[static_cast<std::size_t>(
-        rng_.uniform_int(0, static_cast<std::int64_t>(off_rack.size()) - 1))];
+  if (off_rack_count > 0) {
+    std::int64_t k = rng_.uniform_int(0, off_rack_count - 1);
+    if (k >= first_lo) k += first_sz;
+    second = cluster::NodeId(k);
   } else {
     while (second == first && n > 1) {
       second = cluster::NodeId(rng_.uniform_int(0, n - 1));
@@ -43,14 +47,29 @@ std::vector<cluster::NodeId> Dfs::place_replicas() {
   replicas.push_back(second);
   if (want == 2) return replicas;
 
-  // Third replica: same rack as the second, distinct node.
-  auto rackmates = topo_.nodes_in_rack(topo_.rack_of(second));
-  std::erase(rackmates, second);
-  std::erase(rackmates, first);
+  // Third replica: same rack as the second, distinct node (the first can
+  // share that rack only via the single-rack fallback above). The k-th
+  // rackmate is the k-th id in the rack's range after skipping the sorted
+  // exclusions — identical to indexing the old filtered vector.
+  const auto rack = topo_.rack_of(second);
+  const std::int64_t lo = topo_.rack_first_node(rack);
+  const std::int64_t sz = topo_.rack_size(rack);
+  const std::int64_t f = first.value();
+  const std::int64_t s = second.value();
+  std::int64_t excl[2] = {s, s};
+  std::int64_t num_excl = 1;
+  if (f >= lo && f < lo + sz && f != s) {
+    excl[0] = std::min(f, s);
+    excl[1] = std::max(f, s);
+    num_excl = 2;
+  }
   cluster::NodeId third = first;
-  if (!rackmates.empty()) {
-    third = rackmates[static_cast<std::size_t>(rng_.uniform_int(
-        0, static_cast<std::int64_t>(rackmates.size()) - 1))];
+  if (sz > num_excl) {
+    std::int64_t id = lo + rng_.uniform_int(0, sz - num_excl - 1);
+    for (std::int64_t i = 0; i < num_excl; ++i) {
+      if (id >= excl[i]) ++id;
+    }
+    third = cluster::NodeId(id);
   }
   if (third != first && third != second) replicas.push_back(third);
   return replicas;

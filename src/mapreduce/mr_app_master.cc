@@ -211,10 +211,10 @@ int MrAppMaster::cluster_slots_estimate(const JobConfig& cfg, bool map) const {
                                        : cfg.reduce_cpu_vcores));
   const double by_mem =
       rm_.cluster_memory_capacity().as_double() / mebibytes(mem_mb).as_double();
-  double by_vcores = 0.0;
-  for (int n = 0; n < rm_.num_nodes(); ++n) {
-    by_vcores += rm_.node(cluster::NodeId(n)).vcores_capacity() / vcores;
-  }
+  // Sum of per-node floor(capacity/vcores) — served from the RM's capacity
+  // histogram (O(hardware classes), not O(nodes); this runs on every pump).
+  const double by_vcores =
+      static_cast<double>(rm_.cluster_vcore_slots(vcores));
   return std::max(1, static_cast<int>(std::min(by_mem, by_vcores)));
 }
 

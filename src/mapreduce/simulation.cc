@@ -21,14 +21,16 @@ Simulation::Simulation(SimulationOptions options)
   topo_ = std::make_unique<cluster::Topology>(options_.cluster);
   std::vector<cluster::Node*> ptrs;
   for (int i = 0; i < topo_->num_nodes(); ++i) {
-    nodes_.push_back(std::make_unique<cluster::Node>(
-        engine_, cluster::NodeId(i), options_.cluster));
+    const cluster::NodeId id(i);
+    nodes_.push_back(std::make_unique<cluster::Node>(engine_, id,
+                                                     topo_->hardware(id)));
     ptrs.push_back(nodes_.back().get());
   }
   fabric_ =
       std::make_unique<cluster::Fabric>(engine_, options_.cluster, *topo_, ptrs);
   monitor_ = std::make_unique<cluster::ClusterMonitor>(
-      engine_, ptrs, options_.monitor_period);
+      engine_, ptrs, options_.monitor_period, topo_.get(),
+      options_.monitor_node_series_limit);
   dfs_ = std::make_unique<dfs::Dfs>(*topo_, rng_.fork(0xdf5));
   auto policy = options_.capacity_queues.empty()
                     ? (options_.fair_scheduler ? yarn::make_fair_policy()

@@ -36,6 +36,10 @@ struct SimulationOptions {
   /// JobSpec::scheduler_queue.
   std::vector<double> capacity_queues;
   SimTime monitor_period = 1.0;
+  /// Above this node count the monitor publishes per-rack aggregate
+  /// gauges/series instead of per-node ones, keeping report and trace size
+  /// bounded at 1,000+ nodes. The 19-node testbed stays per-node.
+  int monitor_node_series_limit = 64;
   /// Start the cluster monitor and let the RM route containers away from
   /// nodes whose disk/NIC ran hot in the last window (Section 3's
   /// hot-spot avoidance).

@@ -108,6 +108,7 @@ bool Engine::dispatch_next() {
     release_slot(entry.slot);
     --live_events_;
     now_ = entry.time;
+    ++total_dispatched_;
     cb();
     return true;
   }

@@ -70,6 +70,13 @@ class Engine {
   /// Run events with timestamp <= `t`, then set now() = t.
   std::int64_t run_until(SimTime t);
 
+  /// Events dispatched over the engine's whole lifetime (every run/run_until
+  /// call). The scaling microbench divides this by wall-clock to get the
+  /// events/sec a simulated cluster sustains.
+  [[nodiscard]] std::int64_t total_dispatched() const {
+    return total_dispatched_;
+  }
+
   [[nodiscard]] bool empty() const { return live_events_ == 0; }
   [[nodiscard]] std::size_t pending() const { return live_events_; }
   /// True when only daemon housekeeping remains pending — the simulation
@@ -154,6 +161,7 @@ class Engine {
   std::vector<std::uint32_t> free_slots_;
   std::vector<HeapEntry> heap_;  // binary min-heap on (time, seq)
   std::size_t live_events_ = 0;
+  std::int64_t total_dispatched_ = 0;
   std::size_t daemon_events_ = 0;
   std::size_t stale_in_heap_ = 0;
 #if MRON_OBS_ENABLED

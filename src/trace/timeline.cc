@@ -89,19 +89,25 @@ TimelineSummary summarize(const JobResult& result) {
 }
 
 std::string render_swimlanes(const JobResult& result, int num_nodes,
-                             int width) {
-  MRON_CHECK(num_nodes > 0 && width > 0);
+                             int width, int max_lanes) {
+  MRON_CHECK(num_nodes > 0 && width > 0 && max_lanes > 0);
   const double t0 = result.submit_time;
   const double t1 = std::max(result.finish_time, t0 + 1e-9);
   const double bucket = (t1 - t0) / width;
 
-  // Per node x bucket: bit 1 = map, bit 2 = reduce, bit 4 = failure.
+  // One lane per node while the cluster fits in max_lanes rows; beyond
+  // that, contiguous groups of `group` nodes share a lane so both the
+  // allocation and the rendered text stay bounded.
+  const int group = (num_nodes + max_lanes - 1) / max_lanes;
+  const int num_lanes = (num_nodes + group - 1) / group;
+
+  // Per lane x bucket: bit 1 = map, bit 2 = reduce, bit 4 = failure.
   std::vector<std::vector<int>> lanes(
-      static_cast<std::size_t>(num_nodes),
+      static_cast<std::size_t>(num_lanes),
       std::vector<int>(static_cast<std::size_t>(width), 0));
   auto paint = [&](const TaskReport& r, int bit) {
     if (!r.node.valid() || r.node.value() >= num_nodes) return;
-    auto& lane = lanes[static_cast<std::size_t>(r.node.value())];
+    auto& lane = lanes[static_cast<std::size_t>(r.node.value() / group)];
     const int b0 = std::clamp(
         static_cast<int>((r.start_time - t0) / bucket), 0, width - 1);
     const int b1 = std::clamp(static_cast<int>((r.end_time - t0) / bucket),
@@ -116,8 +122,14 @@ std::string render_swimlanes(const JobResult& result, int num_nodes,
   std::ostringstream os;
   os << "time 0.." << (t1 - t0) << "s, " << width
      << " buckets ('M' map, 'R' reduce, 'B' both, 'x' failed)\n";
-  for (int n = 0; n < num_nodes; ++n) {
-    os << "node" << (n < 10 ? " " : "") << n << " |";
+  for (int n = 0; n < num_lanes; ++n) {
+    if (group == 1) {
+      os << "node" << (n < 10 ? " " : "") << n << " |";
+    } else {
+      const int lo = n * group;
+      const int hi = std::min(num_nodes - 1, lo + group - 1);
+      os << "node " << lo << '-' << hi << " |";
+    }
     for (int b = 0; b < width; ++b) {
       const int v = lanes[static_cast<std::size_t>(n)]
                          [static_cast<std::size_t>(b)];

@@ -47,8 +47,11 @@ TimelineSummary summarize(const mapreduce::JobResult& result);
 
 /// ASCII swimlanes: one row per node, `width` time buckets; each cell shows
 /// what dominated the bucket on that node — 'M' maps, 'R' reduces, 'B' both,
-/// '.' idle, 'x' a failed attempt.
+/// '.' idle, 'x' a failed attempt. On clusters wider than `max_lanes` rows,
+/// contiguous node groups share a lane ("node 0-15") so a 1,024-node run
+/// still renders — and allocates — O(max_lanes * width), not O(nodes).
 std::string render_swimlanes(const mapreduce::JobResult& result,
-                             int num_nodes, int width = 72);
+                             int num_nodes, int width = 72,
+                             int max_lanes = 64);
 
 }  // namespace mron::trace

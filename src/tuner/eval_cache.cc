@@ -77,9 +77,11 @@ void export_eval_cache_metrics(obs::MetricsRegistry& registry) {
 
 void CacheKey::add_word(std::uint64_t w) {
   words_.push_back(w);
+  // Plain FNV-1a: already order-sensitive (each word is folded into the
+  // running product), and a weak digest can only cost an extra full-key
+  // compare, never a wrong value. One multiply per word keeps the ~14-word
+  // config-key latency chain half what the old position-mixing round was.
   hash_ = (hash_ ^ w) * kFnvPrime;
-  // Mix the word position too, so permuted sequences digest differently.
-  hash_ = (hash_ ^ static_cast<std::uint64_t>(words_.size())) * kFnvPrime;
 }
 
 void CacheKey::add(double v) {
@@ -98,6 +100,27 @@ void CacheKey::add_config(const mapreduce::ParamRegistry& registry,
   for (std::size_t i = 0; i < registry.size(); ++i) {
     add(registry.get(cfg, i));
   }
+}
+
+void CacheKey::add_config(const mapreduce::JobConfig& cfg) {
+  static_assert(sizeof(mapreduce::JobConfig) == 14 * sizeof(double),
+                "JobConfig changed: key every new field here");
+  mapreduce::JobConfig c = cfg;
+  mapreduce::clamp_constraints(c);
+  add(c.map_memory_mb);
+  add(c.reduce_memory_mb);
+  add(c.io_sort_mb);
+  add(c.sort_spill_percent);
+  add(c.shuffle_input_buffer_percent);
+  add(c.shuffle_merge_percent);
+  add(c.shuffle_memory_limit_percent);
+  add(c.merge_inmem_threshold);
+  add(c.reduce_input_buffer_percent);
+  add(c.map_cpu_vcores);
+  add(c.reduce_cpu_vcores);
+  add(c.io_sort_factor);
+  add(c.shuffle_parallelcopies);
+  add(c.map_output_compress);
 }
 
 namespace internal {

@@ -82,6 +82,13 @@ class CacheKey {
   void add_config(const mapreduce::ParamRegistry& registry,
                   mapreduce::JobConfig cfg);
 
+  /// Same canonicalization, but append every JobConfig field directly in
+  /// declaration order — a superset of any registry's view, with no
+  /// per-parameter indirection. This is the hot-path form: the what-if
+  /// search builds ~6k keys per optimize call, and the registry walk was
+  /// a measurable fraction of a (closed-form, sub-microsecond) model call.
+  void add_config(const mapreduce::JobConfig& cfg);
+
   [[nodiscard]] std::uint64_t hash() const { return hash_; }
   [[nodiscard]] std::size_t size_words() const { return words_.size(); }
 
@@ -123,6 +130,10 @@ class EvalCache {
       : shards_(shards == 0 ? 1 : shards) {
     per_shard_capacity_ =
         std::max<std::size_t>(1, capacity / shards_.size());
+    // A cache typically lives for one search call and fills from empty;
+    // pre-sizing the bucket arrays avoids repeated rehash-and-relink of
+    // every node on the insert-heavy warmup path.
+    for (Shard& sh : shards_) sh.index.reserve(per_shard_capacity_);
   }
 
   EvalCache(const EvalCache&) = delete;

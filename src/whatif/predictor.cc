@@ -213,14 +213,83 @@ namespace {
 
 using ScoreCache = tuner::EvalCache<double>;
 
+/// The score cache outlives any single optimize_with_model call: keys carry
+/// the full evaluation context (below), so entries from one scenario can
+/// never be returned for another, and a tuner that re-plans over the same
+/// job repeatedly — the common case — starts every search warm. The LRU
+/// bounds the footprint.
+ScoreCache& process_score_cache() {
+  static ScoreCache cache;
+  return cache;
+}
+
+void add_hardware(tuner::CacheKey& key, const cluster::NodeHardware& hw) {
+  key.add(hw.physical_cores);
+  key.add(hw.total_vcores);
+  key.add(hw.container_vcores);
+  key.add(hw.node_memory);
+  key.add(hw.container_memory);
+  key.add(hw.cpu_quota_per_vcore);
+  key.add(hw.disk_bandwidth.rate());
+  key.add(hw.disk_seek_penalty);
+  key.add(hw.nic_bandwidth.rate());
+  key.add(hw.daemon_core_reserve);
+}
+
+/// Everything predict() reads besides the candidate config. Hashing the
+/// full inputs — not just the fields today's model happens to touch —
+/// is what makes a process-lifetime cache safe: two scenarios that differ
+/// anywhere key differently, so a hit always replays the same pure call.
+tuner::CacheKey context_key(const PredictionInputs& in) {
+  tuner::CacheKey key;
+  const auto& cl = in.cluster;
+  key.add(cl.num_slaves);
+  key.add(static_cast<std::int64_t>(cl.rack_sizes.size()));
+  for (int r : cl.rack_sizes) key.add(r);
+  add_hardware(key, cl.default_hardware());
+  key.add(cl.inter_rack_factor);
+  key.add(static_cast<std::int64_t>(cl.groups.size()));
+  for (const auto& g : cl.groups) {
+    key.add(g.racks);
+    key.add(g.nodes_per_rack);
+    add_hardware(key, g.hardware);
+  }
+  static_assert(sizeof(mapreduce::AppProfile) == 15 * sizeof(double),
+                "AppProfile changed: key every new field here");
+  const auto& p = in.profile;
+  key.add(p.map_cpu_secs_per_mib);
+  key.add(p.map_cpu_secs_fixed);
+  key.add(p.map_output_bytes_fixed);
+  key.add(p.map_output_ratio);
+  key.add(p.map_record_bytes);
+  key.add(p.combiner_ratio);
+  key.add(p.map_cpu_demand_cores);
+  key.add(p.map_working_set);
+  key.add(p.reduce_cpu_secs_per_mib);
+  key.add(p.reduce_output_ratio);
+  key.add(p.reduce_cpu_demand_cores);
+  key.add(p.reduce_working_set);
+  key.add(p.partition_skew_cv);
+  key.add(p.sort_cpu_secs_per_record);
+  key.add(p.task_startup_secs);
+  key.add(in.input_size);
+  key.add(in.num_maps);
+  key.add(in.num_reduces);
+  key.add(static_cast<std::int64_t>(in.node_slowdown.size()));
+  for (double s : in.node_slowdown) key.add(s);
+  return key;
+}
+
 /// One search chain: random restarts + coordinate refinement. Cheap model
 /// calls make a simple search sufficient (Starfish uses recursive random
 /// search). `cache` (optional, shared across chains) memoizes total_secs
-/// per canonical config — a hit returns exactly what the predict() call
-/// would, so the trajectory and winner are cache-invariant.
+/// per (context, canonical config) — a hit returns exactly what the
+/// predict() call would, so the trajectory and winner are cache-invariant.
+/// `ctx` is the prebuilt context_key (required when `cache` is non-null).
 std::pair<JobConfig, double> search_chain(const PredictionInputs& base,
                                           int evaluations, std::uint64_t seed,
-                                          ScoreCache* cache) {
+                                          ScoreCache* cache,
+                                          const tuner::CacheKey* ctx) {
   const auto& reg = mapreduce::ParamRegistry::standard();
   Rng rng(seed);
 
@@ -233,19 +302,12 @@ std::pair<JobConfig, double> search_chain(const PredictionInputs& base,
       return predict(probe).total_secs;
     };
     if (cache == nullptr) return evaluate();
-    // The cache lives for one optimize_with_model call, so everything else
-    // predict() reads (cluster, profile, job geometry) is constant across
-    // its lifetime — the canonical config digest alone is the key. The
-    // per-thread scratch key recycles its storage: after the first eval the
-    // key build allocates nothing.
+    // Key = context prefix + canonical config. The per-thread scratch key
+    // recycles its storage: after the first eval, copying the prefix and
+    // appending the 14 config fields allocates nothing.
     thread_local tuner::CacheKey key;
-    key.clear();
-    key.add_config(mapreduce::ParamRegistry::extended(), cfg);
-    // The per-node slowdown vector is constant within one optimize call,
-    // but it is an input predict() reads — keep it in the key so a cache
-    // ever shared across calls (heterogeneous what-if scenarios) stays
-    // correct.
-    for (double s : base.node_slowdown) key.add(s);
+    key = *ctx;
+    key.add_config(cfg);
     return cache->get_or_compute(key, evaluate);
   };
   double best_secs = score(best);
@@ -284,15 +346,19 @@ JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
   MRON_CHECK(evaluations >= 1);
   MRON_CHECK(restarts >= 1);
 
-  // One sharded cache shared by every chain: duplicate probes (quantization
-  // and clamping collapse nearby samples) cost a lookup instead of a model
-  // call. Concurrent chains may race to compute one key, which is benign —
-  // predict() is pure, so both racers produce the identical value.
-  ScoreCache cache;
-  ScoreCache* cache_ptr = tuner::eval_cache_enabled() ? &cache : nullptr;
+  // One process-wide sharded cache shared by every chain and every call:
+  // duplicate probes (quantization and clamping collapse nearby samples,
+  // and repeated searches revisit the same territory) cost a lookup
+  // instead of a model call. Concurrent chains may race to compute one
+  // key, which is benign — predict() is pure, so both racers produce the
+  // identical value.
+  ScoreCache* cache_ptr =
+      tuner::eval_cache_enabled() ? &process_score_cache() : nullptr;
+  tuner::CacheKey ctx;
+  if (cache_ptr != nullptr) ctx = context_key(base);
 
   if (restarts == 1) {
-    return search_chain(base, evaluations, seed, cache_ptr).first;
+    return search_chain(base, evaluations, seed, cache_ptr, &ctx).first;
   }
 
   // Independent chains with forked seeds, fanned across the pool. Chain
@@ -303,7 +369,8 @@ JobConfig optimize_with_model(const PredictionInputs& base, int evaluations,
   const auto chains = pool.map<std::pair<JobConfig, double>>(
       static_cast<std::size_t>(restarts), [&](std::size_t k) {
         Rng salter(seed);
-        return search_chain(base, per_chain, salter.fork(k + 1)(), cache_ptr);
+        return search_chain(base, per_chain, salter.fork(k + 1)(), cache_ptr,
+                            &ctx);
       });
   std::size_t winner = 0;
   for (std::size_t k = 1; k < chains.size(); ++k) {

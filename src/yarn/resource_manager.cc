@@ -20,11 +20,27 @@ ResourceManager::ResourceManager(sim::Engine& engine,
   MRON_CHECK(policy_ != nullptr);
   MRON_CHECK(static_cast<int>(nodes_.size()) == topo_.num_nodes());
   alive_.assign(nodes_.size(), true);
+  silent_since_.assign(nodes_.size(), 0.0);
+  // Free-resource index: every node starts alive; the observer keeps the
+  // node's entry keyed by its *current* free memory from here on.
+  free_by_rack_.resize(static_cast<std::size_t>(topo_.num_racks()));
+  indexed_key_.resize(nodes_.size());
+  for (auto* n : nodes_) {
+    index_insert(*n);
+    cluster_memory_capacity_ += n->memory_capacity();
+    ++vcore_capacity_histogram_[n->vcores_capacity()];
+    n->set_resource_observer(
+        [this](cluster::Node& nd) { on_node_resources_changed(nd); });
+  }
   // Pull-model publishing (recorder.h's contract for hot components): the
   // request/allocate/release paths fire per container, so instead of
   // writing gauges there, the sampling clock reads the queue/allocation
   // state once per tick — and stamps the whole-run container timeline.
   if (auto* rec = engine_.recorder()) {
+    alloc_node_local_ = &rec->metrics().counter("yarn.alloc.node_local");
+    alloc_rack_local_ = &rec->metrics().counter("yarn.alloc.rack_local");
+    alloc_any_ = &rec->metrics().counter("yarn.alloc.any");
+    alloc_index_probes_ = &rec->metrics().counter("yarn.alloc.index_probes");
     auto* pending_gauge = &rec->metrics().gauge("yarn.pending_requests");
     auto* live_gauge = &rec->metrics().gauge("yarn.live_containers");
     auto* pending_series = &rec->series().series("yarn.pending_requests");
@@ -41,12 +57,20 @@ ResourceManager::ResourceManager(sim::Engine& engine,
   }
 }
 
+ResourceManager::~ResourceManager() {
+  // Nodes may outlive this RM (test fixtures rebuild the RM over the same
+  // nodes); leave no dangling observer behind.
+  for (auto* n : nodes_) n->set_resource_observer({});
+}
+
 void ResourceManager::fail_node(cluster::NodeId node) {
   MRON_CHECK(node.valid() &&
              node.value() < static_cast<std::int64_t>(alive_.size()));
   auto flag = alive_.begin() + node.value();
   if (!*flag) return;
+  index_erase(this->node(node));  // dead nodes leave the free index
   *flag = false;
+  silent_.erase(node.value());
   if (!responsive_.empty()) {
     responsive_[static_cast<std::size_t>(node.value())] = false;
   }
@@ -61,6 +85,8 @@ void ResourceManager::fail_node(cluster::NodeId node) {
       continue;
     }
     const LiveContainer& c = it->second;
+    // The node is dead: its observer re-key is a no-op, this is pure
+    // bookkeeping so the capacity is accounted free elsewhere.
     this->node(c.node).release(c.resource.memory, c.resource.vcores);
     auto app_it = apps_.find(c.app);
     MRON_CHECK(app_it != apps_.end());
@@ -92,6 +118,9 @@ void ResourceManager::enable_heartbeats(SimTime period, SimTime timeout) {
   heartbeat_timeout_ = timeout;
   responsive_.assign(nodes_.size(), true);
   last_heartbeat_.assign(nodes_.size(), engine_.now());
+  silent_.clear();
+  silent_since_.assign(nodes_.size(), 0.0);
+  last_tick_ = engine_.now();
   if (!heartbeats_enabled_) {
     heartbeats_enabled_ = true;
     engine_.schedule_daemon_after(heartbeat_period_,
@@ -101,30 +130,32 @@ void ResourceManager::enable_heartbeats(SimTime period, SimTime timeout) {
 
 void ResourceManager::heartbeat_tick() {
   const SimTime now = engine_.now();
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (responsive_[i]) {
-      last_heartbeat_[i] = now;
-      continue;
-    }
+  // Only the silent set needs attention: every responsive node's heartbeat
+  // is implicitly refreshed by advancing last_tick_ below, so the tick is
+  // O(silent nodes) instead of two O(n) sweeps. The set is ascending, the
+  // same order the legacy full scan visited nodes in; iterate a copy since
+  // fail_node() erases the declared node re-entrantly.
+  const std::vector<std::int64_t> silent(silent_.begin(), silent_.end());
+  for (const std::int64_t v : silent) {
+    const auto i = static_cast<std::size_t>(v);
     if (!alive_[i]) continue;  // already declared lost
     if (auto* rec = engine_.recorder()) {
       rec->metrics().counter("yarn.heartbeats_missed").add(1.0);
     }
-    if (now - last_heartbeat_[i] >= heartbeat_timeout_) {
-      fail_node(cluster::NodeId(static_cast<std::int64_t>(i)));
+    if (now - silent_since_[i] >= heartbeat_timeout_) {
+      fail_node(cluster::NodeId(v));
     }
   }
+  last_tick_ = now;
   // Same guard as the cluster monitor — a self-perpetuating watchdog would
   // keep Engine::run() from ever draining — except that a silent node
   // awaiting its death declaration *is* pending work: the declaration is
   // what unblocks the AMs, so the watchdog must outlive an otherwise-idle
   // engine until it fires. Daemon scheduling keeps the watchdog and the
-  // other periodic services from counting each other as work.
-  bool declaration_pending = false;
-  for (std::size_t i = 0; i < nodes_.size(); ++i) {
-    if (!responsive_[i] && alive_[i]) declaration_pending = true;
-  }
-  if (!engine_.quiescent() || declaration_pending) {
+  // other periodic services from counting each other as work. The silent
+  // set holds exactly the unresponsive-but-alive nodes, so "a declaration
+  // is pending" is one emptiness check.
+  if (!engine_.quiescent() || !silent_.empty()) {
     engine_.schedule_daemon_after(heartbeat_period_,
                                   [this] { heartbeat_tick(); });
   }
@@ -139,7 +170,15 @@ void ResourceManager::mark_node_unresponsive(cluster::NodeId node) {
     fail_node(node);
     return;
   }
-  responsive_[static_cast<std::size_t>(node.value())] = false;
+  const auto i = static_cast<std::size_t>(node.value());
+  if (!responsive_[i]) return;  // already silent (or dead)
+  responsive_[i] = false;
+  if (alive_[i]) {
+    silent_.insert(node.value());
+    // The silence is measured from the node's last heartbeat: the most
+    // recent watchdog tick, unless the node was enabled/recovered after it.
+    silent_since_[i] = std::max(last_heartbeat_[i], last_tick_);
+  }
 }
 
 void ResourceManager::recover_node(cluster::NodeId node) {
@@ -149,9 +188,11 @@ void ResourceManager::recover_node(cluster::NodeId node) {
   if (!responsive_.empty()) {
     responsive_[i] = true;
     last_heartbeat_[i] = engine_.now();
+    silent_.erase(node.value());
   }
   if (alive_[i]) return;  // transient blip, never declared lost
   alive_[i] = true;
+  index_insert(this->node(node));  // back into the free index
   if (auto* rec = engine_.recorder()) {
     rec->metrics().counter("yarn.nodes_recovered").add(1.0);
   }
@@ -251,10 +292,38 @@ std::size_t ResourceManager::pending_requests() const {
   return n;
 }
 
-Bytes ResourceManager::cluster_memory_capacity() const {
-  Bytes total{0};
-  for (const auto* n : nodes_) total += n->memory_capacity();
-  return total;
+std::int64_t ResourceManager::cluster_vcore_slots(int vcores) const {
+  MRON_CHECK(vcores >= 1);
+  std::int64_t slots = 0;
+  for (const auto& [capacity, count] : vcore_capacity_histogram_) {
+    slots += count * (capacity / vcores);  // per-node integer division
+  }
+  return slots;
+}
+
+void ResourceManager::index_insert(const cluster::Node& n) {
+  const FreeKey key = free_key(n);
+  const auto i = static_cast<std::size_t>(n.id().value());
+  indexed_key_[i] = key;
+  free_global_.insert(key);
+  const auto rack = topo_.rack_of(n.id());
+  free_by_rack_[static_cast<std::size_t>(rack.value())].insert(key);
+}
+
+void ResourceManager::index_erase(const cluster::Node& n) {
+  // Erase by the remembered key: the node's live state may already have
+  // moved past what it was filed under.
+  const auto i = static_cast<std::size_t>(n.id().value());
+  const FreeKey key = indexed_key_[i];
+  free_global_.erase(key);
+  const auto rack = topo_.rack_of(n.id());
+  free_by_rack_[static_cast<std::size_t>(rack.value())].erase(key);
+}
+
+void ResourceManager::on_node_resources_changed(cluster::Node& n) {
+  if (!node_alive(n.id())) return;  // dead nodes are not indexed
+  index_erase(n);
+  index_insert(n);
 }
 
 void ResourceManager::trigger_schedule() {
@@ -396,6 +465,31 @@ bool ResourceManager::try_place(AppId app_id, AppState& app,
   return true;
 }
 
+cluster::Node* ResourceManager::first_fitting(const std::set<FreeKey>& index,
+                                              const PendingRequest& req,
+                                              bool avoid_hot) {
+  // The index orders alive nodes by (-free memory, id), so the first entry
+  // passing the vcore/hot filters *is* the node the legacy full scan
+  // picked: maximum free memory, ties to the lowest id. Memory-infeasible
+  // entries end the walk early (everything after has less free memory).
+  std::int64_t probes = 0;
+  cluster::Node* found = nullptr;
+  for (const auto& [neg_mem, id] : index) {
+    ++probes;
+    if (-neg_mem < req.resource.memory.count()) break;  // nothing fits below
+    cluster::Node& n = node(cluster::NodeId(id));
+    if (req.resource.vcores <= n.vcores_available() &&
+        (!avoid_hot || !is_hot(n))) {
+      found = &n;
+      break;
+    }
+  }
+  if (alloc_index_probes_ != nullptr && probes > 0) {
+    alloc_index_probes_->add(static_cast<double>(probes));
+  }
+  return found;
+}
+
 cluster::Node* ResourceManager::find_node(const PendingRequest& req,
                                           bool avoid_hot) {
   auto fits = [&](const cluster::Node& n) {
@@ -406,28 +500,33 @@ cluster::Node* ResourceManager::find_node(const PendingRequest& req,
   // 1. node-local
   for (auto pref : req.preferred) {
     cluster::Node& n = node(pref);
-    if (fits(n)) return &n;
+    if (fits(n)) {
+      if (alloc_node_local_ != nullptr) alloc_node_local_->add(1.0);
+      return &n;
+    }
   }
-  // 2. rack-local: any node sharing a rack with a preferred node.
+  // 2. rack-local: the best candidate of each preferred rack comes off
+  // that rack's free index in O(log n + probes); racks are compared in
+  // preference order with a strict greater-than, so ties keep the earlier
+  // rack's candidate exactly like the legacy nested scan did.
   cluster::Node* best = nullptr;
   for (auto pref : req.preferred) {
-    for (auto cand : topo_.nodes_in_rack(topo_.rack_of(pref))) {
-      cluster::Node& n = node(cand);
-      if (fits(n) &&
-          (best == nullptr ||
-           n.memory_available() > best->memory_available())) {
-        best = &n;
-      }
+    const auto rack = topo_.rack_of(pref);
+    cluster::Node* cand = first_fitting(
+        free_by_rack_[static_cast<std::size_t>(rack.value())], req, avoid_hot);
+    if (cand != nullptr &&
+        (best == nullptr ||
+         cand->memory_available() > best->memory_available())) {
+      best = cand;
     }
   }
-  if (best != nullptr) return best;
-  // 3. anywhere: most free memory.
-  for (auto* n : nodes_) {
-    if (fits(*n) &&
-        (best == nullptr || n->memory_available() > best->memory_available())) {
-      best = n;
-    }
+  if (best != nullptr) {
+    if (alloc_rack_local_ != nullptr) alloc_rack_local_->add(1.0);
+    return best;
   }
+  // 3. anywhere: most free memory, straight off the global index.
+  best = first_fitting(free_global_, req, avoid_hot);
+  if (best != nullptr && alloc_any_ != nullptr) alloc_any_->add(1.0);
   return best;
 }
 

@@ -19,8 +19,10 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "cluster/monitor.h"
@@ -31,6 +33,10 @@
 #include "yarn/resource.h"
 #include "yarn/scheduling_policy.h"
 
+namespace mron::obs {
+class Counter;
+}  // namespace mron::obs
+
 namespace mron::yarn {
 
 class ResourceManager {
@@ -40,6 +46,8 @@ class ResourceManager {
   ResourceManager(sim::Engine& engine, const cluster::Topology& topo,
                   std::vector<cluster::Node*> nodes,
                   std::unique_ptr<SchedulingPolicy> policy);
+
+  ~ResourceManager();
 
   ResourceManager(const ResourceManager&) = delete;
   ResourceManager& operator=(const ResourceManager&) = delete;
@@ -125,7 +133,15 @@ class ResourceManager {
   [[nodiscard]] int num_nodes() const {
     return static_cast<int>(nodes_.size());
   }
-  [[nodiscard]] Bytes cluster_memory_capacity() const;
+  /// Total container-memory capacity across all nodes (dead included —
+  /// capacity is hardware, not liveness). Cached at construction: O(1).
+  [[nodiscard]] Bytes cluster_memory_capacity() const {
+    return cluster_memory_capacity_;
+  }
+  /// How many containers of `vcores` the whole cluster's vcore capacity
+  /// admits (sum over nodes of floor(capacity/vcores), dead included).
+  /// Computed from the per-capacity histogram: O(hardware classes).
+  [[nodiscard]] std::int64_t cluster_vcore_slots(int vcores) const;
 
  private:
   struct PendingRequest {
@@ -156,8 +172,9 @@ class ResourceManager {
 
   void trigger_schedule();
   void schedule_pass();
-  /// Watchdog tick: declare nodes lost whose last heartbeat is older than
-  /// the timeout, then re-arm while the engine has other live events.
+  /// Watchdog tick: declare nodes lost whose silence started more than the
+  /// timeout ago, then re-arm while the engine has other live events. Only
+  /// visits the silent set — O(silent nodes), not O(nodes).
   void heartbeat_tick();
   /// Try to place request `req`; returns true and fires its callback on
   /// success.
@@ -167,6 +184,29 @@ class ResourceManager {
   [[nodiscard]] cluster::Node* find_node(const PendingRequest& req,
                                          bool avoid_hot);
   [[nodiscard]] bool is_hot(const cluster::Node& node) const;
+
+  // --- free-resource index ---------------------------------------------------
+  // Every *alive* node appears in the global set and its rack's set, keyed
+  // by (-memory_available, node id): begin() is the max-free-memory node,
+  // ties broken toward the lowest id — exactly the candidate the legacy
+  // full scan picked, so placement decisions (and therefore reports) are
+  // byte-identical. Each node's resource observer re-keys it on every
+  // allocate/release (including direct mutations by tests), and
+  // fail/recover remove/re-add it: O(log n) per container event instead of
+  // O(n) per placement.
+  using FreeKey = std::pair<std::int64_t, std::int64_t>;
+  [[nodiscard]] FreeKey free_key(const cluster::Node& n) const {
+    return {-n.memory_available().count(), n.id().value()};
+  }
+  void index_insert(const cluster::Node& n);
+  void index_erase(const cluster::Node& n);
+  /// Node resource observer: re-key `n` in the index (no-op while dead).
+  void on_node_resources_changed(cluster::Node& n);
+  /// First node in `index` (descending free memory) satisfying `req`, or
+  /// nullptr. Walks past nodes that fail the vcore/hot/liveness filters.
+  [[nodiscard]] cluster::Node* first_fitting(const std::set<FreeKey>& index,
+                                             const PendingRequest& req,
+                                             bool avoid_hot);
 
   sim::Engine& engine_;
   const cluster::Topology& topo_;
@@ -193,6 +233,33 @@ class ResourceManager {
   SimTime heartbeat_timeout_ = 3.0;
   std::vector<bool> responsive_;
   std::vector<SimTime> last_heartbeat_;
+  /// Unresponsive-but-alive node ids (ascending — the watchdog must visit
+  /// them in the same order the legacy full scan did). The tick loops over
+  /// this set only, and "a death declaration is pending" is !empty().
+  std::set<std::int64_t> silent_;
+  /// Per node: when its current silence started (the legacy
+  /// last-responsive-heartbeat reference the timeout measures from).
+  std::vector<SimTime> silent_since_;
+  /// Time of the most recent watchdog tick (== every responsive node's
+  /// last heartbeat, without writing n timestamps per tick).
+  SimTime last_tick_ = 0.0;
+
+  // Free-resource index (see free_key above). indexed_key_ remembers the
+  // key each alive node is filed under, so re-keying after a resource
+  // change never depends on reconstructing stale state.
+  std::set<FreeKey> free_global_;
+  std::vector<std::set<FreeKey>> free_by_rack_;
+  std::vector<FreeKey> indexed_key_;
+  Bytes cluster_memory_capacity_{0};
+  /// vcores_capacity -> node count (dead nodes included; capacities are
+  /// fixed at construction). Ordered for deterministic iteration.
+  std::map<int, std::int64_t> vcore_capacity_histogram_;
+
+  // yarn.alloc.* placement metrics (cached handles; null when unobserved).
+  obs::Counter* alloc_node_local_ = nullptr;
+  obs::Counter* alloc_rack_local_ = nullptr;
+  obs::Counter* alloc_any_ = nullptr;
+  obs::Counter* alloc_index_probes_ = nullptr;
 };
 
 }  // namespace mron::yarn

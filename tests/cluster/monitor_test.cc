@@ -72,6 +72,39 @@ TEST_F(MonitorTest, HotNodesDetected) {
   eng.run();
 }
 
+TEST(MonitorRackAggregation, KicksInAboveTheNodeSeriesLimit) {
+  sim::Engine eng;
+  ClusterSpec spec;
+  spec.num_slaves = 6;
+  spec.rack_sizes = {3, 3};
+  const Topology topo(spec);
+  std::vector<std::unique_ptr<Node>> nodes;
+  std::vector<Node*> ptrs;
+  for (int i = 0; i < 6; ++i) {
+    nodes.push_back(std::make_unique<Node>(eng, NodeId(i), spec));
+    ptrs.push_back(nodes.back().get());
+  }
+  // 6 nodes over a 4-node series limit -> per-rack publishing; the
+  // in-memory per-node samples (latest/hot_nodes) are unaffected.
+  ClusterMonitor monitor(eng, ptrs, 1.0, &topo, /*node_series_limit=*/4);
+  EXPECT_TRUE(monitor.rack_aggregated());
+  monitor.start();
+  nodes[4]->disk().submit(spec.disk_bandwidth.rate() * 100.0, [] {});
+  eng.run_until(1.5);
+  EXPECT_NEAR(monitor.latest(NodeId(4)).disk_util, 1.0, 1e-6);
+  const auto hot = monitor.hot_nodes(0.9);
+  ASSERT_EQ(hot.size(), 1u);
+  EXPECT_EQ(hot[0], NodeId(4));
+  monitor.stop();
+  eng.run();
+
+  // At or under the limit (or with no topology) publishing stays per-node.
+  ClusterMonitor per_node(eng, ptrs, 1.0, &topo, /*node_series_limit=*/6);
+  EXPECT_FALSE(per_node.rack_aggregated());
+  ClusterMonitor no_topo(eng, ptrs, 1.0);
+  EXPECT_FALSE(no_topo.rack_aggregated());
+}
+
 TEST_F(MonitorTest, StopHaltsSampling) {
   monitor->start();
   eng.run_until(1.5);

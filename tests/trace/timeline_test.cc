@@ -94,6 +94,28 @@ TEST(Swimlanes, RendersOneLanePerNode) {
   EXPECT_EQ(lane_rows, 4);
 }
 
+TEST(Swimlanes, CapsLanesByGroupingContiguousNodes) {
+  const JobResult r = run_small_job(4);
+  // 4 nodes into at most 2 lanes: groups of 2 contiguous nodes share one.
+  const std::string grouped = render_swimlanes(r, 4, 40, /*max_lanes=*/2);
+  EXPECT_NE(grouped.find("node 0-1 |"), std::string::npos);
+  EXPECT_NE(grouped.find("node 2-3 |"), std::string::npos);
+  EXPECT_EQ(grouped.find("node 0 |"), std::string::npos);
+  int lane_rows = 0;
+  std::istringstream is(grouped);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.rfind("node", 0) == 0) ++lane_rows;
+  }
+  EXPECT_EQ(lane_rows, 2);
+  // A cap at or above the node count changes nothing, byte for byte.
+  EXPECT_EQ(render_swimlanes(r, 4, 40, /*max_lanes=*/4),
+            render_swimlanes(r, 4, 40));
+  // An uneven division: 4 nodes into 3 lanes -> groups of 2, 2 lanes used.
+  const std::string uneven = render_swimlanes(r, 4, 40, /*max_lanes=*/3);
+  EXPECT_NE(uneven.find("node 0-1 |"), std::string::npos);
+}
+
 TEST(Swimlanes, RejectsDegenerateArgs) {
   const JobResult r = run_small_job(5);
   EXPECT_THROW((void)render_swimlanes(r, 0, 40), CheckError);

@@ -15,6 +15,7 @@ class RmTest : public ::testing::Test {
   void SetUp() override { make_rm(make_fifo_policy()); }
 
   void make_rm(std::unique_ptr<SchedulingPolicy> policy) {
+    rm.reset();  // the RM observes its nodes: destroy it before them
     spec.num_slaves = 4;
     spec.rack_sizes = {2, 2};
     topo = std::make_unique<cluster::Topology>(spec);

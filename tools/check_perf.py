@@ -22,6 +22,15 @@ delivers at least half a core's worth of throughput). This closes the gap
 where CI's core count never matches the committed baseline and the
 relative gate always skips.
 
+--cache-speedup-floor X adds an absolute gate on the current run's
+whatif_search_speedup: the eval-cache-on search must be at least X times
+faster than cache-off (1.0 = the cache at minimum pays for itself).
+
+--scaling-floor FRAC gates the scalebench sweep: the current file's
+events_per_sec_vs_nodes table (node count -> engine events/sec) must not
+decay below FRAC * the smallest-cluster entry at any larger node count
+(0.5 = a 1,024-node run keeps at least half the 19-node event rate).
+
 When $GITHUB_STEP_SUMMARY is set (or --summary FILE is given), the same
 comparison is appended there as a markdown table for the job summary page.
 """
@@ -99,6 +108,13 @@ def main() -> int:
                     help="absolute gate: on a multi-core machine, "
                     "sweep_efficiency_per_core of the current run must be "
                     ">= FRAC (independent of the baseline's core count)")
+    ap.add_argument("--cache-speedup-floor", type=float, metavar="X",
+                    help="absolute gate: the current run's "
+                    "whatif_search_speedup must be >= X")
+    ap.add_argument("--scaling-floor", type=float, metavar="FRAC",
+                    help="absolute gate: every entry of the current run's "
+                    "events_per_sec_vs_nodes table must be >= FRAC * the "
+                    "smallest-cluster entry")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -181,7 +197,55 @@ def main() -> int:
             if bad:
                 failures.append("sweep_efficiency_per_core(floor)")
 
+    # Absolute eval-cache gate: caching must never cost wall-clock.
+    if args.cache_speedup_floor is not None:
+        spd = cur_m.get("whatif_search_speedup")
+        if spd is None:
+            print("FAIL  cache speedup floor: whatif_search_speedup "
+                  "missing from current file")
+            rows.append(("FAIL", "whatif_search_speedup(floor)", None,
+                         None, None, "metric missing"))
+            failures.append("whatif_search_speedup(floor)")
+        else:
+            spd = float(spd)
+            bad = spd < args.cache_speedup_floor
+            status = "FAIL" if bad else "ok"
+            print(f"{status:5} whatif_search_speedup: {spd:g} "
+                  f"(floor {args.cache_speedup_floor:g})")
+            rows.append((status, "whatif_search_speedup(floor)",
+                         args.cache_speedup_floor, spd, None, "higher"))
+            if bad:
+                failures.append("whatif_search_speedup(floor)")
+
+    # Scalebench gate: event throughput must not fall off a cliff as the
+    # simulated cluster grows (the indexed hot paths' whole point).
+    if args.scaling_floor is not None:
+        table = cur_m.get("events_per_sec_vs_nodes")
+        if not isinstance(table, dict) or len(table) < 2:
+            print("FAIL  scaling floor: events_per_sec_vs_nodes table "
+                  "missing or too small in current file")
+            rows.append(("FAIL", "events_per_sec_vs_nodes(floor)", None,
+                         None, None, "table missing"))
+            failures.append("events_per_sec_vs_nodes(floor)")
+        else:
+            entries = sorted((int(k), float(v)) for k, v in table.items())
+            anchor_nodes, anchor = entries[0]
+            for nodes, rate in entries:
+                ratio = rate / anchor if anchor > 0 else 0.0
+                bad = ratio < args.scaling_floor
+                status = "FAIL" if bad else "ok"
+                name = f"events_per_sec@{nodes}nodes"
+                print(f"{status:5} {name}: {rate:g} "
+                      f"({ratio:.2f}x of {anchor_nodes}-node rate, "
+                      f"floor {args.scaling_floor:g})")
+                rows.append((status, name, anchor, rate,
+                             100.0 * (ratio - 1.0), "higher"))
+                if bad:
+                    failures.append(name)
+
     for name in sorted(set(cur_m) - set(gated)):
+        if name == "events_per_sec_vs_nodes":
+            continue
         print(f"info  {name}: {cur_m[name]}")
 
     summary = args.summary or os.environ.get("GITHUB_STEP_SUMMARY")
