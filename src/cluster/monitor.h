@@ -7,6 +7,7 @@
 // allocations.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "cluster/node.h"
@@ -37,12 +38,16 @@ class ClusterMonitor {
   /// aggregate gauges/series (cluster.rackR.*) instead of per-node ones,
   /// so report and trace size stay O(racks) at 1,000+ nodes. Passing
   /// topo == nullptr keeps the legacy per-node publishing at any size.
-  /// Sampling itself is lazy either way: nodes whose busy integrals did
-  /// not move since the last tick skip the window recomputation, so the
-  /// per-tick cost is O(active nodes) + O(idle nodes) cheap compares.
+  /// Sampling is dirty-set driven: the monitor subscribes to every node's
+  /// activity observer, and each tick touches only nodes that were marked
+  /// active since they last sampled idle — a fully idle node costs zero,
+  /// not even a compare, so the per-tick cost is O(active) on any cluster
+  /// size. The monitor owns the nodes' activity observers for its
+  /// lifetime (at most one ClusterMonitor may watch a node set at a time).
   ClusterMonitor(sim::Engine& engine, std::vector<Node*> nodes,
                  SimTime period = 1.0, const Topology* topo = nullptr,
                  int node_series_limit = 64);
+  ~ClusterMonitor();
 
   void start();
   void stop();
@@ -65,6 +70,10 @@ class ClusterMonitor {
  private:
   void sample();
   void publish(SimTime now);
+  /// Activity-observer body: enroll node `i` in the dirty set and reset its
+  /// integral baseline to the last tick (it has been idle — and therefore
+  /// flat — since then, so the next window is not diluted by the idle gap).
+  void mark_active(std::size_t i);
 
   sim::Engine& engine_;
   std::vector<Node*> nodes_;
@@ -98,6 +107,18 @@ class ClusterMonitor {
     SimTime at = 0.0;
   };
   std::vector<Integrals> prev_;
+  /// The dirty set: indices of nodes that may produce a non-zero window.
+  /// Nodes enter via mark_active() (push-side, from the node's activity
+  /// observer) and leave when a tick finds them fully idle again. Sorted
+  /// before every traversal so windows, gauge sums, and hot-node scans
+  /// visit nodes in id order — bit-identical results to the full walk
+  /// (idle nodes contribute exact zeros, which no IEEE sum can see).
+  std::vector<std::uint32_t> active_;
+  std::vector<std::uint8_t> in_active_;  ///< membership flag per node
+  /// Scratch for per-rack aggregation in publish(); member so the tick
+  /// path never allocates.
+  std::vector<NodeSample> rack_scratch_;
+  SimTime last_tick_ = 0.0;
 };
 
 }  // namespace mron::cluster

@@ -1,6 +1,7 @@
 #include "cluster/node.h"
 
 #include <string>
+#include <utility>
 
 namespace mron::cluster {
 
@@ -31,6 +32,25 @@ void Node::allocate(Bytes memory, int vcores) {
   memory_allocated_ += memory;
   vcores_allocated_ += vcores;
   if (resource_observer_) resource_observer_(*this);
+  if (activity_observer_) activity_observer_(*this);
+}
+
+void Node::set_activity_observer(ActivityObserver cb) {
+  activity_observer_ = std::move(cb);
+  if (activity_observer_) {
+    // One thunk shared by all three servers: any stream submission marks
+    // the whole node dirty.
+    const auto mark = [this] {
+      if (activity_observer_) activity_observer_(*this);
+    };
+    cpu_.set_activity_callback(mark);
+    disk_.set_activity_callback(mark);
+    nic_in_.set_activity_callback(mark);
+  } else {
+    cpu_.set_activity_callback({});
+    disk_.set_activity_callback({});
+    nic_in_.set_activity_callback({});
+  }
 }
 
 void Node::release(Bytes memory, int vcores) {

@@ -62,8 +62,21 @@ class Node {
     resource_observer_ = std::move(cb);
   }
 
+  /// Observer fired whenever the node *does something* that can take it out
+  /// of the idle state: a stream submitted to any of its servers, container
+  /// memory allocated, or task working-set memory reported. The cluster
+  /// monitor's dirty-set sampler listens here, so idle nodes cost it
+  /// nothing per tick. Fires on every such action (not only on idle->active
+  /// edges); the observer must be O(1) and idempotent. At most one
+  /// observer; setting it rewires the servers' activity callbacks.
+  using ActivityObserver = std::function<void(Node&)>;
+  void set_activity_observer(ActivityObserver cb);
+
   // --- used-memory reporting (monitoring only) -----------------------------
-  void add_used_memory(Bytes delta) { memory_used_ += delta; }
+  void add_used_memory(Bytes delta) {
+    memory_used_ += delta;
+    if (activity_observer_) activity_observer_(*this);
+  }
   void sub_used_memory(Bytes delta) {
     memory_used_ -= delta;
     MRON_CHECK(memory_used_ >= Bytes(0));
@@ -87,6 +100,7 @@ class Node {
   int vcores_allocated_ = 0;
   double cpu_quota_per_vcore_;
   ResourceObserver resource_observer_;
+  ActivityObserver activity_observer_;
 };
 
 }  // namespace mron::cluster

@@ -55,7 +55,14 @@ class Dfs {
                                              cluster::NodeId reader) const;
 
  private:
-  std::vector<cluster::NodeId> place_replicas();
+  /// The bulk-placement pass behind create_dataset(): fills `replicas` of
+  /// every block in one sweep, with per-dataset invariants (node count,
+  /// replica target) hoisted out of the per-block loop and each replica
+  /// vector reserved up front. Rack ranges are O(1) index arithmetic, so
+  /// the whole pass is O(blocks). Draws from rng_ exactly as the legacy
+  /// per-block placement did — same RNG stream, same placements (pinned by
+  /// the placement equivalence suite).
+  void place_replicas_bulk(std::vector<Block>& blocks);
 
   const cluster::Topology& topo_;
   Rng rng_;

@@ -53,6 +53,19 @@ Simulation::Simulation(SimulationOptions options)
   if (recorder_ != nullptr) {
     // The monitor is the metrics registry's sampling clock.
     monitor_->start();
+    // Queue occupancy: live pending events, stale cancel tombstones not yet
+    // collected, and slot-map capacity. Pull model (queue churn is the
+    // hottest path); values are backend-independent, so run reports stay
+    // byte-identical across sim.queue implementations.
+    auto* queue_live = &recorder_->metrics().gauge("sim.queue.live");
+    auto* queue_stale = &recorder_->metrics().gauge("sim.queue.stale");
+    auto* queue_capacity = &recorder_->metrics().gauge("sim.queue.capacity");
+    recorder_->add_flush_hook(
+        [this, queue_live, queue_stale, queue_capacity] {
+          queue_live->set(static_cast<double>(engine_.pending()));
+          queue_stale->set(static_cast<double>(engine_.stale_entries()));
+          queue_capacity->set(static_cast<double>(engine_.slot_capacity()));
+        });
     auto& trace = recorder_->trace();
     for (int i = 0; i < topo_->num_nodes(); ++i) {
       trace.set_process_name(i, "node" + std::to_string(i));

@@ -1,0 +1,232 @@
+#include "sim/calendar_queue.h"
+
+#include <bit>
+#include <utility>
+
+namespace mron::sim {
+
+namespace {
+// Floor of the bucket-array size; below this, resizing is never worth it.
+constexpr std::size_t kMinBuckets = 16;
+// Inter-event gaps sampled per width estimate. Bounded so a rebuild's
+// estimation cost is O(1) regardless of population.
+constexpr std::size_t kWidthSample = 64;
+// Width clamps: fine enough for sub-nanosecond event storms, coarse enough
+// that (time - start) / width never overflows an index.
+constexpr double kMinWidth = 1e-9;
+constexpr double kMaxWidth = 1e12;
+// Target entries per bucket: a couple of entries keep the in-bucket sorted
+// insert effectively O(1) while windows stay wide enough that consecutive
+// events usually share a bucket.
+constexpr double kEntriesPerBucket = 3.0;
+
+std::size_t next_pow2(std::size_t n) { return std::bit_ceil(n); }
+}  // namespace
+
+CalendarQueue::CalendarQueue() {
+  buckets_.resize(kMinBuckets);
+  cal_end_ = cal_start_ + width_ * static_cast<double>(kMinBuckets);
+}
+
+std::size_t CalendarQueue::index_of(SimTime t) const {
+  // Monotone in t for fixed (start, width): FP subtraction and division
+  // round monotonically, so bucket assignment can never invert the order
+  // of two entries even at window boundaries. The clamp only absorbs
+  // boundary rounding for t just below cal_end_.
+  const auto idx = static_cast<std::size_t>((t - cal_start_) / width_);
+  return idx < buckets_.size() ? idx : buckets_.size() - 1;
+}
+
+void CalendarQueue::bucket_insert(Bucket& b, const EventEntry& e) {
+  if (b.empty()) {
+    b.entries.clear();
+    b.head = 0;
+    b.entries.push_back(e);
+    return;
+  }
+  if (b.entries.back() < e) {  // common case: newest key in this window
+    b.entries.push_back(e);
+    return;
+  }
+  const auto first = b.entries.begin() + static_cast<std::ptrdiff_t>(b.head);
+  b.entries.insert(std::lower_bound(first, b.entries.end(), e), e);
+}
+
+void CalendarQueue::push(const EventEntry& e, SimTime now) {
+  if (now > floor_) floor_ = now;
+  peek_valid_ = false;
+  if (size_ == 0) {
+    // Empty queue: re-anchor the calendar at the floor. Windows stay tight
+    // around the active region and the bucket scan restarts at 0.
+    cal_start_ = floor_;
+    cal_end_ = cal_start_ + width_ * static_cast<double>(buckets_.size());
+    cur_ = 0;
+  } else if (e.time < cal_start_) {
+    // A past rebuild anchored at a far-future minimum and the engine now
+    // schedules before it (floor_ <= e.time < cal_start_). Rare: re-anchor
+    // everything at the floor, which bounds every entry present and to
+    // come.
+    rebuild(gather_all(), floor_);
+  }
+  if (e.time >= cal_end_) {
+    overflow_.push_back(e);
+  } else {
+    const std::size_t idx = index_of(e.time);
+    MRON_CHECK_MSG(idx >= cur_, "push below cur_: idx=" << idx << " cur_="
+                                << cur_ << " t=" << e.time << " start="
+                                << cal_start_ << " width=" << width_);
+    bucket_insert(buckets_[idx], e);
+  }
+  ++size_;
+  if (size_ > 2 * buckets_.size()) {
+    // Population outgrew the array: rebuild at the pending minimum so the
+    // new, freshly-sized windows cover the region that is actually dense.
+    std::vector<EventEntry> all = gather_all();
+    SimTime anchor = all.front().time;
+    for (const EventEntry& entry : all) anchor = std::min(anchor, entry.time);
+    rebuild(std::move(all), anchor);
+  }
+}
+
+EventEntry CalendarQueue::pop_min() {
+  MRON_CHECK_MSG(size_ > 0, "pop_min on empty calendar queue");
+  peek_valid_ = false;
+  for (;;) {
+    while (cur_ < buckets_.size() && buckets_[cur_].empty()) ++cur_;
+    if (cur_ < buckets_.size()) {
+      Bucket& b = buckets_[cur_];
+      const EventEntry e = b.entries[b.head++];
+      if (b.head == b.entries.size()) {
+        b.entries.clear();
+        b.head = 0;
+      }
+      // floor_ deliberately does not absorb e.time: the engine may pop a
+      // stale tombstone whose timestamp is far beyond its clock, and
+      // pushes that follow are only bounded below by the clock (the `now`
+      // arguments), not by what was popped.
+      --size_;
+      shrink_if_sparse();
+      return e;
+    }
+    rebuild_from_overflow();
+  }
+}
+
+const EventEntry& CalendarQueue::peek_min() {
+  MRON_CHECK_MSG(size_ > 0, "peek_min on empty calendar queue");
+  if (peek_valid_) return peeked_;
+  for (;;) {
+    // Scan without advancing cur_: a peek does not advance the engine
+    // clock, so a later push may still land in a window before the one
+    // peeked here.
+    for (std::size_t b = cur_; b < buckets_.size(); ++b) {
+      if (!buckets_[b].empty()) {
+        peeked_ = buckets_[b].entries[buckets_[b].head];
+        peek_valid_ = true;
+        return peeked_;
+      }
+    }
+    rebuild_from_overflow();
+  }
+}
+
+std::vector<EventEntry> CalendarQueue::gather_all() {
+  std::vector<EventEntry> all;
+  all.reserve(size_);
+  for (Bucket& b : buckets_) {
+    for (std::size_t i = b.head; i < b.entries.size(); ++i) {
+      all.push_back(b.entries[i]);
+    }
+    b.entries.clear();
+    b.head = 0;
+  }
+  for (const EventEntry& e : overflow_) all.push_back(e);
+  overflow_.clear();
+  return all;
+}
+
+double CalendarQueue::estimate_width(
+    const std::vector<EventEntry>& entries) const {
+  if (entries.size() < 2) return std::clamp(width_, kMinWidth, kMaxWidth);
+  const std::size_t k = std::min(entries.size(), kWidthSample);
+  // Stride across the whole population, not the first k entries: gathered
+  // order is roughly ascending, so a prefix sample sees only the densest
+  // near-term cluster. Event populations here are bimodal (dense job
+  // events now, one sparse timer per node seconds out), and sizing the
+  // windows for the dense cluster alone pushes every timer into overflow
+  // — which then gets re-gathered and redistributed each time the
+  // near-term calendar drains, an O(n) cost per drain cycle. The strided
+  // sample sees both modes, so the calendar spans the timers too.
+  const std::size_t stride = entries.size() / k;
+  double times[kWidthSample];
+  for (std::size_t i = 0; i < k; ++i) times[i] = entries[i * stride].time;
+  std::sort(times, times + k);
+  // The sampled range covers ~(k-1)*stride consecutive entries of the
+  // sorted population, so the span normalized by that count is the mean
+  // per-entry gap. Normalizing by the *sample* count alone would inflate
+  // the estimate by a factor of stride (~16k at a million pending) and
+  // leave every bucket thousands of entries deep.
+  const double span = times[k - 1] - times[0];
+  // All sampled events simultaneous: spacing carries no signal, keep the
+  // current width (the burst collapses into one bucket either way).
+  if (span <= 0.0) return std::clamp(width_, kMinWidth, kMaxWidth);
+  const double gap = span / static_cast<double>((k - 1) * stride);
+  return std::clamp(kEntriesPerBucket * gap, kMinWidth, kMaxWidth);
+}
+
+void CalendarQueue::rebuild(std::vector<EventEntry> entries, SimTime anchor) {
+  const std::size_t nb =
+      next_pow2(std::max(kMinBuckets, entries.size()));
+  width_ = estimate_width(entries);
+  buckets_.assign(nb, Bucket{});
+  overflow_.clear();
+  cal_start_ = anchor;
+  cal_end_ = cal_start_ + width_ * static_cast<double>(nb);
+  cur_ = 0;
+  size_ = entries.size();
+  for (const EventEntry& e : entries) {
+    MRON_CHECK_MSG(e.time >= anchor, "rebuild anchor above pending entry");
+    if (e.time >= cal_end_) {
+      overflow_.push_back(e);
+    } else {
+      buckets_[index_of(e.time)].entries.push_back(e);
+    }
+  }
+  // Bulk distribution then one sort per bucket: O(n log k) worst case even
+  // for pathological same-window bursts, vs O(k^2) repeated sorted inserts.
+  for (Bucket& b : buckets_) {
+    if (b.entries.size() > 1) std::sort(b.entries.begin(), b.entries.end());
+  }
+  peek_valid_ = false;
+  ++rebuilds_;
+}
+
+void CalendarQueue::rebuild_from_overflow() {
+  MRON_CHECK_MSG(!overflow_.empty(), "calendar drained with entries pending");
+  std::vector<EventEntry> all = std::move(overflow_);
+  overflow_.clear();
+  SimTime anchor = all.front().time;
+  for (const EventEntry& e : all) anchor = std::min(anchor, e.time);
+  // Anchoring at the overflow minimum guarantees it lands in bucket 0: the
+  // caller's scan always makes progress, even if the rest of the batch is
+  // so spread out it overflows again.
+  rebuild(std::move(all), anchor);
+}
+
+void CalendarQueue::shrink_if_sparse() {
+  if (buckets_.size() <= kMinBuckets || size_ >= buckets_.size() / 4) return;
+  if (size_ == 0) {
+    buckets_.assign(kMinBuckets, Bucket{});
+    overflow_.clear();
+    cur_ = 0;
+    cal_start_ = floor_;
+    cal_end_ = cal_start_ + width_ * static_cast<double>(kMinBuckets);
+    return;
+  }
+  std::vector<EventEntry> all = gather_all();
+  SimTime anchor = all.front().time;
+  for (const EventEntry& e : all) anchor = std::min(anchor, e.time);
+  rebuild(std::move(all), anchor);
+}
+
+}  // namespace mron::sim

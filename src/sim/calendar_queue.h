@@ -1,0 +1,165 @@
+// Calendar-queue event scheduler: O(1) amortized push/pop under the dense
+// event populations a 10,000-node simulated cluster generates, where a
+// binary heap pays O(log n) comparisons plus a cache miss per level.
+//
+// Structure is the classic two-tier calendar (Brown's calendar queue) with
+// a far-future overflow tier instead of year wrap-around:
+//
+//   - An array of `num_buckets()` (always a power of two) buckets, each
+//     covering a `width()`-wide window of simulated time; bucket b holds
+//     entries with time in [start + b*width, start + (b+1)*width).
+//   - Entries beyond the calendar's span wait in an unsorted `overflow_`
+//     ladder rung. When the calendar drains, the queue re-anchors itself at
+//     the overflow's minimum and redistributes — so far-future timers (node
+//     crash injections hours out, retry backoffs) cost O(1) to park and are
+//     only organized once they matter.
+//
+// Buckets keep entries sorted ascending by (time, seq) past a consumed-head
+// index: the common push (newest entry has the largest key in its bucket)
+// is an O(1) append, and pop_min is an O(1) head advance. Because buckets
+// partition time and `cur_` never overtakes the minimum, the head of the
+// first nonempty bucket *is* the global minimum — dispatch order is
+// byte-identical to a binary heap's (the engine's equivalence suite pins
+// this).
+//
+// Bucket count tracks the population (grow above 2x buckets, shrink below a
+// quarter) and bucket width is re-estimated at every rebuild from the
+// observed inter-event spacing of a bounded sample, so the calendar stays
+// near O(1) entries per bucket whether events are microseconds or minutes
+// apart. Everything is deterministic: no wall clock, no randomness — the
+// same push/pop/remove sequence always yields the same state, which is what
+// keeps seeded simulations reproducible.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace mron::sim {
+
+/// One pending event: 24 bytes of plain data. `(time, seq)` is the total
+/// dispatch order; `(slot, gen)` locates the callback in the engine's slot
+/// map and detects staleness after an O(1) cancel.
+struct EventEntry {
+  SimTime time;
+  std::int64_t seq;
+  std::uint32_t slot;
+  std::uint32_t gen;
+
+  bool operator<(const EventEntry& other) const {
+    if (time != other.time) return time < other.time;
+    return seq < other.seq;
+  }
+  bool operator>(const EventEntry& other) const { return other < *this; }
+};
+
+class CalendarQueue {
+ public:
+  CalendarQueue();
+
+  /// Insert `e`. `now` is the engine clock at push time; the queue uses it
+  /// as a floor when (re-)anchoring the calendar, relying on the engine's
+  /// contract that every entry satisfies e.time >= now and that `now` never
+  /// runs backwards.
+  void push(const EventEntry& e, SimTime now);
+
+  /// Remove and return the minimum (time, seq) entry. Queue must be
+  /// non-empty.
+  EventEntry pop_min();
+
+  /// The minimum entry without removing it. Queue must be non-empty.
+  /// Invalidated by any mutation.
+  [[nodiscard]] const EventEntry& peek_min();
+
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Drop every entry for which `dead(entry)` is true (the engine's stale
+  /// tombstone sweep). O(size + num_buckets); shrinks the bucket array if
+  /// the survivors no longer justify it.
+  template <typename Pred>
+  void remove_if(Pred dead) {
+    std::size_t kept = 0;
+    for (Bucket& b : buckets_) {
+      b.entries.erase(b.entries.begin(),
+                      b.entries.begin() + static_cast<std::ptrdiff_t>(b.head));
+      b.head = 0;
+      std::erase_if(b.entries, dead);
+      kept += b.entries.size();
+    }
+    std::erase_if(overflow_, dead);
+    kept += overflow_.size();
+    size_ = kept;
+    peek_valid_ = false;
+    shrink_if_sparse();
+  }
+
+  /// Introspection for tests and DESIGN.md numbers.
+  [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
+  [[nodiscard]] double width() const { return width_; }
+  [[nodiscard]] std::size_t overflow_size() const { return overflow_.size(); }
+  [[nodiscard]] std::int64_t rebuilds() const { return rebuilds_; }
+
+ private:
+  /// A bucket: entries sorted ascending by (time, seq) from `head` on;
+  /// [0, head) is the consumed prefix, reclaimed when the bucket drains or
+  /// the calendar rebuilds. Appending the bucket's largest key and popping
+  /// its smallest are both O(1).
+  struct Bucket {
+    std::vector<EventEntry> entries;
+    std::size_t head = 0;
+    [[nodiscard]] bool empty() const { return head == entries.size(); }
+  };
+
+  [[nodiscard]] std::size_t index_of(SimTime t) const;
+  void bucket_insert(Bucket& b, const EventEntry& e);
+
+  /// Collect every pending entry (buckets + overflow), leaving the
+  /// structure ready for a rebuild.
+  [[nodiscard]] std::vector<EventEntry> gather_all();
+
+  /// Average inter-event spacing of a bounded sample, scaled so a bucket
+  /// holds a handful of entries. Falls back to the current width for
+  /// degenerate populations (all-simultaneous, singleton).
+  [[nodiscard]] double estimate_width(
+      const std::vector<EventEntry>& entries) const;
+
+  /// Re-bucket `entries` into a power-of-two array sized to the population,
+  /// anchored at `anchor` (must be <= every entry's time).
+  void rebuild(std::vector<EventEntry> entries, SimTime anchor);
+
+  /// The calendar proper is empty but overflow is not: re-anchor at the
+  /// overflow minimum and redistribute. Guarantees the minimum lands in
+  /// bucket 0, so the caller's scan makes progress.
+  void rebuild_from_overflow();
+
+  /// Rebuild with fewer buckets once the population drops below a quarter
+  /// of the bucket count (hysteresis vs the 2x grow trigger).
+  void shrink_if_sparse();
+
+  std::vector<Bucket> buckets_;
+  std::vector<EventEntry> overflow_;  // time >= cal_end_, unsorted
+  double width_ = 1.0;
+  SimTime cal_start_ = 0.0;
+  SimTime cal_end_ = 0.0;
+  /// First bucket that may be non-empty. Advances only as entries are
+  /// popped (never on peek): a pop at time t proves every earlier window is
+  /// empty, and the engine guarantees pops never outrun its clock (see
+  /// Engine::run_until), so future pushes land at or past cur_.
+  std::size_t cur_ = 0;
+  std::size_t size_ = 0;
+  /// Monotone lower bound for every pending entry and every future push:
+  /// the max engine `now` seen at push time. Popped times are *not* folded
+  /// in — a popped stale tombstone can sit far beyond the engine clock.
+  /// The only always-safe re-anchor point.
+  SimTime floor_ = 0.0;
+  bool peek_valid_ = false;
+  EventEntry peeked_{};
+  std::int64_t rebuilds_ = 0;
+};
+
+}  // namespace mron::sim

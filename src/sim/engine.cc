@@ -1,14 +1,28 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <functional>
+#include <string_view>
 #include <utility>
 
 namespace mron::sim {
 
 namespace {
-// Compaction hysteresis: never bother rebuilding a tiny heap.
-constexpr std::size_t kMinHeapForCompaction = 64;
+// Compaction hysteresis: never bother sweeping a tiny queue.
+constexpr std::size_t kMinQueueForCompaction = 64;
 }  // namespace
+
+Engine::Engine(QueueKind queue) : kind_(queue) {}
+
+QueueKind Engine::default_queue_kind() {
+  // Read per construction (not cached): tests flip the variable, and
+  // engines are built once per simulation, far off any hot path.
+  if (const char* env = std::getenv("MRON_EVENT_QUEUE")) {
+    if (std::string_view(env) == "heap") return QueueKind::kBinaryHeap;
+  }
+  return QueueKind::kCalendar;
+}
 
 EventId Engine::schedule_impl(SimTime t, Callback cb, bool daemon) {
   MRON_CHECK_MSG(t >= now_, "schedule_at(" << t << ") before now=" << now_);
@@ -24,7 +38,7 @@ EventId Engine::schedule_impl(SimTime t, Callback cb, bool daemon) {
   Slot& s = slots_[slot];
   s.cb = std::move(cb);
   s.daemon = daemon;
-  heap_push(HeapEntry{t, next_seq_++, slot, s.gen});
+  queue_push(EventEntry{t, next_seq_++, slot, s.gen});
   ++live_events_;
   if (daemon) ++daemon_events_;
   return pack(slot, s.gen);
@@ -59,9 +73,9 @@ void Engine::cancel(EventId id) {
   if (slots_[slot].daemon) --daemon_events_;
   release_slot(slot);
   --live_events_;
-  // The heap entry stays behind as a tombstone: dropped at pop time, or
+  // The queue entry stays behind as a tombstone: dropped at pop time, or
   // swept by maybe_compact() before tombstones can outnumber live events.
-  ++stale_in_heap_;
+  ++stale_in_queue_;
   maybe_compact();
 }
 
@@ -76,31 +90,49 @@ void Engine::release_slot(std::uint32_t slot) {
 }
 
 void Engine::maybe_compact() {
-  if (stale_in_heap_ <= live_events_ ||
-      heap_.size() < kMinHeapForCompaction) {
+  if (stale_in_queue_ <= live_events_ ||
+      queue_size() < kMinQueueForCompaction) {
     return;
   }
-  std::erase_if(heap_, [this](const HeapEntry& e) { return !is_live(e); });
-  std::make_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>{});
-  stale_in_heap_ = 0;
+  const auto dead = [this](const EventEntry& e) { return !is_live(e); };
+  if (kind_ == QueueKind::kBinaryHeap) {
+    std::erase_if(heap_, dead);
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<EventEntry>{});
+  } else {
+    calendar_.remove_if(dead);
+  }
+  stale_in_queue_ = 0;
 }
 
-void Engine::heap_push(HeapEntry e) {
-  heap_.push_back(e);
-  std::push_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>{});
+void Engine::queue_push(const EventEntry& e) {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    heap_.push_back(e);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<EventEntry>{});
+  } else {
+    calendar_.push(e, now_);
+  }
 }
 
-void Engine::heap_pop() {
-  std::pop_heap(heap_.begin(), heap_.end(), std::greater<HeapEntry>{});
-  heap_.pop_back();
+EventEntry Engine::queue_peek() {
+  return kind_ == QueueKind::kBinaryHeap ? heap_.front()
+                                         : calendar_.peek_min();
+}
+
+EventEntry Engine::queue_pop() {
+  if (kind_ == QueueKind::kBinaryHeap) {
+    const EventEntry e = heap_.front();
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<EventEntry>{});
+    heap_.pop_back();
+    return e;
+  }
+  return calendar_.pop_min();
 }
 
 bool Engine::dispatch_next() {
-  while (!heap_.empty()) {
-    const HeapEntry entry = heap_.front();
-    heap_pop();
+  while (!queue_empty()) {
+    const EventEntry entry = queue_pop();
     if (!is_live(entry)) {
-      --stale_in_heap_;
+      --stale_in_queue_;
       continue;
     }
     Callback cb = std::move(slots_[entry.slot].cb);
@@ -125,15 +157,19 @@ std::int64_t Engine::run(std::int64_t max_events) {
 std::int64_t Engine::run_until(SimTime t) {
   MRON_CHECK(t >= now_);
   std::int64_t fired = 0;
-  while (!heap_.empty()) {
-    // Peek past cancelled entries to find the next live event time.
-    const HeapEntry entry = heap_.front();
+  while (!queue_empty()) {
+    // The time check comes before the staleness check: popping a stale
+    // entry beyond `t` would advance the queue's notion of the dispatch
+    // frontier past the engine clock, and the calendar backend relies on
+    // pops never outrunning future pushes (tombstones past the boundary
+    // wait for their turn or for the compaction sweep).
+    const EventEntry entry = queue_peek();
+    if (entry.time > t) break;
     if (!is_live(entry)) {
-      heap_pop();
-      --stale_in_heap_;
+      queue_pop();
+      --stale_in_queue_;
       continue;
     }
-    if (entry.time > t) break;
     dispatch_next();
     ++fired;
   }

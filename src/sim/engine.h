@@ -8,11 +8,16 @@
 //
 // Internals are built for the hot path (see DESIGN.md "Engine internals"):
 // callbacks live in a generation-checked slot map (contiguous storage, slots
-// recycled through a free list, no per-event node allocation), the ready
-// queue is a binary heap of 24-byte plain-data entries, and cancel() is O(1)
-// — it releases the slot immediately and leaves a stale heap entry behind
-// that is dropped either at pop time or by an amortized compaction pass that
-// keeps the heap no larger than a constant multiple of the live event count.
+// recycled through a free list, no per-event node allocation), and the ready
+// queue holds 24-byte plain-data entries in one of two interchangeable
+// backends — the default calendar queue (sim/calendar_queue.h, O(1)
+// amortized schedule/pop) or the legacy binary heap kept as the equivalence
+// reference. Both dispatch in identical (time, seq) order; a randomized
+// equivalence suite pins that byte-for-byte. cancel() is O(1) in either
+// backend — it releases the slot immediately and leaves a stale queue entry
+// behind that is dropped at pop time or by an amortized compaction pass
+// that keeps the queue no larger than a constant multiple of the live event
+// count.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +28,7 @@
 #include "common/strong_id.h"
 #include "common/units.h"
 #include "obs/enabled.h"
+#include "sim/calendar_queue.h"
 #include "sim/callback.h"
 
 namespace mron::obs {
@@ -37,13 +43,27 @@ struct EventTag {};
 /// cancelled, and stale handles are rejected in O(1).
 using EventId = StrongId<EventTag>;
 
+/// Which ready-queue backend an Engine dispatches from. Both produce
+/// byte-identical event streams; the heap exists as the independent
+/// reference implementation for the equivalence tests and as an escape
+/// hatch (`MRON_EVENT_QUEUE=heap`).
+enum class QueueKind {
+  kCalendar,
+  kBinaryHeap,
+};
+
 class Engine {
  public:
   using Callback = sim::Callback;
 
-  Engine() = default;
+  explicit Engine(QueueKind queue = default_queue_kind());
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+
+  /// Backend selection default: the `MRON_EVENT_QUEUE` environment variable
+  /// ("calendar" or "heap") when set, else the calendar queue.
+  [[nodiscard]] static QueueKind default_queue_kind();
+  [[nodiscard]] QueueKind queue_kind() const { return kind_; }
 
   [[nodiscard]] SimTime now() const { return now_; }
 
@@ -85,10 +105,15 @@ class Engine {
     return live_events_ == daemon_events_;
   }
 
-  /// Diagnostics for the tombstone-growth regression test: heap entries
-  /// (live + not-yet-collected stale) and slot-map capacity. Both stay
-  /// O(pending()) under any schedule/cancel churn pattern.
-  [[nodiscard]] std::size_t queue_size() const { return heap_.size(); }
+  /// Diagnostics for the tombstone-growth regression test and the
+  /// `sim.queue.*` gauges: total queue entries (live + not-yet-collected
+  /// stale), the stale tombstones alone, and slot-map capacity. All stay
+  /// O(pending()) under any schedule/cancel churn pattern, and all are
+  /// backend-independent (both queues drop tombstones at the same points).
+  [[nodiscard]] std::size_t queue_size() const {
+    return kind_ == QueueKind::kBinaryHeap ? heap_.size() : calendar_.size();
+  }
+  [[nodiscard]] std::size_t stale_entries() const { return stale_in_queue_; }
   [[nodiscard]] std::size_t slot_capacity() const { return slots_.size(); }
 
   /// Attach/detach the flight recorder. The engine does not own it; the
@@ -119,51 +144,48 @@ class Engine {
     bool daemon = false;
   };
 
-  struct HeapEntry {
-    SimTime time;
-    std::int64_t seq;
-    std::uint32_t slot;
-    std::uint32_t gen;
-    bool operator>(const HeapEntry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
-
   [[nodiscard]] static EventId pack(std::uint32_t slot, std::uint32_t gen) {
     return EventId(static_cast<std::int64_t>(
         (static_cast<std::uint64_t>(gen) << 32) | slot));
   }
 
-  [[nodiscard]] bool is_live(const HeapEntry& e) const {
+  [[nodiscard]] bool is_live(const EventEntry& e) const {
     return slots_[e.slot].gen == e.gen && slots_[e.slot].cb;
   }
 
   /// Free the slot for reuse; bumping the generation invalidates every
-  /// outstanding EventId and heap entry pointing at it.
+  /// outstanding EventId and queue entry pointing at it.
   void release_slot(std::uint32_t slot);
 
-  /// Rebuild the heap without stale entries once they outnumber live ones.
-  /// Amortized O(1) per cancel; bounds heap memory to O(live).
+  /// Sweep stale entries out of the queue once they outnumber live ones.
+  /// Amortized O(1) per cancel; bounds queue memory to O(live).
   void maybe_compact();
 
-  void heap_push(HeapEntry e);
-  void heap_pop();
+  /// Backend dispatch helpers: same (time, seq) order either way.
+  void queue_push(const EventEntry& e);
+  [[nodiscard]] bool queue_empty() const {
+    return kind_ == QueueKind::kBinaryHeap ? heap_.empty()
+                                           : calendar_.empty();
+  }
+  [[nodiscard]] EventEntry queue_peek();
+  EventEntry queue_pop();
 
   /// Pops the next live event; returns false when drained.
   bool dispatch_next();
 
   EventId schedule_impl(SimTime t, Callback cb, bool daemon);
 
+  QueueKind kind_;
   SimTime now_ = 0.0;
   std::int64_t next_seq_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;
-  std::vector<HeapEntry> heap_;  // binary min-heap on (time, seq)
+  std::vector<EventEntry> heap_;  // binary min-heap on (time, seq)
+  CalendarQueue calendar_;
   std::size_t live_events_ = 0;
   std::int64_t total_dispatched_ = 0;
   std::size_t daemon_events_ = 0;
-  std::size_t stale_in_heap_ = 0;
+  std::size_t stale_in_queue_ = 0;
 #if MRON_OBS_ENABLED
   obs::Recorder* recorder_ = nullptr;
 #endif

@@ -33,8 +33,8 @@ SharedServer::SharedServer(Engine& engine, double capacity, std::string name,
     busy_gauge_ = &rec->metrics().gauge("server." + name_ + ".busy_integral");
     streams_gauge_ =
         &rec->metrics().gauge("server." + name_ + ".active_streams");
-    // Pull model: advance()/reallocate() are the simulation's hottest paths,
-    // so the gauges refresh once per sampling tick instead of per event.
+    // Pull model: the per-event paths are the simulation's hottest, so the
+    // gauges refresh once per sampling tick instead of per event.
     rec->add_flush_hook([this] {
       busy_gauge_->set(busy_integral());
       streams_gauge_->set(static_cast<double>(streams_.size()));
@@ -49,16 +49,43 @@ int SharedServer::find(StreamId id) const {
   return -1;
 }
 
+double SharedServer::rate_of(const Stream& s) const {
+  switch (mode_) {
+    case RateMode::kFlat:
+      return flat_share_;
+    case RateMode::kPerCap:
+      return s.cap;
+    case RateMode::kExplicit:
+      return s.rate;
+  }
+  return s.rate;  // unreachable
+}
+
+void SharedServer::Agg::add(double remaining, double cap) {
+  // Deliberately division-free: a divide per stream per pass costs more
+  // than the whole rest of the visit, and the completion minimums that do
+  // need one are computed in a dedicated scan only on the branches that
+  // consume them.
+  cap_sum += cap;  // inf-safe: stays inf once any stream is uncapped
+  min_cap = std::min(min_cap, cap);
+  min_rem = std::min(min_rem, remaining);
+}
+
 StreamId SharedServer::submit(double work, double cap, Done done) {
   MRON_CHECK_MSG(work >= 0.0, "negative work " << work);
   MRON_CHECK_MSG(cap > 0.0, "non-positive cap " << cap);
   MRON_CHECK(static_cast<bool>(done));
-  advance();
+  if (activity_cb_) activity_cb_();
+  // One fused pass: progress every stream to now and gather the allocation
+  // aggregates, then fold the new stream in. The append keeps cap_sum's
+  // accumulation order identical to a fresh front-to-back scan.
+  Agg agg = advance_and_aggregate();
   const StreamId id = ids_.next();
-  streams_.push_back(Stream{id, std::max(work, kWorkEpsilon), cap, 0.0,
-                            std::move(done)});
+  const double remaining = std::max(work, kWorkEpsilon);
+  streams_.push_back(Stream{id, remaining, cap, 0.0, std::move(done)});
+  agg.add(remaining, cap);
   alloc_dirty_ = true;
-  reallocate();
+  reallocate(agg);
   return id;
 }
 
@@ -68,7 +95,7 @@ void SharedServer::cancel(StreamId id) {
   advance();
   streams_.erase(streams_.begin() + i);
   alloc_dirty_ = true;
-  reallocate();
+  reallocate(aggregate_scan());
 }
 
 void SharedServer::set_cap(StreamId id, double cap) {
@@ -78,7 +105,7 @@ void SharedServer::set_cap(StreamId id, double cap) {
   advance();
   streams_[static_cast<std::size_t>(i)].cap = cap;
   alloc_dirty_ = true;
-  reallocate();
+  reallocate(aggregate_scan());
 }
 
 void SharedServer::set_capacity_scale(double scale) {
@@ -89,7 +116,7 @@ void SharedServer::set_capacity_scale(double scale) {
   advance();
   capacity_ = scaled;
   alloc_dirty_ = true;
-  reallocate();
+  reallocate(aggregate_scan());
 }
 
 double SharedServer::remaining(StreamId id) const {
@@ -98,7 +125,7 @@ double SharedServer::remaining(StreamId id) const {
   const auto& s = streams_[static_cast<std::size_t>(i)];
   // Account for progress since the last state change without mutating.
   const double dt = engine_.now() - last_update_;
-  return std::max(0.0, s.remaining - s.rate * dt);
+  return std::max(0.0, s.remaining - rate_of(s) * dt);
 }
 
 double SharedServer::busy_integral() const {
@@ -113,53 +140,82 @@ void SharedServer::advance() {
     return;
   }
   for (auto& s : streams_) {
-    s.remaining = std::max(0.0, s.remaining - s.rate * dt);
+    s.remaining = std::max(0.0, s.remaining - rate_of(s) * dt);
   }
   busy_integral_ += total_rate_ * dt;
   last_update_ = now;
 }
 
-void SharedServer::recompute_rates() {
+SharedServer::Agg SharedServer::advance_and_aggregate() {
+  const SimTime now = engine_.now();
+  const double dt = now - last_update_;
+  Agg agg;
+  if (dt <= 0.0) {
+    for (const auto& s : streams_) {
+      agg.add(s.remaining, s.cap);
+    }
+  } else {
+    for (auto& s : streams_) {
+      s.remaining = std::max(0.0, s.remaining - rate_of(s) * dt);
+      agg.add(s.remaining, s.cap);
+    }
+    busy_integral_ += total_rate_ * dt;
+  }
+  last_update_ = now;
+  return agg;
+}
+
+SharedServer::Agg SharedServer::aggregate_scan() const {
+  Agg agg;
+  for (const auto& s : streams_) {
+    agg.add(s.remaining, s.cap);
+  }
+  return agg;
+}
+
+void SharedServer::recompute_rates(const Agg& agg) {
   const auto n = streams_.size();
   const double effective =
       capacity_ /
       (1.0 + concurrency_penalty_ * (static_cast<double>(n) - 1.0));
 
-  // Fast path 1: a lone stream takes min(cap, capacity).
+  // Fast path 1: a lone stream takes min(cap, capacity). Represented as
+  // per-cap or flat share so no per-stream rate is written.
   if (n == 1) {
-    streams_[0].rate = std::min(streams_[0].cap, effective);
-    total_rate_ = streams_[0].rate;
+    if (streams_[0].cap <= effective) {
+      mode_ = RateMode::kPerCap;
+    } else {
+      mode_ = RateMode::kFlat;
+      flat_share_ = effective;
+    }
+    total_rate_ = std::min(streams_[0].cap, effective);
     return;
   }
 
-  // One scan classifies the common shapes.
   const double share = effective / static_cast<double>(n);
-  double cap_sum = 0.0;
-  bool any_below_share = false;
-  for (const auto& s : streams_) {
-    cap_sum += s.cap;  // inf-safe: stays inf once any stream is uncapped
-    if (s.cap < share) any_below_share = true;
-  }
 
-  // Fast path 2: total demand fits — everyone runs at cap.
-  if (cap_sum <= effective) {
-    total_rate_ = 0.0;
-    for (auto& s : streams_) {
-      s.rate = s.cap;
-      total_rate_ += s.rate;
-    }
+  // Fast path 2: total demand fits — everyone runs at cap. cap_sum was
+  // accumulated in stream order from 0.0, the exact sum the legacy
+  // rate-assignment loop produced for total_rate_.
+  if (agg.cap_sum <= effective) {
+    mode_ = RateMode::kPerCap;
+    total_rate_ = agg.cap_sum;
     return;
   }
 
   // Fast path 3: no cap binds below the equal share — flat split.
-  if (!any_below_share) {
-    for (auto& s : streams_) s.rate = share;
+  // (min_cap >= share) is exactly !any(cap < share).
+  if (agg.min_cap >= share) {
+    mode_ = RateMode::kFlat;
+    flat_share_ = share;
     total_rate_ = share * static_cast<double>(n);
     return;
   }
 
   // General water-filling over reusable scratch (no allocation once the
-  // scratch vector has grown to the server's high-water stream count).
+  // scratch vector has grown to the server's high-water stream count). The
+  // only shape that materializes per-stream rates.
+  mode_ = RateMode::kExplicit;
   for (auto& s : streams_) s.rate = 0.0;
   auto& unsat = unsat_scratch_;
   unsat.resize(n);
@@ -192,7 +248,7 @@ void SharedServer::recompute_rates() {
   for (const auto& s : streams_) total_rate_ += s.rate;
 }
 
-void SharedServer::reallocate() {
+void SharedServer::reallocate(const Agg& agg) {
   // The completion event is always cancelled and rescheduled here — even
   // when the rates are provably unchanged — so that the engine sees the
   // exact event sequence the naive implementation produced (determinism).
@@ -205,15 +261,40 @@ void SharedServer::reallocate() {
     return;
   }
 
-  if (alloc_dirty_) {
-    recompute_rates();
-    alloc_dirty_ = false;
-  }
-
   SimTime next_completion = std::numeric_limits<double>::infinity();
-  for (const auto& s : streams_) {
-    if (s.rate > 0.0) {
-      next_completion = std::min(next_completion, s.remaining / s.rate);
+  if (alloc_dirty_) {
+    recompute_rates(agg);
+    alloc_dirty_ = false;
+    // Flat split — the shape the loaded servers live in — needs exactly
+    // one division: with every rate equal to `share`, IEEE division is
+    // monotone in the numerator, so min(rem) / share IS min(rem / share)
+    // bit for bit. The other shapes pay a dedicated scan whose per-element
+    // divisions use the same operands the legacy post-recompute scan did.
+    switch (mode_) {
+      case RateMode::kFlat:
+        next_completion = agg.min_rem / flat_share_;
+        break;
+      case RateMode::kPerCap:
+        for (const auto& s : streams_) {
+          next_completion = std::min(next_completion, s.remaining / s.cap);
+        }
+        break;
+      case RateMode::kExplicit:
+        for (const auto& s : streams_) {
+          if (s.rate > 0.0) {
+            next_completion = std::min(next_completion, s.remaining / s.rate);
+          }
+        }
+        break;
+    }
+  } else {
+    // Rates unchanged since the last pass (a completion event that retired
+    // nothing): same scan the legacy implementation ran.
+    for (const auto& s : streams_) {
+      const double rate = rate_of(s);
+      if (rate > 0.0) {
+        next_completion = std::min(next_completion, s.remaining / rate);
+      }
     }
   }
   MRON_CHECK_MSG(std::isfinite(next_completion),
@@ -226,32 +307,50 @@ void SharedServer::reallocate() {
 
 void SharedServer::on_completion() {
   has_pending_event_ = false;
-  advance();
+  const SimTime now = engine_.now();
+  const double dt = now - last_update_;
   // The retirement threshold must exceed double-precision resolution at the
   // current timestamp or time stops advancing for near-finished streams.
-  const double time_eps =
-      std::max(kTimeEpsilon, engine_.now() * 1e-12);
-  // Partition finished streams out, preserving the arrival order of the
-  // survivors; callbacks fire after the server is consistent again.
-  std::vector<Done> finished;
+  const double time_eps = std::max(kTimeEpsilon, now * 1e-12);
+  // One fused pass: progress each stream to now, partition the finished
+  // streams out (callbacks fire after the server is consistent again,
+  // survivors keep their arrival order), and gather the allocation
+  // aggregates over the survivors. dt can be exactly zero when another
+  // event already advanced this server at the current timestamp;
+  // remaining - rate*0 reproduces remaining bit for bit, so one loop
+  // covers both cases.
+  // Member scratch: a completion fires on almost every event on a loaded
+  // server, and a fresh vector here would be a malloc/free per event. Safe
+  // to reuse because on_completion never re-enters itself — done callbacks
+  // may submit or cancel streams, but completions only run from the engine
+  // event loop.
+  std::vector<Done>& finished = finished_scratch_;
+  finished.clear();
   std::size_t kept = 0;
+  Agg agg;
   for (std::size_t i = 0; i < streams_.size(); ++i) {
     Stream& s = streams_[i];
-    if (s.remaining <= kWorkEpsilon + s.rate * time_eps) {
+    const double rate = rate_of(s);
+    s.remaining = std::max(0.0, s.remaining - rate * dt);
+    if (s.remaining <= kWorkEpsilon + rate * time_eps) {
       finished.push_back(std::move(s.done));
     } else {
       if (kept != i) streams_[kept] = std::move(s);
+      agg.add(streams_[kept].remaining, streams_[kept].cap);
       ++kept;
     }
   }
+  if (dt > 0.0) busy_integral_ += total_rate_ * dt;
+  last_update_ = now;
   if (kept != streams_.size()) {
     streams_.resize(kept);
     alloc_dirty_ = true;
   }
-  reallocate();
+  reallocate(agg);
   // Callbacks run after the server is in a consistent state; they may submit
   // new streams re-entrantly.
   for (auto& done : finished) done();
+  finished.clear();
 }
 
 }  // namespace mron::sim

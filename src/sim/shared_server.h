@@ -11,15 +11,20 @@
 // core-seconds for CPU.
 //
 // Internals (see DESIGN.md "Engine internals"): streams live in a flat
-// insertion-ordered table instead of a node-based map, the water-filling
-// pass runs allocation-free over reusable scratch storage with one-pass
-// fast paths for the common shapes (single stream, nothing capped below its
-// equal share, total demand under capacity), and rates are recomputed only
-// when the binding set — stream membership or caps — actually changed.
-// The completion event is still cancelled and rescheduled on exactly the
-// same occasions as before, so the engine-level event ordering (and with it
-// every seeded experiment) is bit-identical to the straightforward
-// implementation.
+// insertion-ordered table instead of a node-based map, and the allocation
+// is represented as a *mode* — flat equal split, everyone-at-cap, or
+// explicit water-filled rates — so the common shapes are classified and
+// applied in O(1) from aggregates (cap sum, min cap, min remaining)
+// gathered in the same single pass that progresses the streams. A submit
+// or completion on a server with k streams costs one fused scan, not the
+// four or five (advance, classify, assign, min-completion, partition) the
+// naive implementation pays; only true water-filling materializes
+// per-stream rates over reusable scratch storage, and rates are recomputed
+// only when the binding set — stream membership or caps — actually
+// changed. The completion event is still cancelled and rescheduled on
+// exactly the same occasions as before, so the engine-level event ordering
+// (and with it every seeded experiment) is bit-identical to the
+// straightforward implementation.
 #pragma once
 
 #include <limits>
@@ -88,26 +93,65 @@ class SharedServer {
   /// Instantaneous total allocated rate.
   [[nodiscard]] double current_rate() const { return total_rate_; }
 
+  /// Hook fired on every submit() — the only way this server can leave the
+  /// idle state. The cluster monitor's dirty-set sampler listens here so
+  /// that idle servers cost it nothing per tick. Must be O(1) and
+  /// idempotent; at most one callback.
+  void set_activity_callback(Callback cb) { activity_cb_ = std::move(cb); }
+
  private:
   struct Stream {
     StreamId id;
     double remaining;
     double cap;
-    double rate = 0.0;  // current allocation, recomputed by reallocate()
+    double rate = 0.0;  // authoritative only in RateMode::kExplicit
     Done done;
   };
 
-  /// Index into streams_ of the live stream `id`, or -1. Streams per server
-  /// number in the tens, so a linear scan beats any index structure.
+  /// How the current allocation is represented. The common shapes (flat
+  /// equal split, everyone at cap) are a single scalar, so recomputing them
+  /// after every submit/completion writes no per-stream state — the loops
+  /// that made every event O(active streams) several times over collapse
+  /// into one fused pass. Only true water-filling materializes per-stream
+  /// rates.
+  enum class RateMode : std::uint8_t {
+    kExplicit,  ///< Stream::rate holds each stream's allocation
+    kFlat,      ///< every stream runs at flat_share_
+    kPerCap,    ///< every stream runs at its own cap
+  };
+
+  /// Allocation aggregates gathered in the same pass that progresses the
+  /// streams: everything reallocate() needs to classify the next shape and
+  /// schedule the next completion without re-scanning.
+  struct Agg {
+    double cap_sum = 0.0;  ///< in stream order from 0.0 (FP determinism)
+    double min_cap = std::numeric_limits<double>::infinity();
+    double min_rem = std::numeric_limits<double>::infinity();
+    void add(double remaining, double cap);
+  };
+
+  /// Index into streams_ of the live stream `id`, or -1. Only the cold
+  /// paths (cancel, set_cap, remaining) resolve ids, so a linear scan beats
+  /// any index structure.
   [[nodiscard]] int find(StreamId id) const;
+
+  /// The stream's current allocation under mode_.
+  [[nodiscard]] double rate_of(const Stream& s) const;
 
   /// Progress all streams from last_update_ to now.
   void advance();
-  /// Refresh the water-filling allocation (when the binding set changed
-  /// since the last pass) and reschedule the next completion event.
-  void reallocate();
-  /// The water-filling pass proper; writes Stream::rate and total_rate_.
-  void recompute_rates();
+  /// advance() fused with the aggregate gathering — the hot paths' single
+  /// pass over the stream table.
+  Agg advance_and_aggregate();
+  /// Aggregates at the current instant, no progression (for the cold
+  /// mutators, which advance() separately).
+  [[nodiscard]] Agg aggregate_scan() const;
+  /// Refresh the allocation (when the binding set changed since the last
+  /// pass) and reschedule the next completion event.
+  void reallocate(const Agg& agg);
+  /// Classify the allocation shape from the aggregates; O(1) except true
+  /// water-filling, which writes Stream::rate.
+  void recompute_rates(const Agg& agg);
   /// Completion event body: retire all streams that have drained.
   void on_completion();
 
@@ -122,13 +166,18 @@ class SharedServer {
   std::vector<Stream> streams_;
   /// Set when membership or caps changed, i.e. the current rates are stale.
   bool alloc_dirty_ = false;
+  RateMode mode_ = RateMode::kExplicit;
+  double flat_share_ = 0.0;  ///< every stream's rate while mode_ == kFlat
   /// Scratch for recompute_rates(); member so the hot path never allocates.
   std::vector<std::uint32_t> unsat_scratch_;
+  /// Scratch for on_completion()'s finished-callback batch, same reason.
+  std::vector<Done> finished_scratch_;
   SimTime last_update_ = 0.0;
   double busy_integral_ = 0.0;
   double total_rate_ = 0.0;
   EventId pending_event_;
   bool has_pending_event_ = false;
+  Callback activity_cb_;  ///< see set_activity_callback()
   // Flight-recorder handles, resolved once at construction when a recorder
   // is attached to the engine; null otherwise.
   obs::Gauge* busy_gauge_ = nullptr;

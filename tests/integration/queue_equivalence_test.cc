@@ -1,0 +1,120 @@
+// Whole-simulation queue-backend equivalence: the calendar-queue engine
+// must be observably indistinguishable from the binary-heap reference.
+// Not "close" — byte-identical: same JobResult timings, same RNG-driven
+// placement and failure draws, and (under observation) the exported run
+// report equal byte for byte, with and without an active fault plan. This
+// is the top of the pinning pyramid: the randomized engine property test
+// (tests/sim/calendar_queue_test.cc) proves dispatch-order equality per
+// event; this proves nothing downstream can tell the backends apart.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "faults/fault_plan.h"
+#include "mapreduce/report_rollup.h"
+#include "mapreduce/simulation.h"
+#include "obs/enabled.h"
+#include "sim/engine.h"
+#include "workloads/benchmarks.h"
+
+namespace mron::mapreduce {
+namespace {
+
+const char* kFaultPlan =
+    "seed 31\n"
+    "heartbeat period=0.5 timeout=3\n"
+    "taskfail prob=0.05\n"
+    "crash node=4 at=40 restart=85\n"
+    "degrade node=2 from=10 until=100 disk=0.2 nic=0.4\n";
+
+struct RunOutcome {
+  JobResult result;
+  std::string report;  // empty unless built with observation on
+};
+
+RunOutcome run_once(sim::QueueKind queue, bool faulted, bool observe) {
+  SimulationOptions opt;
+  opt.cluster.num_slaves = 8;
+  opt.cluster.rack_sizes = {4, 4};
+  opt.seed = 23;
+  opt.event_queue = queue;
+  opt.observe = observe;
+  if (faulted) opt.fault_plan = faults::FaultPlan::parse(kFaultPlan);
+  Simulation sim(opt);
+  JobSpec spec = workloads::make_terasort(sim, mebibytes(128.0 * 24), 6);
+  spec.speculative_execution = faulted;
+  const JobConfig config = spec.config;
+  RunOutcome out;
+  sim.submit_job(std::move(spec),
+                 [&](const JobResult& r) { out.result = r; });
+  sim.run();
+  if (observe) {
+    out.report = run_report_json(
+        sim, {{&out.result, &config}},
+        {{"app", "terasort"}, {"faulted", faulted ? "1" : "0"}});
+  }
+  return out;
+}
+
+void expect_identical(const RunOutcome& cal, const RunOutcome& heap) {
+  EXPECT_DOUBLE_EQ(cal.result.finish_time, heap.result.finish_time);
+  EXPECT_DOUBLE_EQ(cal.result.submit_time, heap.result.submit_time);
+  EXPECT_EQ(cal.result.injected_failures, heap.result.injected_failures);
+  EXPECT_EQ(cal.result.speculative_launches,
+            heap.result.speculative_launches);
+  EXPECT_EQ(cal.result.speculative_wins, heap.result.speculative_wins);
+  ASSERT_EQ(cal.result.map_reports.size(), heap.result.map_reports.size());
+  for (std::size_t i = 0; i < cal.result.map_reports.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cal.result.map_reports[i].start_time,
+                     heap.result.map_reports[i].start_time);
+    EXPECT_DOUBLE_EQ(cal.result.map_reports[i].end_time,
+                     heap.result.map_reports[i].end_time);
+    EXPECT_EQ(cal.result.map_reports[i].node.value(),
+              heap.result.map_reports[i].node.value());
+  }
+  ASSERT_EQ(cal.result.reduce_reports.size(),
+            heap.result.reduce_reports.size());
+  for (std::size_t i = 0; i < cal.result.reduce_reports.size(); ++i) {
+    EXPECT_DOUBLE_EQ(cal.result.reduce_reports[i].end_time,
+                     heap.result.reduce_reports[i].end_time);
+  }
+}
+
+TEST(QueueEquivalence, CleanRunMatchesHeapExactly) {
+  expect_identical(run_once(sim::QueueKind::kCalendar, false, false),
+                   run_once(sim::QueueKind::kBinaryHeap, false, false));
+}
+
+TEST(QueueEquivalence, FaultedSpeculativeRunMatchesHeapExactly) {
+  // Crashes, retries, and speculative races are the adversarial case: one
+  // reordered event anywhere flips which attempt wins and the timings
+  // diverge loudly.
+  expect_identical(run_once(sim::QueueKind::kCalendar, true, false),
+                   run_once(sim::QueueKind::kBinaryHeap, true, false));
+}
+
+#if MRON_OBS_ENABLED
+
+TEST(QueueEquivalence, RunReportIsByteIdenticalAcrossBackends) {
+  const RunOutcome cal = run_once(sim::QueueKind::kCalendar, false, true);
+  const RunOutcome heap = run_once(sim::QueueKind::kBinaryHeap, false, true);
+  ASSERT_FALSE(cal.report.empty());
+  EXPECT_EQ(cal.report, heap.report);
+}
+
+TEST(QueueEquivalence, FaultedRunReportIsByteIdenticalAcrossBackends) {
+  const RunOutcome cal = run_once(sim::QueueKind::kCalendar, true, true);
+  const RunOutcome heap = run_once(sim::QueueKind::kBinaryHeap, true, true);
+  ASSERT_FALSE(cal.report.empty());
+  EXPECT_EQ(cal.report, heap.report);
+  // The report's sim.queue.* gauges are part of what must agree: they are
+  // defined backend-independently (live events, stale tombstones, slot
+  // capacity), so their sampled values match too.
+  EXPECT_NE(cal.report.find("sim.queue.live"), std::string::npos);
+}
+
+#endif  // MRON_OBS_ENABLED
+
+}  // namespace
+}  // namespace mron::mapreduce

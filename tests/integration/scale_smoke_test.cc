@@ -1,9 +1,9 @@
-// 1,024-node smoke test: a faulted Terasort on the scalebench's largest
-// topology must complete, recover its lost work, and reproduce exactly.
-// The 19-node integration suites exercise the same machinery in depth;
-// this pins the scaled regime, where the indexed scheduler/monitor paths,
-// the per-rack series aggregation, and the heartbeat silent-set are the
-// ones doing the work.
+// Scaled smoke tests: faulted Terasorts at 1,024 and 10,240 nodes must
+// complete, recover their lost work, and reproduce exactly. The 19-node
+// integration suites exercise the same machinery in depth; these pin the
+// scaled regimes, where the indexed scheduler/monitor paths, the per-rack
+// series aggregation, the heartbeat silent-set, and the calendar-queue
+// engine are the ones doing the work.
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -34,9 +34,9 @@ struct Outcome {
   faults::FaultStats stats;
 };
 
-Outcome run_faulted_1024(std::uint64_t seed) {
+Outcome run_faulted(int slaves, std::uint64_t seed) {
   SimulationOptions opt;
-  opt.cluster = cluster::scaled_spec(1023);
+  opt.cluster = cluster::scaled_spec(slaves);
   opt.seed = seed;
   opt.fault_plan = faults::FaultPlan::parse(kScalePlan);
   Simulation sim(opt);
@@ -49,6 +49,8 @@ Outcome run_faulted_1024(std::uint64_t seed) {
   out.stats = sim.fault_injector()->stats();
   return out;
 }
+
+Outcome run_faulted_1024(std::uint64_t seed) { return run_faulted(1023, seed); }
 
 // Reports carry every attempt (retries, speculative backups); the job is
 // whole when every task index has at least one non-failed attempt.
@@ -79,6 +81,29 @@ TEST(ScaleSmoke, FaultedRunAtScaleIsSeedDeterministic) {
             b.result.counters.failed_task_attempts);
   EXPECT_EQ(a.stats.injected_task_failures,
             b.stats.injected_task_failures);
+}
+
+// The 10k regime: 10,239 slaves is ~10x past the point where any residual
+// O(n)-per-event scan or O(log n) queue operation turns the run from
+// seconds into minutes. Faults + speculation keep the event pattern
+// adversarial (cancels racing completions feed the queue's tombstone
+// path).
+TEST(ScaleSmoke, FaultedTerasortOn10240NodesCompletesAndRecovers) {
+  const Outcome out = run_faulted(10239, 17);
+  EXPECT_GE(out.result.map_reports.size(), 48u);
+  EXPECT_EQ(completed_tasks(out.result.map_reports), 48u);
+  EXPECT_EQ(completed_tasks(out.result.reduce_reports), 12u);
+  EXPECT_GT(out.result.exec_time(), 0.0);
+  EXPECT_GT(out.stats.injected_task_failures, 0);
+}
+
+TEST(ScaleSmoke, FaultedRunAt10240NodesIsSeedDeterministic) {
+  const Outcome a = run_faulted(10239, 17);
+  const Outcome b = run_faulted(10239, 17);
+  EXPECT_DOUBLE_EQ(a.result.finish_time, b.result.finish_time);
+  EXPECT_EQ(a.result.counters.failed_task_attempts,
+            b.result.counters.failed_task_attempts);
+  EXPECT_EQ(a.stats.injected_task_failures, b.stats.injected_task_failures);
 }
 
 }  // namespace

@@ -1,0 +1,299 @@
+// Calendar-queue unit tests plus the randomized heap-vs-calendar
+// equivalence property that pins the engine's dual-backend contract: both
+// ready queues dispatch byte-identical (time, seq) streams under any mix
+// of scheduling, cancellation, daemon churn, run_until slicing, and
+// compaction. The equivalence test is the license for the calendar queue
+// to exist at all — if it ever diverges from the binary-heap reference,
+// run reports and RNG streams silently fork.
+#include <algorithm>
+#include <cstdlib>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "sim/calendar_queue.h"
+#include "sim/engine.h"
+
+namespace mron::sim {
+namespace {
+
+EventEntry entry(SimTime t, std::int64_t seq) {
+  return EventEntry{t, seq, static_cast<std::uint32_t>(seq & 0xffffffff), 0};
+}
+
+/// Drains `q` and checks the pops come out sorted by (time, seq) and are a
+/// permutation of `expect`.
+void expect_drains_sorted(CalendarQueue& q, std::vector<EventEntry> expect) {
+  std::sort(expect.begin(), expect.end());
+  std::vector<EventEntry> got;
+  got.reserve(expect.size());
+  while (!q.empty()) got.push_back(q.pop_min());
+  ASSERT_EQ(got.size(), expect.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].time, expect[i].time) << "at index " << i;
+    EXPECT_EQ(got[i].seq, expect[i].seq) << "at index " << i;
+  }
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(CalendarQueue, PopsRandomLoadInTimeSeqOrder) {
+  Rng rng(42);
+  CalendarQueue q;
+  std::vector<EventEntry> all;
+  for (std::int64_t seq = 0; seq < 5000; ++seq) {
+    const EventEntry e = entry(rng.uniform(0.0, 1000.0), seq);
+    q.push(e, 0.0);
+    all.push_back(e);
+  }
+  expect_drains_sorted(q, std::move(all));
+}
+
+TEST(CalendarQueue, SameTimeBurstKeepsScheduleOrder) {
+  // 10k entries at one timestamp land in one bucket; the sorted-run +
+  // consumed-head layout must keep appends O(1) (no per-insert shifting)
+  // and pops in seq order.
+  CalendarQueue q;
+  std::vector<EventEntry> all;
+  for (std::int64_t seq = 0; seq < 10000; ++seq) {
+    const EventEntry e = entry(7.5, seq);
+    q.push(e, 0.0);
+    all.push_back(e);
+  }
+  expect_drains_sorted(q, std::move(all));
+}
+
+TEST(CalendarQueue, FarFutureEntriesTakeOverflowLadder) {
+  Rng rng(7);
+  CalendarQueue q;
+  std::vector<EventEntry> all;
+  std::int64_t seq = 0;
+  // Dense near-term cluster fixes a narrow bucket width, then far-future
+  // outliers (1e6x beyond the calendar's span) must overflow rather than
+  // wrap, and still come out in order once the near-term load drains.
+  for (int i = 0; i < 2000; ++i) {
+    const EventEntry e = entry(rng.uniform(0.0, 10.0), seq++);
+    q.push(e, 0.0);
+    all.push_back(e);
+  }
+  for (int i = 0; i < 500; ++i) {
+    const EventEntry e = entry(1e7 + rng.uniform(0.0, 1e7), seq++);
+    q.push(e, 0.0);
+    all.push_back(e);
+  }
+  EXPECT_GT(q.overflow_size(), 0u);
+  expect_drains_sorted(q, std::move(all));
+}
+
+TEST(CalendarQueue, InterleavedPushPopWithAdvancingClock) {
+  // Simulation-shaped load: pops advance "now", pushes are always relative
+  // to now. Checks the monotone re-anchoring logic (floor_) never strands
+  // or reorders entries across rebuilds.
+  Rng rng(99);
+  CalendarQueue q;
+  std::vector<EventEntry> reference;
+  std::vector<EventEntry> got;
+  SimTime now = 0.0;
+  std::int64_t seq = 0;
+  for (int round = 0; round < 200; ++round) {
+    const int pushes = static_cast<int>(rng.uniform_int(0, 40));
+    for (int i = 0; i < pushes; ++i) {
+      const double jump = rng.uniform_int(0, 9) == 0
+                              ? rng.uniform(0.0, 1e5)   // occasional far jump
+                              : rng.uniform(0.0, 50.0);  // dense near-term
+      const EventEntry e = entry(now + jump, seq++);
+      q.push(e, now);
+      reference.push_back(e);
+    }
+    const int pops = static_cast<int>(rng.uniform_int(0, 30));
+    for (int i = 0; i < pops && !q.empty(); ++i) {
+      const EventEntry e = q.pop_min();
+      now = e.time;
+      got.push_back(e);
+    }
+  }
+  while (!q.empty()) got.push_back(q.pop_min());
+  std::sort(reference.begin(), reference.end());
+  ASSERT_EQ(got.size(), reference.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].time, reference[i].time) << "at index " << i;
+    EXPECT_EQ(got[i].seq, reference[i].seq) << "at index " << i;
+  }
+}
+
+TEST(CalendarQueue, PeekDoesNotDisturbOrder) {
+  Rng rng(3);
+  CalendarQueue q;
+  std::vector<EventEntry> all;
+  SimTime now = 0.0;
+  for (std::int64_t seq = 0; seq < 300; ++seq) {
+    const EventEntry e = entry(now + rng.uniform(0.0, 100.0), seq);
+    q.push(e, now);
+    all.push_back(e);
+    // Peek between every push: a peek must not advance the cursor past a
+    // window a later push could still land in.
+    const EventEntry& top = q.peek_min();
+    EXPECT_LE(top.time, e.time);
+  }
+  expect_drains_sorted(q, std::move(all));
+}
+
+TEST(CalendarQueue, RemoveIfDropsDeadEntriesEverywhere) {
+  Rng rng(5);
+  CalendarQueue q;
+  std::vector<EventEntry> keep;
+  for (std::int64_t seq = 0; seq < 4000; ++seq) {
+    // Spread across buckets and the overflow ladder so the sweep has to
+    // visit every storage tier.
+    const double t = rng.uniform_int(0, 4) == 0 ? 1e8 + rng.uniform(0.0, 1e8)
+                                                : rng.uniform(0.0, 100.0);
+    const EventEntry e = entry(t, seq);
+    q.push(e, 0.0);
+    if (seq % 2 == 0) keep.push_back(e);
+  }
+  q.remove_if([](const EventEntry& e) { return e.seq % 2 != 0; });
+  EXPECT_EQ(q.size(), keep.size());
+  expect_drains_sorted(q, std::move(keep));
+}
+
+TEST(CalendarQueue, DrainAndRefillReusesQueue) {
+  CalendarQueue q;
+  for (int cycle = 0; cycle < 5; ++cycle) {
+    std::vector<EventEntry> all;
+    const SimTime base = cycle * 1e6;
+    for (std::int64_t seq = 0; seq < 1000; ++seq) {
+      const EventEntry e = entry(base + static_cast<double>(seq) * 0.25,
+                                 cycle * 1000 + seq);
+      q.push(e, base);
+      all.push_back(e);
+    }
+    expect_drains_sorted(q, std::move(all));
+    EXPECT_TRUE(q.empty());
+  }
+  // Sparse again after the churn: the bucket array must have shrunk back
+  // rather than staying at peak size forever.
+  EXPECT_LE(q.num_buckets(), 1024u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine-level equivalence: heap vs calendar, driven in lockstep.
+
+struct Fired {
+  SimTime time;
+  int tag;
+  bool operator==(const Fired& o) const {
+    return time == o.time && tag == o.tag;
+  }
+};
+
+/// Both engines run the same randomized schedule/cancel/daemon/run_until
+/// script; every checkpoint compares the dispatched stream and all
+/// externally visible counters byte-for-byte.
+void run_lockstep_churn(std::uint64_t seed) {
+  Engine cal(QueueKind::kCalendar);
+  Engine heap(QueueKind::kBinaryHeap);
+  ASSERT_EQ(cal.queue_kind(), QueueKind::kCalendar);
+  ASSERT_EQ(heap.queue_kind(), QueueKind::kBinaryHeap);
+
+  Rng rng(seed);
+  std::vector<Fired> cal_fired, heap_fired;
+  std::vector<EventId> cal_ids, heap_ids;
+  int tag = 0;
+  for (int round = 0; round < 60; ++round) {
+    ASSERT_EQ(cal.now(), heap.now());
+    const int burst = static_cast<int>(rng.uniform_int(1, 50));
+    for (int i = 0; i < burst; ++i) {
+      const int t = tag++;
+      double when = cal.now();
+      switch (rng.uniform_int(0, 3)) {
+        case 0: break;  // same-instant burst
+        case 1: when += rng.uniform(0.0, 5.0); break;     // dense
+        case 2: when += rng.uniform(0.0, 500.0); break;   // spread
+        default: when += 1e6 + rng.uniform(0.0, 1e6);     // far future
+      }
+      const bool daemon = rng.uniform_int(0, 9) == 0;
+      auto cal_cb = [&cal, &cal_fired, t] {
+        cal_fired.push_back({cal.now(), t});
+      };
+      auto heap_cb = [&heap, &heap_fired, t] {
+        heap_fired.push_back({heap.now(), t});
+      };
+      if (daemon) {
+        cal_ids.push_back(cal.schedule_daemon_at(when, cal_cb));
+        heap_ids.push_back(heap.schedule_daemon_at(when, heap_cb));
+      } else {
+        cal_ids.push_back(cal.schedule_at(when, cal_cb));
+        heap_ids.push_back(heap.schedule_at(when, heap_cb));
+      }
+    }
+    // Cancel a random slice (including already-fired / double cancels —
+    // both must be no-ops in both backends).
+    const int cancels = static_cast<int>(
+        rng.uniform_int(0, static_cast<std::int64_t>(cal_ids.size()) / 2));
+    for (int i = 0; i < cancels; ++i) {
+      const auto idx = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(cal_ids.size()) - 1));
+      cal.cancel(cal_ids[idx]);
+      heap.cancel(heap_ids[idx]);
+    }
+    // Drain a slice. run_until must stop at the same boundary and leave
+    // the same clock behind.
+    const SimTime until = cal.now() + rng.uniform(0.0, 200.0);
+    const std::int64_t cal_n = cal.run_until(until);
+    const std::int64_t heap_n = heap.run_until(until);
+    ASSERT_EQ(cal_n, heap_n) << "round " << round;
+    ASSERT_EQ(cal.now(), heap.now());
+    ASSERT_EQ(cal.pending(), heap.pending());
+    ASSERT_EQ(cal.quiescent(), heap.quiescent());
+    ASSERT_EQ(cal.stale_entries(), heap.stale_entries());
+    ASSERT_EQ(cal.total_dispatched(), heap.total_dispatched());
+    ASSERT_EQ(cal_fired, heap_fired) << "round " << round;
+  }
+  // Full drain: every remaining event (daemons included) fires in the same
+  // order, and both engines agree they are empty afterwards.
+  EXPECT_EQ(cal.run(), heap.run());
+  EXPECT_EQ(cal_fired, heap_fired);
+  EXPECT_TRUE(cal.empty());
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(cal.queue_size(), heap.queue_size());
+  EXPECT_EQ(cal.slot_capacity(), heap.slot_capacity());
+}
+
+TEST(EngineQueueEquivalence, RandomChurnMatchesHeapByteForByte) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    SCOPED_TRACE(testing::Message() << "seed " << seed);
+    run_lockstep_churn(seed);
+  }
+}
+
+TEST(EngineQueueEquivalence, CancelChurnStaysMemoryBoundedInBothBackends) {
+  // The compaction contract is backend-independent: 100k cancel/reschedule
+  // cycles with ~1 live event must not grow either queue past a small
+  // constant.
+  for (const QueueKind kind : {QueueKind::kCalendar, QueueKind::kBinaryHeap}) {
+    Engine eng(kind);
+    EventId id = eng.schedule_at(1.0, [] {});
+    for (int i = 0; i < 100000; ++i) {
+      eng.cancel(id);
+      id = eng.schedule_at(1.0 + i * 1e-3, [] {});
+    }
+    EXPECT_LE(eng.queue_size(), 128u) << "kind " << static_cast<int>(kind);
+    EXPECT_LE(eng.stale_entries(), eng.queue_size());
+    EXPECT_EQ(eng.pending(), 1u);
+    EXPECT_EQ(eng.run(), 1);
+  }
+}
+
+TEST(EngineQueueEquivalence, EnvVarSelectsBackend) {
+  ASSERT_EQ(setenv("MRON_EVENT_QUEUE", "heap", 1), 0);
+  EXPECT_EQ(Engine::default_queue_kind(), QueueKind::kBinaryHeap);
+  ASSERT_EQ(setenv("MRON_EVENT_QUEUE", "calendar", 1), 0);
+  EXPECT_EQ(Engine::default_queue_kind(), QueueKind::kCalendar);
+  ASSERT_EQ(unsetenv("MRON_EVENT_QUEUE"), 0);
+  EXPECT_EQ(Engine::default_queue_kind(), QueueKind::kCalendar);
+}
+
+}  // namespace
+}  // namespace mron::sim
