@@ -23,6 +23,13 @@
 // series. The exported run is picked by key, not by completion order, so
 // the file is byte-identical at any --jobs; under --strategy=aggressive it
 // describes the last production run, not the test run.
+//
+// --profile-out[=F] (default host_profile.json) attaches the host
+// self-profiler (obs/host_profile.h) and writes where the *simulator's* own
+// wall time and memory went. Host time is nondeterministic, so the profile
+// is quarantined in its own file — run reports stay byte-identical with or
+// without it. --progress prints a wall-clock-throttled stderr heartbeat
+// (events/sec, sim-time, RSS) for long runs; it never touches any artifact.
 #include <cstdio>
 #include <fstream>
 #include <mutex>
@@ -52,7 +59,12 @@ namespace {
 /// files, so they describe the last simulation of the invocation.
 struct ObsConfig {
   std::string metrics_out, trace_out, audit_out, report_out;
+  /// Host-profile destination. Deliberately excluded from any(): profiling
+  /// must not switch the flight recorder on (and must never perturb the
+  /// deterministic exports).
+  std::string profile_out;
   bool trace_detail = false;
+  bool progress = false;
   [[nodiscard]] bool any() const {
     return !metrics_out.empty() || !trace_out.empty() ||
            !audit_out.empty() || !report_out.empty();
@@ -77,6 +89,9 @@ obs::ReportCollector g_reports;
 void apply_obs(mapreduce::SimulationOptions& opt) {
   opt.cluster = g_cluster;
   opt.fault_plan = g_fault_plan;
+  opt.host_profile = !g_obs.profile_out.empty();
+  opt.progress = g_obs.progress;
+  opt.progress_label = "mron_cli";
   if (!g_obs.any()) return;
   opt.observe = true;
   opt.trace_detail = g_obs.trace_detail;
@@ -84,7 +99,7 @@ void apply_obs(mapreduce::SimulationOptions& opt) {
 
 void export_obs(mapreduce::Simulation& sim) {
   auto* rec = sim.recorder();
-  if (rec == nullptr) return;
+  if (rec == nullptr && sim.host_profiler() == nullptr) return;
   std::lock_guard<std::mutex> lock(g_obs_mu);
   auto write = [](const std::string& path, auto&& writer) {
     if (path.empty()) return;
@@ -93,12 +108,21 @@ void export_obs(mapreduce::Simulation& sim) {
     writer(out);
     std::fprintf(stderr, "wrote %s\n", path.c_str());
   };
-  write(g_obs.metrics_out,
-        [&](std::ostream& o) { rec->metrics().write_json(o); });
-  write(g_obs.trace_out,
-        [&](std::ostream& o) { rec->trace().write_chrome_json(o); });
-  write(g_obs.audit_out,
-        [&](std::ostream& o) { rec->audit().write_jsonl(o); });
+  if (rec != nullptr) {
+    write(g_obs.metrics_out,
+          [&](std::ostream& o) { rec->metrics().write_json(o); });
+    if (!g_obs.trace_out.empty() && sim.host_profiler() != nullptr) {
+      // Optional host-time lane: only profiled traces carry it, so plain
+      // traces stay deterministic.
+      sim.host_profiler()->emit_trace_track(rec->trace());
+    }
+    write(g_obs.trace_out,
+          [&](std::ostream& o) { rec->trace().write_chrome_json(o); });
+    write(g_obs.audit_out,
+          [&](std::ostream& o) { rec->audit().write_jsonl(o); });
+  }
+  write(g_obs.profile_out,
+        [&](std::ostream& o) { sim.write_host_profile(o); });
 }
 
 struct AppChoice {
@@ -217,7 +241,8 @@ int run_cli(int argc, char** argv) {
                 " [--show-config]"
                 " [--log-level=trace|debug|info|warn|error]"
                 " [--metrics-out[=F]] [--trace-out[=F]] [--audit-out[=F]]"
-                " [--report-out[=F]] [--trace-detail] [--no-eval-cache]"
+                " [--report-out[=F]] [--profile-out[=F]] [--progress]"
+                " [--trace-detail] [--no-eval-cache]"
                 " [--fault-plan=F] [--fault-spec='directives']"
                 " [--speculative] [--cluster=SPEC]\n");
     return 0;
@@ -273,6 +298,11 @@ int run_cli(int argc, char** argv) {
     g_obs.report_out =
         flags.get("report-out", std::string("mron_report.json"));
   }
+  if (flags.has("profile-out")) {
+    g_obs.profile_out =
+        flags.get("profile-out", std::string("host_profile.json"));
+  }
+  g_obs.progress = flags.get("progress", false);
   g_obs.trace_detail = flags.get("trace-detail", false);
   if (flags.get("no-eval-cache", false)) {
     tuner::set_eval_cache_enabled(false);
@@ -384,8 +414,10 @@ int run_cli(int argc, char** argv) {
     // ends up describing a production run (the Figure-7 comparison wants
     // tuned production vs default, not the gated test run).
     const std::string report_out = g_obs.report_out;
+    const bool keep_progress = g_obs.progress;
     g_obs = ObsConfig{};
     g_obs.report_out = report_out;
+    g_obs.progress = keep_progress;
     std::printf("test run: %.1f s, %d waves, %d configurations\n",
                 test_result.exec_time(), out.waves, out.configs_tried);
     if (show_config) print_config(out.best_config);

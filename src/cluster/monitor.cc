@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/check.h"
+#include "obs/host_profile.h"
 #include "obs/recorder.h"
 
 namespace mron::cluster {
@@ -68,6 +69,9 @@ void ClusterMonitor::start() {
       active_.push_back(static_cast<std::uint32_t>(i));
     }
   }
+  // The first tick is scheduled from setup context; later re-arms happen
+  // inside the tick callback and inherit its category automatically.
+  HOST_PROF_CATEGORY(kMonitor);
   pending_ = engine_.schedule_daemon_after(period_, [this] { sample(); });
 }
 

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "obs/host_profile.h"
 #include "obs/recorder.h"
 
 namespace mron::faults {
@@ -19,6 +20,9 @@ void FaultInjector::arm(yarn::ResourceManager& rm,
   plan_.validate(static_cast<int>(nodes.size()));
   rm_ = &rm;
   nodes_ = std::move(nodes);
+  // Every event armed from the plan (crashes, restarts, degradation
+  // boundaries) bills to the faults subsystem.
+  HOST_PROF_CATEGORY(kFaults);
 
   // Crashes surface through the heartbeat machinery: the node goes silent
   // and the RM's watchdog declares it lost one timeout later, exactly like

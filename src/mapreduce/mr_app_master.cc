@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "faults/injector.h"
+#include "obs/host_profile.h"
 #include "obs/recorder.h"
 
 namespace mron::mapreduce {
@@ -260,6 +261,9 @@ obs::CpNode MrAppMaster::cp_fail_node(const char* kind, int index, int attempt,
 void MrAppMaster::schedule_pump() {
   if (pump_scheduled_ || finished_ || !submitted_) return;
   pump_scheduled_ = true;
+  // AM work regardless of which context (RM grant, fault recovery) asked
+  // for the pump.
+  HOST_PROF_CATEGORY(kAmTask);
   engine_.schedule_after(0.0, [this] {
     pump_scheduled_ = false;
     pump();
@@ -627,6 +631,7 @@ void MrAppMaster::schedule_speculation_scan() {
     return;
   }
   spec_scan_scheduled_ = true;
+  HOST_PROF_CATEGORY(kAmTask);
   engine_.schedule_daemon_after(1.0, [this] {
     spec_scan_scheduled_ = false;
     if (finished_ || completed_maps_ >= num_maps_) return;

@@ -10,6 +10,13 @@ namespace mron::mapreduce {
 Simulation::Simulation(SimulationOptions options)
     : options_(options), rng_(options.seed) {
 #if MRON_OBS_ENABLED
+  if (options_.host_profile) {
+    // Created before everything else so the Setup phase covers all of
+    // construction; the engine stamps scheduled events with subsystem
+    // categories from here on.
+    host_profiler_ = std::make_unique<obs::HostProfiler>();
+    engine_.set_host_profiler(host_profiler_.get());
+  }
   if (options_.observe) {
     // Attach before any substrate object exists: SharedServers resolve
     // their metric handles at construction.
@@ -18,54 +25,105 @@ Simulation::Simulation(SimulationOptions options)
     engine_.set_recorder(recorder_.get());
   }
 #endif
-  topo_ = std::make_unique<cluster::Topology>(options_.cluster);
+  if (options_.progress) {
+    progress_ = std::make_unique<obs::ProgressMeter>(
+        options_.progress_label.empty() ? "mron" : options_.progress_label);
+    engine_.set_progress(
+        [this](const sim::Engine& e) {
+          progress_->tick(e.total_dispatched(), e.now());
+        },
+        /*stride=*/8192);
+  }
+  obs::HostProfiler::Activation hp(host_profiler_.get());
+  HOST_PROF_SCOPE("sim.setup");
+  {
+    HOST_PROF_SCOPE("sim.setup.topology");
+    topo_ = std::make_unique<cluster::Topology>(options_.cluster);
+  }
   std::vector<cluster::Node*> ptrs;
-  for (int i = 0; i < topo_->num_nodes(); ++i) {
-    const cluster::NodeId id(i);
-    nodes_.push_back(std::make_unique<cluster::Node>(engine_, id,
-                                                     topo_->hardware(id)));
-    ptrs.push_back(nodes_.back().get());
+  {
+    HOST_PROF_SCOPE("sim.setup.nodes");
+    for (int i = 0; i < topo_->num_nodes(); ++i) {
+      const cluster::NodeId id(i);
+      nodes_.push_back(std::make_unique<cluster::Node>(engine_, id,
+                                                       topo_->hardware(id)));
+      ptrs.push_back(nodes_.back().get());
+    }
   }
-  fabric_ =
-      std::make_unique<cluster::Fabric>(engine_, options_.cluster, *topo_, ptrs);
-  monitor_ = std::make_unique<cluster::ClusterMonitor>(
-      engine_, ptrs, options_.monitor_period, topo_.get(),
-      options_.monitor_node_series_limit);
-  dfs_ = std::make_unique<dfs::Dfs>(*topo_, rng_.fork(0xdf5));
-  auto policy = options_.capacity_queues.empty()
-                    ? (options_.fair_scheduler ? yarn::make_fair_policy()
-                                               : yarn::make_fifo_policy())
-                    : yarn::make_capacity_policy(options_.capacity_queues);
-  rm_ = std::make_unique<yarn::ResourceManager>(engine_, *topo_, ptrs,
-                                                std::move(policy));
-  if (options_.hotspot_aware) {
-    monitor_->start();
-    rm_->set_cluster_monitor(monitor_.get(), options_.hot_threshold);
+  {
+    HOST_PROF_SCOPE("sim.setup.fabric");
+    HOST_PROF_CATEGORY(kSharedServer);
+    fabric_ = std::make_unique<cluster::Fabric>(engine_, options_.cluster,
+                                                *topo_, ptrs);
   }
-  if (options_.locality_delay_passes > 0) {
-    rm_->set_locality_delay(options_.locality_delay_passes);
+  {
+    HOST_PROF_SCOPE("sim.setup.monitor");
+    HOST_PROF_CATEGORY(kMonitor);
+    monitor_ = std::make_unique<cluster::ClusterMonitor>(
+        engine_, ptrs, options_.monitor_period, topo_.get(),
+        options_.monitor_node_series_limit);
+  }
+  {
+    HOST_PROF_SCOPE("sim.setup.dfs");
+    HOST_PROF_CATEGORY(kDfs);
+    dfs_ = std::make_unique<dfs::Dfs>(*topo_, rng_.fork(0xdf5));
+  }
+  {
+    HOST_PROF_SCOPE("sim.setup.rm");
+    HOST_PROF_CATEGORY(kYarn);
+    auto policy = options_.capacity_queues.empty()
+                      ? (options_.fair_scheduler ? yarn::make_fair_policy()
+                                                 : yarn::make_fifo_policy())
+                      : yarn::make_capacity_policy(options_.capacity_queues);
+    rm_ = std::make_unique<yarn::ResourceManager>(engine_, *topo_, ptrs,
+                                                  std::move(policy));
+    if (options_.hotspot_aware) {
+      monitor_->start();
+      rm_->set_cluster_monitor(monitor_.get(), options_.hot_threshold);
+    }
+    if (options_.locality_delay_passes > 0) {
+      rm_->set_locality_delay(options_.locality_delay_passes);
+    }
   }
   if (!options_.fault_plan.empty()) {
+    HOST_PROF_SCOPE("sim.setup.faults");
+    HOST_PROF_CATEGORY(kFaults);
     injector_ =
         std::make_unique<faults::FaultInjector>(engine_, options_.fault_plan);
     injector_->arm(*rm_, ptrs);
   }
   if (recorder_ != nullptr) {
+    HOST_PROF_SCOPE("sim.setup.recorder");
     // The monitor is the metrics registry's sampling clock.
-    monitor_->start();
+    {
+      HOST_PROF_CATEGORY(kMonitor);
+      monitor_->start();
+    }
     // Queue occupancy: live pending events, stale cancel tombstones not yet
     // collected, and slot-map capacity. Pull model (queue churn is the
     // hottest path); values are backend-independent, so run reports stay
-    // byte-identical across sim.queue implementations.
+    // byte-identical across sim.queue implementations. Each flush also
+    // pushes the gauges into the series store, making queue occupancy
+    // plottable over the run rather than a final scalar only.
     auto* queue_live = &recorder_->metrics().gauge("sim.queue.live");
     auto* queue_stale = &recorder_->metrics().gauge("sim.queue.stale");
     auto* queue_capacity = &recorder_->metrics().gauge("sim.queue.capacity");
-    recorder_->add_flush_hook(
-        [this, queue_live, queue_stale, queue_capacity] {
-          queue_live->set(static_cast<double>(engine_.pending()));
-          queue_stale->set(static_cast<double>(engine_.stale_entries()));
-          queue_capacity->set(static_cast<double>(engine_.slot_capacity()));
-        });
+    auto* live_series = &recorder_->series().series("sim.queue.live");
+    auto* stale_series = &recorder_->series().series("sim.queue.stale");
+    auto* capacity_series = &recorder_->series().series("sim.queue.capacity");
+    recorder_->add_flush_hook([this, queue_live, queue_stale, queue_capacity,
+                               live_series, stale_series, capacity_series] {
+      const auto live = static_cast<double>(engine_.pending());
+      const auto stale = static_cast<double>(engine_.stale_entries());
+      const auto capacity = static_cast<double>(engine_.slot_capacity());
+      queue_live->set(live);
+      queue_stale->set(stale);
+      queue_capacity->set(capacity);
+      const SimTime now = engine_.now();
+      live_series->push(now, live);
+      stale_series->push(now, stale);
+      capacity_series->push(now, capacity);
+    });
     auto& trace = recorder_->trace();
     for (int i = 0; i < topo_->num_nodes(); ++i) {
       trace.set_process_name(i, "node" + std::to_string(i));
@@ -75,11 +133,17 @@ Simulation::Simulation(SimulationOptions options)
 }
 
 dfs::DatasetId Simulation::load_dataset(const std::string& name, Bytes size) {
+  obs::HostProfiler::Activation hp(host_profiler_.get());
+  HOST_PROF_SCOPE("sim.setup.dataset");
+  HOST_PROF_CATEGORY(kDfs);
   return dfs_->create_dataset(name, size);
 }
 
 MrAppMaster& Simulation::submit_job(
     JobSpec spec, std::function<void(const JobResult&)> on_done) {
+  obs::HostProfiler::Activation hp(host_profiler_.get());
+  HOST_PROF_SCOPE("sim.submit_job");
+  HOST_PROF_CATEGORY(kAmTask);
   const JobId id = job_ids_.next();
   auto done = on_done ? std::move(on_done)
                       : std::function<void(const JobResult&)>(
@@ -123,16 +187,59 @@ std::vector<JobResult> Simulation::run_jobs(std::vector<JobSpec> specs) {
 }
 
 void Simulation::run() {
+#if MRON_OBS_ENABLED
+  // Setup ends where the event loop begins. Re-entering run() later flips
+  // Teardown back to Steady; both accumulate across runs.
+  if (host_profiler_ != nullptr) {
+    host_profiler_->begin_phase(obs::HostPhase::kSteady);
+  }
+#endif
   engine_.run();
 #if MRON_OBS_ENABLED
+  // The loop has drained: everything from here on (final flush, result
+  // assembly, export prep) is teardown, so Steady measures exactly the
+  // dispatch loop and the subsystem totals tile it — the coverage rule
+  // stays tight even when a loaded host stretches the post-loop work.
+  if (host_profiler_ != nullptr) {
+    host_profiler_->begin_phase(obs::HostPhase::kTeardown);
+  }
   // One final sampling tick: the monitor's clock stops when the engine
   // drains, so pull-model gauges and series would otherwise miss the state
   // at completion (e.g. live_containers back at 0, wave fractions at 1).
   if (recorder_ != nullptr) {
+    obs::HostProfiler::Activation hp(host_profiler_.get());
+    HOST_PROF_SCOPE("sim.final_flush");
     recorder_->flush();
     recorder_->metrics().sample(engine_.now());
     emit_critical_path_flows();
   }
+#endif
+}
+
+bool Simulation::write_host_profile(std::ostream& os) {
+  if (host_profiler_ == nullptr) return false;
+#if MRON_OBS_ENABLED
+  obs::HostProfiler& hp = *host_profiler_;
+  // Arena byte counters: how much each long-lived structure holds, split
+  // out from RSS (which the profiler snapshots itself).
+  hp.set_memory("engine.queue_bytes",
+                static_cast<double>(engine_.queue_memory_bytes()));
+  hp.set_memory("engine.slot_map_bytes",
+                static_cast<double>(engine_.slot_memory_bytes()));
+  if (recorder_ != nullptr) {
+    hp.set_memory("obs.trace_bytes",
+                  static_cast<double>(recorder_->trace().memory_bytes()));
+    hp.set_memory("obs.series_bytes",
+                  static_cast<double>(recorder_->series().memory_bytes()));
+  }
+  hp.set_meta("nodes", std::to_string(topo_->num_nodes()));
+  hp.set_meta("seed", std::to_string(options_.seed));
+  hp.set_meta("events", std::to_string(engine_.total_dispatched()));
+  hp.write_json(os);
+  return true;
+#else
+  (void)os;
+  return false;
 #endif
 }
 

@@ -21,6 +21,8 @@
 #include "faults/injector.h"
 #include "mapreduce/job.h"
 #include "mapreduce/mr_app_master.h"
+#include "obs/host_profile.h"
+#include "obs/progress.h"
 #include "obs/recorder.h"
 #include "sim/engine.h"
 #include "yarn/resource_manager.h"
@@ -64,6 +66,17 @@ struct SimulationOptions {
   /// task failures). Empty = reliable cluster, zero overhead. The plan is
   /// seed-deterministic: identical plan + seed give byte-identical runs.
   faults::FaultPlan fault_plan;
+  /// Attach the host self-profiler (obs/host_profile.h): where the
+  /// *simulator's* own wall-clock time and memory go, per subsystem and
+  /// setup-vs-steady phase. Host time is nondeterministic, so the profile
+  /// exports only through write_host_profile() — never into the run
+  /// report. No-op when compiled out (cmake -DMRON_OBS=OFF).
+  bool host_profile = false;
+  /// Stderr progress heartbeat for long runs (events/sec + sim-time + RSS),
+  /// wall-clock throttled. Never touches report output.
+  bool progress = false;
+  /// Label prefixed to progress lines (e.g. the scalebench point name).
+  std::string progress_label;
 };
 
 class Simulation {
@@ -93,6 +106,20 @@ class Simulation {
   [[nodiscard]] const faults::FaultInjector* fault_injector() const {
     return injector_.get();
   }
+  /// The host self-profiler, or nullptr unless options.host_profile (or
+  /// when observability is compiled out).
+  [[nodiscard]] obs::HostProfiler* host_profiler() {
+    return host_profiler_.get();
+  }
+  [[nodiscard]] const obs::HostProfiler* host_profiler() const {
+    return host_profiler_.get();
+  }
+
+  /// Export the `mron.host_profile/1` document: registers the engine/
+  /// recorder arena byte counters, then serializes the profiler. Returns
+  /// false (writing nothing) when profiling is off or compiled out. Host
+  /// time is nondeterministic — this never feeds run_report.json.
+  bool write_host_profile(std::ostream& os);
 
   /// Create + place a dataset in the simulated DFS.
   dfs::DatasetId load_dataset(const std::string& name, Bytes size);
@@ -123,6 +150,10 @@ class Simulation {
   /// Declared before the substrate objects: nodes and servers cache metric
   /// handles into the recorder, so it must outlive them.
   std::unique_ptr<obs::Recorder> recorder_;
+  /// Host self-profiler; created first so Setup-phase frames cover all of
+  /// construction. Always null when MRON_OBS is compiled out.
+  std::unique_ptr<obs::HostProfiler> host_profiler_;
+  std::unique_ptr<obs::ProgressMeter> progress_;
   Rng rng_;
   std::unique_ptr<cluster::Topology> topo_;
   std::vector<std::unique_ptr<cluster::Node>> nodes_;

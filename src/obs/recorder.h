@@ -1,8 +1,11 @@
-// The flight recorder: one bundle of the five observability pillars —
-// metrics (scalars + change-only rings), sim-time trace spans, the tuner
+// The flight recorder: one bundle of five of the six observability pillars
+// — metrics (scalars + change-only rings), sim-time trace spans, the tuner
 // decision audit log, run-long time series (bounded, 2x-downsampled
 // whole-run timelines — the paper-figure shapes), and the causal
-// critical-path DAG (blame attribution for end-to-end latency).
+// critical-path DAG (blame attribution for end-to-end latency). The sixth
+// pillar — the host self-profiler (obs/host_profile.h) — lives outside the
+// bundle: its data is wall-clock nondeterministic, so it must never feed
+// the deterministic exports these five produce.
 //
 // A Simulation constructed with observe=true owns a Recorder and hands a
 // pointer to its Engine; every instrumentation site reaches it through

@@ -60,6 +60,10 @@ class Series {
   [[nodiscard]] std::size_t stride() const { return stride_; }
   /// Total pushes offered, recorded or not.
   [[nodiscard]] std::uint64_t offered() const { return offered_; }
+  /// Heap footprint of the point buffer, for the host profiler.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return points_.capacity() * sizeof(SeriesPoint);
+  }
 
  private:
   std::vector<SeriesPoint> points_;
@@ -84,6 +88,12 @@ class SeriesStore {
   [[nodiscard]] bool has(const std::string& name) const;
   [[nodiscard]] std::size_t size() const { return series_.size(); }
   [[nodiscard]] std::vector<std::string> names() const;
+  /// Summed heap footprint of every series' point buffer.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = 0;
+    for (const auto& [name, s] : series_) bytes += s.memory_bytes();
+    return bytes;
+  }
 
   /// {"series":[{"name":...,"stride":N,"offered":N,
   ///             "points":[[t,v],...]},...]}

@@ -81,6 +81,11 @@ class TraceRecorder {
   /// Spans begun but not yet ended — 0 after a clean run.
   [[nodiscard]] std::size_t open_spans() const { return open_; }
   [[nodiscard]] std::size_t event_count() const { return events_.size(); }
+  /// Heap footprint of the event buffer, for the host profiler's memory
+  /// section.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    return events_.capacity() * sizeof(Event);
+  }
 
   /// {"traceEvents":[...],"displayTimeUnit":"ms"} — metadata (process/thread
   /// names) first, then events in record order. ts is sim-time * 1e6.

@@ -158,7 +158,7 @@ double CalendarQueue::estimate_width(
   // near-term calendar drains, an O(n) cost per drain cycle. The strided
   // sample sees both modes, so the calendar spans the timers too.
   const std::size_t stride = entries.size() / k;
-  double times[kWidthSample];
+  double times[kWidthSample] = {};
   for (std::size_t i = 0; i < k; ++i) times[i] = entries[i * stride].time;
   std::sort(times, times + k);
   // The sampled range covers ~(k-1)*stride consecutive entries of the

@@ -98,6 +98,17 @@ class CalendarQueue {
     shrink_if_sparse();
   }
 
+  /// Heap footprint of the calendar: bucket array + per-bucket entry
+  /// capacity + overflow rung. Feeds the host profiler's memory section.
+  [[nodiscard]] std::size_t memory_bytes() const {
+    std::size_t bytes = buckets_.capacity() * sizeof(Bucket) +
+                        overflow_.capacity() * sizeof(EventEntry);
+    for (const Bucket& b : buckets_) {
+      bytes += b.entries.capacity() * sizeof(EventEntry);
+    }
+    return bytes;
+  }
+
   /// Introspection for tests and DESIGN.md numbers.
   [[nodiscard]] std::size_t num_buckets() const { return buckets_.size(); }
   [[nodiscard]] double width() const { return width_; }

@@ -21,6 +21,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -33,6 +34,7 @@
 
 namespace mron::obs {
 class Recorder;
+class HostProfiler;
 }  // namespace mron::obs
 
 namespace mron::sim {
@@ -137,11 +139,57 @@ class Engine {
 #endif
   }
 
+  /// Attach/detach the host self-profiler (obs/host_profile.h). When
+  /// attached, every scheduled event is stamped with the subsystem category
+  /// of its scheduling context and run() charges each event's inter-pop
+  /// wall delta to that category. Not owned; nullptr (and a constant
+  /// nullptr under MRON_OBS_ENABLED=0) means the unprofiled fast loop runs.
+  void set_host_profiler(obs::HostProfiler* prof) {
+#if MRON_OBS_ENABLED
+    host_profiler_ = prof;
+#else
+    (void)prof;
+#endif
+  }
+  [[nodiscard]] obs::HostProfiler* host_profiler() const {
+#if MRON_OBS_ENABLED
+    return host_profiler_;
+#else
+    return nullptr;
+#endif
+  }
+
+  /// Byte sizes of the two engine arenas, for the host profiler's memory
+  /// section: the ready-queue backend and the callback slot map (including
+  /// its free list).
+  [[nodiscard]] std::size_t queue_memory_bytes() const {
+    return kind_ == QueueKind::kBinaryHeap
+               ? heap_.capacity() * sizeof(EventEntry)
+               : calendar_.memory_bytes();
+  }
+  [[nodiscard]] std::size_t slot_memory_bytes() const {
+    return slots_.capacity() * sizeof(Slot) +
+           free_slots_.capacity() * sizeof(std::uint32_t);
+  }
+
+  /// Progress heartbeat: call `fn` once every `stride` dispatched events
+  /// inside run() (stride <= 0 disables). Purely a host-side hook — it
+  /// never touches sim state, so enabling it cannot perturb a run.
+  using ProgressFn = std::function<void(const Engine&)>;
+  void set_progress(ProgressFn fn, std::int64_t stride) {
+    progress_fn_ = std::move(fn);
+    progress_stride_ = progress_fn_ ? stride : 0;
+    progress_left_ = progress_stride_;
+  }
+
  private:
   struct Slot {
     Callback cb;
     std::uint32_t gen = 0;
     bool daemon = false;
+    /// Subsystem category (obs::HostCat) stamped at schedule time when a
+    /// host profiler is attached; fits the struct's existing padding.
+    std::uint8_t cat = 0;
   };
 
   [[nodiscard]] static EventId pack(std::uint32_t slot, std::uint32_t gen) {
@@ -173,6 +221,30 @@ class Engine {
   /// Pops the next live event; returns false when drained.
   bool dispatch_next();
 
+  /// Pops the next live event *without* running it: fills the callback and
+  /// (in MRON_OBS builds) its subsystem category, advances the clock and
+  /// dispatch counters. Returns false when drained. Shared by dispatch_next
+  /// and the profiled run loop, which must see the category before the
+  /// callback fires.
+  bool pop_next(Callback* cb, std::uint8_t* cat);
+
+#if MRON_OBS_ENABLED
+  /// run() body when a host profiler is attached. Clock reads happen only
+  /// at subsystem-category *transitions*: a contiguous run of same-category
+  /// events is billed as one batch (count = run length, wall = boundary
+  /// delta), so the per-subsystem totals still tile the loop's wall time by
+  /// construction while the rdtsc cost amortizes across each run.
+  std::int64_t run_profiled(std::int64_t max_events);
+#endif
+
+  /// One progress-hook step, shared by the run loops.
+  void progress_tick() {
+    if (progress_stride_ > 0 && --progress_left_ <= 0) {
+      progress_left_ = progress_stride_;
+      progress_fn_(*this);
+    }
+  }
+
   EventId schedule_impl(SimTime t, Callback cb, bool daemon);
 
   QueueKind kind_;
@@ -186,8 +258,12 @@ class Engine {
   std::int64_t total_dispatched_ = 0;
   std::size_t daemon_events_ = 0;
   std::size_t stale_in_queue_ = 0;
+  ProgressFn progress_fn_;
+  std::int64_t progress_stride_ = 0;
+  std::int64_t progress_left_ = 0;
 #if MRON_OBS_ENABLED
   obs::Recorder* recorder_ = nullptr;
+  obs::HostProfiler* host_profiler_ = nullptr;
 #endif
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/host_profile.h"
 #include "obs/recorder.h"
 
 namespace mron::sim {
@@ -300,6 +301,9 @@ void SharedServer::reallocate(const Agg& agg) {
   MRON_CHECK_MSG(std::isfinite(next_completion),
                  "server " << name_ << " stalled with " << streams_.size()
                            << " streams and zero rate");
+  // Completion events are the server's own bookkeeping, not the submitting
+  // task's: override whatever category the caller's context carries.
+  HOST_PROF_CATEGORY(kSharedServer);
   pending_event_ = engine_.schedule_after(next_completion,
                                           [this] { on_completion(); });
   has_pending_event_ = true;

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/log.h"
 #include "common/stats.h"
+#include "obs/host_profile.h"
 
 namespace mron::tuner {
 
@@ -152,6 +153,7 @@ void OnlineTuner::attach(MrAppMaster& am) {
 }
 
 void OnlineTuner::start_wave(JobState& js, bool is_map) {
+  HOST_PROF_SCOPE("tuner.start_wave");
   GrayBoxHillClimber& climber =
       is_map ? *js.map_climber : *js.reduce_climber;
   auto& wave_slot = is_map ? js.map_wave : js.reduce_wave;
@@ -210,6 +212,7 @@ void OnlineTuner::start_wave(JobState& js, bool is_map) {
 }
 
 void OnlineTuner::on_task(JobState& js, const TaskReport& report) {
+  HOST_PROF_SCOPE("tuner.on_task");
   const bool is_map = report.task.kind == TaskKind::Map;
   // Injected-fault kills carry no cost signal at all — the attempt died at
   // an arbitrary point and its retry reports later. Drop them outright.
@@ -419,6 +422,7 @@ void OnlineTuner::on_wave_task(JobState& js, Wave& wave,
 }
 
 void OnlineTuner::finalize(JobState& js, bool is_map) {
+  HOST_PROF_SCOPE("tuner.finalize");
   bool& flag = is_map ? js.map_finalized : js.reduce_finalized;
   if (flag) return;
   flag = true;

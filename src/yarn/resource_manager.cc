@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/log.h"
+#include "obs/host_profile.h"
 #include "obs/recorder.h"
 
 namespace mron::yarn {
@@ -123,6 +124,8 @@ void ResourceManager::enable_heartbeats(SimTime period, SimTime timeout) {
   last_tick_ = engine_.now();
   if (!heartbeats_enabled_) {
     heartbeats_enabled_ = true;
+    // The watchdog is RM work even when armed from the fault injector.
+    HOST_PROF_CATEGORY(kYarn);
     engine_.schedule_daemon_after(heartbeat_period_,
                                   [this] { heartbeat_tick(); });
   }
@@ -329,6 +332,8 @@ void ResourceManager::on_node_resources_changed(cluster::Node& n) {
 void ResourceManager::trigger_schedule() {
   if (pass_scheduled_) return;
   pass_scheduled_ = true;
+  // Placement passes are RM work no matter which AM or fault path asked.
+  HOST_PROF_CATEGORY(kYarn);
   engine_.schedule_after(0.0, [this] {
     pass_scheduled_ = false;
     schedule_pass();
@@ -459,7 +464,9 @@ bool ResourceManager::try_place(AppId app_id, AppState& app,
     }
   }
 
-  // Defer the callback so the AM cannot re-enter the placement loop.
+  // Defer the callback so the AM cannot re-enter the placement loop. The
+  // deferred work is the AM's grant handler, so it bills to am_task.
+  HOST_PROF_CATEGORY(kAmTask);
   engine_.schedule_after(
       0.0, [cb = std::move(req.on_allocated), container] { cb(container); });
   return true;

@@ -150,7 +150,9 @@ TEST(MapSpillsProperty, BoundsAndMonotonicity) {
     ASSERT_LE(static_cast<double>(plan.spill_records),
               3.5 * static_cast<double>(records))
         << sort_mb;
-    if (prev >= 0) ASSERT_LE(plan.spill_records, prev) << sort_mb;
+    if (prev >= 0) {
+      ASSERT_LE(plan.spill_records, prev) << sort_mb;
+    }
     prev = plan.spill_records;
   }
 }

@@ -1,0 +1,69 @@
+# The --profile-out quarantine checks: attaching the host self-profiler
+# must not change a single byte of run_report.json — at --jobs=1, at
+# --jobs=4, and under fault injection — and the profile itself must pass
+# the Python schema validator and render as a flame table.
+
+function(run_cli out_report extra_args)
+  execute_process(
+    COMMAND ${CLI} --app=terasort --size-gb=2 --strategy=aggressive
+            --seed=77 --runs=2 --report-out=${out_report} ${extra_args}
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "mron_cli ${extra_args} failed with ${rc}")
+  endif()
+endfunction()
+
+function(reports_must_match a b what)
+  execute_process(
+    COMMAND ${CMAKE_COMMAND} -E compare_files ${a} ${b}
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE cmp_rc)
+  if(NOT cmp_rc EQUAL 0)
+    message(FATAL_ERROR "run_report.json differs ${what} — host profiling "
+            "leaked into the deterministic exports")
+  endif()
+endfunction()
+
+# Baseline (no profiler), then profiled at --jobs=1 and --jobs=4.
+run_cli(check_profile_base.json "--jobs=1")
+run_cli(check_profile_p1.json
+        "--jobs=1;--profile-out=check_profile_hp.json")
+run_cli(check_profile_p4.json
+        "--jobs=4;--profile-out=check_profile_hp4.json")
+reports_must_match(check_profile_base.json check_profile_p1.json
+                   "with vs without --profile-out at --jobs=1")
+reports_must_match(check_profile_base.json check_profile_p4.json
+                   "with --profile-out at --jobs=4")
+
+# Same invariant under fault injection.
+run_cli(check_profile_fbase.json
+        "--jobs=1;--fault-spec=taskfail prob=0.05")
+run_cli(check_profile_fp.json
+        "--jobs=1;--fault-spec=taskfail prob=0.05;--profile-out=check_profile_fhp.json")
+reports_must_match(check_profile_fbase.json check_profile_fp.json
+                   "with --profile-out under a fault plan")
+
+# The profile documents themselves: schema-valid and renderable.
+foreach(hp check_profile_hp.json check_profile_hp4.json
+        check_profile_fhp.json)
+  if(NOT EXISTS ${WORKDIR}/${hp})
+    message(FATAL_ERROR "--profile-out did not write ${hp}")
+  endif()
+  execute_process(
+    COMMAND ${PYTHON} ${TOOLS}/mron_report.py ${hp} --check
+    WORKING_DIRECTORY ${WORKDIR}
+    RESULT_VARIABLE check_rc)
+  if(NOT check_rc EQUAL 0)
+    message(FATAL_ERROR
+            "mron_report.py --check on ${hp} failed with ${check_rc}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${PYTHON} ${TOOLS}/mron_report.py check_profile_hp.json --profile
+  WORKING_DIRECTORY ${WORKDIR}
+  RESULT_VARIABLE flame_rc OUTPUT_QUIET)
+if(NOT flame_rc EQUAL 0)
+  message(FATAL_ERROR "mron_report.py --profile failed with ${flame_rc}")
+endif()

@@ -31,6 +31,13 @@ events_per_sec_vs_nodes table (node count -> engine events/sec) must not
 decay below FRAC * the smallest-cluster entry at any larger node count
 (0.5 = a 1,024-node run keeps at least half the 19-node event rate).
 
+--profile-overhead-max PCT adds an absolute gate on the current run's
+profile_overhead_pct (host self-profiler cost on the steady-state 32 GB
+terasort, observed+profiled vs observed): it must not exceed PCT
+(e.g. 2 = the profiler may slow the simulator by at most 2%). Like the
+other absolute floors it reads only the current file, so it works with
+any baseline, including pre-schema-4 ones.
+
 When $GITHUB_STEP_SUMMARY is set (or --summary FILE is given), the same
 comparison is appended there as a markdown table for the job summary page.
 """
@@ -119,6 +126,9 @@ def main() -> int:
                     help="absolute gate: every entry of the current run's "
                     "events_per_sec_vs_nodes table must be >= FRAC * the "
                     "smallest-cluster entry")
+    ap.add_argument("--profile-overhead-max", type=float, metavar="PCT",
+                    help="absolute gate: the current run's "
+                    "profile_overhead_pct must be <= PCT")
     args = ap.parse_args()
 
     with open(args.baseline) as f:
@@ -220,6 +230,27 @@ def main() -> int:
                          args.cache_speedup_floor, spd, None, "higher"))
             if bad:
                 failures.append("whatif_search_speedup(floor)")
+
+    # Absolute self-profiler overhead ceiling: the observability pillar
+    # that watches the simulator must never meaningfully slow it down.
+    if args.profile_overhead_max is not None:
+        pct = cur_m.get("profile_overhead_pct")
+        if pct is None:
+            print("FAIL  profile overhead max: profile_overhead_pct "
+                  "missing from current file")
+            rows.append(("FAIL", "profile_overhead_pct(max)", None,
+                         None, None, "metric missing"))
+            failures.append("profile_overhead_pct(max)")
+        else:
+            pct = float(pct)
+            bad = pct > args.profile_overhead_max
+            status = "FAIL" if bad else "ok"
+            print(f"{status:5} profile_overhead_pct: {pct:g} "
+                  f"(max {args.profile_overhead_max:g})")
+            rows.append((status, "profile_overhead_pct(max)",
+                         args.profile_overhead_max, pct, None, "lower"))
+            if bad:
+                failures.append("profile_overhead_pct(max)")
 
     # Scalebench gate: event throughput must not fall off a cliff as the
     # simulated cluster grows (the indexed hot paths' whole point).

@@ -4,6 +4,8 @@
     mron_report.py run_report.json                # write run_report.html
     mron_report.py run_report.json -o out.html
     mron_report.py run_report.json --check        # schema validation only
+    mron_report.py host_profile.json --check      # host-profile validation
+    mron_report.py host_profile.json --profile    # flame table to stdout
 
 --check walks the schema (key sets, types, counter-rollup consistency,
 series monotonicity, critical-path telescoping and blame rollups) and exits
@@ -14,12 +16,23 @@ self-contained HTML file: run metadata, totals, per-node utilization
 timelines, the map/reduce wave chart, the critical-path blame breakdown,
 the tuner convergence curve, and the full metric and counter tables.
 Stdlib only.
+
+Host self-profiler exports (mron.host_profile/1, --profile-out) are
+auto-detected by their schema string. --check validates the key sets, the
+subsystem taxonomy, frame-tree invariants (self <= total, parents precede
+children), and the coverage rule: per-subsystem host time must account for
+at least 90% of the steady-phase wall — steady is exactly the event loop,
+with post-drain work split into its own teardown phase (runs with under
+10 ms of attributed dispatch time are exempt; timer noise dominates there).
+--profile prints an indented flame-style table of the frame tree plus the
+subsystem and top-self-time breakdowns.
 """
 
 import argparse
 import html
 import json
 import math
+import signal
 import sys
 
 SCHEMA = "mron.run_report/3"
@@ -31,6 +44,26 @@ JOB_KEYS = {"id", "name", "submit_time", "finish_time", "counters", "stats",
 BLAME_KEYS = ["sched_wait", "map_compute", "spill_merge", "shuffle_net",
               "reduce_compute", "retry_recovery", "speculation"]
 SEGMENT_KEYS = {"from", "to", "t0", "t1", "secs", "blame"}
+
+
+PROFILE_SCHEMA = "mron.host_profile/1"
+PROFILE_TOP_KEYS = {"schema", "meta", "clock", "phases", "subsystems",
+                    "frames", "memory"}
+# The fixed subsystem taxonomy (obs/host_profile.h, HostCat enum order).
+SUBSYSTEM_KEYS = ["engine", "shared_server", "monitor", "dfs", "yarn",
+                  "am_task", "tuner", "faults"]
+PHASE_KEYS = ["setup", "steady", "teardown"]
+FRAME_KEYS = {"path", "depth", "count", "total_ns", "self_ns", "max_ns"}
+# Below this much *attributed dispatch time* the coverage rule says
+# nothing: in a millisecond-scale run the post-loop export work (final
+# flush, report serialization) is a visible fraction of the steady
+# phase, and timer noise dominates the rest. Keying the exemption on
+# the subsystem total rather than the steady wall keeps it stable on a
+# loaded machine — contention stretches wall and dispatch time by the
+# same factor, so a tiny run cannot drift into the gated regime. At
+# real scale the event loop dominates and the rule bites.
+COVERAGE_MIN_DISPATCH_NS = 1e7
+COVERAGE_FRACTION = 0.9
 
 
 def is_num(v):
@@ -284,6 +317,210 @@ def validate(report):
             audit["events"] < 0):
         errors.append('audit: expected {"events": <non-negative integer>}')
     return errors
+
+
+# --- host self-profiler exports (mron.host_profile/1) -----------------------
+
+
+def validate_profile(doc):
+    """Return a list of schema violations for a host_profile.json."""
+    errors = []
+    if not isinstance(doc, dict):
+        return ["top level: expected an object"]
+    if doc.get("schema") != PROFILE_SCHEMA:
+        errors.append(f"schema: expected {PROFILE_SCHEMA!r}, got "
+                      f"{doc.get('schema')!r}")
+    missing = PROFILE_TOP_KEYS - doc.keys()
+    extra = doc.keys() - PROFILE_TOP_KEYS
+    if missing:
+        errors.append(f"missing top-level keys: {sorted(missing)}")
+    if extra:
+        errors.append(f"unknown top-level keys: {sorted(extra)}")
+
+    meta = doc.get("meta", {})
+    if not isinstance(meta, dict) or any(
+            not isinstance(v, str) for v in meta.values()):
+        errors.append("meta: expected an object of strings")
+
+    clock = doc.get("clock", {})
+    if not isinstance(clock, dict) or \
+            clock.keys() != {"source", "ns_per_tick", "threads"}:
+        errors.append('clock: expected {"source", "ns_per_tick", "threads"}')
+    else:
+        if clock["source"] not in ("rdtsc", "steady_clock"):
+            errors.append(f"clock.source: unknown source "
+                          f"{clock['source']!r}")
+        if not is_num(clock["ns_per_tick"]) or clock["ns_per_tick"] <= 0:
+            errors.append("clock.ns_per_tick: expected a positive number")
+        if not isinstance(clock["threads"], int) or clock["threads"] < 1:
+            errors.append("clock.threads: expected a positive integer")
+
+    phases = doc.get("phases", {})
+    if not isinstance(phases, dict) or \
+            sorted(phases.keys()) != sorted(PHASE_KEYS):
+        errors.append(f"phases: expected exactly {PHASE_KEYS}")
+        phases = {}
+    for name, p in phases.items():
+        where = f"phases.{name}"
+        if not isinstance(p, dict) or p.keys() != {"wall_ns", "rss_bytes"}:
+            errors.append(f'{where}: expected {{"wall_ns", "rss_bytes"}}')
+            continue
+        for k in ("wall_ns", "rss_bytes"):
+            if not is_num(p[k]) or p[k] < 0:
+                errors.append(f"{where}.{k}: expected a non-negative number")
+
+    subsystems = doc.get("subsystems", {})
+    sub_total_ns = 0.0
+    if not isinstance(subsystems, dict) or \
+            sorted(subsystems.keys()) != sorted(SUBSYSTEM_KEYS):
+        errors.append(f"subsystems: expected exactly the "
+                      f"{len(SUBSYSTEM_KEYS)} categories {SUBSYSTEM_KEYS}")
+        subsystems = {}
+    for name, s in subsystems.items():
+        where = f"subsystems.{name}"
+        if not isinstance(s, dict) or \
+                s.keys() != {"events", "total_ns", "max_ns"}:
+            errors.append(f'{where}: expected '
+                          f'{{"events", "total_ns", "max_ns"}}')
+            continue
+        if not isinstance(s["events"], int) or s["events"] < 0:
+            errors.append(f"{where}.events: expected an integer >= 0")
+        for k in ("total_ns", "max_ns"):
+            if not is_num(s[k]) or s[k] < 0:
+                errors.append(f"{where}.{k}: expected a non-negative number")
+        if is_num(s.get("total_ns")) and is_num(s.get("max_ns")):
+            if s["max_ns"] > s["total_ns"] + 1e-6:
+                errors.append(f"{where}: max_ns {s['max_ns']} > total_ns "
+                              f"{s['total_ns']}")
+            sub_total_ns += s["total_ns"]
+        if isinstance(s.get("events"), int) and s["events"] == 0 and \
+                is_num(s.get("total_ns")) and s["total_ns"] > 0:
+            errors.append(f"{where}: nonzero total_ns with zero events")
+
+    frames = doc.get("frames", [])
+    if not isinstance(frames, list):
+        errors.append("frames: expected an array")
+        frames = []
+    seen_paths = set()
+    for i, fr in enumerate(frames):
+        where = f"frames[{i}]"
+        if not isinstance(fr, dict) or fr.keys() != FRAME_KEYS:
+            errors.append(f"{where}: bad key set")
+            continue
+        if not isinstance(fr["path"], str) or not fr["path"]:
+            errors.append(f"{where}.path: expected a non-empty string")
+            continue
+        if fr["path"] in seen_paths:
+            errors.append(f"{where}.path: duplicate path {fr['path']!r}")
+        if not isinstance(fr["depth"], int) or \
+                fr["depth"] != fr["path"].count("/"):
+            errors.append(f"{where}.depth: {fr['depth']} != path depth "
+                          f"{fr['path'].count('/')}")
+        if not isinstance(fr["count"], int) or fr["count"] < 0:
+            errors.append(f"{where}.count: expected an integer >= 0")
+        for k in ("total_ns", "self_ns", "max_ns"):
+            if not is_num(fr[k]) or fr[k] < 0:
+                errors.append(f"{where}.{k}: expected a non-negative number")
+        if is_num(fr.get("self_ns")) and is_num(fr.get("total_ns")) and \
+                fr["self_ns"] > fr["total_ns"] + 1e-6:
+            errors.append(f"{where}: self_ns {fr['self_ns']} > total_ns "
+                          f"{fr['total_ns']}")
+        # The std::map export order guarantees each parent precedes its
+        # children, which is what makes the indented rendering one pass.
+        if "/" in fr["path"]:
+            parent = fr["path"].rsplit("/", 1)[0]
+            if parent not in seen_paths:
+                errors.append(f"{where}: parent path {parent!r} does not "
+                              f"precede it")
+        seen_paths.add(fr["path"])
+
+    memory = doc.get("memory", {})
+    check_number_map(errors, "memory", memory)
+    if isinstance(memory, dict):
+        for k in ("rss_peak_bytes", "rss_current_bytes"):
+            if k not in memory:
+                errors.append(f"memory.{k}: missing")
+
+    # The coverage rule: per-event attribution bills every inter-pop delta
+    # to a subsystem, so subsystem time must nearly tile the steady wall.
+    steady = phases.get("steady", {})
+    steady_ns = steady.get("wall_ns") if isinstance(steady, dict) else None
+    if is_num(steady_ns) and sub_total_ns > COVERAGE_MIN_DISPATCH_NS and \
+            not any(e.startswith("subsystems") for e in errors):
+        if sub_total_ns < COVERAGE_FRACTION * steady_ns:
+            errors.append(
+                f"coverage: subsystem total {sub_total_ns:.0f} ns < "
+                f"{COVERAGE_FRACTION:.0%} of steady wall {steady_ns:.0f} ns")
+    return errors
+
+
+def fmt_ns(ns):
+    if ns >= 1e9:
+        return f"{ns / 1e9:.2f} s"
+    if ns >= 1e6:
+        return f"{ns / 1e6:.2f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def render_profile(doc, top_n=10):
+    """Flame-style text rendering of a host profile (stdout)."""
+    out = []
+    meta = doc["meta"]
+    clock = doc["clock"]
+    phases = doc["phases"]
+    steady_ns = phases["steady"]["wall_ns"]
+    total_ns = sum(phases[p]["wall_ns"] for p in PHASE_KEYS)
+    meta_line = " ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+    out.append(f"host profile ({clock['source']}, "
+               f"{clock['threads']} thread(s))"
+               + (f" — {meta_line}" if meta_line else ""))
+    for p in PHASE_KEYS:
+        out.append(f"  {p:<9}{fmt_ns(phases[p]['wall_ns']):>12}   "
+                   f"rss {phases[p]['rss_bytes'] / (1 << 20):,.0f} MiB")
+
+    out.append("")
+    out.append("subsystems (steady-state event dispatch):")
+    out.append(f"  {'subsystem':<14} {'events':>12} {'total':>12} "
+               f"{'% steady':>9} {'ns/event':>9} {'max':>12}")
+    subs = doc["subsystems"]
+    for name in sorted(SUBSYSTEM_KEYS,
+                       key=lambda n: -subs[n]["total_ns"]):
+        s = subs[name]
+        if s["events"] == 0:
+            continue
+        pct = 100.0 * s["total_ns"] / steady_ns if steady_ns > 0 else 0.0
+        per = s["total_ns"] / s["events"]
+        out.append(f"  {name:<14} {s['events']:>12,} "
+                   f"{fmt_ns(s['total_ns']):>12} {pct:>8.1f}% "
+                   f"{per:>9.0f} {fmt_ns(s['max_ns']):>12}")
+
+    frames = doc["frames"]
+    if frames:
+        out.append("")
+        out.append("frames (host wall, merged across threads):")
+        out.append(f"  {'frame':<44} {'count':>10} {'total':>12} "
+                   f"{'self':>12} {'% run':>7}")
+        for fr in frames:
+            name = "  " * fr["depth"] + fr["path"].rsplit("/", 1)[-1]
+            pct = 100.0 * fr["total_ns"] / total_ns if total_ns > 0 else 0.0
+            out.append(f"  {name:<44} {fr['count']:>10,} "
+                       f"{fmt_ns(fr['total_ns']):>12} "
+                       f"{fmt_ns(fr['self_ns']):>12} {pct:>6.1f}%")
+
+        top = sorted(frames, key=lambda f: -f["self_ns"])[:top_n]
+        out.append("")
+        out.append(f"top {len(top)} by self time:")
+        for fr in top:
+            out.append(f"  {fmt_ns(fr['self_ns']):>12}  {fr['path']}")
+
+    mem = doc["memory"]
+    out.append("")
+    out.append("memory:")
+    for k in sorted(mem):
+        out.append(f"  {k:<28} {mem[k] / (1 << 20):>10,.2f} MiB")
+    return "\n".join(out)
 
 
 # --- HTML rendering ---------------------------------------------------------
@@ -689,6 +926,12 @@ def main(argv):
                     "(default: report path with .html)")
     ap.add_argument("--check", action="store_true",
                     help="validate the schema and exit (no HTML)")
+    ap.add_argument("--profile", action="store_true",
+                    help="render a host-profile export as a flame-style "
+                    "text table (requires a mron.host_profile/1 file)")
+    ap.add_argument("--top", type=int, default=10, metavar="N",
+                    help="rows in the --profile top-self-time list "
+                    "(default 10)")
     args = ap.parse_args(argv)
 
     try:
@@ -696,6 +939,28 @@ def main(argv):
             report = json.load(f)
     except (OSError, json.JSONDecodeError) as e:
         print(f"error: {args.report}: {e}", file=sys.stderr)
+        return 1
+
+    # Host-profile exports are a separate, quarantined schema: wall-clock
+    # nondeterministic, never part of run_report.json. Detect and branch.
+    if isinstance(report, dict) and report.get("schema") == PROFILE_SCHEMA:
+        errors = validate_profile(report)
+        if errors:
+            for e in errors:
+                print(f"schema violation: {e}", file=sys.stderr)
+            return 1
+        if args.check:
+            events = sum(s["events"]
+                         for s in report["subsystems"].values())
+            print(f"{args.report}: valid {PROFILE_SCHEMA} "
+                  f"({events:,} events, {len(report['frames'])} frames, "
+                  f"{report['clock']['threads']} thread(s))")
+            return 0
+        print(render_profile(report, top_n=args.top))
+        return 0
+    if args.profile:
+        print(f"error: {args.report}: --profile needs a {PROFILE_SCHEMA} "
+              f"file (schema is {report.get('schema')!r})", file=sys.stderr)
         return 1
 
     errors = validate(report)
@@ -729,4 +994,10 @@ def main(argv):
 
 
 if __name__ == "__main__":
+    # Die quietly on a closed pipe (`... --profile | head`), like any
+    # well-behaved filter.
+    try:
+        signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+    except (AttributeError, ValueError):
+        pass
     sys.exit(main(sys.argv[1:]))
