@@ -80,6 +80,9 @@ bool g_speculative = false;
 // --cluster=SPEC: the simulated cluster for every run of the invocation.
 // Defaults to the paper's 19-node testbed (cluster/cluster_spec.h grammar).
 cluster::ClusterSpec g_cluster;
+// --dfs-replication / --dfs-policy: storage layout for every run.
+int g_dfs_replication = 3;
+std::string g_dfs_policy;
 // Runs may finish on several pool workers at once; exports stay whole-file.
 std::mutex g_obs_mu;
 // --report-out destination; keeps the greatest-keyed run, so the exported
@@ -89,6 +92,8 @@ obs::ReportCollector g_reports;
 void apply_obs(mapreduce::SimulationOptions& opt) {
   opt.cluster = g_cluster;
   opt.fault_plan = g_fault_plan;
+  opt.dfs_replication = g_dfs_replication;
+  opt.dfs_policy = g_dfs_policy;
   opt.host_profile = !g_obs.profile_out.empty();
   opt.progress = g_obs.progress;
   opt.progress_label = "mron_cli";
@@ -156,6 +161,7 @@ mapreduce::JobSpec make_spec(mapreduce::Simulation& sim, const AppChoice& app,
           ? workloads::make_terasort(sim, gibibytes(size_gb))
           : workloads::make_job(sim, app.benchmark, app.corpus);
   spec.speculative_execution = g_speculative;
+  spec.config.dfs_replication = g_dfs_replication;
   return spec;
 }
 
@@ -220,6 +226,9 @@ mapreduce::JobResult run_once(const AppChoice& app, double size_gb,
   opt.seed = seed;
   opt.fair_scheduler = fair;
   apply_obs(opt);
+  // A tuned dfs.replication (category I — settable only between runs)
+  // flows into the production dataset's placement.
+  opt.dfs_replication = static_cast<int>(cfg.dfs_replication);
   mapreduce::Simulation sim(opt);
   mapreduce::JobSpec spec = make_spec(sim, app, size_gb);
   spec.config = cfg;
@@ -244,7 +253,9 @@ int run_cli(int argc, char** argv) {
                 " [--report-out[=F]] [--profile-out[=F]] [--progress]"
                 " [--trace-detail] [--no-eval-cache]"
                 " [--fault-plan=F] [--fault-spec='directives']"
-                " [--speculative] [--cluster=SPEC]\n");
+                " [--speculative] [--cluster=SPEC]"
+                " [--dfs-replication=N]"
+                " [--dfs-policy=rack-aware|same-rack|spread]\n");
     return 0;
   }
   if (flags.get("list", false)) {
@@ -323,6 +334,17 @@ int run_cli(int argc, char** argv) {
   const std::string cluster_spec = flags.get("cluster", std::string(""));
   if (!cluster_spec.empty()) {
     g_cluster = cluster::load_cluster_spec(cluster_spec);
+  }
+  g_dfs_replication = flags.get("dfs-replication", 3);
+  if (g_dfs_replication < 1) {
+    std::fprintf(stderr, "--dfs-replication wants a positive integer\n");
+    return 2;
+  }
+  g_dfs_policy = flags.get("dfs-policy", std::string(""));
+  if (!g_dfs_policy.empty() && g_dfs_policy != "rack-aware" &&
+      g_dfs_policy != "same-rack" && g_dfs_policy != "spread") {
+    std::fprintf(stderr, "unknown --dfs-policy=%s\n", g_dfs_policy.c_str());
+    return 2;
   }
   for (const auto& u : flags.unused()) {
     std::fprintf(stderr, "warning: unknown flag --%s\n", u.c_str());

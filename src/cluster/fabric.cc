@@ -55,4 +55,61 @@ void Fabric::transfer(NodeId src, NodeId dst, Bytes size, Done done) {
   receiver.nic_in().submit(size.as_double(), arm);
 }
 
+CopyId Fabric::transfer_capped(NodeId src, NodeId dst, Bytes size, double cap,
+                               Done done) {
+  MRON_CHECK(src.valid() && dst.valid());
+  MRON_CHECK(done != nullptr);
+  MRON_CHECK(cap > 0.0);
+  const CopyId id(next_copy_id_++);
+  CopyState& st = copies_[id.value()];
+  st.done = std::move(done);
+  st.dst = dst;
+  if (src == dst || size <= Bytes(0)) {
+    st.remaining = 1;
+    st.has_event = true;
+    st.event = engine_.schedule_after(
+        0.0, [this, v = id.value()] { copy_leg_done(v); });
+    return id;
+  }
+  Node& receiver = *nodes_[static_cast<std::size_t>(dst.value())];
+  const auto leg = [this, v = id.value()] { copy_leg_done(v); };
+  if (topo_.same_rack(src, dst)) {
+    st.remaining = 1;
+    st.has_nic = true;
+    st.nic = receiver.nic_in().submit(size.as_double(), cap, leg);
+    return id;
+  }
+  inter_rack_bytes_ += size.as_double();
+  st.remaining = 2;
+  st.uplink_rack = topo_.rack_of(dst).value();
+  st.uplink = rack_uplinks_[static_cast<std::size_t>(st.uplink_rack)]->submit(
+      size.as_double(), cap, leg);
+  st.has_nic = true;
+  st.nic = receiver.nic_in().submit(size.as_double(), cap, leg);
+  return id;
+}
+
+void Fabric::copy_leg_done(std::int64_t id) {
+  const auto it = copies_.find(id);
+  if (it == copies_.end()) return;  // cancelled while this leg completed
+  if (--it->second.remaining > 0) return;
+  Done done = std::move(it->second.done);
+  copies_.erase(it);
+  done();
+}
+
+void Fabric::cancel_transfer(CopyId id) {
+  const auto it = copies_.find(id.value());
+  if (it == copies_.end()) return;
+  CopyState& st = it->second;
+  if (st.has_event) engine_.cancel(st.event);
+  if (st.has_nic) {
+    nodes_[static_cast<std::size_t>(st.dst.value())]->nic_in().cancel(st.nic);
+  }
+  if (st.uplink_rack >= 0) {
+    rack_uplinks_[static_cast<std::size_t>(st.uplink_rack)]->cancel(st.uplink);
+  }
+  copies_.erase(it);
+}
+
 }  // namespace mron::cluster

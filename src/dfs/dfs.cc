@@ -1,23 +1,31 @@
 #include "dfs/dfs.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/check.h"
 
 namespace mron::dfs {
 
 Dfs::Dfs(const cluster::Topology& topo, Rng rng, Bytes block_size,
-         int replication)
+         int replication, std::unique_ptr<PlacementPolicy> policy)
     : topo_(topo),
       rng_(rng),
       block_size_(block_size),
-      replication_(replication) {
+      replication_(replication),
+      policy_(policy != nullptr ? std::move(policy)
+                                : std::make_unique<RackAwarePolicy>()),
+      alive_(static_cast<std::size_t>(topo.num_nodes()), true),
+      node_blocks_(static_cast<std::size_t>(topo.num_nodes())) {
   MRON_CHECK(block_size_ > Bytes(0));
   MRON_CHECK(replication_ >= 1);
 }
 
-DatasetId Dfs::create_dataset(const std::string& name, Bytes total_size) {
+DatasetId Dfs::create_dataset(const std::string& name, Bytes total_size,
+                              int replication) {
   MRON_CHECK(total_size >= Bytes(0));
+  if (replication < 0) replication = replication_;
+  MRON_CHECK(replication >= 1);
   Dataset ds;
   ds.id = DatasetId(static_cast<std::int64_t>(datasets_.size()));
   ds.name = name;
@@ -34,65 +42,33 @@ DatasetId Dfs::create_dataset(const std::string& name, Bytes total_size) {
     ds.blocks.push_back(std::move(b));
     remaining -= ds.blocks.back().size;
   }
-  place_replicas_bulk(ds.blocks);
+  place_replicas_bulk(ds.blocks, std::min(replication, topo_.num_nodes()));
+  // Index the placements and seed the liveness accounting. Target is what
+  // placement produced (a degenerate topology may admit fewer than asked),
+  // so a block is under-replicated exactly when a replica host is dead.
+  const std::int64_t dsi = ds.id.value();
+  for (std::size_t i = 0; i < ds.blocks.size(); ++i) {
+    Block& b = ds.blocks[i];
+    b.target = static_cast<int>(b.replicas.size());
+    b.live = 0;
+    for (auto rep : b.replicas) {
+      node_blocks_[static_cast<std::size_t>(rep.value())].push_back(
+          {dsi, static_cast<std::int64_t>(i)});
+      if (alive_[static_cast<std::size_t>(rep.value())]) ++b.live;
+    }
+    if (b.live < b.target) {
+      under_.insert({b.live, dsi, static_cast<std::int64_t>(i)});
+    }
+  }
+  total_blocks_ += ds.blocks.size();
   datasets_.push_back(std::move(ds));
   return datasets_.back().id;
 }
 
-void Dfs::place_replicas_bulk(std::vector<Block>& blocks) {
-  const int n = topo_.num_nodes();
-  const int want = std::min(replication_, n);
+void Dfs::place_replicas_bulk(std::vector<Block>& blocks, int want) {
   for (Block& b : blocks) {
     b.replicas.reserve(static_cast<std::size_t>(want));
-
-    // First replica: uniform random node (stand-in for "writer's node").
-    const cluster::NodeId first(rng_.uniform_int(0, n - 1));
-    b.replicas.push_back(first);
-    if (want == 1) continue;
-
-    // Second replica: a node on a different rack when one exists (k-th
-    // off-rack node by index shift — same draw bounds as the legacy
-    // materialized list, so the same winner).
-    const auto first_rack = topo_.rack_of(first);
-    const std::int64_t first_lo = topo_.rack_first_node(first_rack);
-    const std::int64_t first_sz = topo_.rack_size(first_rack);
-    const std::int64_t off_rack_count = n - first_sz;
-    cluster::NodeId second = first;
-    if (off_rack_count > 0) {
-      std::int64_t k = rng_.uniform_int(0, off_rack_count - 1);
-      if (k >= first_lo) k += first_sz;
-      second = cluster::NodeId(k);
-    } else {
-      while (second == first && n > 1) {
-        second = cluster::NodeId(rng_.uniform_int(0, n - 1));
-      }
-    }
-    b.replicas.push_back(second);
-    if (want == 2) continue;
-
-    // Third replica: the second's rack, distinct node, skipping sorted
-    // exclusions — identical to indexing the old filtered vector.
-    const auto rack = topo_.rack_of(second);
-    const std::int64_t lo = topo_.rack_first_node(rack);
-    const std::int64_t sz = topo_.rack_size(rack);
-    const std::int64_t f = first.value();
-    const std::int64_t s = second.value();
-    std::int64_t excl[2] = {s, s};
-    std::int64_t num_excl = 1;
-    if (f >= lo && f < lo + sz && f != s) {
-      excl[0] = std::min(f, s);
-      excl[1] = std::max(f, s);
-      num_excl = 2;
-    }
-    cluster::NodeId third = first;
-    if (sz > num_excl) {
-      std::int64_t id = lo + rng_.uniform_int(0, sz - num_excl - 1);
-      for (std::int64_t i = 0; i < num_excl; ++i) {
-        if (id >= excl[i]) ++id;
-      }
-      third = cluster::NodeId(id);
-    }
-    if (third != first && third != second) b.replicas.push_back(third);
+    policy_->place(topo_, rng_, want, b.replicas);
   }
 }
 
@@ -102,15 +78,25 @@ const Dataset& Dfs::dataset(DatasetId id) const {
   return datasets_[static_cast<std::size_t>(id.value())];
 }
 
+Block& Dfs::block_at(DatasetId ds, std::size_t block) {
+  MRON_CHECK(ds.valid() &&
+             ds.value() < static_cast<std::int64_t>(datasets_.size()));
+  auto& blocks = datasets_[static_cast<std::size_t>(ds.value())].blocks;
+  MRON_CHECK(block < blocks.size());
+  return blocks[block];
+}
+
 Locality Dfs::locality(DatasetId ds, std::size_t block,
                        cluster::NodeId reader) const {
   const auto& blocks = dataset(ds).blocks;
   MRON_CHECK(block < blocks.size());
   for (auto rep : blocks[block].replicas) {
-    if (rep == reader) return Locality::NodeLocal;
+    if (rep == reader && node_alive(rep)) return Locality::NodeLocal;
   }
   for (auto rep : blocks[block].replicas) {
-    if (topo_.same_rack(rep, reader)) return Locality::RackLocal;
+    if (node_alive(rep) && topo_.same_rack(rep, reader)) {
+      return Locality::RackLocal;
+    }
   }
   return Locality::OffRack;
 }
@@ -120,12 +106,96 @@ cluster::NodeId Dfs::pick_replica(DatasetId ds, std::size_t block,
   const auto& blocks = dataset(ds).blocks;
   MRON_CHECK(block < blocks.size());
   for (auto rep : blocks[block].replicas) {
-    if (rep == reader) return rep;
+    if (rep == reader && node_alive(rep)) return rep;
   }
   for (auto rep : blocks[block].replicas) {
-    if (topo_.same_rack(rep, reader)) return rep;
+    if (node_alive(rep) && topo_.same_rack(rep, reader)) return rep;
   }
-  return blocks[block].replicas.front();
+  for (auto rep : blocks[block].replicas) {
+    if (node_alive(rep)) return rep;
+  }
+  return cluster::NodeId();  // block currently has no live replica
+}
+
+void Dfs::on_node_lost(cluster::NodeId node) {
+  const auto i = static_cast<std::size_t>(node.value());
+  MRON_CHECK(node.valid() && i < alive_.size());
+  if (!alive_[i]) return;
+  alive_[i] = false;
+  for (const BlockRef& ref : node_blocks_[i]) {
+    Block& b = block_at(DatasetId(ref.ds),
+                        static_cast<std::size_t>(ref.block));
+    const int old_live = b.live;
+    --b.live;
+    MRON_CHECK(b.live >= 0);
+    refile_under(ref.ds, ref.block, old_live);
+  }
+}
+
+void Dfs::on_node_recovered(cluster::NodeId node) {
+  const auto i = static_cast<std::size_t>(node.value());
+  MRON_CHECK(node.valid() && i < alive_.size());
+  if (alive_[i]) return;
+  alive_[i] = true;
+  for (const BlockRef& ref : node_blocks_[i]) {
+    Block& b = block_at(DatasetId(ref.ds),
+                        static_cast<std::size_t>(ref.block));
+    const int old_live = b.live;
+    ++b.live;
+    refile_under(ref.ds, ref.block, old_live);
+    if (old_live == 0) fire_waiters(ref.ds, ref.block);
+  }
+}
+
+int Dfs::live_replicas(DatasetId ds, std::size_t block) const {
+  const auto& blocks = dataset(ds).blocks;
+  MRON_CHECK(block < blocks.size());
+  return blocks[block].live;
+}
+
+void Dfs::wait_for_block(DatasetId ds, std::size_t block, BlockWaiter cb) {
+  MRON_CHECK(cb != nullptr);
+  if (has_live_replica(ds, block)) {
+    cb();
+    return;
+  }
+  waiters_[{ds.value(), static_cast<std::int64_t>(block)}].push_back(
+      std::move(cb));
+}
+
+void Dfs::add_replica(DatasetId ds, std::size_t block, cluster::NodeId node) {
+  const auto i = static_cast<std::size_t>(node.value());
+  MRON_CHECK(node.valid() && i < alive_.size());
+  MRON_CHECK_MSG(alive_[i], "re-replication target died before the copy "
+                            "landed — the pipeline must cancel first");
+  Block& b = block_at(ds, block);
+  MRON_CHECK(std::find(b.replicas.begin(), b.replicas.end(), node) ==
+             b.replicas.end());
+  b.replicas.push_back(node);
+  node_blocks_[i].push_back({ds.value(), static_cast<std::int64_t>(block)});
+  const int old_live = b.live;
+  ++b.live;
+  refile_under(ds.value(), static_cast<std::int64_t>(block), old_live);
+  if (old_live == 0) {
+    fire_waiters(ds.value(), static_cast<std::int64_t>(block));
+  }
+}
+
+void Dfs::refile_under(std::int64_t ds, std::int64_t block, int old_live) {
+  const Block& b = datasets_[static_cast<std::size_t>(ds)]
+                       .blocks[static_cast<std::size_t>(block)];
+  if (old_live < b.target) under_.erase({old_live, ds, block});
+  if (b.live < b.target) under_.insert({b.live, ds, block});
+}
+
+void Dfs::fire_waiters(std::int64_t ds, std::int64_t block) {
+  const auto it = waiters_.find({ds, block});
+  if (it == waiters_.end()) return;
+  // Move out first: a resumed reader may park again re-entrantly (its node
+  // may be the one that just recovered but its replica is still gone).
+  std::vector<BlockWaiter> pending = std::move(it->second);
+  waiters_.erase(it);
+  for (BlockWaiter& cb : pending) cb();
 }
 
 const char* locality_name(Locality loc) {

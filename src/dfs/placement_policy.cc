@@ -1,0 +1,184 @@
+#include "dfs/placement_policy.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mron::dfs {
+
+namespace {
+
+/// The k-th node id not present in the sorted exclusion list `excl`:
+/// increment past each exclusion at or below the running id. `k` indexes
+/// the candidate space [lo, lo+span) minus the exclusions.
+cluster::NodeId skip_excluded(std::int64_t lo, std::int64_t k,
+                              const std::vector<std::int64_t>& excl) {
+  std::int64_t id = lo + k;
+  for (std::int64_t e : excl) {
+    if (id >= e) ++id;
+  }
+  return cluster::NodeId(id);
+}
+
+bool contains(const std::vector<cluster::NodeId>& v, cluster::NodeId n) {
+  return std::find(v.begin(), v.end(), n) != v.end();
+}
+
+/// Uniform pick among all nodes not already in `out` (one draw). Used by
+/// every policy once its preferred shape is exhausted.
+void place_uniform_spare(const cluster::Topology& topo, Rng& rng,
+                         std::vector<cluster::NodeId>& out) {
+  const std::int64_t n = topo.num_nodes();
+  const auto placed = static_cast<std::int64_t>(out.size());
+  if (placed >= n) return;
+  std::vector<std::int64_t> excl;
+  excl.reserve(out.size());
+  for (auto r : out) excl.push_back(r.value());
+  std::sort(excl.begin(), excl.end());
+  const std::int64_t k = rng.uniform_int(0, n - placed - 1);
+  out.push_back(skip_excluded(0, k, excl));
+}
+
+}  // namespace
+
+void RackAwarePolicy::place(const cluster::Topology& topo, Rng& rng, int want,
+                           std::vector<cluster::NodeId>& out) const {
+  const std::int64_t n = topo.num_nodes();
+
+  // First replica: uniform random node (stand-in for "writer's node").
+  const cluster::NodeId first(rng.uniform_int(0, n - 1));
+  out.push_back(first);
+  if (want == 1) return;
+
+  // Second replica: a node on a different rack when one exists (k-th
+  // off-rack node by index shift — same draw bounds as the legacy
+  // materialized list, so the same winner).
+  const auto first_rack = topo.rack_of(first);
+  const std::int64_t first_lo = topo.rack_first_node(first_rack);
+  const std::int64_t first_sz = topo.rack_size(first_rack);
+  const std::int64_t off_rack_count = n - first_sz;
+  cluster::NodeId second = first;
+  if (off_rack_count > 0) {
+    std::int64_t k = rng.uniform_int(0, off_rack_count - 1);
+    if (k >= first_lo) k += first_sz;
+    second = cluster::NodeId(k);
+  } else {
+    while (second == first && n > 1) {
+      second = cluster::NodeId(rng.uniform_int(0, n - 1));
+    }
+  }
+  out.push_back(second);
+  if (want == 2) return;
+
+  // Third replica: the second's rack, distinct node, skipping sorted
+  // exclusions — identical to indexing the old filtered vector.
+  const auto rack = topo.rack_of(second);
+  const std::int64_t lo = topo.rack_first_node(rack);
+  const std::int64_t sz = topo.rack_size(rack);
+  const std::int64_t f = first.value();
+  const std::int64_t s = second.value();
+  std::int64_t excl[2] = {s, s};
+  std::int64_t num_excl = 1;
+  if (f >= lo && f < lo + sz && f != s) {
+    excl[0] = std::min(f, s);
+    excl[1] = std::max(f, s);
+    num_excl = 2;
+  }
+  cluster::NodeId third = first;
+  if (sz > num_excl) {
+    std::int64_t id = lo + rng.uniform_int(0, sz - num_excl - 1);
+    for (std::int64_t i = 0; i < num_excl; ++i) {
+      if (id >= excl[i]) ++id;
+    }
+    third = cluster::NodeId(id);
+  }
+  if (third != first && third != second) out.push_back(third);
+
+  // Replicas beyond three (per-dataset replication overrides): uniform
+  // among the remaining nodes. Never reached at the default replication of
+  // three, so the pinned three-replica draw stream is untouched.
+  while (static_cast<std::int64_t>(out.size()) <
+             std::min<std::int64_t>(want, n) &&
+         static_cast<std::int64_t>(out.size()) < n) {
+    place_uniform_spare(topo, rng, out);
+  }
+}
+
+void SameRackPolicy::place(const cluster::Topology& topo, Rng& rng, int want,
+                          std::vector<cluster::NodeId>& out) const {
+  const std::int64_t n = topo.num_nodes();
+  const cluster::NodeId first(rng.uniform_int(0, n - 1));
+  out.push_back(first);
+  const auto rack = topo.rack_of(first);
+  const std::int64_t lo = topo.rack_first_node(rack);
+  const std::int64_t sz = topo.rack_size(rack);
+  // Clamp to the rack: this policy never leaves it (that is its point), so
+  // a rack smaller than `want` caps the block's replication target.
+  const std::int64_t target = std::min<std::int64_t>(want, sz);
+  std::vector<std::int64_t> excl{first.value()};
+  while (static_cast<std::int64_t>(out.size()) < target) {
+    const auto placed = static_cast<std::int64_t>(out.size());
+    const std::int64_t k = rng.uniform_int(0, sz - placed - 1);
+    const cluster::NodeId next = skip_excluded(lo, k, excl);
+    out.push_back(next);
+    excl.insert(std::upper_bound(excl.begin(), excl.end(), next.value()),
+                next.value());
+  }
+}
+
+void SpreadPolicy::place(const cluster::Topology& topo, Rng& rng, int want,
+                        std::vector<cluster::NodeId>& out) const {
+  const std::int64_t n = topo.num_nodes();
+  const cluster::NodeId first(rng.uniform_int(0, n - 1));
+  out.push_back(first);
+  std::vector<bool> rack_used(static_cast<std::size_t>(topo.num_racks()),
+                              false);
+  rack_used[static_cast<std::size_t>(topo.rack_of(first).value())] = true;
+  while (static_cast<std::int64_t>(out.size()) <
+         std::min<std::int64_t>(want, n)) {
+    // Candidate pool: every node in a rack with no replica yet. One draw
+    // indexes the pool; racks are contiguous id ranges, so the walk maps
+    // the index without materializing the pool.
+    std::int64_t pool = 0;
+    for (int r = 0; r < topo.num_racks(); ++r) {
+      if (!rack_used[static_cast<std::size_t>(r)]) {
+        pool += topo.rack_size(cluster::RackId(r));
+      }
+    }
+    if (pool == 0) {
+      // Fewer racks than replicas: fall back to uniform spares.
+      place_uniform_spare(topo, rng, out);
+      continue;
+    }
+    std::int64_t k = rng.uniform_int(0, pool - 1);
+    cluster::NodeId next;
+    for (int r = 0; r < topo.num_racks(); ++r) {
+      const cluster::RackId rack(r);
+      if (rack_used[static_cast<std::size_t>(r)]) continue;
+      const std::int64_t sz = topo.rack_size(rack);
+      if (k < sz) {
+        next = cluster::NodeId(topo.rack_first_node(rack) + k);
+        break;
+      }
+      k -= sz;
+    }
+    MRON_CHECK(next.valid() && !contains(out, next));
+    out.push_back(next);
+    rack_used[static_cast<std::size_t>(topo.rack_of(next).value())] = true;
+  }
+}
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name) {
+  if (name.empty() || name == "rack-aware") {
+    return std::make_unique<RackAwarePolicy>();
+  }
+  if (name == "same-rack") return std::make_unique<SameRackPolicy>();
+  if (name == "spread") return std::make_unique<SpreadPolicy>();
+  MRON_CHECK_MSG(false, "unknown placement policy '"
+                            << name
+                            << "' (want rack-aware, same-rack, or spread)");
+  return nullptr;
+}
+
+}  // namespace mron::dfs

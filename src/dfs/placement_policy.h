@@ -1,0 +1,72 @@
+// Pluggable replica-placement policies for the DFS.
+//
+// A policy decides where one block's replicas live, drawing from the DFS's
+// placement RNG stream. The default RackAwarePolicy reproduces the legacy
+// inline placement draw-for-draw (first replica on a random node, second on
+// a different rack, third beside the second) — the placement equivalence
+// suite pins that stream byte-for-byte, so a default-policy run places
+// blocks exactly where every earlier revision did. The variants exist for
+// experiments: SameRackPolicy trades failure isolation for rack locality,
+// SpreadPolicy trades locality for maximum failure isolation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/topology.h"
+#include "common/rng.h"
+
+namespace mron::dfs {
+
+class PlacementPolicy {
+ public:
+  virtual ~PlacementPolicy() = default;
+
+  /// Stable identifier ("rack-aware", "same-rack", "spread"); lands in the
+  /// run report's dfs block via Dfs::policy_name().
+  [[nodiscard]] virtual const char* name() const = 0;
+
+  /// Append up to `want` distinct replica nodes for one block into `out`
+  /// (empty on entry). `want` is already clamped to [1, topo.num_nodes()];
+  /// a policy may place fewer when the topology cannot satisfy its shape
+  /// (the block's replication target becomes what was actually placed).
+  virtual void place(const cluster::Topology& topo, Rng& rng, int want,
+                     std::vector<cluster::NodeId>& out) const = 0;
+};
+
+/// HDFS default: first replica on a random node (stand-in for the writer),
+/// second on a different rack, third on the second's rack; replicas beyond
+/// three land on uniform-random remaining nodes. Draw-for-draw identical to
+/// the legacy inline placement for want <= 3.
+class RackAwarePolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "rack-aware"; }
+  void place(const cluster::Topology& topo, Rng& rng, int want,
+             std::vector<cluster::NodeId>& out) const override;
+};
+
+/// Every replica inside the first replica's rack (clamped to the rack
+/// size): maximal read locality, no rack-failure isolation.
+class SameRackPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "same-rack"; }
+  void place(const cluster::Topology& topo, Rng& rng, int want,
+             std::vector<cluster::NodeId>& out) const override;
+};
+
+/// Every replica on a distinct rack while racks remain (falling back to
+/// uniform spares after that): maximal failure isolation, worst locality.
+class SpreadPolicy final : public PlacementPolicy {
+ public:
+  [[nodiscard]] const char* name() const override { return "spread"; }
+  void place(const cluster::Topology& topo, Rng& rng, int want,
+             std::vector<cluster::NodeId>& out) const override;
+};
+
+/// Factory for the --dfs-policy flag; accepts "rack-aware" (default when
+/// `name` is empty), "same-rack", and "spread". Aborts on anything else.
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    const std::string& name);
+
+}  // namespace mron::dfs

@@ -308,6 +308,16 @@ void MrAppMaster::pump() {
 
 void MrAppMaster::request_map(int index) {
   auto& m = maps_[static_cast<std::size_t>(index)];
+  if (spec_.input.valid()) {
+    // Refresh the preferred set from the live DFS: re-replication may have
+    // grown it past the submit-time snapshot (a no-op on a reliable
+    // cluster, where placement never changes).
+    m.replicas = dfs_.dataset(spec_.input).blocks[m.block].replicas;
+    if (!dfs_.has_live_replica(spec_.input, m.block)) {
+      wait_for_input_block(index);
+      return;
+    }
+  }
   m.requested = true;
   ++outstanding_requests_;
   const JobConfig cfg = config_for(TaskRef{TaskKind::Map, index});
@@ -323,6 +333,25 @@ void MrAppMaster::request_map(int index) {
                         retry ? m.cp_fail : cp_submit_,
                         retry ? obs::Blame::RetryRecovery
                               : obs::Blame::SchedWait);
+}
+
+void MrAppMaster::wait_for_input_block(int index) {
+  auto& m = maps_[static_cast<std::size_t>(index)];
+  // Parked, not queued: the map leaves the request path entirely until the
+  // DFS says the block serves again. requested=true keeps the pump and the
+  // tuner from touching it meanwhile.
+  m.requested = true;
+  m.waiting_block = true;
+  if (auto* rec = engine_.recorder()) {
+    rec->metrics().counter("mr.map.block_waits").add(1.0);
+  }
+  dfs_.wait_for_block(spec_.input, m.block, [this, index] {
+    auto& mm = maps_[static_cast<std::size_t>(index)];
+    if (!mm.waiting_block) return;
+    mm.waiting_block = false;
+    if (finished_ || mm.done || mm.running) return;
+    request_map(index);
+  });
 }
 
 void MrAppMaster::request_reduce(int index) {
@@ -352,6 +381,13 @@ void MrAppMaster::on_map_container(int index, const yarn::Container& c) {
       rec->metrics().counter("yarn.stale_grants").add(1.0);
     }
     if (!m.done) request_map(index);
+    return;
+  }
+  if (spec_.input.valid() && !dfs_.has_live_replica(spec_.input, m.block)) {
+    // The split's last replica died while this grant was queued: give the
+    // container back and park until storage recovers a copy.
+    rm_.release_container(c);
+    if (!m.done) wait_for_input_block(index);
     return;
   }
   m.container = c;
@@ -665,6 +701,14 @@ void MrAppMaster::on_speculative_container(int index,
     m.spec_requested = false;
     return;
   }
+  if (spec_.input.valid() && !dfs_.has_live_replica(spec_.input, m.block)) {
+    // No live input: the primary is parked on the block too — drop the
+    // backup rather than read a corpse.
+    rm_.release_container(c);
+    --active_speculations_;
+    m.spec_requested = false;
+    return;
+  }
   m.spec_container = c;
   m.spec_running = true;
   begin_task_span(m.spec_span, "map_attempt", c, m.attempts + 1);
@@ -794,18 +838,22 @@ void MrAppMaster::on_reduce_done(int index, const TaskReport& report) {
 cluster::NodeId MrAppMaster::pick_live_replica(const MapState& m,
                                                cluster::NodeId reader) {
   // Local if a live local replica exists, then rack-local, then any live
-  // replica; a split with no live replica is unrecoverable data loss.
-  const auto& replicas = m.replicas;
+  // replica — against the *current* DFS replica set, which re-replication
+  // may have grown past the submit-time snapshot. The request path guards
+  // on has_live_replica, so the trailing check is a pure safety net.
+  const auto& replicas = spec_.input.valid()
+                             ? dfs_.dataset(spec_.input).blocks[m.block].replicas
+                             : m.replicas;
   for (auto rep : replicas) {
-    if (rep == reader && rm_.node_alive(rep)) return rep;
+    if (rep == reader && dfs_.node_alive(rep)) return rep;
   }
   for (auto rep : replicas) {
-    if (rm_.node_alive(rep) && rm_.topology().same_rack(rep, reader)) {
+    if (dfs_.node_alive(rep) && rm_.topology().same_rack(rep, reader)) {
       return rep;
     }
   }
   for (auto rep : replicas) {
-    if (rm_.node_alive(rep)) return rep;
+    if (dfs_.node_alive(rep)) return rep;
   }
   MRON_CHECK_MSG(false, "all replicas of a split lost — job cannot proceed");
   return reader;

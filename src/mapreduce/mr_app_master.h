@@ -129,6 +129,9 @@ class MrAppMaster {
     bool requested = false;
     bool running = false;
     bool done = false;
+    /// Parked on a dead input block (no live replica); a DFS waiter will
+    /// re-request the map when storage recovers one.
+    bool waiting_block = false;
     Bytes combined_output{0};
     cluster::NodeId ran_on;
     SimTime run_started = 0.0;
@@ -177,6 +180,11 @@ class MrAppMaster {
   void pump();
   void schedule_pump();
   void request_map(int index);
+  /// Map `index`'s split has no live replica: park a DFS waiter instead of
+  /// requesting a container. Deterministic — waiters resume in registration
+  /// order the moment a replica returns (node recovery or a completed
+  /// re-replication copy).
+  void wait_for_input_block(int index);
   void request_reduce(int index);
   void on_map_container(int index, const yarn::Container& c);
   void on_reduce_container(int index, const yarn::Container& c);

@@ -59,6 +59,9 @@ const ParamRegistry& ParamRegistry::extended() {
     params.push_back({"mapreduce.map.output.compress", 0, 0, 1, true,
                       ParamCategory::TaskLaunch,
                       &JobConfig::map_output_compress});
+    params.push_back({"dfs.replication", 3, 1, 5, true,
+                      ParamCategory::JobStatic,
+                      &JobConfig::dfs_replication});
     return params;
   }());
   return registry;

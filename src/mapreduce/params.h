@@ -44,6 +44,11 @@ struct JobConfig {
   /// with a snappy-like codec — trades CPU for disk/network bytes. Part of
   /// the extended registry, not the paper's 13-parameter search space.
   double map_output_compress = 0;
+  /// dfs.replication: replication factor for the job's input dataset.
+  /// Category I — placement happens before the job starts, so the tuner can
+  /// only use it across runs (static planning), never mid-job. Higher
+  /// factors buy locality and failure tolerance for storage.
+  double dfs_replication = 3;
 
   friend bool operator==(const JobConfig&, const JobConfig&) = default;
 };

@@ -106,6 +106,25 @@ std::string run_report_json(
          static_cast<double>(fs.lost_map_reexecutions)},
     });
   }
+  // Storage block: always present — the placement counts describe the
+  // dataset even on fault-free runs, and under_replicated_final == 0 is the
+  // "storage fully recovered before drain" assertion CI pins down.
+  const dfs::Dfs& d = sim.dfs();
+  const dfs::Rereplicator::Stats& rs = sim.rereplicator().stats();
+  report.set_meta("dfs_policy", d.policy_name());
+  report.set_dfs({
+      {"blocks_total", static_cast<double>(d.total_blocks())},
+      {"replication", static_cast<double>(d.default_replication())},
+      {"under_replicated_final",
+       static_cast<double>(d.under_replicated_blocks())},
+      {"under_replicated_peak",
+       static_cast<double>(rs.peak_under_replicated)},
+      {"rerepl.bytes", rs.bytes_copied},
+      {"rerepl.started", static_cast<double>(rs.copies_started)},
+      {"rerepl.completed", static_cast<double>(rs.copies_completed)},
+      {"rerepl.cancelled", static_cast<double>(rs.copies_cancelled)},
+      {"rerepl.recovery_time", rs.last_fully_replicated},
+  });
   return report.to_json(sim.recorder());
 }
 

@@ -66,7 +66,14 @@ Simulation::Simulation(SimulationOptions options)
   {
     HOST_PROF_SCOPE("sim.setup.dfs");
     HOST_PROF_CATEGORY(kDfs);
-    dfs_ = std::make_unique<dfs::Dfs>(*topo_, rng_.fork(0xdf5));
+    dfs_ = std::make_unique<dfs::Dfs>(
+        *topo_, rng_.fork(0xdf5), mebibytes(128), options_.dfs_replication,
+        dfs::make_placement_policy(options_.dfs_policy));
+    dfs::RereplicatorOptions ropt;
+    ropt.max_streams_per_node = options_.dfs_rerepl_streams_per_node;
+    ropt.stream_bandwidth = options_.dfs_rerepl_stream_bandwidth;
+    rerepl_ = std::make_unique<dfs::Rereplicator>(engine_, *dfs_, *fabric_,
+                                                  ptrs, ropt);
   }
   {
     HOST_PROF_SCOPE("sim.setup.rm");
@@ -77,6 +84,17 @@ Simulation::Simulation(SimulationOptions options)
                       : yarn::make_capacity_policy(options_.capacity_queues);
     rm_ = std::make_unique<yarn::ResourceManager>(engine_, *topo_, ptrs,
                                                   std::move(policy));
+    // Storage hears about liveness before any AM: AMs subscribe at submit
+    // time, so by the time their recovery paths run, replica counts and the
+    // re-replication queue already reflect the event.
+    rm_->subscribe_node_failures([this](cluster::NodeId n) {
+      dfs_->on_node_lost(n);
+      rerepl_->on_node_lost(n);
+    });
+    rm_->subscribe_node_recoveries([this](cluster::NodeId n) {
+      dfs_->on_node_recovered(n);
+      rerepl_->on_node_recovered(n);
+    });
     if (options_.hotspot_aware) {
       monitor_->start();
       rm_->set_cluster_monitor(monitor_.get(), options_.hot_threshold);
@@ -132,11 +150,17 @@ Simulation::Simulation(SimulationOptions options)
   }
 }
 
-dfs::DatasetId Simulation::load_dataset(const std::string& name, Bytes size) {
+dfs::DatasetId Simulation::load_dataset(const std::string& name, Bytes size,
+                                        int replication) {
   obs::HostProfiler::Activation hp(host_profiler_.get());
   HOST_PROF_SCOPE("sim.setup.dataset");
   HOST_PROF_CATEGORY(kDfs);
-  return dfs_->create_dataset(name, size);
+  const dfs::DatasetId id = dfs_->create_dataset(name, size, replication);
+  // A dataset can be born under-replicated (created after a node died, or
+  // on a topology too small for the factor + dead nodes); kick the
+  // pipeline since no liveness event will.
+  if (dfs_->under_replicated_blocks() > 0) rerepl_->notify_under_replication();
+  return id;
 }
 
 MrAppMaster& Simulation::submit_job(

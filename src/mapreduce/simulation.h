@@ -18,6 +18,8 @@
 #include "cluster/topology.h"
 #include "common/rng.h"
 #include "dfs/dfs.h"
+#include "dfs/placement_policy.h"
+#include "dfs/rereplicator.h"
 #include "faults/injector.h"
 #include "mapreduce/job.h"
 #include "mapreduce/mr_app_master.h"
@@ -77,6 +79,17 @@ struct SimulationOptions {
   bool progress = false;
   /// Label prefixed to progress lines (e.g. the scalebench point name).
   std::string progress_label;
+  /// Default DFS replication factor for datasets (load_dataset can override
+  /// per dataset). Clamped to the node count at placement time.
+  int dfs_replication = 3;
+  /// Block placement policy: "" or "rack-aware" (the HDFS default — and the
+  /// legacy RNG stream, byte-identical to earlier releases), "same-rack",
+  /// or "spread". See dfs/placement_policy.h.
+  std::string dfs_policy;
+  /// Re-replication work limits (HDFS replication.max-streams and the
+  /// balancer bandwidth cap). See dfs/rereplicator.h.
+  int dfs_rerepl_streams_per_node = 2;
+  double dfs_rerepl_stream_bandwidth = 64.0 * 1024 * 1024;
 };
 
 class Simulation {
@@ -88,6 +101,11 @@ class Simulation {
 
   [[nodiscard]] sim::Engine& engine() { return engine_; }
   [[nodiscard]] dfs::Dfs& dfs() { return *dfs_; }
+  [[nodiscard]] const dfs::Dfs& dfs() const { return *dfs_; }
+  [[nodiscard]] dfs::Rereplicator& rereplicator() { return *rerepl_; }
+  [[nodiscard]] const dfs::Rereplicator& rereplicator() const {
+    return *rerepl_;
+  }
   [[nodiscard]] yarn::ResourceManager& rm() { return *rm_; }
   [[nodiscard]] cluster::Fabric& fabric() { return *fabric_; }
   [[nodiscard]] cluster::ClusterMonitor& monitor() { return *monitor_; }
@@ -121,8 +139,11 @@ class Simulation {
   /// time is nondeterministic — this never feeds run_report.json.
   bool write_host_profile(std::ostream& os);
 
-  /// Create + place a dataset in the simulated DFS.
-  dfs::DatasetId load_dataset(const std::string& name, Bytes size);
+  /// Create + place a dataset in the simulated DFS. `replication`
+  /// overrides the simulation's default factor for this dataset (-1 keeps
+  /// the default).
+  dfs::DatasetId load_dataset(const std::string& name, Bytes size,
+                              int replication = -1);
 
   /// Submit a job; the AM lives for the Simulation's lifetime. `on_done`
   /// may be empty.
@@ -161,6 +182,7 @@ class Simulation {
   std::unique_ptr<cluster::ClusterMonitor> monitor_;
   std::unique_ptr<dfs::Dfs> dfs_;
   std::unique_ptr<yarn::ResourceManager> rm_;
+  std::unique_ptr<dfs::Rereplicator> rerepl_;
   std::unique_ptr<faults::FaultInjector> injector_;
   std::vector<std::unique_ptr<MrAppMaster>> apps_;
   IdAllocator<JobId> job_ids_;

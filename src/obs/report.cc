@@ -43,6 +43,10 @@ void RunReport::set_faults(std::map<std::string, double> faults) {
   faults_ = std::move(faults);
 }
 
+void RunReport::set_dfs(std::map<std::string, double> dfs) {
+  dfs_ = std::move(dfs);
+}
+
 std::map<std::string, double> RunReport::run_totals() const {
   std::map<std::string, double> totals;
   totals["jobs"] = static_cast<double>(jobs_.size());
@@ -111,6 +115,9 @@ void RunReport::write_json(std::ostream& os, const Recorder* rec) const {
   write_number_map(os, run_totals());
   os << ",\"faults\":";
   write_number_map(os, faults_);
+  // Storage: placement counts and re-replication pipeline tallies.
+  os << ",\"dfs\":";
+  write_number_map(os, dfs_);
 
   // Causal critical path: per-job longest-path segments and run-level
   // blame totals (obs/critical_path.h). Empty jobs array without a

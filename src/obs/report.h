@@ -36,7 +36,10 @@ class Recorder;
 /// /3: added the top-level `critical_path` block (per-job longest-path
 /// segments + run-level blame totals) and, per histogram metric,
 /// `<name>.overflow_count` / `<name>.p99_clamped` scalars.
-inline constexpr const char* kRunReportSchema = "mron.run_report/3";
+/// /4: added the top-level `dfs` block (storage placement + re-replication
+/// pipeline tallies; always present — blocks_total et al. describe the
+/// dataset even on fault-free runs).
+inline constexpr const char* kRunReportSchema = "mron.run_report/4";
 
 /// One job's rollup inside a report. `phases` maps a phase name ("map",
 /// "reduce") to its counter rollup; `stats` holds job-level scalars
@@ -62,6 +65,9 @@ class RunReport {
   /// under the top-level `faults` key. Empty (the default) serializes as an
   /// empty object — the self-describing "this run was fault-free" marker.
   void set_faults(std::map<std::string, double> faults);
+  /// Storage block (placement counts + re-replication pipeline tallies),
+  /// written under the top-level `dfs` key.
+  void set_dfs(std::map<std::string, double> dfs);
 
   [[nodiscard]] const std::vector<std::pair<std::string, std::string>>& meta()
       const {
@@ -82,6 +88,7 @@ class RunReport {
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<ReportJob> jobs_;
   std::map<std::string, double> faults_;
+  std::map<std::string, double> dfs_;
 };
 
 /// Picks which run's report a multi-run invocation exports. Runs race on

@@ -103,7 +103,7 @@ void CacheKey::add_config(const mapreduce::ParamRegistry& registry,
 }
 
 void CacheKey::add_config(const mapreduce::JobConfig& cfg) {
-  static_assert(sizeof(mapreduce::JobConfig) == 14 * sizeof(double),
+  static_assert(sizeof(mapreduce::JobConfig) == 15 * sizeof(double),
                 "JobConfig changed: key every new field here");
   mapreduce::JobConfig c = cfg;
   mapreduce::clamp_constraints(c);
@@ -121,6 +121,7 @@ void CacheKey::add_config(const mapreduce::JobConfig& cfg) {
   add(c.io_sort_factor);
   add(c.shuffle_parallelcopies);
   add(c.map_output_compress);
+  add(c.dfs_replication);
 }
 
 namespace internal {

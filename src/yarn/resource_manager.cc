@@ -199,6 +199,10 @@ void ResourceManager::recover_node(cluster::NodeId node) {
   if (auto* rec = engine_.recorder()) {
     rec->metrics().counter("yarn.nodes_recovered").add(1.0);
   }
+  // Same re-entrancy discipline as fail_node: subscribers (the DFS
+  // restoring replicas, parked readers resuming) may schedule work.
+  const auto subscribers = recovery_subscribers_;
+  for (const auto& cb : subscribers) cb(node);
   trigger_schedule();
 }
 
@@ -211,6 +215,11 @@ bool ResourceManager::node_alive(cluster::NodeId node) const {
 void ResourceManager::subscribe_node_failures(NodeFailureCb cb) {
   MRON_CHECK(cb != nullptr);
   failure_subscribers_.push_back(std::move(cb));
+}
+
+void ResourceManager::subscribe_node_recoveries(NodeFailureCb cb) {
+  MRON_CHECK(cb != nullptr);
+  recovery_subscribers_.push_back(std::move(cb));
 }
 
 AppId ResourceManager::register_app(const std::string& name, double weight,

@@ -92,6 +92,11 @@ class ResourceManager {
   [[nodiscard]] bool node_alive(cluster::NodeId node) const;
   using NodeFailureCb = std::function<void(cluster::NodeId)>;
   void subscribe_node_failures(NodeFailureCb cb);
+  /// Observe real recoveries (recover_node() on a node that was declared
+  /// lost; transient heartbeat blips never notify). The DFS uses this to
+  /// restore the node's replicas and resume readers parked on dead blocks.
+  /// Callbacks run in subscription order.
+  void subscribe_node_recoveries(NodeFailureCb cb);
 
   // --- heartbeat tracking (fault injection) ---------------------------------
   /// Start the NodeManager heartbeat watchdog: nodes are assumed to
@@ -223,6 +228,7 @@ class ResourceManager {
   double hot_threshold_ = 0.9;
   std::vector<bool> alive_;
   std::vector<NodeFailureCb> failure_subscribers_;
+  std::vector<NodeFailureCb> recovery_subscribers_;
   int locality_delay_passes_ = 0;
   /// Every granted container, keyed by id (ordered: reclaim scans must
   /// visit containers in grant order for determinism).

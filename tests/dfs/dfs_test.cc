@@ -105,6 +105,145 @@ TEST_F(DfsTest, EmptyDatasetHasNoBlocks) {
   EXPECT_TRUE(dfs.dataset(id).blocks.empty());
 }
 
+// --- liveness: dead-replica awareness ---------------------------------------
+
+// Three racks so a reader can be genuinely off-rack from every replica;
+// one block keeps the replica set small enough to enumerate.
+class DfsLivenessTest : public ::testing::Test {
+ protected:
+  static cluster::ClusterSpec three_racks() {
+    cluster::ClusterSpec spec;
+    spec.num_slaves = 9;
+    spec.rack_sizes = {3, 3, 3};
+    return spec;
+  }
+  cluster::ClusterSpec spec = three_racks();
+  cluster::Topology topo{spec};
+  Dfs dfs{topo, Rng(42)};
+};
+
+TEST_F(DfsLivenessTest, PickReplicaSkipsDeadHosts) {
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  const auto& block = dfs.dataset(id).blocks[0];
+  ASSERT_EQ(block.replicas.size(), 3u);
+  dfs.on_node_lost(block.replicas[0]);
+  // The dead host's own read falls through to a live replica.
+  const auto picked = dfs.pick_replica(id, 0, block.replicas[0]);
+  ASSERT_TRUE(picked.valid());
+  EXPECT_NE(picked, block.replicas[0]);
+  EXPECT_TRUE(picked == block.replicas[1] || picked == block.replicas[2]);
+  // Liveness classification follows: the dead local replica no longer
+  // counts as NodeLocal.
+  EXPECT_NE(dfs.locality(id, 0, block.replicas[0]), Locality::NodeLocal);
+}
+
+TEST_F(DfsLivenessTest, OffRackReaderGetsClosestLiveReplica) {
+  // Regression for the pick_replica fallback: with no node-local or
+  // rack-local candidate it used to return replicas[0] unconditionally —
+  // even when that host was dead.
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  const auto& block = dfs.dataset(id).blocks[0];
+  std::set<cluster::RackId> replica_racks;
+  for (auto r : block.replicas) replica_racks.insert(topo.rack_of(r));
+  cluster::NodeId off_rack_reader;
+  for (auto n : topo.all_nodes()) {
+    if (replica_racks.count(topo.rack_of(n)) == 0) off_rack_reader = n;
+  }
+  ASSERT_TRUE(off_rack_reader.valid());
+  ASSERT_EQ(dfs.locality(id, 0, off_rack_reader), Locality::OffRack);
+  EXPECT_EQ(dfs.pick_replica(id, 0, off_rack_reader), block.replicas[0]);
+  dfs.on_node_lost(block.replicas[0]);
+  const auto picked = dfs.pick_replica(id, 0, off_rack_reader);
+  ASSERT_TRUE(picked.valid());
+  EXPECT_NE(picked, block.replicas[0]);
+  EXPECT_TRUE(dfs.node_alive(picked));
+}
+
+TEST_F(DfsLivenessTest, NoLiveReplicaParksWaitersInFifoOrder) {
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  const auto replicas = dfs.dataset(id).blocks[0].replicas;
+  for (auto r : replicas) dfs.on_node_lost(r);
+  EXPECT_FALSE(dfs.has_live_replica(id, 0));
+  EXPECT_FALSE(dfs.pick_replica(id, 0, cluster::NodeId(0)).valid());
+  EXPECT_EQ(dfs.under_replicated_blocks(), 1u);
+
+  std::vector<int> order;
+  dfs.wait_for_block(id, 0, [&] { order.push_back(1); });
+  dfs.wait_for_block(id, 0, [&] { order.push_back(2); });
+  EXPECT_TRUE(order.empty());
+  dfs.on_node_recovered(replicas[1]);
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_TRUE(dfs.has_live_replica(id, 0));
+}
+
+TEST_F(DfsLivenessTest, WaiterFiresSynchronouslyWhenAlreadyLive) {
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  bool fired = false;
+  dfs.wait_for_block(id, 0, [&] { fired = true; });
+  EXPECT_TRUE(fired);
+}
+
+TEST_F(DfsLivenessTest, AddReplicaRestoresServiceAndFiresWaiters) {
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  const auto replicas = dfs.dataset(id).blocks[0].replicas;
+  for (auto r : replicas) dfs.on_node_lost(r);
+  bool fired = false;
+  dfs.wait_for_block(id, 0, [&] { fired = true; });
+
+  cluster::NodeId fresh;
+  for (auto n : topo.all_nodes()) {
+    if (std::find(replicas.begin(), replicas.end(), n) == replicas.end()) {
+      fresh = n;
+      break;
+    }
+  }
+  dfs.add_replica(id, 0, fresh);
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(dfs.live_replicas(id, 0), 1);
+  EXPECT_EQ(dfs.pick_replica(id, 0, fresh), fresh);
+  const auto& block = dfs.dataset(id).blocks[0];
+  EXPECT_NE(std::find(block.replicas.begin(), block.replicas.end(), fresh),
+            block.replicas.end());
+}
+
+TEST_F(DfsLivenessTest, UnderReplicationQueueOrdersMostEndangeredFirst) {
+  const auto a = dfs.create_dataset("a", mebibytes(128));
+  const auto b = dfs.create_dataset("b", mebibytes(128));
+  const auto& ra = dfs.dataset(a).blocks[0].replicas;
+  const auto& rb = dfs.dataset(b).blocks[0].replicas;
+  // Drop dataset b's block to one live replica; a loses at least one host
+  // too (replica sets overlap on nine nodes). The queue must list blocks
+  // in ascending live order with keys that match the actual live counts.
+  dfs.on_node_lost(ra[0]);
+  for (auto r : rb) {
+    if (dfs.live_replicas(b, 0) > 1) dfs.on_node_lost(r);
+  }
+  ASSERT_EQ(dfs.live_replicas(b, 0), 1);
+  ASSERT_GE(dfs.under_replicated_blocks(), 2u);
+  int last_live = 0;
+  for (const auto& [live, ds, block] : dfs.under_replicated()) {
+    EXPECT_GE(live, last_live);
+    last_live = live;
+    EXPECT_EQ(live, dfs.live_replicas(DatasetId(ds),
+                                      static_cast<std::size_t>(block)));
+  }
+  // The head is a most-endangered block: one live replica.
+  EXPECT_EQ(std::get<0>(*dfs.under_replicated().begin()), 1);
+}
+
+TEST_F(DfsLivenessTest, LivenessEventsAreIdempotent) {
+  const auto id = dfs.create_dataset("d", mebibytes(128));
+  const auto& block = dfs.dataset(id).blocks[0];
+  dfs.on_node_lost(block.replicas[0]);
+  dfs.on_node_lost(block.replicas[0]);
+  EXPECT_EQ(dfs.live_replicas(id, 0), 2);
+  EXPECT_EQ(dfs.under_replicated_blocks(), 1u);
+  dfs.on_node_recovered(block.replicas[0]);
+  dfs.on_node_recovered(block.replicas[0]);
+  EXPECT_EQ(dfs.live_replicas(id, 0), 3);
+  EXPECT_EQ(dfs.under_replicated_blocks(), 0u);
+}
+
 TEST(DfsSingleRack, SecondReplicaFallsBackToSameRack) {
   cluster::ClusterSpec spec;
   spec.num_slaves = 3;

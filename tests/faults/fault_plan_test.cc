@@ -62,6 +62,38 @@ TEST(FaultPlan, RoundTripsThroughToString) {
   EXPECT_DOUBLE_EQ(q.task_fail_prob, p.task_fail_prob);
 }
 
+TEST(FaultPlan, PermanentCrashRoundTripsWithoutRestart) {
+  // `crash node=N at=T` with no restart= is a permanent fail-stop: the
+  // storage layer must re-replicate the node's blocks, since it is never
+  // coming back. The serialized form must not invent a restart= key and
+  // the negative sentinel must survive a full round trip.
+  const FaultPlan p = FaultPlan::parse("seed 1\ncrash node=3 at=45\n");
+  ASSERT_EQ(p.crashes.size(), 1u);
+  EXPECT_LT(p.crashes[0].restart_at, 0.0);
+  const std::string text = p.to_string();
+  EXPECT_EQ(text.find("restart="), std::string::npos) << text;
+  const FaultPlan q = FaultPlan::parse(text);
+  ASSERT_EQ(q.crashes.size(), 1u);
+  EXPECT_EQ(q.crashes[0].node, 3);
+  EXPECT_DOUBLE_EQ(q.crashes[0].at, 45.0);
+  EXPECT_LT(q.crashes[0].restart_at, 0.0);
+  p.validate(6);  // a permanent crash is a well-formed plan
+  // Mixed plans keep each crash's restart semantics separate.
+  const FaultPlan m =
+      FaultPlan::parse("crash node=0 at=10 restart=20; crash node=1 at=10");
+  const FaultPlan m2 = FaultPlan::parse(m.to_string());
+  ASSERT_EQ(m2.crashes.size(), 2u);
+  EXPECT_DOUBLE_EQ(m2.crashes[0].restart_at, 20.0);
+  EXPECT_LT(m2.crashes[1].restart_at, 0.0);
+}
+
+TEST(FaultPlan, ValidateRejectsRestartBeforeCrash) {
+  FaultPlan p = FaultPlan::parse("crash node=0 at=10 restart=10");
+  EXPECT_THROW(p.validate(4), CheckError);
+  p = FaultPlan::parse("crash node=0 at=10 restart=5");
+  EXPECT_THROW(p.validate(4), CheckError);
+}
+
 TEST(FaultPlan, DefaultPlanIsEmptyAndValid) {
   const FaultPlan p;
   EXPECT_TRUE(p.empty());

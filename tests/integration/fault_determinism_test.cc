@@ -100,7 +100,7 @@ TEST(FaultDeterminism, RunReportIsByteIdenticalAcrossRepeats) {
   ASSERT_FALSE(a.report.empty());
   EXPECT_EQ(a.report, b.report);
   // The report carries the schema/2 faults block with the planned crash.
-  EXPECT_NE(a.report.find("\"schema\":\"mron.run_report/3\""),
+  EXPECT_NE(a.report.find("\"schema\":\"mron.run_report/4\""),
             std::string::npos);
   EXPECT_NE(a.report.find("\"faults\":"), std::string::npos);
   EXPECT_NE(a.report.find("\"crashes\""), std::string::npos);

@@ -18,8 +18,14 @@ TEST(Compression, OffByDefaultAndOutsideStandardRegistry) {
       ParamRegistry::extended().find("mapreduce.map.output.compress");
   ASSERT_NE(p, nullptr);
   EXPECT_EQ(p->category, ParamCategory::TaskLaunch);
+  // Extended registry: Table 2 + compression + dfs.replication.
+  const auto* rep = ParamRegistry::extended().find("dfs.replication");
+  ASSERT_NE(rep, nullptr);
+  EXPECT_EQ(rep->category, ParamCategory::JobStatic);
+  EXPECT_TRUE(rep->integer);
+  EXPECT_EQ(ParamRegistry::standard().find("dfs.replication"), nullptr);
   EXPECT_EQ(ParamRegistry::extended().size(),
-            ParamRegistry::standard().size() + 1);
+            ParamRegistry::standard().size() + 2);
 }
 
 struct RunPair {

@@ -68,7 +68,7 @@ TEST(RunReport, SerializationIsDeterministic) {
   const std::string once = report.to_json(nullptr);
   const std::string twice = report.to_json(nullptr);
   EXPECT_EQ(once, twice);
-  EXPECT_NE(once.find("\"schema\":\"mron.run_report/3\""), std::string::npos);
+  EXPECT_NE(once.find("\"schema\":\"mron.run_report/4\""), std::string::npos);
 }
 
 TEST(RunReport, NullRecorderLeavesObsSectionsEmpty) {
@@ -127,12 +127,19 @@ TEST(RunReport, SimulationRollupProducesFullSchema) {
 
   const std::string json = mapreduce::run_report_json(
       sim, {{&result, &config}}, {{"app", "terasort"}});
-  EXPECT_NE(json.find("\"schema\":\"mron.run_report/3\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"mron.run_report/4\""), std::string::npos);
   EXPECT_NE(json.find("\"app\":\"terasort\""), std::string::npos);
   EXPECT_NE(json.find("\"cluster.node0.cpu_util\""), std::string::npos);
   EXPECT_NE(json.find("\"spilled_records\""), std::string::npos);
   // Task-duration histograms export interpolated quantiles.
   EXPECT_NE(json.find("\"mr.map.task_secs.p95\""), std::string::npos);
+
+  // The /4 dfs block: placement counts are present even on a fault-free
+  // run, and a reliable cluster ends fully replicated with zero copies.
+  EXPECT_NE(json.find("\"dfs\":{\"blocks_total\":24"), std::string::npos);
+  EXPECT_NE(json.find("\"under_replicated_final\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"rerepl.started\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"dfs_policy\":\"rack-aware\""), std::string::npos);
 
   // The /3 critical_path block: job 0 carries a non-empty segment path
   // rooted at job_submit and ending in job_finish, plus blame totals.

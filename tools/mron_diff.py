@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Diff two mron run reports (mron.run_report/3) counter-by-counter.
+"""Diff two mron run reports (mron.run_report/3 or /4) counter-by-counter.
 
     mron_diff.py base.json candidate.json
     mron_diff.py base.json candidate.json --threshold 5
@@ -25,16 +25,16 @@ import argparse
 import json
 import sys
 
-SCHEMA = "mron.run_report/3"
+SCHEMAS = ("mron.run_report/3", "mron.run_report/4")
 DEFAULT_GATE_KEYS = ("exec_secs", "spilled_records", "failed_attempts")
 
 
 def load(path):
     with open(path) as f:
         report = json.load(f)
-    if report.get("schema") != SCHEMA:
+    if report.get("schema") not in SCHEMAS:
         raise ValueError(f"{path}: schema {report.get('schema')!r}, "
-                         f"expected {SCHEMA!r}")
+                         f"expected one of {list(SCHEMAS)}")
     return report
 
 
@@ -107,6 +107,11 @@ def main(argv):
     deltas = diff_table(base["totals"], cand["totals"], "totals")
     if base.get("faults") or cand.get("faults"):
         diff_table(base.get("faults", {}), cand.get("faults", {}), "faults")
+    # The /4 storage block — rerepl.recovery_time is the headline number
+    # (when the DFS got back to full replication after a crash).
+    if base.get("dfs") or cand.get("dfs"):
+        diff_table(base.get("dfs", {}), cand.get("dfs", {}),
+                   "dfs (placement + re-replication)")
     if args.blame:
         diff_table(base["critical_path"]["blame_totals"],
                    cand["critical_path"]["blame_totals"],

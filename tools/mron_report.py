@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Validate and render an mron run report (obs/report.h, mron.run_report/3).
+"""Validate and render an mron run report (obs/report.h, mron.run_report/4).
 
     mron_report.py run_report.json                # write run_report.html
     mron_report.py run_report.json -o out.html
@@ -35,9 +35,18 @@ import math
 import signal
 import sys
 
-SCHEMA = "mron.run_report/3"
+# /3 reports (no dfs block) are still accepted; /4 added the always-present
+# storage block. Keys introduced by schemas newer than this tool are
+# warnings, not errors, so old tooling degrades gracefully.
+SCHEMAS = ("mron.run_report/3", "mron.run_report/4")
+SCHEMA = SCHEMAS[-1]
 TOP_KEYS = {"schema", "meta", "jobs", "totals", "faults", "critical_path",
             "metrics", "series", "audit"}
+# Storage rollup (schema /4+): placement counts plus the re-replication
+# pipeline tallies (dfs/rereplicator.h Stats).
+DFS_KEYS = {"blocks_total", "replication", "under_replicated_final",
+            "under_replicated_peak", "rerepl.bytes", "rerepl.started",
+            "rerepl.completed", "rerepl.cancelled", "rerepl.recovery_time"}
 JOB_KEYS = {"id", "name", "submit_time", "finish_time", "counters", "stats",
             "config"}
 # The fixed blame taxonomy (obs/critical_path.h, enum order).
@@ -177,20 +186,34 @@ def check_critical_path(errors, cp, jobs):
                               f"per-job sum {want_totals[k]}")
 
 
-def validate(report):
-    """Return a list of schema violations (empty = valid)."""
+def validate(report, warnings=None):
+    """Return a list of schema violations (empty = valid).
+
+    Non-fatal findings (unknown future top-level blocks) are appended to
+    `warnings` when a list is given.
+    """
     errors = []
+    if warnings is None:
+        warnings = []
     if not isinstance(report, dict):
         return ["top level: expected an object"]
-    if report.get("schema") != SCHEMA:
-        errors.append(f"schema: expected {SCHEMA!r}, got "
-                      f"{report.get('schema')!r}")
-    missing = TOP_KEYS - report.keys()
-    extra = report.keys() - TOP_KEYS
+    schema = report.get("schema")
+    if schema not in SCHEMAS:
+        errors.append(f"schema: expected one of {list(SCHEMAS)}, got "
+                      f"{schema!r}")
+    # /4 made the storage block mandatory; a /3 report never carries it.
+    want = TOP_KEYS | ({"dfs"} if schema != SCHEMAS[0] else set())
+    missing = want - report.keys()
+    extra = report.keys() - want - {"dfs"}
     if missing:
         errors.append(f"missing top-level keys: {sorted(missing)}")
     if extra:
-        errors.append(f"unknown top-level keys: {sorted(extra)}")
+        # A newer writer may add blocks this tool predates. Parse what we
+        # know, surface the rest — do not fail CI over forward progress.
+        warnings.append(f"unknown top-level keys (newer schema?): "
+                        f"{sorted(extra)}")
+    if schema == SCHEMAS[0] and "dfs" in report:
+        errors.append("dfs: present in a /3 report (bump the schema)")
 
     meta = report.get("meta", {})
     if not isinstance(meta, dict) or any(
@@ -262,6 +285,37 @@ def validate(report):
                                 rel_tol=1e-9, abs_tol=1e-6):
                 errors.append(f"faults.{fkey}: {faults[fkey]} != "
                               f"job-stats sum {want}")
+
+    # The dfs block (schema /4+): numeric, carries the full key set, and
+    # its internal accounting must be self-consistent.
+    dfs = report.get("dfs")
+    if dfs is not None:
+        check_number_map(errors, "dfs", dfs)
+        if isinstance(dfs, dict):
+            dmissing = DFS_KEYS - dfs.keys()
+            dextra = dfs.keys() - DFS_KEYS
+            if dmissing:
+                errors.append(f"dfs: missing keys {sorted(dmissing)}")
+            if dextra:
+                warnings.append(f"dfs: unknown keys {sorted(dextra)}")
+            for k in DFS_KEYS & dfs.keys():
+                if is_num(dfs[k]) and dfs[k] < 0:
+                    errors.append(f"dfs.{k}: expected a non-negative number")
+            ok = all(is_num(dfs.get(k)) for k in DFS_KEYS)
+            if ok and dfs["under_replicated_final"] > dfs["blocks_total"]:
+                errors.append("dfs.under_replicated_final: exceeds "
+                              "blocks_total")
+            if ok and dfs["under_replicated_peak"] < \
+                    dfs["under_replicated_final"]:
+                errors.append("dfs.under_replicated_peak: below "
+                              "under_replicated_final")
+            if ok and dfs["rerepl.completed"] + dfs["rerepl.cancelled"] > \
+                    dfs["rerepl.started"]:
+                errors.append("dfs: rerepl.completed + rerepl.cancelled "
+                              "exceed rerepl.started")
+            if ok and dfs["rerepl.bytes"] > 0 and dfs["rerepl.started"] == 0:
+                errors.append("dfs.rerepl.bytes: nonzero with zero streams "
+                              "started")
 
     check_critical_path(errors, report.get("critical_path", {}), jobs)
 
@@ -895,6 +949,11 @@ def render(report):
         "<details open><summary>Run totals</summary>",
         number_table(totals, ("counter", "value")), "</details>",
     ]
+    if report.get("dfs"):
+        body.append("<details open><summary>Storage (placement + "
+                    "re-replication)</summary>")
+        body.append(number_table(report["dfs"], ("stat", "value")))
+        body.append("</details>")
     for job in report["jobs"]:
         flat = {f"{phase}.{k}": v
                 for phase, counters in job["counters"].items()
@@ -963,7 +1022,10 @@ def main(argv):
               f"file (schema is {report.get('schema')!r})", file=sys.stderr)
         return 1
 
-    errors = validate(report)
+    warnings = []
+    errors = validate(report, warnings)
+    for w in warnings:
+        print(f"warning: {w}", file=sys.stderr)
     if errors:
         for e in errors:
             print(f"schema violation: {e}", file=sys.stderr)
@@ -980,7 +1042,7 @@ def main(argv):
         n = len(report["series"]["series"])
         nseg = sum(len(j["segments"])
                    for j in report["critical_path"]["jobs"])
-        print(f"{args.report}: valid {SCHEMA} "
+        print(f"{args.report}: valid {report['schema']} "
               f"({len(report['jobs'])} jobs, {n} series, "
               f"{len(report['metrics'])} metrics, "
               f"{nseg} critical-path segments)")
